@@ -1,0 +1,34 @@
+// Shared helpers for the experiment benches (E1..E8). Each bench binary
+// regenerates one experiment from DESIGN.md §5; the pass criteria (curve
+// shapes, who wins) are recorded in EXPERIMENTS.md.
+
+#ifndef CHRONICLE_BENCH_BENCH_COMMON_H_
+#define CHRONICLE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace chronicle {
+namespace bench {
+
+// Benches treat any library error as fatal: a broken setup would silently
+// invalidate the experiment.
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace chronicle
+
+#endif  // CHRONICLE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,85 @@
+// Experiment E10 (operational, DESIGN.md S12) — checkpoint cost.
+//
+// Since the chronicle is not stored, checkpoints are the recovery story;
+// their cost must scale with the VIEW state (|V| groups), not with the
+// number of records ever streamed. Series:
+//   * SaveCost    — serialize the database; counters report image bytes.
+//   * RestoreCost — parse + rebuild into a fresh database.
+// The `stream_records` axis varies N with a fixed 4096-account key space:
+// past saturation the image size and (de)serialization cost must go flat.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "checkpoint/checkpoint.h"
+#include "workload/call_records.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+void ApplyDdl(ChronicleDatabase* db) {
+  Check(db->CreateChronicle("calls", CallRecordGenerator::RecordSchema(),
+                            RetentionPolicy::None())
+            .status());
+  CaExprPtr scan = Unwrap(db->ScanChronicle("calls"));
+  Check(db->CreateView("minutes", scan,
+                       Unwrap(SummarySpec::GroupBy(
+                           scan->schema(), {"caller"},
+                           {AggSpec::Sum("minutes", "total"),
+                            AggSpec::Count("n")})))
+            .status());
+  Check(db->CreateView("regions", scan,
+                       Unwrap(SummarySpec::DistinctProjection(scan->schema(),
+                                                              {"region"})))
+            .status());
+}
+
+void Fill(ChronicleDatabase* db, int64_t records) {
+  CallRecordOptions options;
+  options.num_accounts = 4096;
+  CallRecordGenerator gen(options);
+  Chronon chronon = 0;
+  while (records > 0) {
+    const size_t n = records < 256 ? static_cast<size_t>(records) : 256;
+    Check(db->Append("calls", gen.NextBatch(n), ++chronon).status());
+    records -= static_cast<int64_t>(n);
+  }
+}
+
+void SaveCost(benchmark::State& state) {
+  ChronicleDatabase db;
+  ApplyDdl(&db);
+  Fill(&db, state.range(0));
+  size_t image_bytes = 0;
+  for (auto _ : state) {
+    std::string image = Unwrap(checkpoint::SaveDatabase(db));
+    image_bytes = image.size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["stream_records"] = static_cast<double>(state.range(0));
+  state.counters["image_bytes"] = static_cast<double>(image_bytes);
+}
+BENCHMARK(SaveCost)->RangeMultiplier(8)->Range(1 << 12, 1 << 18);
+
+void RestoreCost(benchmark::State& state) {
+  ChronicleDatabase source;
+  ApplyDdl(&source);
+  Fill(&source, state.range(0));
+  std::string image = Unwrap(checkpoint::SaveDatabase(source));
+  for (auto _ : state) {
+    ChronicleDatabase fresh;
+    ApplyDdl(&fresh);
+    Check(checkpoint::RestoreDatabase(image, &fresh));
+    benchmark::DoNotOptimize(fresh.appends_processed());
+  }
+  state.counters["stream_records"] = static_cast<double>(state.range(0));
+  state.counters["image_bytes"] = static_cast<double>(image.size());
+}
+BENCHMARK(RestoreCost)->RangeMultiplier(8)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Experiment E1 — Proposition 3.1 + Theorem 4.5.
+//
+// Per-append view maintenance cost as a function of the chronicle size
+// |C|. Claim: with SCA views the cost is flat (independent of |C|; the
+// chronicle is not even stored), while the relational baseline — which
+// recomputes the summary from the stored chronicle — grows linearly in
+// |C|. Series:
+//
+//   IncrementalSca1     — SUM(minutes) GROUP BY caller      (IM-Constant)
+//   IncrementalScaJoin  — + key join against a 10k relation (IM-log(R))
+//   IncrementalScaCross — + cross product with a 64-row relation (IM-R^k)
+//   BaselineRecompute   — naive full recomputation per append (IM-C^k)
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_engine.h"
+#include "bench_common.h"
+#include "db/database.h"
+#include "workload/call_records.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+constexpr int64_t kRelationRows = 10000;
+constexpr int64_t kCrossRelationRows = 64;
+
+// Pre-fills `db` with `prefill` call records in batches (cheap setup).
+void Prefill(ChronicleDatabase* db, CallRecordGenerator* gen, int64_t prefill,
+             Chronon* chronon) {
+  constexpr size_t kBatch = 256;
+  int64_t remaining = prefill;
+  while (remaining > 0) {
+    const size_t n = remaining < static_cast<int64_t>(kBatch)
+                         ? static_cast<size_t>(remaining)
+                         : kBatch;
+    Check(db->Append("calls", gen->NextBatch(n), ++*chronon).status());
+    remaining -= static_cast<int64_t>(n);
+  }
+}
+
+void SetupRelation(ChronicleDatabase* db, int64_t rows) {
+  Schema schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+  Check(db->CreateRelation("cust", schema, "acct").status());
+  for (int64_t i = 0; i < rows; ++i) {
+    Check(db->InsertInto("cust", Tuple{Value(i), Value("NJ")}));
+  }
+}
+
+enum class ViewKind { kSca1, kScaJoin, kScaCross };
+
+void SetupView(ChronicleDatabase* db, ViewKind kind) {
+  CaExprPtr plan = Unwrap(db->ScanChronicle("calls"));
+  if (kind == ViewKind::kScaJoin) {
+    SetupRelation(db, kRelationRows);
+    plan = Unwrap(
+        CaExpr::RelKeyJoin(plan, Unwrap(db->GetRelation("cust")), "caller"));
+  } else if (kind == ViewKind::kScaCross) {
+    SetupRelation(db, kCrossRelationRows);
+    plan = Unwrap(CaExpr::RelCross(plan, Unwrap(db->GetRelation("cust"))));
+  }
+  SummarySpec spec = Unwrap(SummarySpec::GroupBy(
+      plan->schema(), {"caller"}, {AggSpec::Sum("minutes", "total")}));
+  Check(db->CreateView("minutes", plan, spec).status());
+}
+
+void RunIncremental(benchmark::State& state, ViewKind kind,
+                    RetentionPolicy retention) {
+  const int64_t prefill = state.range(0);
+  ChronicleDatabase db;
+  CallRecordOptions options;
+  options.num_accounts = 10000;
+  CallRecordGenerator gen(options);
+  Check(db.CreateChronicle("calls", CallRecordGenerator::RecordSchema(),
+                           retention)
+            .status());
+  SetupView(&db, kind);
+  Chronon chronon = 0;
+  Prefill(&db, &gen, prefill, &chronon);
+
+  for (auto _ : state) {
+    Check(db.Append("calls", {gen.Next()}, ++chronon).status());
+  }
+  state.counters["chronicle_size"] = static_cast<double>(prefill);
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void IncrementalSca1(benchmark::State& state) {
+  RunIncremental(state, ViewKind::kSca1, RetentionPolicy::None());
+}
+BENCHMARK(IncrementalSca1)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+
+void IncrementalScaJoin(benchmark::State& state) {
+  RunIncremental(state, ViewKind::kScaJoin, RetentionPolicy::None());
+}
+BENCHMARK(IncrementalScaJoin)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+
+void IncrementalScaCross(benchmark::State& state) {
+  RunIncremental(state, ViewKind::kScaCross, RetentionPolicy::None());
+}
+BENCHMARK(IncrementalScaCross)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+
+// The relational baseline: the summary is answered by recomputing over the
+// stored chronicle, so every "maintenance" step costs O(|C|).
+void BaselineRecompute(benchmark::State& state) {
+  const int64_t prefill = state.range(0);
+  ChronicleDatabase db;
+  CallRecordOptions options;
+  options.num_accounts = 10000;
+  CallRecordGenerator gen(options);
+  Check(db.CreateChronicle("calls", CallRecordGenerator::RecordSchema(),
+                           RetentionPolicy::All())
+            .status());
+  Chronon chronon = 0;
+  Prefill(&db, &gen, prefill, &chronon);
+
+  CaExprPtr plan = Unwrap(db.ScanChronicle("calls"));
+  SummarySpec spec = Unwrap(SummarySpec::GroupBy(
+      plan->schema(), {"caller"}, {AggSpec::Sum("minutes", "total")}));
+  NaiveEngine engine(&db.group());
+
+  for (auto _ : state) {
+    std::vector<Tuple> rows = Unwrap(engine.EvaluateSummary(*plan, spec));
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["chronicle_size"] = static_cast<double>(prefill);
+}
+BENCHMARK(BaselineRecompute)->RangeMultiplier(8)->Range(1 << 10, 1 << 17);
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+BENCHMARK_MAIN();

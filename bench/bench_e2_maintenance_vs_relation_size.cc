@@ -1,0 +1,79 @@
+// Experiment E2 — Theorem 4.2 / 4.5: relation-size dependence.
+//
+// Per-append maintenance cost of a view joining the chronicle against a
+// relation of |R| rows. Claims:
+//   * CA_join with an ordered key index  -> O(log |R|)   (IM-log(R))
+//   * CA_join with a hash key index      -> ~O(1)        (production mode)
+//   * CA cross product                   -> O(|R|)       (IM-R^k)
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "db/database.h"
+#include "workload/flyer.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+void SetupCustomers(ChronicleDatabase* db, int64_t rows, IndexMode mode) {
+  Schema schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+  Check(db->CreateRelation("cust", schema, "acct", mode).status());
+  for (int64_t i = 0; i < rows; ++i) {
+    Check(db->InsertInto("cust", Tuple{Value(i), Value(i % 7 == 0 ? "NJ" : "NY")}));
+  }
+}
+
+enum class JoinKind { kKeyJoin, kCross };
+
+void RunJoinBench(benchmark::State& state, JoinKind kind, IndexMode mode) {
+  const int64_t rel_size = state.range(0);
+  ChronicleDatabase db;
+  Check(db.CreateChronicle("flights", FlyerGenerator::FlightSchema(),
+                           RetentionPolicy::None())
+            .status());
+  SetupCustomers(&db, rel_size, mode);
+
+  CaExprPtr scan = Unwrap(db.ScanChronicle("flights"));
+  CaExprPtr plan =
+      kind == JoinKind::kKeyJoin
+          ? Unwrap(CaExpr::RelKeyJoin(scan, Unwrap(db.GetRelation("cust")),
+                                      "acct"))
+          : Unwrap(CaExpr::RelCross(scan, Unwrap(db.GetRelation("cust"))));
+  SummarySpec spec = Unwrap(SummarySpec::GroupBy(
+      plan->schema(), {"state"}, {AggSpec::Sum("miles", "miles")}));
+  Check(db.CreateView("by_state", plan, spec).status());
+
+  FlyerOptions options;
+  options.num_customers = static_cast<uint64_t>(rel_size);
+  FlyerGenerator gen(options);
+
+  Chronon chronon = 0;
+  for (auto _ : state) {
+    Check(db.Append("flights", {gen.NextFlight()}, ++chronon).status());
+  }
+  state.counters["relation_size"] = static_cast<double>(rel_size);
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void KeyJoinOrderedIndex(benchmark::State& state) {
+  RunJoinBench(state, JoinKind::kKeyJoin, IndexMode::kOrdered);
+}
+BENCHMARK(KeyJoinOrderedIndex)->RangeMultiplier(8)->Range(1 << 10, 1 << 20);
+
+void KeyJoinHashIndex(benchmark::State& state) {
+  RunJoinBench(state, JoinKind::kKeyJoin, IndexMode::kHash);
+}
+BENCHMARK(KeyJoinHashIndex)->RangeMultiplier(8)->Range(1 << 10, 1 << 20);
+
+void CrossProduct(benchmark::State& state) {
+  RunJoinBench(state, JoinKind::kCross, IndexMode::kHash);
+}
+BENCHMARK(CrossProduct)->RangeMultiplier(8)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+BENCHMARK_MAIN();

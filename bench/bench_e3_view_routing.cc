@@ -1,0 +1,73 @@
+// Experiment E3 — §5.2: identifying affected persistent views.
+//
+// Per-append maintenance cost with V views registered over one chronicle,
+// where each view selects a distinct routing key (region = const). Claims:
+//   * kCheckAll  — every append pays O(V) (the paper's strawman);
+//   * kGuards    — O(V) guard evaluations, but each far cheaper than a
+//                  delta computation;
+//   * kEqIndex   — O(1) hash probes per append: throughput independent
+//                  of V.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "db/database.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"route", DataType::kInt64},
+                 {"minutes", DataType::kInt64}});
+}
+
+void RunRouting(benchmark::State& state, RoutingMode mode) {
+  const int64_t num_views = state.range(0);
+  ChronicleDatabase db(mode);
+  Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
+            .status());
+  CaExprPtr scan = Unwrap(db.ScanChronicle("calls"));
+  for (int64_t v = 0; v < num_views; ++v) {
+    CaExprPtr plan = Unwrap(CaExpr::Select(scan, Eq(Col("route"), Lit(Value(v)))));
+    SummarySpec spec = Unwrap(SummarySpec::GroupBy(
+        plan->schema(), {"caller"}, {AggSpec::Sum("minutes", "m")}));
+    Check(db.CreateView("route_" + std::to_string(v), plan, spec).status());
+  }
+
+  Rng rng(7);
+  Chronon chronon = 0;
+  for (auto _ : state) {
+    Tuple call{Value(static_cast<int64_t>(rng.Uniform(64))),
+               Value(static_cast<int64_t>(rng.Uniform(
+                   static_cast<uint64_t>(num_views)))),
+               Value(static_cast<int64_t>(rng.Uniform(100)))};
+    Check(db.Append("calls", {std::move(call)}, ++chronon).status());
+  }
+  state.counters["num_views"] = static_cast<double>(num_views);
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void CheckAllViews(benchmark::State& state) {
+  RunRouting(state, RoutingMode::kCheckAll);
+}
+BENCHMARK(CheckAllViews)->RangeMultiplier(4)->Range(1, 1 << 10);
+
+void GuardFiltering(benchmark::State& state) {
+  RunRouting(state, RoutingMode::kGuards);
+}
+BENCHMARK(GuardFiltering)->RangeMultiplier(4)->Range(1, 1 << 10);
+
+void EqIndexRouting(benchmark::State& state) {
+  RunRouting(state, RoutingMode::kEqIndex);
+}
+BENCHMARK(EqIndexRouting)->RangeMultiplier(4)->Range(1, 1 << 10);
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+BENCHMARK_MAIN();

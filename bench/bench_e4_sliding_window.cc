@@ -1,0 +1,121 @@
+// Experiment E4 — §5.1: sliding-window maintenance.
+//
+// A moving 30-day-style aggregate with window = P panes and slide = 1
+// pane. Claims:
+//   * NaivePeriodic — each append updates all ~P overlapping instances:
+//     cost grows linearly with P;
+//   * PaneRingBuffer — each append updates exactly one pane: cost flat in
+//     P (queries merge P panes on demand, measured separately).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "db/database.h"
+#include "workload/stock.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+struct Setup {
+  ChronicleDatabase db;
+  StockTradeGenerator gen;
+  Chronon chronon = 0;
+  int trades_in_day = 0;
+  static constexpr int kTradesPerDay = 16;
+
+  Setup() : gen(StockOptions{}) {
+    Check(db.CreateChronicle("trades", StockTradeGenerator::RecordSchema(),
+                             RetentionPolicy::None())
+              .status());
+  }
+
+  CaExprPtr Scan() { return Unwrap(db.ScanChronicle("trades")); }
+  SummarySpec Spec() {
+    CaExprPtr scan = Scan();
+    return Unwrap(SummarySpec::GroupBy(scan->schema(), {"symbol"},
+                                       {AggSpec::Sum("shares", "shares")}));
+  }
+
+  // Appends one trade; the simulated day advances every kTradesPerDay.
+  void AppendTrade() {
+    if (++trades_in_day == kTradesPerDay) {
+      trades_in_day = 0;
+      ++chronon;
+    }
+    Check(db.Append("trades", {gen.Next()}, chronon).status());
+  }
+};
+
+void NaivePeriodic(benchmark::State& state) {
+  const int64_t panes = state.range(0);
+  Setup setup;
+  auto calendar = Unwrap(SlidingCalendar::Make(0, panes, 1));
+  PeriodicViewOptions options;
+  options.expire_after = 2;
+  Check(setup.db.CreatePeriodicView("w", setup.Scan(), setup.Spec(), calendar,
+                                    options));
+  for (auto _ : state) {
+    setup.AppendTrade();
+  }
+  state.counters["window_panes"] = static_cast<double>(panes);
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(NaivePeriodic)->RangeMultiplier(4)->Range(8, 1 << 10);
+
+void PaneRingBuffer(benchmark::State& state) {
+  const int64_t panes = state.range(0);
+  Setup setup;
+  Check(setup.db.CreateSlidingView("w", setup.Scan(), setup.Spec(), 0, 1, panes));
+  for (auto _ : state) {
+    setup.AppendTrade();
+  }
+  state.counters["window_panes"] = static_cast<double>(panes);
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(PaneRingBuffer)->RangeMultiplier(4)->Range(8, 1 << 10);
+
+// The flip side of the trade-off: the ring pays O(P) at query time.
+void PaneRingBufferQuery(benchmark::State& state) {
+  const int64_t panes = state.range(0);
+  Setup setup;
+  Check(setup.db.CreateSlidingView("w", setup.Scan(), setup.Spec(), 0, 1, panes));
+  // Fill a couple of windows.
+  for (int64_t i = 0; i < panes * Setup::kTradesPerDay * 2; ++i) {
+    setup.AppendTrade();
+  }
+  const SlidingWindowView* view = Unwrap(setup.db.GetSlidingView("w"));
+  for (auto _ : state) {
+    Result<Tuple> row = view->QueryWindow(Tuple{Value("SYM0")});
+    benchmark::DoNotOptimize(row);
+  }
+  state.counters["window_panes"] = static_cast<double>(panes);
+}
+BENCHMARK(PaneRingBufferQuery)->RangeMultiplier(4)->Range(8, 1 << 10);
+
+// Naive instances answer window queries with one O(1)/O(log|V|) lookup.
+void NaivePeriodicQuery(benchmark::State& state) {
+  const int64_t panes = state.range(0);
+  Setup setup;
+  auto calendar = Unwrap(SlidingCalendar::Make(0, panes, 1));
+  Check(setup.db.CreatePeriodicView("w", setup.Scan(), setup.Spec(), calendar));
+  for (int64_t i = 0; i < panes * Setup::kTradesPerDay * 2; ++i) {
+    setup.AppendTrade();
+  }
+  const PeriodicViewSet* view = Unwrap(setup.db.GetPeriodicView("w"));
+  const int64_t index = setup.chronon - panes + 1;
+  for (auto _ : state) {
+    Result<Tuple> row = view->Lookup(index, Tuple{Value("SYM0")});
+    benchmark::DoNotOptimize(row);
+  }
+  state.counters["window_panes"] = static_cast<double>(panes);
+}
+BENCHMARK(NaivePeriodicQuery)->RangeMultiplier(4)->Range(8, 1 << 10);
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Incrementally computable aggregation functions.
+//
+// The chronicle model only admits aggregates that are "incrementally
+// computable, or decomposable into incremental computation functions"
+// (paper, Preliminaries): each function exposes
+//   Init    — the empty state,
+//   Update  — fold one new input value in O(1),
+//   Merge   — combine two partial states in O(1) (decomposability; this is
+//             what the §5.1 sliding-window pane optimization relies on),
+//   Finalize— produce the output value.
+// Because chronicles are append-only, no retraction support is needed —
+// which is exactly why MIN/MAX qualify here while they would not under
+// deletions.
+//
+// Builtins: COUNT, SUM, MIN, MAX, AVG, plus the §5.3 TIERED_DISCOUNT
+// aggregate. User-defined aggregates plug in through CustomAggregateDef.
+
+#ifndef CHRONICLE_AGGREGATES_AGGREGATE_H_
+#define CHRONICLE_AGGREGATES_AGGREGATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregates/tiered_discount.h"
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace chronicle {
+
+enum class AggKind : uint8_t {
+  kCount = 0,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kTieredDiscount,
+  // FIRST/LAST value in arrival (sequence-number) order — "current state"
+  // summaries, e.g. the last known address-affecting transaction. Sound
+  // under the chronicle model because appends arrive in SN order; Merge
+  // requires the caller to fold states in chronological order (the pane
+  // ring does; see SlidingWindowView::MergeKey).
+  kFirst,
+  kLast,
+  kCustom,
+};
+
+// A user-defined decomposable aggregate. State is an opaque Tuple.
+struct CustomAggregateDef {
+  std::string name;
+  DataType output_type;
+  std::function<Tuple()> init;
+  std::function<void(Tuple*, const Value&)> update;
+  std::function<void(Tuple*, const Tuple&)> merge;
+  std::function<Value(const Tuple&)> finalize;
+};
+
+// The running state of one aggregate instance for one group. A single
+// struct covers all builtins (only the fields the kind uses are touched);
+// custom aggregates use `custom`.
+struct AggState {
+  int64_t count = 0;
+  int64_t sum_i = 0;   // exact integer sum when the input column is INT64
+  double sum_d = 0.0;  // floating sum otherwise
+  Value min;           // NULL = no input seen yet
+  Value max;
+  Value first;         // kFirst: earliest non-null input (NULL = none yet)
+  Value last;          // kLast: latest non-null input
+  Tuple custom;
+};
+
+// The specification of one aggregate column of a view: which function, over
+// which input column, under what output name.
+class AggSpec {
+ public:
+  // Factories. `input_column` is resolved against the operand schema at
+  // bind time; COUNT takes no input column.
+  static AggSpec Count(std::string output_name = "count");
+  static AggSpec Sum(std::string input_column, std::string output_name = "");
+  static AggSpec Min(std::string input_column, std::string output_name = "");
+  static AggSpec Max(std::string input_column, std::string output_name = "");
+  static AggSpec Avg(std::string input_column, std::string output_name = "");
+  static AggSpec First(std::string input_column, std::string output_name = "");
+  static AggSpec Last(std::string input_column, std::string output_name = "");
+  // §5.3: discounted total of `input_column` under a tiered rate schedule.
+  static AggSpec TieredDiscount(std::string input_column,
+                                TieredSchedule schedule,
+                                std::string output_name = "");
+  static AggSpec Custom(std::shared_ptr<const CustomAggregateDef> def,
+                        std::string input_column, std::string output_name = "");
+
+  AggKind kind() const { return kind_; }
+  const std::string& input_column() const { return input_column_; }
+  const std::string& output_name() const { return output_name_; }
+  const TieredSchedule& schedule() const { return schedule_; }
+  const CustomAggregateDef* custom_def() const { return custom_def_.get(); }
+
+  // Resolves the input column against `schema` and records input type.
+  // Fails if the column is missing or non-numeric where numeric is needed.
+  Status Bind(const Schema& schema);
+  // Index of the bound input column (COUNT: unused).
+  size_t bound_input() const { return bound_input_; }
+
+  // Output field (name + type); valid after Bind.
+  Field OutputField() const;
+
+  // --- state transitions (valid after Bind) ---
+  AggState Init() const;
+  // Folds the input value from `row` into `state`. NULL inputs are skipped
+  // (SQL semantics); COUNT counts rows, not non-nulls.
+  void Update(AggState* state, const Tuple& row) const;
+  // Folds a raw value (used by pane merging paths that pre-extract inputs).
+  void UpdateValue(AggState* state, const Value& v) const;
+  // Combines `other` into `state` (decomposability).
+  void Merge(AggState* state, const AggState& other) const;
+  Value Finalize(const AggState& state) const;
+
+  // "SUM(minutes) AS total" rendering.
+  std::string ToString() const;
+
+ private:
+  AggSpec(AggKind kind, std::string input_column, std::string output_name);
+
+  AggKind kind_;
+  std::string input_column_;
+  std::string output_name_;
+  TieredSchedule schedule_;
+  std::shared_ptr<const CustomAggregateDef> custom_def_;
+
+  size_t bound_input_ = 0;
+  DataType input_type_ = DataType::kInt64;
+  bool bound_ = false;
+};
+
+// Human-readable name of an AggKind ("SUM", ...).
+const char* AggKindToString(AggKind kind);
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_AGGREGATES_AGGREGATE_H_

@@ -1,0 +1,44 @@
+#include "aggregates/tiered_discount.h"
+
+#include <cstdio>
+
+namespace chronicle {
+
+Result<TieredSchedule> TieredSchedule::Make(std::vector<Tier> tiers) {
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].rate < 0.0 || tiers[i].rate >= 1.0) {
+      return Status::InvalidArgument("tier rate must be in [0,1)");
+    }
+    if (i > 0 && tiers[i].threshold <= tiers[i - 1].threshold) {
+      return Status::InvalidArgument(
+          "tier thresholds must be strictly increasing");
+    }
+  }
+  return TieredSchedule(std::move(tiers));
+}
+
+double TieredSchedule::RateFor(double total) const {
+  double rate = 0.0;
+  for (const Tier& t : tiers_) {
+    if (total > t.threshold) rate = t.rate;
+  }
+  return rate;
+}
+
+double TieredSchedule::DiscountedTotal(double total) const {
+  return total * (1.0 - RateFor(total));
+}
+
+std::string TieredSchedule::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < tiers_.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f%%>@%g", tiers_[i].rate * 100.0,
+                  tiers_[i].threshold);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace chronicle

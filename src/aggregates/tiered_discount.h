@@ -1,0 +1,51 @@
+// TieredSchedule: the stepwise discount/fee schedules of paper §5.3.
+//
+// Example (the paper's telephone plan): 10% off all calls once monthly
+// undiscounted expenses exceed $10, 20% once they exceed $25. The whole
+// period's activity is re-rated at the highest tier reached — which is why
+// the batch formulation needs the period's full record set, while the
+// incremental formulation only needs the running total.
+
+#ifndef CHRONICLE_AGGREGATES_TIERED_DISCOUNT_H_
+#define CHRONICLE_AGGREGATES_TIERED_DISCOUNT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chronicle {
+
+// One tier: once `total > threshold`, `rate` applies to the whole total.
+struct Tier {
+  double threshold = 0.0;
+  double rate = 0.0;  // fraction in [0, 1)
+};
+
+class TieredSchedule {
+ public:
+  TieredSchedule() = default;
+
+  // Builds a schedule; tiers must be strictly increasing in threshold and
+  // have rates in [0, 1).
+  static Result<TieredSchedule> Make(std::vector<Tier> tiers);
+
+  const std::vector<Tier>& tiers() const { return tiers_; }
+
+  // Rate applicable to an undiscounted total (0 if below every tier).
+  double RateFor(double total) const;
+
+  // total * (1 - RateFor(total)): the discounted amount owed.
+  double DiscountedTotal(double total) const;
+
+  // "10%>@10, 20%>@25" rendering.
+  std::string ToString() const;
+
+ private:
+  explicit TieredSchedule(std::vector<Tier> tiers) : tiers_(std::move(tiers)) {}
+  std::vector<Tier> tiers_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_AGGREGATES_TIERED_DISCOUNT_H_

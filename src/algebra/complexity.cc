@@ -1,0 +1,110 @@
+#include "algebra/complexity.h"
+
+#include "algebra/validate.h"
+
+namespace chronicle {
+
+const char* CaClassToString(CaClass c) {
+  switch (c) {
+    case CaClass::kCa1:
+      return "CA_1";
+    case CaClass::kCaJoin:
+      return "CA_join";
+    case CaClass::kCaFull:
+      return "CA";
+    case CaClass::kNotCa:
+      return "not-CA";
+  }
+  return "?";
+}
+
+const char* ImClassToString(ImClass c) {
+  switch (c) {
+    case ImClass::kImConstant:
+      return "IM-Constant";
+    case ImClass::kImLogR:
+      return "IM-log(R)";
+    case ImClass::kImPolyR:
+      return "IM-R^k";
+    case ImClass::kImPolyC:
+      return "IM-C^k";
+  }
+  return "?";
+}
+
+namespace {
+
+void Walk(const CaExpr& expr, ComplexityReport* report) {
+  switch (expr.op()) {
+    case CaOp::kUnion:
+      ++report->num_unions;
+      break;
+    case CaOp::kSeqJoin:
+      ++report->num_joins;
+      break;
+    case CaOp::kRelCross:
+      ++report->num_joins;
+      ++report->num_rel_cross;
+      break;
+    case CaOp::kRelKeyJoin:
+    case CaOp::kRelBoundedJoin:
+      // Both satisfy the Definition 4.2 constant-matches guarantee.
+      ++report->num_joins;
+      ++report->num_rel_keyjoin;
+      break;
+    case CaOp::kChronicleCross:
+    case CaOp::kSeqThetaJoin:
+      ++report->num_joins;
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < expr.num_children(); ++i) {
+    Walk(*expr.child(i), report);
+  }
+}
+
+}  // namespace
+
+ComplexityReport AnalyzeComplexity(const CaExpr& expr) {
+  ComplexityReport report;
+  Walk(expr, &report);
+
+  Status ca_status = ValidateChronicleAlgebra(expr);
+  if (!ca_status.ok()) {
+    report.ca_class = CaClass::kNotCa;
+    report.im_class = ImClass::kImPolyC;
+    report.explanation = ca_status.message();
+    return report;
+  }
+  if (report.num_rel_cross > 0) {
+    report.ca_class = CaClass::kCaFull;
+    report.im_class = ImClass::kImPolyR;
+    report.explanation =
+        "expression joins relations through unrestricted cross products; "
+        "each append can touch O(|R|^j) relation tuples (Theorem 4.2)";
+  } else if (report.num_rel_keyjoin > 0) {
+    report.ca_class = CaClass::kCaJoin;
+    report.im_class = ImClass::kImLogR;
+    report.explanation =
+        "relation access only through key joins: at most one relation tuple "
+        "per chronicle tuple, found by one index lookup (Definition 4.2)";
+  } else {
+    report.ca_class = CaClass::kCa1;
+    report.im_class = ImClass::kImConstant;
+    report.explanation =
+        "no relation access: maintenance touches only the appended tuples";
+  }
+  return report;
+}
+
+std::string ComplexityReport::ToString() const {
+  std::string out = CaClassToString(ca_class);
+  out += " / ";
+  out += ImClassToString(im_class);
+  out += " (u=" + std::to_string(num_unions) + ", j=" + std::to_string(num_joins) + ")";
+  out += " — " + explanation;
+  return out;
+}
+
+}  // namespace chronicle

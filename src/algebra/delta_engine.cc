@@ -1,0 +1,259 @@
+#include "algebra/delta_engine.h"
+
+#include <unordered_set>
+
+#include "storage/keyed_table.h"
+
+namespace chronicle {
+
+namespace {
+
+using TupleSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
+
+void Record(DeltaStats* stats, size_t rows) {
+  if (stats == nullptr) return;
+  stats->total_rows_produced += rows;
+  if (rows > stats->max_intermediate_rows) stats->max_intermediate_rows = rows;
+}
+
+// Removes duplicate tuples, preserving first-seen order.
+void Dedupe(std::vector<Tuple>* rows) {
+  TupleSet seen;
+  std::vector<Tuple> out;
+  out.reserve(rows->size());
+  for (Tuple& t : *rows) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  *rows = std::move(out);
+}
+
+Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<ChronicleRow>> DeltaEngine::ComputeDelta(
+    const CaExpr& expr, const AppendEvent& event, DeltaStats* stats,
+    DeltaCache* cache) const {
+  DeltaCache local;
+  if (cache == nullptr) cache = &local;
+  CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* tuples,
+                             Delta(expr, event, stats, cache));
+  std::vector<ChronicleRow> rows;
+  rows.reserve(tuples->size());
+  for (const Tuple& t : *tuples) {
+    rows.push_back(ChronicleRow{event.sn, t});
+  }
+  return rows;
+}
+
+Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
+                                                     const AppendEvent& event,
+                                                     DeltaStats* stats,
+                                                     DeltaCache* cache) const {
+  // DAG sharing: a node already evaluated this tick is returned verbatim.
+  // (std::unordered_map never invalidates element references on insert.)
+  auto memo_it = cache->memo_.find(&expr);
+  if (memo_it != cache->memo_.end()) {
+    ++cache->hits_;
+    return &memo_it->second;
+  }
+  ++cache->misses_;
+
+  std::vector<Tuple> out;
+  switch (expr.op()) {
+    case CaOp::kScan: {
+      for (const auto& [id, tuples] : event.inserts) {
+        if (id != expr.chronicle_id()) continue;
+        out.insert(out.end(), tuples.begin(), tuples.end());
+      }
+      // Set semantics: identical tuples appended under one SN are one row.
+      Dedupe(&out);
+      break;
+    }
+
+    case CaOp::kSelect: {
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
+                                 Delta(*expr.child(0), event, stats, cache));
+      out.reserve(child->size());
+      for (const Tuple& t : *child) {
+        EvalRow row{&t, event.sn, event.chronon};
+        CHRONICLE_ASSIGN_OR_RETURN(bool keep, expr.predicate()->EvalBool(row));
+        if (keep) out.push_back(t);
+      }
+      break;
+    }
+
+    case CaOp::kProject: {
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
+                                 Delta(*expr.child(0), event, stats, cache));
+      out.reserve(child->size());
+      for (const Tuple& t : *child) {
+        Tuple projected;
+        projected.reserve(expr.projection().size());
+        for (size_t idx : expr.projection()) projected.push_back(t[idx]);
+        out.push_back(std::move(projected));
+      }
+      // Projection can merge rows that differed only on dropped columns.
+      Dedupe(&out);
+      break;
+    }
+
+    case CaOp::kSeqJoin: {
+      // Within one tick every delta row carries the same (fresh) SN, so the
+      // SN-equijoin of the deltas is their full pairing; the cross terms
+      // against old chronicle state are empty by Theorem 4.1.
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* left,
+                                 Delta(*expr.child(0), event, stats, cache));
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* right,
+                                 Delta(*expr.child(1), event, stats, cache));
+      out.reserve(left->size() * right->size());
+      for (const Tuple& l : *left) {
+        for (const Tuple& r : *right) {
+          out.push_back(ConcatTuples(l, r));
+        }
+      }
+      break;
+    }
+
+    case CaOp::kUnion: {
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* left,
+                                 Delta(*expr.child(0), event, stats, cache));
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* right,
+                                 Delta(*expr.child(1), event, stats, cache));
+      out = *left;
+      out.insert(out.end(), right->begin(), right->end());
+      Dedupe(&out);
+      break;
+    }
+
+    case CaOp::kDifference: {
+      // New SNs cannot exist in the old right operand (group discipline), so
+      // Δ(E1 − E2) = ΔE1 − ΔE2 exactly (Theorem 4.1 proof).
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* left,
+                                 Delta(*expr.child(0), event, stats, cache));
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* right,
+                                 Delta(*expr.child(1), event, stats, cache));
+      TupleSet removed(right->begin(), right->end());
+      out.reserve(left->size());
+      for (const Tuple& t : *left) {
+        if (removed.count(t) == 0) out.push_back(t);
+      }
+      Dedupe(&out);
+      break;
+    }
+
+    case CaOp::kGroupBySeq: {
+      // SN is in the grouping list, so the appended tuples form brand-new
+      // groups: aggregate within the tick only.
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
+                                 Delta(*expr.child(0), event, stats, cache));
+      KeyedTable<std::vector<AggState>> groups(IndexMode::kHash);
+      std::vector<Tuple> group_order;  // deterministic output order
+      for (const Tuple& t : *child) {
+        Tuple key;
+        key.reserve(expr.group_columns().size());
+        for (size_t idx : expr.group_columns()) key.push_back(t[idx]);
+        std::vector<AggState>* states = groups.Find(key);
+        if (states == nullptr) {
+          states = &groups.GetOrCreate(key);
+          states->reserve(expr.aggregates().size());
+          for (const AggSpec& agg : expr.aggregates()) {
+            states->push_back(agg.Init());
+          }
+          group_order.push_back(key);
+        }
+        for (size_t i = 0; i < expr.aggregates().size(); ++i) {
+          expr.aggregates()[i].Update(&(*states)[i], t);
+        }
+      }
+      out.reserve(group_order.size());
+      for (const Tuple& key : group_order) {
+        const std::vector<AggState>* states = groups.Find(key);
+        Tuple row = key;
+        for (size_t i = 0; i < expr.aggregates().size(); ++i) {
+          row.push_back(expr.aggregates()[i].Finalize((*states)[i]));
+        }
+        out.push_back(std::move(row));
+      }
+      break;
+    }
+
+    case CaOp::kRelCross: {
+      // Implicit temporal join: proactive updates guarantee the current
+      // relation version is the one associated with this (fresh) SN.
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
+                                 Delta(*expr.child(0), event, stats, cache));
+      const Relation* rel = expr.relation();
+      out.reserve(child->size() * rel->size());
+      for (const Tuple& t : *child) {
+        for (const Tuple& r : rel->rows()) {
+          out.push_back(ConcatTuples(t, r));
+        }
+        if (stats != nullptr) stats->relation_rows_scanned += rel->size();
+      }
+      break;
+    }
+
+    case CaOp::kRelKeyJoin: {
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
+                                 Delta(*expr.child(0), event, stats, cache));
+      const Relation* rel = expr.relation();
+      out.reserve(child->size());
+      for (const Tuple& t : *child) {
+        if (stats != nullptr) ++stats->relation_lookups;
+        Result<const Tuple*> match = rel->LookupByKey(t[expr.join_column()]);
+        if (!match.ok()) continue;  // inner join: unmatched rows drop out
+        out.push_back(ConcatTuples(t, **match));
+      }
+      break;
+    }
+
+    case CaOp::kRelBoundedJoin: {
+      CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
+                                 Delta(*expr.child(0), event, stats, cache));
+      const Relation* rel = expr.relation();
+      out.reserve(child->size() * expr.max_matches());
+      std::vector<const Tuple*> matches;
+      for (const Tuple& t : *child) {
+        matches.clear();
+        if (stats != nullptr) ++stats->relation_lookups;
+        CHRONICLE_RETURN_NOT_OK(rel->LookupBySecondary(
+            expr.relation_column(), t[expr.join_column()], &matches));
+        if (matches.size() > expr.max_matches()) {
+          // The Definition 4.2 guarantee is an integrity constraint; its
+          // violation means the view definition's admission into CA_join
+          // was unsound.
+          return Status::FailedPrecondition(
+              "bounded join matched " + std::to_string(matches.size()) +
+              " relation tuples, declared bound is " +
+              std::to_string(expr.max_matches()) + " (Definition 4.2)");
+        }
+        for (const Tuple* r : matches) {
+          out.push_back(ConcatTuples(t, *r));
+        }
+      }
+      break;
+    }
+
+    case CaOp::kProjectDropSn:
+    case CaOp::kGroupByNoSn:
+    case CaOp::kChronicleCross:
+    case CaOp::kSeqThetaJoin:
+      return Status::InvalidArgument(
+          std::string("operator ") + CaOpToString(expr.op()) +
+          " is outside chronicle algebra and cannot be maintained "
+          "incrementally without chronicle access (Theorem 4.3)");
+  }
+
+  Record(stats, out.size());
+  auto [slot, inserted] = cache->memo_.emplace(&expr, std::move(out));
+  return &slot->second;
+}
+
+}  // namespace chronicle

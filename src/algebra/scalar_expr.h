@@ -1,0 +1,143 @@
+// Scalar expressions: selection predicates, computed projections, and view
+// finalizers.
+//
+// The paper restricts CA selection predicates to `A1 θ A2`, `A1 θ k`, and
+// disjunctions thereof (Definition 4.1). The expression type here is richer
+// (AND, NOT, arithmetic, CASE) because the engine also needs finalizers and
+// the CQL surface; algebra/validate.h is what checks paper-conformance of a
+// predicate when strict CA typing is requested.
+//
+// Expressions are built unbound (column references by name), then Bind()
+// resolves names against a schema once at plan-construction time. Eval is
+// exception-free and reports type errors through Result.
+
+#ifndef CHRONICLE_ALGEBRA_SCALAR_EXPR_H_
+#define CHRONICLE_ALGEBRA_SCALAR_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace chronicle {
+
+enum class ExprKind : uint8_t {
+  kColumn,   // payload column reference
+  kSeqNum,   // the row's sequence number
+  kChronon,  // the row's chronon (temporal instant)
+  kLiteral,
+  kCompare,
+  kAnd,
+  kOr,
+  kNot,
+  kArith,
+  kCase,  // CASE WHEN c1 THEN v1 ... ELSE vn END
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpToString(CompareOp op);
+const char* ArithOpToString(ArithOp op);
+
+// Evaluation input: one row plus its sequencing metadata. Finalizers over
+// view rows pass sn = 0, chronon = 0.
+struct EvalRow {
+  const Tuple* values = nullptr;
+  SeqNum sn = 0;
+  int64_t chronon = 0;
+};
+
+class ScalarExpr;
+using ScalarExprPtr = std::unique_ptr<ScalarExpr>;
+
+class ScalarExpr {
+ public:
+  // --- factories ---
+  static ScalarExprPtr Column(std::string name);
+  static ScalarExprPtr SeqNumRef();
+  static ScalarExprPtr ChrononRef();
+  static ScalarExprPtr Literal(Value v);
+  static ScalarExprPtr Compare(CompareOp op, ScalarExprPtr lhs, ScalarExprPtr rhs);
+  static ScalarExprPtr And(ScalarExprPtr lhs, ScalarExprPtr rhs);
+  static ScalarExprPtr Or(ScalarExprPtr lhs, ScalarExprPtr rhs);
+  static ScalarExprPtr Not(ScalarExprPtr operand);
+  static ScalarExprPtr Arith(ArithOp op, ScalarExprPtr lhs, ScalarExprPtr rhs);
+  // branches: (condition, result) pairs tried in order; else_value on miss.
+  static ScalarExprPtr Case(
+      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> branches,
+      ScalarExprPtr else_value);
+
+  // --- inspection (used by validation and the CQL printer) ---
+  ExprKind kind() const { return kind_; }
+  const std::string& column_name() const { return name_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  size_t num_children() const { return children_.size(); }
+  const ScalarExpr& child(size_t i) const { return *children_[i]; }
+  // Index resolved by Bind (kColumn only).
+  size_t bound_index() const { return bound_index_; }
+
+  // Resolves column names against `schema`. Fails on unknown columns.
+  Status Bind(const Schema& schema);
+  bool bound() const { return bound_; }
+
+  // Evaluates against one row. Comparison yields INT64 0/1; AND/OR/NOT use
+  // C-like truthiness of non-zero numerics; NULL propagates through
+  // arithmetic and makes comparisons false.
+  Result<Value> Eval(const EvalRow& row) const;
+
+  // Convenience: evaluate as a boolean predicate (NULL/false -> false).
+  Result<bool> EvalBool(const EvalRow& row) const;
+
+  // Deep copy (unbound state is preserved; bound state too).
+  ScalarExprPtr Clone() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit ScalarExpr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  std::string name_;          // kColumn
+  Value literal_;             // kLiteral
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::vector<ScalarExprPtr> children_;
+  size_t bound_index_ = 0;
+  bool bound_ = false;
+};
+
+// Terse builder aliases used across tests/examples/benches.
+inline ScalarExprPtr Col(std::string name) {
+  return ScalarExpr::Column(std::move(name));
+}
+inline ScalarExprPtr Lit(Value v) { return ScalarExpr::Literal(std::move(v)); }
+inline ScalarExprPtr Eq(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Ne(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kNe, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Lt(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Le(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Gt(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ScalarExprPtr Ge(ScalarExprPtr a, ScalarExprPtr b) {
+  return ScalarExpr::Compare(CompareOp::kGe, std::move(a), std::move(b));
+}
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_ALGEBRA_SCALAR_EXPR_H_

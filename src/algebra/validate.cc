@@ -1,0 +1,70 @@
+#include "algebra/validate.h"
+
+namespace chronicle {
+
+Status ValidateChronicleAlgebra(const CaExpr& expr) {
+  switch (expr.op()) {
+    case CaOp::kProjectDropSn:
+      return Status::InvalidArgument(
+          "projection without the sequencing attribute does not derive a "
+          "chronicle (Theorem 4.3); use the summarization step (SCA) instead");
+    case CaOp::kGroupByNoSn:
+      return Status::InvalidArgument(
+          "group-by without the sequencing attribute in the grouping list "
+          "does not derive a chronicle (Theorem 4.3); use the summarization "
+          "step (SCA) instead");
+    case CaOp::kChronicleCross:
+      return Status::InvalidArgument(
+          "cross product between chronicles requires looking up old chronicle "
+          "tuples on every append — maintenance would be in IM-C^k "
+          "(Theorem 4.3)");
+    case CaOp::kSeqThetaJoin:
+      return Status::InvalidArgument(
+          "non-equijoin on the sequencing attribute requires access to old "
+          "chronicle tuples — maintenance would be in IM-C^k (Theorem 4.3)");
+    default:
+      break;
+  }
+  for (size_t i = 0; i < expr.num_children(); ++i) {
+    CHRONICLE_RETURN_NOT_OK(ValidateChronicleAlgebra(*expr.child(i)));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Atomic comparison per Definition 4.1: column θ column, or column θ
+// constant (either side).
+bool IsAtomicComparison(const ScalarExpr& e) {
+  if (e.kind() != ExprKind::kCompare) return false;
+  auto is_operand = [](const ScalarExpr& c) {
+    return c.kind() == ExprKind::kColumn || c.kind() == ExprKind::kLiteral ||
+           c.kind() == ExprKind::kSeqNum || c.kind() == ExprKind::kChronon;
+  };
+  return is_operand(e.child(0)) && is_operand(e.child(1));
+}
+
+}  // namespace
+
+bool IsDefinition41Predicate(const ScalarExpr& predicate) {
+  if (predicate.kind() == ExprKind::kOr) {
+    return IsDefinition41Predicate(predicate.child(0)) &&
+           IsDefinition41Predicate(predicate.child(1));
+  }
+  return IsAtomicComparison(predicate);
+}
+
+Status ValidateStrictPredicates(const CaExpr& expr) {
+  if (expr.op() == CaOp::kSelect &&
+      !IsDefinition41Predicate(*expr.predicate())) {
+    return Status::InvalidArgument(
+        "selection predicate '" + expr.predicate()->ToString() +
+        "' is not a disjunction of atomic comparisons (Definition 4.1)");
+  }
+  for (size_t i = 0; i < expr.num_children(); ++i) {
+    CHRONICLE_RETURN_NOT_OK(ValidateStrictPredicates(*expr.child(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace chronicle

@@ -1,0 +1,39 @@
+// Validation of chronicle-algebra expressions.
+//
+// ValidateChronicleAlgebra enforces Theorem 4.3: it rejects the four
+// constructs whose addition would either stop the result from being a
+// chronicle (SN-dropping projection / group-by) or make incremental
+// maintenance depend on the chronicle size (chronicle × chronicle cross
+// product, non-equijoin on the sequencing attribute).
+//
+// ValidateStrictPredicates additionally enforces the literal predicate
+// grammar of Definition 4.1 — selections must be disjunctions of atomic
+// comparisons `A θ A'` or `A θ k`. The engine itself can evaluate richer
+// predicates (conjunction, arithmetic); strict mode exists for
+// paper-faithful conformance checking and is what the CQL binder reports
+// as a warning.
+
+#ifndef CHRONICLE_ALGEBRA_VALIDATE_H_
+#define CHRONICLE_ALGEBRA_VALIDATE_H_
+
+#include "algebra/ca_expr.h"
+#include "common/status.h"
+
+namespace chronicle {
+
+// Fails with InvalidArgument naming the offending operator if `expr` uses
+// any construct outside chronicle algebra (Theorem 4.3).
+Status ValidateChronicleAlgebra(const CaExpr& expr);
+
+// Fails if any selection predicate in `expr` is not a disjunction of atomic
+// comparisons (Definition 4.1). Implies nothing about maintainability —
+// richer predicates are still per-tuple O(1) — but flags divergence from
+// the paper's grammar.
+Status ValidateStrictPredicates(const CaExpr& expr);
+
+// True iff a single predicate matches the Definition 4.1 grammar.
+bool IsDefinition41Predicate(const ScalarExpr& predicate);
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_ALGEBRA_VALIDATE_H_

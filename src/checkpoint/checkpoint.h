@@ -1,0 +1,51 @@
+// Checkpoint / recovery for a chronicle database.
+//
+// A chronicle database poses a recovery problem ordinary databases do not
+// have: the chronicle itself is NOT stored (or only a window of it is), so
+// after a crash the persistent views cannot be rebuilt by replaying the
+// log — there is no log. Checkpointing the materialized view state is
+// therefore the only way the system can restart without losing its
+// summaries. This module serializes:
+//
+//   * the chronicle group's sequence-number / chronon counters (so the
+//     append discipline resumes where it left off),
+//   * each chronicle's stream counters and retained window,
+//   * relation contents,
+//   * every persistent view's raw group states (aggregate states and
+//     multiplicities — NOT the finalized rows, so maintenance can continue
+//     exactly),
+//   * periodic view sets (per-interval instances) and sliding-window views
+//     (pane ring contents).
+//
+// Restore protocol: view DEFINITIONS (schemas, plans, calendars) live in
+// application code / DDL, not in the checkpoint. The caller constructs a
+// fresh ChronicleDatabase, re-applies the same DDL, and then calls
+// RestoreDatabase, which matches objects BY NAME and refuses mismatches
+// (missing objects, non-empty targets, wrong aggregate counts).
+
+#ifndef CHRONICLE_CHECKPOINT_CHECKPOINT_H_
+#define CHRONICLE_CHECKPOINT_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+
+namespace chronicle {
+namespace checkpoint {
+
+// Serializes the full database state into a byte buffer.
+Result<std::string> SaveDatabase(const ChronicleDatabase& db);
+
+// Restores a checkpoint into `db`, which must be freshly constructed with
+// the same DDL already applied and no appends processed.
+Status RestoreDatabase(const std::string& image, ChronicleDatabase* db);
+
+// File convenience wrappers.
+Status SaveDatabaseToFile(const ChronicleDatabase& db, const std::string& path);
+Status RestoreDatabaseFromFile(const std::string& path, ChronicleDatabase* db);
+
+}  // namespace checkpoint
+}  // namespace chronicle
+
+#endif  // CHRONICLE_CHECKPOINT_CHECKPOINT_H_

@@ -1,0 +1,66 @@
+// Minimal bounds-checked binary serialization for checkpoints.
+//
+// Little-endian fixed-width integers, IEEE-754 doubles, length-prefixed
+// strings. Values carry a one-byte type tag. Not a wire format for
+// interchange — a crash-recovery image read back by the same build.
+
+#ifndef CHRONICLE_CHECKPOINT_SERDE_H_
+#define CHRONICLE_CHECKPOINT_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace chronicle {
+namespace checkpoint {
+
+// Appends encoded data to an owned byte buffer.
+class Writer {
+ public:
+  const std::string& buffer() const { return buffer_; }
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteValue(const Value& v);
+  void WriteTuple(const Tuple& t);
+
+ private:
+  std::string buffer_;
+};
+
+// Consumes a byte buffer; every read is bounds-checked and returns a
+// ParseError on truncation or a bad tag.
+class Reader {
+ public:
+  explicit Reader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  bool AtEnd() const { return pos_ >= buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<Value> ReadValue();
+  Result<Tuple> ReadTuple();
+
+ private:
+  Status Need(size_t bytes) const;
+
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace checkpoint
+}  // namespace chronicle
+
+#endif  // CHRONICLE_CHECKPOINT_SERDE_H_

@@ -1,0 +1,83 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace chronicle {
+
+namespace {
+
+// Pretty-prints nanoseconds with an adaptive unit.
+std::string FormatNanos(int64_t nanos) {
+  char buf[32];
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  } else if (nanos < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(nanos) / 1e3);
+  } else if (nanos < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int LatencyHistogram::BucketFor(int64_t nanos) {
+  if (nanos <= 0) return 0;
+  int bucket = 1;
+  uint64_t bound = 1;
+  while (bucket < kBuckets - 1 && static_cast<uint64_t>(nanos) >= bound * 2) {
+    bound *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  if (count_ == 0 || nanos < min_) min_ = nanos;
+  if (nanos > max_) max_ = nanos;
+  sum_ += static_cast<double>(nanos);
+  ++count_;
+  ++buckets_[static_cast<size_t>(BucketFor(nanos))];
+}
+
+double LatencyHistogram::MeanNanos() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t LatencyHistogram::PercentileNanos(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    seen += buckets_[static_cast<size_t>(bucket)];
+    if (static_cast<double>(seen) >= target) {
+      // Upper bound of this bucket: 2^(bucket-1) .. for bucket 0 it is 1.
+      return bucket == 0 ? 1 : (int64_t{1} << bucket);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::string out = "n=" + std::to_string(count_);
+  out += " mean=" + FormatNanos(static_cast<int64_t>(MeanNanos()));
+  out += " p50=" + FormatNanos(PercentileNanos(0.5));
+  out += " p99=" + FormatNanos(PercentileNanos(0.99));
+  out += " max=" + FormatNanos(max_);
+  return out;
+}
+
+}  // namespace chronicle

@@ -1,0 +1,48 @@
+// LatencyHistogram: a fixed-size log-bucketed histogram for nanosecond
+// latencies. Used by the ViewManager's per-view maintenance profiling and
+// by the bench harnesses; no dynamic allocation after construction.
+
+#ifndef CHRONICLE_COMMON_HISTOGRAM_H_
+#define CHRONICLE_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace chronicle {
+
+class LatencyHistogram {
+ public:
+  // Buckets: [0,1), [1,2), [2,4), ... doubling up to ~73 minutes.
+  static constexpr int kBuckets = 52;
+
+  // Records one sample (negative values clamp to 0).
+  void Record(int64_t nanos);
+
+  uint64_t count() const { return count_; }
+  // Arithmetic mean of recorded samples (0 if empty).
+  double MeanNanos() const;
+  // Smallest bucket upper bound such that >= q of samples fall below it.
+  // q in [0,1]; returns 0 if empty. Resolution is the bucket width (2x).
+  int64_t PercentileNanos(double q) const;
+  int64_t MinNanos() const { return count_ == 0 ? 0 : min_; }
+  int64_t MaxNanos() const { return max_; }
+
+  void Reset();
+
+  // "n=1234 mean=1.2us p50=1us p99=4us max=16us" rendering.
+  std::string ToString() const;
+
+ private:
+  static int BucketFor(int64_t nanos);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_COMMON_HISTOGRAM_H_

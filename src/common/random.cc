@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chronicle {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Vigna). Public domain reference constants.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection-free multiply-shift; bias is negligible for our bounds.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<uint64_t>(product >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits into [0,1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::string Rng::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (size_t i = 0; i < length; ++i) {
+    out[i] = static_cast<char>('a' + Uniform(26));
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s, uint64_t seed)
+    : rng_(seed), cdf_(n == 0 ? 1 : n) {
+  const uint64_t size = static_cast<uint64_t>(cdf_.size());
+  double total = 0.0;
+  for (uint64_t i = 0; i < size; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < size; ++i) cdf_[i] /= total;
+}
+
+uint64_t ZipfSampler::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace chronicle

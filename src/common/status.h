@@ -1,0 +1,167 @@
+// Status and Result<T>: exception-free error handling for the chronicle
+// library, in the style of Apache Arrow / RocksDB.
+//
+// Every fallible public API returns either a Status (no payload) or a
+// Result<T> (payload or error). Callers propagate errors with the
+// CHRONICLE_RETURN_NOT_OK / CHRONICLE_ASSIGN_OR_RETURN macros.
+
+#ifndef CHRONICLE_COMMON_STATUS_H_
+#define CHRONICLE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace chronicle {
+
+// Broad error taxonomy. Kept small on purpose: callers dispatch on a few
+// classes of failure, and the message carries the detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something malformed
+  kNotFound,           // named object / key absent
+  kAlreadyExists,      // name or key collision
+  kOutOfRange,         // sequence-number or index discipline violated
+  kFailedPrecondition, // operation illegal in current state
+  kNotImplemented,
+  kParseError,         // CQL syntax error
+  kPlanError,          // CQL semantic / binding error
+  kInternal,           // invariant breach inside the library (a bug)
+};
+
+// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, copyable success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  // Message text; empty for OK.
+  const std::string& message() const;
+  // "Code: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; error states allocate once.
+  std::unique_ptr<Rep> rep_;
+};
+
+// Result<T>: either a value or an error Status. Never holds an OK status
+// without a value.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    // An OK status without a value is a programming error; surface it as an
+    // internal error rather than crashing.
+    if (std::get<Status>(var_).ok()) {
+      var_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  // Error status (OK if the Result holds a value).
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  // Value access; must only be called when ok().
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace chronicle
+
+// Propagates a non-OK Status out of the enclosing function.
+#define CHRONICLE_RETURN_NOT_OK(expr)                  \
+  do {                                                 \
+    ::chronicle::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+#define CHRONICLE_CONCAT_IMPL(a, b) a##b
+#define CHRONICLE_CONCAT(a, b) CHRONICLE_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on error returns the Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define CHRONICLE_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  CHRONICLE_ASSIGN_OR_RETURN_IMPL(                                        \
+      CHRONICLE_CONCAT(_chronicle_result_, __LINE__), lhs, rexpr)
+
+#define CHRONICLE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#endif  // CHRONICLE_COMMON_STATUS_H_

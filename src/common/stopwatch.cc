@@ -1,0 +1,13 @@
+#include "common/stopwatch.h"
+
+namespace chronicle {
+
+void Stopwatch::Start() { origin_ = std::chrono::steady_clock::now(); }
+
+int64_t Stopwatch::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+}  // namespace chronicle

@@ -1,0 +1,33 @@
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef CHRONICLE_COMMON_STOPWATCH_H_
+#define CHRONICLE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace chronicle {
+
+// Measures elapsed wall time on the steady clock. Start() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  // Resets the origin to now.
+  void Start();
+
+  // Nanoseconds elapsed since the last Start().
+  int64_t ElapsedNanos() const;
+
+  // Convenience conversions.
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+#include "common/tracking_allocator.h"
+
+#include <cstdio>
+
+namespace chronicle {
+
+void MemoryMeter::Add(size_t bytes) {
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void MemoryMeter::Sub(size_t bytes) {
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+void MemoryMeter::Reset() {
+  current_ = 0;
+  peak_ = 0;
+}
+
+std::string FormatBytes(size_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 3) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  return buf;
+}
+
+}  // namespace chronicle

@@ -1,0 +1,42 @@
+// Byte-accounting hooks used by experiment E8 (space independence of |C|).
+//
+// Rather than interposing on the global allocator, containers that matter to
+// the space claims (chronicle buffers, view tables, delta engine scratch)
+// report their footprint through MemoryFootprint() methods; this module
+// provides the shared accounting helpers.
+
+#ifndef CHRONICLE_COMMON_TRACKING_ALLOCATOR_H_
+#define CHRONICLE_COMMON_TRACKING_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace chronicle {
+
+// Running byte counter with a high-water mark. Each tracked subsystem owns
+// one; benches sum them.
+class MemoryMeter {
+ public:
+  // Records an allocation of `bytes`.
+  void Add(size_t bytes);
+  // Records a release of `bytes`.
+  void Sub(size_t bytes);
+  // Bytes currently accounted.
+  size_t current() const { return current_; }
+  // Largest value `current()` ever reached.
+  size_t peak() const { return peak_; }
+  // Resets both counters to zero.
+  void Reset();
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+// Pretty-prints a byte count, e.g. "1.5 MiB".
+std::string FormatBytes(size_t bytes);
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_COMMON_TRACKING_ALLOCATOR_H_

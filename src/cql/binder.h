@@ -1,0 +1,46 @@
+// CQL binder/executor: lowers parsed statements onto a ChronicleDatabase.
+//
+// CREATE VIEW statements are bound to chronicle-algebra plans + SCA
+// summarizations: WHERE predicates that touch only base-chronicle columns
+// are pushed below the join (so the §5.2 guard extraction sees them);
+// JOIN ... ON c = r requires r to be the relation's declared key, which is
+// exactly the CA_⋈ admission rule of Definition 4.2 — joining on a non-key
+// column is rejected with a PlanError explaining why.
+
+#ifndef CHRONICLE_CQL_BINDER_H_
+#define CHRONICLE_CQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/parser.h"
+#include "db/database.h"
+
+namespace chronicle {
+namespace cql {
+
+// Result of executing one statement.
+struct ExecResult {
+  // Human-readable outcome ("view minutes_by_acct created (CA_join /
+  // IM-log(R))", "3 rows appended at sn=17", ...).
+  std::string message;
+  // For SELECT: the result rows and their schema.
+  Schema schema;
+  std::vector<Tuple> rows;
+};
+
+// Executes one parsed statement against `db`.
+Result<ExecResult> Execute(ChronicleDatabase* db, const Statement& statement);
+
+// Parses and executes one statement.
+Result<ExecResult> Execute(ChronicleDatabase* db, const std::string& sql);
+
+// Parses and executes a ';'-separated script, stopping at the first error;
+// returns the result of the last statement.
+Result<ExecResult> ExecuteScript(ChronicleDatabase* db, const std::string& sql);
+
+}  // namespace cql
+}  // namespace chronicle
+
+#endif  // CHRONICLE_CQL_BINDER_H_

@@ -1,0 +1,45 @@
+// CQL lexer. CQL (Chronicle Query Language) is the SQL-like surface the
+// paper's introduction calls for: summary views are "specified
+// declaratively (an SQL like language may be used)".
+//
+// Token set: identifiers (case-insensitive keywords), integer and floating
+// literals, single-quoted string literals, and punctuation/operators.
+
+#ifndef CHRONICLE_CQL_LEXER_H_
+#define CHRONICLE_CQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chronicle {
+namespace cql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // possibly a keyword; parser matches case-insensitively
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // one of ( ) , ; . * = <> != < <= > >= + - / :
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // raw text (uppercased for identifiers' `upper`)
+  std::string upper;    // uppercase of text, for keyword matching
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+// Splits `input` into tokens; the final token is always kEnd. Fails with
+// ParseError on unterminated strings or illegal characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cql
+}  // namespace chronicle
+
+#endif  // CHRONICLE_CQL_LEXER_H_

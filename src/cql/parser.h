@@ -1,0 +1,186 @@
+// CQL grammar and recursive-descent parser.
+//
+//   CREATE CHRONICLE name (col TYPE, ...) [RETAIN {ALL | NONE | LAST n}]
+//   CREATE RELATION  name (col TYPE, ...) [KEY col]
+//   CREATE VIEW name AS
+//     SELECT item [, item ...]
+//     FROM chronicle
+//     [JOIN relation ON chron_col = rel_col | CROSS JOIN relation]
+//     [WHERE predicate]
+//     [GROUP BY col [, col ...]]
+//   CREATE PERIODIC VIEW name AS <select>
+//     OVER PERIOD p [ORIGIN o] [EXPIRE AFTER e]          (§5.1 calendars)
+//   CREATE SLIDING VIEW name AS <select>
+//     OVER WINDOW n PANES OF w [ORIGIN o]                (§5.1 cyclic buffer)
+//   EXPLAIN VIEW name
+//   SHOW {CHRONICLES | RELATIONS | VIEWS}
+//   DROP VIEW name        (persistent, periodic, or sliding)
+//   DROP RELATION name    (refused while referenced by a view)
+//   CHECKPOINT TO 'path'
+//   RESTORE FROM 'path'
+//   INSERT INTO target VALUES (lit, ...) [, (lit, ...) ...] [AT chronon]
+//   UPDATE relation SET col = lit [, ...] WHERE key_col = lit
+//   DELETE FROM relation WHERE key_col = lit
+//   SELECT {* | col [, col ...]} FROM view_or_relation [WHERE predicate]
+//
+//   item      := aggregate | column [AS alias] | expression AS alias
+//   aggregate := {COUNT(*) | SUM(col) | MIN(col) | MAX(col) | AVG(col)
+//                | TIERED(col, thr:rate [, thr:rate ...])} [AS alias]
+//   TYPE      := INT64 | INT | BIGINT | DOUBLE | FLOAT | REAL
+//                | STRING | TEXT | VARCHAR
+//
+// A view with aggregates becomes a GroupBy summarization (global group when
+// GROUP BY is absent); a view without aggregates becomes a distinct
+// projection. WHERE predicates may reference $sn and $chronon.
+
+#ifndef CHRONICLE_CQL_PARSER_H_
+#define CHRONICLE_CQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "aggregates/aggregate.h"
+#include "algebra/scalar_expr.h"
+#include "common/status.h"
+#include "cql/lexer.h"
+#include "storage/chronicle.h"
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace cql {
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+struct CreateChronicleStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  RetentionPolicy retention = RetentionPolicy::All();
+};
+
+struct CreateRelationStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::string key_column;  // empty = keyless
+};
+
+// One item of a SELECT list: a plain column, an aggregate, or a computed
+// scalar expression (e.g. `CASE WHEN total >= 50000 THEN 'gold' ... END AS
+// status`). In CREATE VIEW, computed items become finalizer columns
+// evaluated over the summarized output row; they must carry an alias.
+struct SelectItem {
+  bool is_aggregate = false;
+  // Aggregate form.
+  AggKind agg_kind = AggKind::kCount;
+  std::vector<Tier> tiers;  // TIERED only
+  // Computed form (non-null expr). Owns the expression.
+  ScalarExprPtr expr;
+  // Shared.
+  std::string column;  // input column; empty for COUNT(*) / computed
+  std::string alias;   // empty = default name
+};
+
+struct JoinClause {
+  enum class Kind { kNone, kKey, kCross };
+  Kind kind = Kind::kNone;
+  std::string relation;
+  std::string left_column;   // chronicle-side column (kKey)
+  std::string right_column;  // relation-side column (kKey; must be its key)
+};
+
+struct SelectQuery {
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::string from;
+  JoinClause join;
+  ScalarExprPtr where;  // may be null
+  std::vector<std::string> group_by;
+};
+
+// How a CREATE ... VIEW materializes.
+struct ViewTarget {
+  enum class Kind { kPersistent, kPeriodic, kSliding };
+  Kind kind = Kind::kPersistent;
+  // kPeriodic: OVER PERIOD p [ORIGIN o] [EXPIRE AFTER e]
+  Chronon period = 0;
+  Chronon origin = 0;
+  Chronon expire_after = -1;  // -1 = never
+  // kSliding: OVER WINDOW n PANES OF w [ORIGIN o]
+  int64_t num_panes = 0;
+  Chronon pane_width = 0;
+};
+
+struct CreateViewStmt {
+  std::string name;
+  SelectQuery query;
+  ViewTarget target;
+};
+
+// EXPLAIN VIEW name — plan tree + complexity classification.
+struct ExplainStmt {
+  std::string view;
+};
+
+// SHOW CHRONICLES / RELATIONS / VIEWS.
+struct ShowStmt {
+  enum class What { kChronicles, kRelations, kViews };
+  What what = What::kViews;
+};
+
+// DROP VIEW name / DROP RELATION name.
+struct DropStmt {
+  enum class What { kView, kRelation };
+  What what = What::kView;
+  std::string name;
+};
+
+// CHECKPOINT TO 'path' / RESTORE FROM 'path'.
+struct CheckpointStmt {
+  std::string path;
+};
+struct RestoreStmt {
+  std::string path;
+};
+
+struct InsertStmt {
+  std::string target;  // chronicle or relation
+  std::vector<Tuple> rows;
+  std::optional<Chronon> at;  // chronicles only
+};
+
+struct UpdateStmt {
+  std::string relation;
+  std::vector<std::pair<std::string, Value>> sets;
+  std::string where_column;
+  Value where_value;
+};
+
+struct DeleteStmt {
+  std::string relation;
+  std::string where_column;
+  Value where_value;
+};
+
+struct SelectStmt {
+  SelectQuery query;
+};
+
+using Statement =
+    std::variant<CreateChronicleStmt, CreateRelationStmt, CreateViewStmt,
+                 InsertStmt, UpdateStmt, DeleteStmt, SelectStmt, ExplainStmt,
+                 ShowStmt, DropStmt, CheckpointStmt, RestoreStmt>;
+
+// Parses one statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& input);
+
+// Splits a script on top-level ';' and parses each statement.
+Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+}  // namespace cql
+}  // namespace chronicle
+
+#endif  // CHRONICLE_CQL_PARSER_H_

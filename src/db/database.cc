@@ -1,0 +1,304 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "baseline/naive_engine.h"
+
+namespace chronicle {
+
+ChronicleDatabase::ChronicleDatabase(RoutingMode routing) : views_(routing) {}
+
+Result<ChronicleId> ChronicleDatabase::CreateChronicle(
+    const std::string& name, Schema schema, RetentionPolicy retention) {
+  if (relations_by_name_.count(name) != 0) {
+    return Status::AlreadyExists("'" + name + "' already names a relation");
+  }
+  return group_.CreateChronicle(name, std::move(schema), retention);
+}
+
+Result<RelationId> ChronicleDatabase::CreateRelation(
+    const std::string& name, Schema schema, const std::string& key_column,
+    IndexMode index_mode) {
+  if (relations_by_name_.count(name) != 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  if (group_.FindChronicle(name).ok()) {
+    return Status::AlreadyExists("'" + name + "' already names a chronicle");
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(
+      Relation rel, Relation::Make(name, std::move(schema), key_column, index_mode));
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back(std::make_unique<Relation>(std::move(rel)));
+  relations_by_name_[name] = id;
+  return id;
+}
+
+Result<ViewId> ChronicleDatabase::CreateView(const std::string& name,
+                                             CaExprPtr plan, SummarySpec spec,
+                                             std::vector<ComputedColumn> computed,
+                                             IndexMode index_mode) {
+  CHRONICLE_ASSIGN_OR_RETURN(
+      std::unique_ptr<PersistentView> view,
+      PersistentView::Make(static_cast<ViewId>(views_.num_views()), name,
+                           std::move(plan), std::move(spec),
+                           std::move(computed), index_mode));
+  return views_.AddView(std::move(view));
+}
+
+Status ChronicleDatabase::CreatePeriodicView(
+    const std::string& name, CaExprPtr plan, SummarySpec spec,
+    std::shared_ptr<const Calendar> calendar, PeriodicViewOptions options) {
+  if (periodic_by_name_.count(name) != 0) {
+    return Status::AlreadyExists("periodic view '" + name + "' already exists");
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(
+      std::unique_ptr<PeriodicViewSet> set,
+      PeriodicViewSet::Make(name, std::move(plan), std::move(spec),
+                            std::move(calendar), options));
+  periodic_by_name_[name] = periodic_.size();
+  periodic_.push_back(std::move(set));
+  return Status::OK();
+}
+
+Status ChronicleDatabase::CreateSlidingView(const std::string& name,
+                                            CaExprPtr plan, SummarySpec spec,
+                                            Chronon origin, Chronon pane_width,
+                                            int64_t num_panes,
+                                            IndexMode index_mode) {
+  if (sliding_by_name_.count(name) != 0) {
+    return Status::AlreadyExists("sliding view '" + name + "' already exists");
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(
+      std::unique_ptr<SlidingWindowView> view,
+      SlidingWindowView::Make(name, std::move(plan), std::move(spec), origin,
+                              pane_width, num_panes, index_mode));
+  sliding_by_name_[name] = sliding_.size();
+  sliding_.push_back(std::move(view));
+  return Status::OK();
+}
+
+Status ChronicleDatabase::DropView(const std::string& name) {
+  if (views_.FindView(name).ok()) return views_.DropView(name);
+  auto periodic_it = periodic_by_name_.find(name);
+  if (periodic_it != periodic_by_name_.end()) {
+    periodic_[periodic_it->second].reset();  // tombstone
+    periodic_by_name_.erase(periodic_it);
+    return Status::OK();
+  }
+  auto sliding_it = sliding_by_name_.find(name);
+  if (sliding_it != sliding_by_name_.end()) {
+    sliding_[sliding_it->second].reset();  // tombstone
+    sliding_by_name_.erase(sliding_it);
+    return Status::OK();
+  }
+  return Status::NotFound("no view named '" + name + "'");
+}
+
+Status ChronicleDatabase::DropRelation(const std::string& name) {
+  auto it = relations_by_name_.find(name);
+  if (it == relations_by_name_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  const Relation* target = relations_[it->second].get();
+  // Plans hold borrowed Relation pointers: refuse while referenced.
+  std::set<const Relation*> referenced;
+  for (ViewId id = 0; id < views_.num_views(); ++id) {
+    Result<const PersistentView*> view =
+        static_cast<const ViewManager&>(views_).GetView(id);
+    if (view.ok()) (*view)->plan()->CollectRelations(&referenced);
+  }
+  ForEachPeriodicView([&](const PeriodicViewSet& set) {
+    set.plan()->CollectRelations(&referenced);
+  });
+  ForEachSlidingView([&](const SlidingWindowView& view) {
+    view.plan()->CollectRelations(&referenced);
+  });
+  if (referenced.count(target) != 0) {
+    return Status::FailedPrecondition(
+        "relation '" + name +
+        "' is still referenced by a view; drop the view(s) first");
+  }
+  relations_[it->second].reset();  // tombstone: addresses stay stable
+  relations_by_name_.erase(it);
+  return Status::OK();
+}
+
+Result<CaExprPtr> ChronicleDatabase::ScanChronicle(
+    const std::string& name) const {
+  CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(name));
+  auto it = scan_cache_.find(id);
+  if (it != scan_cache_.end()) return it->second;
+  CHRONICLE_ASSIGN_OR_RETURN(const Chronicle* chron, group_.GetChronicle(id));
+  CHRONICLE_ASSIGN_OR_RETURN(CaExprPtr scan, CaExpr::Scan(*chron));
+  scan_cache_[id] = scan;
+  return scan;
+}
+
+Result<Relation*> ChronicleDatabase::GetRelation(const std::string& name) {
+  auto it = relations_by_name_.find(name);
+  if (it == relations_by_name_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return relations_[it->second].get();
+}
+
+Result<const Relation*> ChronicleDatabase::GetRelation(
+    const std::string& name) const {
+  auto it = relations_by_name_.find(name);
+  if (it == relations_by_name_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return static_cast<const Relation*>(relations_[it->second].get());
+}
+
+Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
+  if (!event.ok()) return event.status();
+  AppendResult result;
+  result.event = std::move(event).value();
+  CHRONICLE_ASSIGN_OR_RETURN(result.maintenance,
+                             views_.ProcessAppend(result.event));
+  for (const auto& set : periodic_) {
+    if (set != nullptr) CHRONICLE_RETURN_NOT_OK(set->ProcessAppend(result.event));
+  }
+  for (const auto& view : sliding_) {
+    if (view != nullptr) {
+      CHRONICLE_RETURN_NOT_OK(view->ProcessAppend(result.event));
+    }
+  }
+  ++appends_processed_;
+  return result;
+}
+
+Result<AppendResult> ChronicleDatabase::Append(const std::string& chronicle,
+                                               std::vector<Tuple> tuples) {
+  CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(chronicle));
+  return Maintain(group_.Append(id, std::move(tuples)));
+}
+
+Result<AppendResult> ChronicleDatabase::Append(const std::string& chronicle,
+                                               std::vector<Tuple> tuples,
+                                               Chronon chronon) {
+  CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(chronicle));
+  return Maintain(group_.Append(id, std::move(tuples), chronon));
+}
+
+Result<AppendResult> ChronicleDatabase::AppendMulti(
+    std::vector<std::pair<std::string, std::vector<Tuple>>> inserts,
+    Chronon chronon) {
+  std::vector<std::pair<ChronicleId, std::vector<Tuple>>> resolved;
+  resolved.reserve(inserts.size());
+  for (auto& [name, tuples] : inserts) {
+    CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(name));
+    resolved.emplace_back(id, std::move(tuples));
+  }
+  return Maintain(group_.AppendMulti(std::move(resolved), chronon));
+}
+
+Status ChronicleDatabase::InsertInto(const std::string& relation, Tuple row) {
+  CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
+  return rel->Insert(std::move(row));
+}
+
+Status ChronicleDatabase::UpdateRelation(const std::string& relation,
+                                         const Value& key, Tuple new_row) {
+  CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
+  return rel->UpdateByKey(key, std::move(new_row));
+}
+
+Status ChronicleDatabase::DeleteFrom(const std::string& relation,
+                                     const Value& key) {
+  CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
+  return rel->DeleteByKey(key);
+}
+
+Result<Tuple> ChronicleDatabase::QueryView(const std::string& view,
+                                           const Tuple& key) const {
+  // const_cast-free lookup: ViewManager only exposes mutable find; keep a
+  // const path through the id table.
+  ViewManager& views = const_cast<ChronicleDatabase*>(this)->views_;
+  CHRONICLE_ASSIGN_OR_RETURN(PersistentView * v, views.FindView(view));
+  return v->Lookup(key);
+}
+
+Result<std::vector<Tuple>> ChronicleDatabase::ScanView(
+    const std::string& view) const {
+  ViewManager& views = const_cast<ChronicleDatabase*>(this)->views_;
+  CHRONICLE_ASSIGN_OR_RETURN(PersistentView * v, views.FindView(view));
+  std::vector<Tuple> rows;
+  CHRONICLE_RETURN_NOT_OK(v->Scan([&](const Tuple& row) { rows.push_back(row); }));
+  std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+    return TupleCompare(a, b) < 0;
+  });
+  return rows;
+}
+
+Result<const PeriodicViewSet*> ChronicleDatabase::GetPeriodicView(
+    const std::string& name) const {
+  auto it = periodic_by_name_.find(name);
+  if (it == periodic_by_name_.end()) {
+    return Status::NotFound("no periodic view named '" + name + "'");
+  }
+  return static_cast<const PeriodicViewSet*>(periodic_[it->second].get());
+}
+
+void ChronicleDatabase::ForEachRelation(
+    const std::function<void(const Relation&)>& fn) const {
+  for (const auto& rel : relations_) {
+    if (rel != nullptr) fn(*rel);
+  }
+}
+
+void ChronicleDatabase::ForEachPeriodicView(
+    const std::function<void(const PeriodicViewSet&)>& fn) const {
+  for (const auto& set : periodic_) {
+    if (set != nullptr) fn(*set);
+  }
+}
+
+void ChronicleDatabase::ForEachSlidingView(
+    const std::function<void(const SlidingWindowView&)>& fn) const {
+  for (const auto& view : sliding_) {
+    if (view != nullptr) fn(*view);
+  }
+}
+
+Result<PeriodicViewSet*> ChronicleDatabase::GetPeriodicViewMutable(
+    const std::string& name) {
+  auto it = periodic_by_name_.find(name);
+  if (it == periodic_by_name_.end()) {
+    return Status::NotFound("no periodic view named '" + name + "'");
+  }
+  return periodic_[it->second].get();
+}
+
+Result<SlidingWindowView*> ChronicleDatabase::GetSlidingViewMutable(
+    const std::string& name) {
+  auto it = sliding_by_name_.find(name);
+  if (it == sliding_by_name_.end()) {
+    return Status::NotFound("no sliding view named '" + name + "'");
+  }
+  return sliding_[it->second].get();
+}
+
+Result<std::vector<ChronicleRow>> ChronicleDatabase::QueryRecentWindow(
+    const CaExpr& plan) const {
+  NaiveEngine engine(&group_, nullptr, ScanScope::kRetainedWindow);
+  return engine.Evaluate(plan);
+}
+
+Result<std::vector<Tuple>> ChronicleDatabase::QueryRecentWindowSummary(
+    const CaExpr& plan, const SummarySpec& spec) const {
+  NaiveEngine engine(&group_, nullptr, ScanScope::kRetainedWindow);
+  return engine.EvaluateSummary(plan, spec);
+}
+
+Result<const SlidingWindowView*> ChronicleDatabase::GetSlidingView(
+    const std::string& name) const {
+  auto it = sliding_by_name_.find(name);
+  if (it == sliding_by_name_.end()) {
+    return Status::NotFound("no sliding view named '" + name + "'");
+  }
+  return static_cast<const SlidingWindowView*>(sliding_[it->second].get());
+}
+
+}  // namespace chronicle

@@ -1,0 +1,172 @@
+// ChronicleDatabase: the user-facing facade of the chronicle data model —
+// the quadruple (C, R, L, V) of Definition 2.1 plus the maintenance driver.
+//
+//   C — a chronicle group (shared sequence-number domain);
+//   R — relations, updated proactively;
+//   L — view definitions: chronicle-algebra plans + SCA summarization
+//       (built directly through CaExpr/SummarySpec, or declaratively via
+//       CQL, see cql/);
+//   V — persistent views, periodic view sets, and sliding-window views,
+//       all maintained automatically on every append.
+//
+// A single Append() call performs the transaction-recording step the paper
+// targets: assign a fresh sequence number, store (per retention policy),
+// and incrementally maintain every affected view before returning.
+
+#ifndef CHRONICLE_DB_DATABASE_H_
+#define CHRONICLE_DB_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "periodic/periodic_view.h"
+#include "periodic/sliding_window.h"
+#include "storage/chronicle_group.h"
+#include "storage/relation.h"
+#include "views/view_manager.h"
+
+namespace chronicle {
+
+// Result of one Append: the event that was recorded plus what maintenance
+// it triggered.
+struct AppendResult {
+  AppendEvent event;
+  MaintenanceReport maintenance;
+};
+
+class ChronicleDatabase {
+ public:
+  explicit ChronicleDatabase(RoutingMode routing = RoutingMode::kEqIndex);
+
+  ChronicleDatabase(const ChronicleDatabase&) = delete;
+  ChronicleDatabase& operator=(const ChronicleDatabase&) = delete;
+
+  // --- DDL ---
+
+  Result<ChronicleId> CreateChronicle(
+      const std::string& name, Schema schema,
+      RetentionPolicy retention = RetentionPolicy::All());
+
+  Result<RelationId> CreateRelation(const std::string& name, Schema schema,
+                                    const std::string& key_column = "",
+                                    IndexMode index_mode = IndexMode::kHash);
+
+  // Registers a persistent view over `plan` (validated as chronicle
+  // algebra) with summarization `spec`.
+  Result<ViewId> CreateView(const std::string& name, CaExprPtr plan,
+                            SummarySpec spec,
+                            std::vector<ComputedColumn> computed = {},
+                            IndexMode index_mode = IndexMode::kHash);
+
+  // Registers a periodic view set V<D> (§5.1).
+  Status CreatePeriodicView(const std::string& name, CaExprPtr plan,
+                            SummarySpec spec,
+                            std::shared_ptr<const Calendar> calendar,
+                            PeriodicViewOptions options = {});
+
+  // Registers a pane-optimized sliding-window view (§5.1).
+  Status CreateSlidingView(const std::string& name, CaExprPtr plan,
+                           SummarySpec spec, Chronon origin, Chronon pane_width,
+                           int64_t num_panes,
+                           IndexMode index_mode = IndexMode::kHash);
+
+  // Drops a view of any kind (persistent, periodic, or sliding) by name:
+  // its materialized state is discarded and maintenance stops.
+  Status DropView(const std::string& name);
+
+  // Drops a relation. Refused with FailedPrecondition while any live view's
+  // plan still joins against it (plans hold borrowed pointers).
+  Status DropRelation(const std::string& name);
+
+  // --- plan building bound to this database's objects ---
+
+  // Scan node over a chronicle by name. The node is cached per chronicle,
+  // so every view built through this call shares one scan node and the
+  // maintenance path computes its delta once per tick (DAG sharing).
+  Result<CaExprPtr> ScanChronicle(const std::string& name) const;
+  // Borrowed relation pointer (stable for the database's lifetime).
+  Result<Relation*> GetRelation(const std::string& name);
+  Result<const Relation*> GetRelation(const std::string& name) const;
+
+  // --- DML ---
+
+  // Appends tuples to a chronicle under a fresh sequence number (chronon
+  // advances by 1) and maintains every affected view.
+  Result<AppendResult> Append(const std::string& chronicle,
+                              std::vector<Tuple> tuples);
+  // Same with an explicit chronon (must be non-decreasing).
+  Result<AppendResult> Append(const std::string& chronicle,
+                              std::vector<Tuple> tuples, Chronon chronon);
+  // Multi-chronicle tick: one sequence number across several chronicles.
+  Result<AppendResult> AppendMulti(
+      std::vector<std::pair<std::string, std::vector<Tuple>>> inserts,
+      Chronon chronon);
+
+  // Proactive relation updates (§2.3). They take effect for all FUTURE
+  // sequence numbers; the model forbids retroactive updates by design.
+  Status InsertInto(const std::string& relation, Tuple row);
+  Status UpdateRelation(const std::string& relation, const Value& key,
+                        Tuple new_row);
+  Status DeleteFrom(const std::string& relation, const Value& key);
+
+  // --- queries ---
+
+  // Summary query: point lookup on a persistent view — the subsecond path.
+  Result<Tuple> QueryView(const std::string& view, const Tuple& key) const;
+  // All finalized rows of a view, sorted by key.
+  Result<std::vector<Tuple>> ScanView(const std::string& view) const;
+
+  Result<const PeriodicViewSet*> GetPeriodicView(const std::string& name) const;
+  Result<const SlidingWindowView*> GetSlidingView(const std::string& name) const;
+
+  // Detail query over the RETAINED window of the plan's base chronicles
+  // (§2.2): evaluates `plan` against whatever the retention policies kept.
+  // This is the one query path that reads chronicle storage; summary
+  // queries should use persistent views instead.
+  Result<std::vector<ChronicleRow>> QueryRecentWindow(const CaExpr& plan) const;
+  // Same, with a summarization step applied (rows sorted by key).
+  Result<std::vector<Tuple>> QueryRecentWindowSummary(
+      const CaExpr& plan, const SummarySpec& spec) const;
+
+  // --- introspection ---
+
+  ChronicleGroup& group() { return group_; }
+  const ChronicleGroup& group() const { return group_; }
+  ViewManager& view_manager() { return views_; }
+  const ViewManager& view_manager() const { return views_; }
+  uint64_t appends_processed() const { return appends_processed_; }
+
+  // Iteration over registered objects (used by checkpointing and SHOW).
+  void ForEachRelation(const std::function<void(const Relation&)>& fn) const;
+  void ForEachPeriodicView(
+      const std::function<void(const PeriodicViewSet&)>& fn) const;
+  void ForEachSlidingView(
+      const std::function<void(const SlidingWindowView&)>& fn) const;
+  // Mutable lookups used by checkpoint restore.
+  Result<PeriodicViewSet*> GetPeriodicViewMutable(const std::string& name);
+  Result<SlidingWindowView*> GetSlidingViewMutable(const std::string& name);
+  // Reinstates the append counter after a restore.
+  void RestoreAppendsProcessed(uint64_t n) { appends_processed_ = n; }
+
+ private:
+  Result<AppendResult> Maintain(Result<AppendEvent> event);
+
+  ChronicleGroup group_;
+  mutable std::unordered_map<ChronicleId, CaExprPtr> scan_cache_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+  std::unordered_map<std::string, RelationId> relations_by_name_;
+  ViewManager views_;
+  std::vector<std::unique_ptr<PeriodicViewSet>> periodic_;
+  std::unordered_map<std::string, size_t> periodic_by_name_;
+  std::vector<std::unique_ptr<SlidingWindowView>> sliding_;
+  std::unordered_map<std::string, size_t> sliding_by_name_;
+  uint64_t appends_processed_ = 0;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_DB_DATABASE_H_

@@ -1,0 +1,114 @@
+// Calendars: sets of time intervals over which periodic persistent views
+// are computed (paper §5.1, in the spirit of [SS92, CSS94]).
+//
+// A calendar is a (possibly infinite) indexed family of chronon intervals.
+// Intervals may overlap (sliding windows / moving averages) or tile the
+// axis (billing months). The mapping from a chronicle's sequence numbers to
+// chronons is provided by the append events themselves (every tick carries
+// a chronon), so "a mapping from sequence numbers to time intervals" is the
+// composition  SN → chronon → interval indexes.
+
+#ifndef CHRONICLE_PERIODIC_CALENDAR_H_
+#define CHRONICLE_PERIODIC_CALENDAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/chronicle_group.h"  // Chronon
+
+namespace chronicle {
+
+// A half-open chronon interval [begin, end).
+struct Interval {
+  Chronon begin = 0;
+  Chronon end = 0;
+
+  bool Contains(Chronon t) const { return t >= begin && t < end; }
+  bool operator==(const Interval& other) const {
+    return begin == other.begin && end == other.end;
+  }
+  std::string ToString() const;
+};
+
+class Calendar {
+ public:
+  virtual ~Calendar() = default;
+
+  // Appends the indexes of all intervals containing `t` to `out`.
+  virtual void IntervalsContaining(Chronon t,
+                                   std::vector<int64_t>* out) const = 0;
+
+  // The interval at `index`; OutOfRange if the calendar has no such index.
+  virtual Result<Interval> GetInterval(int64_t index) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+// An explicit finite list of (possibly overlapping) intervals.
+class FixedCalendar : public Calendar {
+ public:
+  explicit FixedCalendar(std::vector<Interval> intervals);
+
+  void IntervalsContaining(Chronon t, std::vector<int64_t>* out) const override;
+  Result<Interval> GetInterval(int64_t index) const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+// Non-overlapping aligned periods: interval k = [origin + k·period,
+// origin + (k+1)·period), k >= 0. The billing-month calendar.
+class PeriodicCalendar : public Calendar {
+ public:
+  // period must be > 0.
+  static Result<std::shared_ptr<PeriodicCalendar>> Make(Chronon origin,
+                                                        Chronon period);
+
+  void IntervalsContaining(Chronon t, std::vector<int64_t>* out) const override;
+  Result<Interval> GetInterval(int64_t index) const override;
+  std::string ToString() const override;
+
+  Chronon origin() const { return origin_; }
+  Chronon period() const { return period_; }
+
+ private:
+  PeriodicCalendar(Chronon origin, Chronon period)
+      : origin_(origin), period_(period) {}
+  Chronon origin_;
+  Chronon period_;
+};
+
+// Overlapping windows: interval k = [origin + k·slide,
+// origin + k·slide + window), k >= 0. The 30-day moving-sum calendar has
+// window = 30 days and slide = 1 day.
+class SlidingCalendar : public Calendar {
+ public:
+  // window and slide must be > 0; window must be a multiple of slide for
+  // the pane optimization to apply (not required here, only there).
+  static Result<std::shared_ptr<SlidingCalendar>> Make(Chronon origin,
+                                                       Chronon window,
+                                                       Chronon slide);
+
+  void IntervalsContaining(Chronon t, std::vector<int64_t>* out) const override;
+  Result<Interval> GetInterval(int64_t index) const override;
+  std::string ToString() const override;
+
+  Chronon origin() const { return origin_; }
+  Chronon window() const { return window_; }
+  Chronon slide() const { return slide_; }
+
+ private:
+  SlidingCalendar(Chronon origin, Chronon window, Chronon slide)
+      : origin_(origin), window_(window), slide_(slide) {}
+  Chronon origin_;
+  Chronon window_;
+  Chronon slide_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_PERIODIC_CALENDAR_H_

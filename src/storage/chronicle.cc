@@ -1,0 +1,41 @@
+#include "storage/chronicle.h"
+
+namespace chronicle {
+
+Chronicle::Chronicle(ChronicleId id, std::string name, Schema schema,
+                     RetentionPolicy retention)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      retention_(retention) {}
+
+void Chronicle::ScanRetained(
+    const std::function<void(const ChronicleRow&)>& fn) const {
+  for (const ChronicleRow& row : rows_) fn(row);
+}
+
+size_t Chronicle::ApproxTupleBytes(const Tuple& t) {
+  size_t bytes = sizeof(ChronicleRow) + t.capacity() * sizeof(Value);
+  for (const Value& v : t) {
+    if (v.is_string()) bytes += v.str().capacity();
+  }
+  return bytes;
+}
+
+void Chronicle::AppendValidated(SeqNum sn, std::vector<Tuple> tuples) {
+  total_appended_ += tuples.size();
+  last_sn_ = sn;
+  if (retention_.kind == RetentionPolicy::Kind::kNone) return;
+  for (Tuple& t : tuples) {
+    meter_.Add(ApproxTupleBytes(t));
+    rows_.push_back(ChronicleRow{sn, std::move(t)});
+  }
+  if (retention_.kind == RetentionPolicy::Kind::kWindow) {
+    while (rows_.size() > retention_.window_rows) {
+      meter_.Sub(ApproxTupleBytes(rows_.front().values));
+      rows_.pop_front();
+    }
+  }
+}
+
+}  // namespace chronicle

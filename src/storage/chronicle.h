@@ -1,0 +1,97 @@
+// Chronicle: an unbounded, append-only sequence of transaction records.
+//
+// A chronicle "can be very large, and the entire chronicle may not be stored
+// in the system" (paper §2.1). Retention is therefore a policy, not a
+// guarantee: the incremental view-maintenance machinery never reads a
+// chronicle, so a retention of kNone is fully functional for maintenance.
+// Stored prefixes exist only to serve detailed window queries and the naive
+// baseline engine.
+//
+// Appends happen exclusively through the owning ChronicleGroup, which
+// enforces the group-wide sequence-number discipline.
+
+#ifndef CHRONICLE_STORAGE_CHRONICLE_H_
+#define CHRONICLE_STORAGE_CHRONICLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tracking_allocator.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+
+// Identifies a chronicle within its group.
+using ChronicleId = uint32_t;
+
+// How much of the stream the chronicle retains.
+struct RetentionPolicy {
+  enum class Kind : uint8_t {
+    kNone,    // store nothing (pure stream; maintenance-only)
+    kWindow,  // keep the most recent `window_rows` rows
+    kAll,     // keep everything (needed by the naive baseline)
+  };
+
+  Kind kind = Kind::kAll;
+  size_t window_rows = 0;
+
+  static RetentionPolicy None() { return {Kind::kNone, 0}; }
+  static RetentionPolicy Window(size_t rows) { return {Kind::kWindow, rows}; }
+  static RetentionPolicy All() { return {Kind::kAll, 0}; }
+};
+
+class Chronicle {
+ public:
+  Chronicle(ChronicleId id, std::string name, Schema schema,
+            RetentionPolicy retention);
+
+  Chronicle(const Chronicle&) = delete;
+  Chronicle& operator=(const Chronicle&) = delete;
+  Chronicle(Chronicle&&) = default;
+  Chronicle& operator=(Chronicle&&) = default;
+
+  ChronicleId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const RetentionPolicy& retention() const { return retention_; }
+
+  // Total number of tuples ever appended (independent of retention).
+  uint64_t total_appended() const { return total_appended_; }
+  // Sequence number of the most recent append; 0 if never appended.
+  SeqNum last_sn() const { return last_sn_; }
+
+  // The retained suffix, oldest first.
+  const std::deque<ChronicleRow>& retained() const { return rows_; }
+
+  // Applies `fn` to every retained row, oldest first.
+  void ScanRetained(const std::function<void(const ChronicleRow&)>& fn) const;
+
+  // Approximate bytes held by retained rows.
+  size_t MemoryFootprint() const { return meter_.current(); }
+
+ private:
+  friend class ChronicleGroup;  // appends are group-mediated
+
+  // Called by ChronicleGroup after SN validation and schema validation.
+  void AppendValidated(SeqNum sn, std::vector<Tuple> tuples);
+
+  static size_t ApproxTupleBytes(const Tuple& t);
+
+  ChronicleId id_;
+  std::string name_;
+  Schema schema_;
+  RetentionPolicy retention_;
+  std::deque<ChronicleRow> rows_;
+  uint64_t total_appended_ = 0;
+  SeqNum last_sn_ = 0;
+  MemoryMeter meter_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_STORAGE_CHRONICLE_H_

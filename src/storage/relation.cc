@@ -1,0 +1,198 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+namespace chronicle {
+
+Relation::Relation(std::string name, Schema schema,
+                   std::optional<size_t> key_index, IndexMode index_mode)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      key_index_(key_index),
+      index_mode_(index_mode) {}
+
+Result<Relation> Relation::Make(std::string name, Schema schema,
+                                const std::string& key_column,
+                                IndexMode index_mode) {
+  std::optional<size_t> key_index;
+  if (!key_column.empty()) {
+    CHRONICLE_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(key_column));
+    key_index = idx;
+  }
+  return Relation(std::move(name), std::move(schema), key_index, index_mode);
+}
+
+Status Relation::Insert(Tuple row) {
+  CHRONICLE_RETURN_NOT_OK(ValidateTuple(schema_, row));
+  rows_.push_back(std::move(row));
+  Status st = IndexInsert(rows_.size() - 1);
+  if (!st.ok()) {
+    rows_.pop_back();
+    return st;
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status Relation::UpdateByKey(const Value& key, Tuple new_row) {
+  CHRONICLE_RETURN_NOT_OK(ValidateTuple(schema_, new_row));
+  if (!has_key()) {
+    return Status::FailedPrecondition("relation '" + name_ + "' has no key");
+  }
+  const Value& new_key = new_row[*key_index_];
+  if (new_key.is_null()) {
+    return Status::InvalidArgument("NULL key in relation '" + name_ + "'");
+  }
+  // Check collisions up front so the delete+insert below cannot half-apply.
+  if (new_key != key && LookupByKey(new_key).ok()) {
+    return Status::AlreadyExists("duplicate key " + new_key.ToString() +
+                                 " in relation '" + name_ + "'");
+  }
+  CHRONICLE_RETURN_NOT_OK(DeleteByKey(key));
+  return Insert(std::move(new_row));
+}
+
+Status Relation::DeleteByKey(const Value& key) {
+  if (!has_key()) {
+    return Status::FailedPrecondition("relation '" + name_ + "' has no key");
+  }
+  size_t idx;
+  if (index_mode_ == IndexMode::kHash) {
+    auto it = key_hash_.find(key);
+    if (it == key_hash_.end()) {
+      return Status::NotFound("no row with key " + key.ToString());
+    }
+    idx = it->second;
+  } else {
+    auto it = key_ordered_.find(key);
+    if (it == key_ordered_.end()) {
+      return Status::NotFound("no row with key " + key.ToString());
+    }
+    idx = it->second;
+  }
+  IndexErase(idx);
+  const size_t last = rows_.size() - 1;
+  if (idx != last) {
+    IndexReplaceSlot(last, idx);
+    rows_[idx] = std::move(rows_[last]);
+  }
+  rows_.pop_back();
+  ++version_;
+  return Status::OK();
+}
+
+Result<const Tuple*> Relation::LookupByKey(const Value& key) const {
+  if (!has_key()) {
+    return Status::FailedPrecondition("relation '" + name_ + "' has no key");
+  }
+  if (index_mode_ == IndexMode::kHash) {
+    auto it = key_hash_.find(key);
+    if (it == key_hash_.end()) {
+      return Status::NotFound("no row with key " + key.ToString());
+    }
+    return &rows_[it->second];
+  }
+  auto it = key_ordered_.find(key);
+  if (it == key_ordered_.end()) {
+    return Status::NotFound("no row with key " + key.ToString());
+  }
+  return &rows_[it->second];
+}
+
+Status Relation::CreateSecondaryIndex(const std::string& column) {
+  CHRONICLE_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(column));
+  if (secondary_.count(col) != 0) {
+    return Status::AlreadyExists("secondary index on '" + column +
+                                 "' already exists");
+  }
+  auto& index = secondary_[col];
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index[rows_[i][col]].push_back(i);
+  }
+  return Status::OK();
+}
+
+bool Relation::HasSecondaryIndex(size_t column) const {
+  return secondary_.count(column) != 0;
+}
+
+Status Relation::LookupBySecondary(size_t column, const Value& value,
+                                   std::vector<const Tuple*>* out) const {
+  auto idx_it = secondary_.find(column);
+  if (idx_it == secondary_.end()) {
+    return Status::FailedPrecondition("no secondary index on column " +
+                                      std::to_string(column));
+  }
+  auto it = idx_it->second.find(value);
+  if (it == idx_it->second.end()) return Status::OK();
+  for (size_t slot : it->second) out->push_back(&rows_[slot]);
+  return Status::OK();
+}
+
+void Relation::ScanAll(const std::function<void(const Tuple&)>& fn) const {
+  for (const Tuple& row : rows_) fn(row);
+}
+
+Status Relation::IndexInsert(size_t idx) {
+  if (has_key()) {
+    const Value& key = rows_[idx][*key_index_];
+    if (key.is_null()) {
+      return Status::InvalidArgument("NULL key in relation '" + name_ + "'");
+    }
+    if (index_mode_ == IndexMode::kHash) {
+      auto [it, inserted] = key_hash_.emplace(key, idx);
+      if (!inserted) {
+        return Status::AlreadyExists("duplicate key " + key.ToString() +
+                                     " in relation '" + name_ + "'");
+      }
+    } else {
+      auto [it, inserted] = key_ordered_.emplace(key, idx);
+      if (!inserted) {
+        return Status::AlreadyExists("duplicate key " + key.ToString() +
+                                     " in relation '" + name_ + "'");
+      }
+    }
+  }
+  for (auto& [col, index] : secondary_) {
+    index[rows_[idx][col]].push_back(idx);
+  }
+  return Status::OK();
+}
+
+void Relation::IndexErase(size_t idx) {
+  if (has_key()) {
+    const Value& key = rows_[idx][*key_index_];
+    if (index_mode_ == IndexMode::kHash) {
+      key_hash_.erase(key);
+    } else {
+      key_ordered_.erase(key);
+    }
+  }
+  for (auto& [col, index] : secondary_) {
+    auto it = index.find(rows_[idx][col]);
+    if (it == index.end()) continue;
+    auto& slots = it->second;
+    slots.erase(std::remove(slots.begin(), slots.end(), idx), slots.end());
+    if (slots.empty()) index.erase(it);
+  }
+}
+
+void Relation::IndexReplaceSlot(size_t from, size_t to) {
+  if (has_key()) {
+    const Value& key = rows_[from][*key_index_];
+    if (index_mode_ == IndexMode::kHash) {
+      key_hash_[key] = to;
+    } else {
+      key_ordered_[key] = to;
+    }
+  }
+  for (auto& [col, index] : secondary_) {
+    auto it = index.find(rows_[from][col]);
+    if (it == index.end()) continue;
+    for (size_t& slot : it->second) {
+      if (slot == from) slot = to;
+    }
+  }
+}
+
+}  // namespace chronicle

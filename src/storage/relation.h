@@ -1,0 +1,122 @@
+// Relation: an ordinary relation of the chronicle database.
+//
+// Relations are small relative to chronicles (|R| << |C|, paper §3) and are
+// updated only PROACTIVELY: because every chronicle/relation join in the
+// model implicitly uses the *current* relation version (paper §2.3), no
+// multiversion storage is needed — the version counter exists so callers and
+// tests can assert which version a tick observed.
+//
+// A relation may declare a single-column unique key. Joins on that key are
+// what admit a chronicle-algebra expression into CA_⋈ (at most one relation
+// tuple joins each chronicle tuple). The key index runs in one of two modes:
+//   * kHash    — expected O(1) lookups (what a production system would use);
+//   * kOrdered — O(log |R|) lookups, matching the paper's stated
+//                IM-log(R) bound for comparison-based indexes.
+// Benchmark E2 contrasts the two.
+
+#ifndef CHRONICLE_STORAGE_RELATION_H_
+#define CHRONICLE_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+
+// Identifies a relation within a database.
+using RelationId = uint32_t;
+
+// Key-index implementation selector.
+enum class IndexMode : uint8_t {
+  kHash = 0,
+  kOrdered = 1,
+};
+
+class Relation {
+ public:
+  // Creates a relation. `key_column` names the unique key column, or is
+  // empty for a keyless (heap) relation.
+  static Result<Relation> Make(std::string name, Schema schema,
+                               const std::string& key_column = "",
+                               IndexMode index_mode = IndexMode::kHash);
+
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  // True iff a unique key column is declared.
+  bool has_key() const { return key_index_.has_value(); }
+  // Column index of the key; only valid when has_key().
+  size_t key_index() const { return *key_index_; }
+  IndexMode index_mode() const { return index_mode_; }
+
+  size_t size() const { return rows_.size(); }
+  // Monotone counter bumped by every mutation; identifies relation versions.
+  uint64_t version() const { return version_; }
+
+  // Inserts a row. Fails on schema mismatch or duplicate key.
+  Status Insert(Tuple row);
+  // Replaces the row with the given key value. Fails if absent, on schema
+  // mismatch, or if the replacement changes the key to a colliding value.
+  Status UpdateByKey(const Value& key, Tuple new_row);
+  // Removes the row with the given key value. Fails if absent.
+  Status DeleteByKey(const Value& key);
+
+  // Key lookup: the unique matching row, or NotFound. The pointer is
+  // invalidated by the next mutation.
+  Result<const Tuple*> LookupByKey(const Value& key) const;
+
+  // Builds a non-unique hash index on `column` to bound equality lookups.
+  Status CreateSecondaryIndex(const std::string& column);
+  // True iff a secondary index exists on that column.
+  bool HasSecondaryIndex(size_t column) const;
+  // Equality lookup through a secondary index; fails if no index on column.
+  // Appends matching rows to `out`.
+  Status LookupBySecondary(size_t column, const Value& value,
+                           std::vector<const Tuple*>* out) const;
+
+  // Applies `fn` to every row (arbitrary order).
+  void ScanAll(const std::function<void(const Tuple&)>& fn) const;
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  Relation(std::string name, Schema schema, std::optional<size_t> key_index,
+           IndexMode index_mode);
+
+  // Registers row `idx` in the key and secondary indexes.
+  Status IndexInsert(size_t idx);
+  // Unregisters row `idx` from all indexes.
+  void IndexErase(size_t idx);
+  // Rewrites index entries pointing at `from` to point at `to` (swap-remove
+  // fixup).
+  void IndexReplaceSlot(size_t from, size_t to);
+
+  std::string name_;
+  Schema schema_;
+  std::optional<size_t> key_index_;
+  IndexMode index_mode_;
+  std::vector<Tuple> rows_;
+  uint64_t version_ = 0;
+
+  std::unordered_map<Value, size_t, ValueHash> key_hash_;
+  std::map<Value, size_t> key_ordered_;
+  // column index -> (value -> row slots)
+  std::unordered_map<size_t,
+                     std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+      secondary_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_STORAGE_RELATION_H_

@@ -1,0 +1,69 @@
+#include "types/schema.h"
+
+#include <unordered_set>
+
+namespace chronicle {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema has an empty column name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + f.name);
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in " + ToString());
+}
+
+bool Schema::Contains(const std::string& name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    CHRONICLE_ASSIGN_OR_RETURN(size_t idx, IndexOf(n));
+    out.push_back(fields_[idx]);
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& prefix) const {
+  std::vector<Field> out = fields_;
+  out.reserve(fields_.size() + other.num_fields());
+  for (const Field& f : other.fields()) {
+    Field g = f;
+    if (Contains(g.name)) g.name = prefix + "." + g.name;
+    out.push_back(std::move(g));
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace chronicle

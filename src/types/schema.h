@@ -1,0 +1,70 @@
+// Schema: ordered, named, typed columns of a chronicle payload, a relation,
+// or a persistent view.
+//
+// The sequence number (SN) of a chronicle is NOT part of its payload schema:
+// it is a distinguished field carried alongside each row (see
+// types/tuple.h). This encodes, structurally, the chronicle-algebra rule
+// that every CA operator preserves the sequencing attribute — an expression
+// can only lose the SN through the explicit summarization step.
+
+#ifndef CHRONICLE_TYPES_SCHEMA_H_
+#define CHRONICLE_TYPES_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace chronicle {
+
+// One named, typed column.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+// An immutable ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  // Builds a schema or fails on duplicate/empty column names.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Index of a column by name.
+  Result<size_t> IndexOf(const std::string& name) const;
+  // True iff a column with this name exists.
+  bool Contains(const std::string& name) const;
+
+  // Schema of a projection onto the given columns (in the given order).
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  // Concatenation (for joins): this schema's fields followed by `other`'s.
+  // Columns that collide get the `prefix` + "." disambiguation on the right
+  // side, e.g. "r.acct".
+  Schema Concat(const Schema& other, const std::string& prefix) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  // "(a INT64, b STRING)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_TYPES_SCHEMA_H_

@@ -1,0 +1,61 @@
+#include "types/tuple.h"
+
+namespace chronicle {
+
+bool TupleEquals(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+int TupleCompare(const Tuple& a, const Tuple& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+size_t TupleHashValue(const Tuple& t) {
+  size_t seed = 0x51ed2701;
+  for (const Value& v : t) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string ChronicleRowToString(const ChronicleRow& row) {
+  return "[sn=" + std::to_string(row.sn) + " | " + TupleToString(row.values) + "]";
+}
+
+Status ValidateTuple(const Schema& schema, const Tuple& tuple) {
+  if (tuple.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match schema " +
+        schema.ToString());
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) continue;
+    if (tuple[i].type() != schema.field(i).type) {
+      return Status::InvalidArgument(
+          "column '" + schema.field(i).name + "' expects " +
+          DataTypeToString(schema.field(i).type) + " but got " +
+          tuple[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace chronicle

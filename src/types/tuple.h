@@ -1,0 +1,69 @@
+// Tuple and ChronicleRow: the row representations of the engine.
+//
+// A Tuple is a plain vector of Values matching some Schema. A ChronicleRow
+// pairs a Tuple with the distinguished sequence number (SN) of the chronicle
+// data model; SNs are system-managed and never stored inside the payload.
+
+#ifndef CHRONICLE_TYPES_TUPLE_H_
+#define CHRONICLE_TYPES_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace chronicle {
+
+// Sequence numbers are drawn from an infinite ordered domain; 64 bits is
+// effectively infinite for any real stream.
+using SeqNum = uint64_t;
+
+// A payload row.
+using Tuple = std::vector<Value>;
+
+// Equality, ordering, hashing, and printing for tuples.
+bool TupleEquals(const Tuple& a, const Tuple& b);
+// Lexicographic three-way comparison.
+int TupleCompare(const Tuple& a, const Tuple& b);
+size_t TupleHashValue(const Tuple& t);
+std::string TupleToString(const Tuple& t);
+
+// std-style functors for unordered containers keyed on Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return TupleHashValue(t); }
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return TupleEquals(a, b);
+  }
+};
+// Ordering functor for ordered containers keyed on Tuple.
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return TupleCompare(a, b) < 0;
+  }
+};
+
+// A chronicle row: payload plus its sequence number. Multiple rows may share
+// one SN (e.g. both branches of a union fire on the same base insertion).
+struct ChronicleRow {
+  SeqNum sn = 0;
+  Tuple values;
+
+  bool operator==(const ChronicleRow& other) const {
+    return sn == other.sn && TupleEquals(values, other.values);
+  }
+};
+
+// "[sn=7 | 42, "x"]" rendering.
+std::string ChronicleRowToString(const ChronicleRow& row);
+
+// Checks that a tuple's arity and value types match `schema` (NULLs match
+// any type). Returns a descriptive error on mismatch.
+Status ValidateTuple(const Schema& schema, const Tuple& tuple);
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_TYPES_TUPLE_H_

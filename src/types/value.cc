@@ -1,0 +1,78 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace chronicle {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  if (is_double()) return DataType::kDouble;
+  if (is_string()) return DataType::kString;
+  return DataType::kInt64;
+}
+
+Result<double> Value::AsNumeric() const {
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_double()) return dbl();
+  return Status::InvalidArgument("value is not numeric: " + ToString());
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts before everything; two NULLs are equal (grouping semantics).
+  if (is_null() || other.is_null()) {
+    return static_cast<int>(!is_null()) - static_cast<int>(!other.is_null());
+  }
+  const bool this_num = is_int64() || is_double();
+  const bool other_num = other.is_int64() || other.is_double();
+  if (this_num && other_num) {
+    if (is_int64() && other.is_int64()) {
+      const int64_t a = int64();
+      const int64_t b = other.int64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = is_int64() ? static_cast<double>(int64()) : dbl();
+    const double b = other.is_int64() ? static_cast<double>(other.int64()) : other.dbl();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    return str().compare(other.str()) < 0 ? -1 : (str() == other.str() ? 0 : 1);
+  }
+  // Mixed string/numeric: order by type tag (numerics < strings).
+  return this_num ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b9;
+  if (is_string()) return std::hash<std::string>()(str());
+  // Hash numerics through double so 2 (int64) and 2.0 (double) collide, as
+  // required by cross-type equality. Integers up to 2^53 round-trip exactly.
+  double d = is_int64() ? static_cast<double>(int64()) : dbl();
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  return std::hash<double>()(d);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", dbl());
+    return buf;
+  }
+  return "\"" + str() + "\"";
+}
+
+}  // namespace chronicle

@@ -1,0 +1,90 @@
+// Value: the dynamically-typed cell of the chronicle data model.
+//
+// The model needs only a small scalar vocabulary: 64-bit integers (account
+// numbers, counts, sequence numbers surfaced to users), doubles (amounts,
+// rates), strings (names, regions), and NULL. Values are ordered and hashable
+// so they can serve as grouping keys and index keys.
+
+#ifndef CHRONICLE_TYPES_VALUE_H_
+#define CHRONICLE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace chronicle {
+
+// Scalar column types.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+// Human-readable type name ("INT64", "DOUBLE", "STRING").
+const char* DataTypeToString(DataType type);
+
+// A single scalar cell. NULL is represented by std::monostate.
+class Value {
+ public:
+  // NULL value.
+  Value() : var_(std::monostate{}) {}
+  // Intentionally implicit: literals flow into tuples naturally.
+  Value(int64_t v) : var_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : var_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(double v) : var_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : var_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : var_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(var_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(var_); }
+  bool is_double() const { return std::holds_alternative<double>(var_); }
+  bool is_string() const { return std::holds_alternative<std::string>(var_); }
+
+  // Type of a non-null value; calling on NULL is a caller bug and reports
+  // kInt64 (NULL has no type).
+  DataType type() const;
+
+  // Unchecked accessors; only valid for the matching alternative.
+  int64_t int64() const { return std::get<int64_t>(var_); }
+  double dbl() const { return std::get<double>(var_); }
+  const std::string& str() const { return std::get<std::string>(var_); }
+
+  // Numeric view: int64 or double widened to double. Error for string/NULL.
+  Result<double> AsNumeric() const;
+
+  // Three-way comparison with SQL-ish semantics: NULL sorts first; numerics
+  // compare cross-type (int64 vs double); strings compare lexicographically;
+  // otherwise ordering falls back to type tag. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Stable hash consistent with operator== (numeric cross-type equality
+  // hashes equal values equally).
+  size_t Hash() const;
+
+  // Display rendering, e.g. `42`, `3.14`, `"abc"`, `NULL`.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> var_;
+};
+
+// std-style hasher for containers keyed on Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+// Combines two hash values (boost::hash_combine formula).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_TYPES_VALUE_H_

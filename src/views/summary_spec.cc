@@ -1,0 +1,69 @@
+#include "views/summary_spec.h"
+
+namespace chronicle {
+
+Result<SummarySpec> SummarySpec::GroupBy(const Schema& input,
+                                         std::vector<std::string> group_columns,
+                                         std::vector<AggSpec> aggregates) {
+  if (aggregates.empty()) {
+    return Status::InvalidArgument(
+        "summarizing GROUPBY requires at least one aggregate");
+  }
+  SummarySpec spec(Kind::kGroupBy);
+  std::vector<Field> fields;
+  for (const std::string& name : group_columns) {
+    CHRONICLE_ASSIGN_OR_RETURN(size_t idx, input.IndexOf(name));
+    spec.key_columns_.push_back(idx);
+    fields.push_back(input.field(idx));
+  }
+  spec.aggregates_ = std::move(aggregates);
+  for (AggSpec& agg : spec.aggregates_) {
+    CHRONICLE_RETURN_NOT_OK(agg.Bind(input));
+    fields.push_back(agg.OutputField());
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(spec.output_schema_, Schema::Make(std::move(fields)));
+  return spec;
+}
+
+Result<SummarySpec> SummarySpec::DistinctProjection(
+    const Schema& input, std::vector<std::string> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("distinct projection requires columns");
+  }
+  SummarySpec spec(Kind::kDistinctProjection);
+  std::vector<Field> fields;
+  for (const std::string& name : columns) {
+    CHRONICLE_ASSIGN_OR_RETURN(size_t idx, input.IndexOf(name));
+    spec.key_columns_.push_back(idx);
+    fields.push_back(input.field(idx));
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(spec.output_schema_, Schema::Make(std::move(fields)));
+  return spec;
+}
+
+Tuple SummarySpec::KeyOf(const Tuple& row) const {
+  Tuple key;
+  key.reserve(key_columns_.size());
+  for (size_t idx : key_columns_) key.push_back(row[idx]);
+  return key;
+}
+
+std::string SummarySpec::ToString() const {
+  std::string out =
+      kind_ == Kind::kGroupBy ? "GROUPBY[" : "DISTINCT_PROJECT[";
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += output_schema_.field(i).name;
+  }
+  if (kind_ == Kind::kGroupBy) {
+    out += " ; ";
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += aggregates_[i].ToString();
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace chronicle

@@ -1,0 +1,68 @@
+// SummarySpec: the summarization step of Definition 4.3, mapping a
+// chronicle-algebra expression χ into a relation by eliminating the
+// sequencing attribute in one of two ways:
+//
+//   * GroupBy           — GROUPBY(χ, GL, AL) with SN ∉ GL and every
+//                         aggregate incrementally computable;
+//   * DistinctProjection— Π_{A...}(χ) with the SN projected out. Because
+//                         the same payload can arrive under many SNs, the
+//                         view keeps a multiplicity per distinct row (the
+//                         classic counting algorithm); under append-only
+//                         chronicles multiplicities only grow, so a row
+//                         never disappears.
+
+#ifndef CHRONICLE_VIEWS_SUMMARY_SPEC_H_
+#define CHRONICLE_VIEWS_SUMMARY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aggregates/aggregate.h"
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace chronicle {
+
+class SummarySpec {
+ public:
+  enum class Kind : uint8_t {
+    kGroupBy = 0,
+    kDistinctProjection = 1,
+  };
+
+  // GROUPBY(χ, group_columns, aggregates); `input` is χ's payload schema.
+  // `group_columns` may be empty (a single global group, e.g. one running
+  // total for the whole chronicle).
+  static Result<SummarySpec> GroupBy(const Schema& input,
+                                     std::vector<std::string> group_columns,
+                                     std::vector<AggSpec> aggregates);
+
+  // Π_{columns}(χ) with SN dropped.
+  static Result<SummarySpec> DistinctProjection(
+      const Schema& input, std::vector<std::string> columns);
+
+  Kind kind() const { return kind_; }
+  // Indexes of the grouping / projected columns in χ's payload.
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  const std::vector<AggSpec>& aggregates() const { return aggregates_; }
+  // Schema of the resulting relation: key columns then aggregate outputs.
+  const Schema& output_schema() const { return output_schema_; }
+
+  // Extracts the view key of one delta tuple.
+  Tuple KeyOf(const Tuple& row) const;
+
+  std::string ToString() const;
+
+ private:
+  SummarySpec(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::vector<size_t> key_columns_;
+  std::vector<AggSpec> aggregates_;
+  Schema output_schema_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_VIEWS_SUMMARY_SPEC_H_

@@ -1,0 +1,257 @@
+#include "views/view_manager.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace chronicle {
+
+ViewManager::ViewManager(RoutingMode mode) : mode_(mode) {}
+
+void ViewManager::CollectGuards(const CaExpr& expr,
+                                std::vector<const ScalarExpr*>* pending,
+                                std::vector<ScanGuard>* out) {
+  if (expr.op() == CaOp::kScan) {
+    ScanGuard guard;
+    guard.chronicle = expr.chronicle_id();
+    for (const ScalarExpr* pred : *pending) {
+      guard.predicates.push_back(pred->Clone());
+      CollectEqConstraints(*pred, &guard.eq_constraints);
+    }
+    out->push_back(std::move(guard));
+    return;
+  }
+  if (expr.op() == CaOp::kSelect) {
+    // A select directly above a scan (possibly stacked) guards it; for any
+    // other child shape the predicate refers to derived columns and is not
+    // usable as an early filter.
+    pending->push_back(expr.predicate());
+    CollectGuards(*expr.child(0), pending, out);
+    pending->pop_back();
+    return;
+  }
+  // Any other operator breaks the select-over-scan chain.
+  std::vector<const ScalarExpr*> empty;
+  for (size_t i = 0; i < expr.num_children(); ++i) {
+    CollectGuards(*expr.child(i), &empty, out);
+  }
+}
+
+void ViewManager::CollectEqConstraints(const ScalarExpr& pred,
+                                       std::vector<EqConstraint>* out) {
+  if (pred.kind() == ExprKind::kAnd) {
+    CollectEqConstraints(pred.child(0), out);
+    CollectEqConstraints(pred.child(1), out);
+    return;
+  }
+  if (pred.kind() != ExprKind::kCompare ||
+      pred.compare_op() != CompareOp::kEq) {
+    return;
+  }
+  const ScalarExpr& lhs = pred.child(0);
+  const ScalarExpr& rhs = pred.child(1);
+  if (lhs.kind() == ExprKind::kColumn && rhs.kind() == ExprKind::kLiteral) {
+    out->push_back(EqConstraint{lhs.bound_index(), rhs.literal()});
+  } else if (rhs.kind() == ExprKind::kColumn &&
+             lhs.kind() == ExprKind::kLiteral) {
+    out->push_back(EqConstraint{rhs.bound_index(), lhs.literal()});
+  }
+}
+
+Result<ViewId> ViewManager::AddView(std::unique_ptr<PersistentView> view) {
+  if (view == nullptr) return Status::InvalidArgument("null view");
+  if (by_name_.count(view->name()) != 0) {
+    return Status::AlreadyExists("view '" + view->name() + "' already exists");
+  }
+  ViewId id = static_cast<ViewId>(views_.size());
+
+  ViewEntry entry;
+  entry.view = std::move(view);
+  entry.view->plan()->CollectBaseChronicles(&entry.chronicles);
+  std::vector<const ScalarExpr*> pending;
+  CollectGuards(*entry.view->plan(), &pending, &entry.guards);
+
+  // Eligible for the eq index iff the view reads exactly one chronicle
+  // through exactly one scan, and that scan's guard has an eq conjunct:
+  // then `no eq match` alone proves the delta empty.
+  if (entry.chronicles.size() == 1 && entry.guards.size() == 1 &&
+      !entry.guards[0].eq_constraints.empty()) {
+    entry.eq_indexed = true;
+    const ScanGuard& guard = entry.guards[0];
+    const EqConstraint& eq = guard.eq_constraints.front();
+    eq_index_[guard.chronicle][eq.column][eq.literal].push_back(id);
+  } else {
+    for (ChronicleId c : entry.chronicles) {
+      residual_by_chronicle_[c].push_back(id);
+    }
+  }
+
+  by_name_[entry.view->name()] = id;
+  views_.push_back(std::move(entry));
+  ++live_views_;
+  return id;
+}
+
+Status ViewManager::DropView(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  const ViewId id = it->second;
+  ViewEntry& entry = views_[id];
+  // Unhook from routing structures.
+  for (auto& [chronicle, ids] : residual_by_chronicle_) {
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  }
+  for (auto& [chronicle, by_column] : eq_index_) {
+    for (auto& [column, by_literal] : by_column) {
+      for (auto& [literal, ids] : by_literal) {
+        ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      }
+    }
+  }
+  by_name_.erase(it);
+  entry.view.reset();  // tombstone; ids of other views stay stable
+  entry.guards.clear();
+  entry.chronicles.clear();
+  --live_views_;
+  return Status::OK();
+}
+
+Result<PersistentView*> ViewManager::GetView(ViewId id) {
+  if (id >= views_.size() || views_[id].view == nullptr) {
+    return Status::NotFound("no view with id " + std::to_string(id));
+  }
+  return views_[id].view.get();
+}
+
+Result<const PersistentView*> ViewManager::GetView(ViewId id) const {
+  if (id >= views_.size() || views_[id].view == nullptr) {
+    return Status::NotFound("no view with id " + std::to_string(id));
+  }
+  return static_cast<const PersistentView*>(views_[id].view.get());
+}
+
+Result<PersistentView*> ViewManager::FindView(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return views_[it->second].view.get();
+}
+
+Result<bool> ViewManager::GuardsPass(const ViewEntry& entry,
+                                     const AppendEvent& event) const {
+  // The view must be processed iff some inserted chronicle it depends on
+  // can produce scan-delta rows.
+  for (const auto& [chronicle, tuples] : event.inserts) {
+    if (entry.chronicles.count(chronicle) == 0) continue;
+    for (const ScanGuard& guard : entry.guards) {
+      if (guard.chronicle != chronicle) continue;
+      if (guard.predicates.empty()) return true;  // unguarded scan
+      for (const Tuple& t : tuples) {
+        bool all = true;
+        for (const ScalarExprPtr& pred : guard.predicates) {
+          EvalRow row{&t, event.sn, event.chronon};
+          CHRONICLE_ASSIGN_OR_RETURN(bool pass, pred->EvalBool(row));
+          if (!pass) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
+  MaintenanceReport report;
+  cache_.Clear();  // node deltas memoized below are valid for this tick only
+
+  // 1. Candidate selection.
+  std::vector<ViewId> candidates;
+  if (mode_ == RoutingMode::kCheckAll) {
+    candidates.reserve(views_.size());
+    for (ViewId id = 0; id < views_.size(); ++id) candidates.push_back(id);
+  } else {
+    std::unordered_set<ViewId> seen;
+    auto add = [&](ViewId id) {
+      if (seen.insert(id).second) candidates.push_back(id);
+    };
+    for (const auto& [chronicle, tuples] : event.inserts) {
+      auto res_it = residual_by_chronicle_.find(chronicle);
+      if (res_it != residual_by_chronicle_.end()) {
+        for (ViewId id : res_it->second) add(id);
+      }
+      if (mode_ == RoutingMode::kEqIndex) {
+        auto eq_it = eq_index_.find(chronicle);
+        if (eq_it == eq_index_.end()) continue;
+        for (const auto& [column, by_literal] : eq_it->second) {
+          for (const Tuple& t : tuples) {
+            auto hit = by_literal.find(t[column]);
+            if (hit == by_literal.end()) continue;
+            for (ViewId id : hit->second) add(id);
+          }
+        }
+      } else {
+        // kGuards: eq-indexed views are not probed; fall back to testing
+        // their guards like any other view.
+        auto eq_it = eq_index_.find(chronicle);
+        if (eq_it == eq_index_.end()) continue;
+        for (const auto& [column, by_literal] : eq_it->second) {
+          for (const auto& [literal, ids] : by_literal) {
+            for (ViewId id : ids) add(id);
+          }
+        }
+      }
+    }
+    report.views_skipped = views_.size() - candidates.size();
+  }
+
+  // 2. Guard filtering + delta maintenance.
+  for (ViewId id : candidates) {
+    ViewEntry& entry = views_[id];
+    if (entry.view == nullptr) continue;  // dropped (kCheckAll tombstones)
+    if (mode_ != RoutingMode::kCheckAll) {
+      CHRONICLE_ASSIGN_OR_RETURN(bool pass, GuardsPass(entry, event));
+      if (!pass) {
+        ++report.views_skipped;
+        continue;
+      }
+    }
+    ++report.views_considered;
+    Stopwatch watch;
+    CHRONICLE_ASSIGN_OR_RETURN(
+        std::vector<ChronicleRow> delta,
+        engine_.ComputeDelta(*entry.view->plan(), event, nullptr, &cache_));
+    if (!delta.empty()) {
+      CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(delta));
+      ++report.views_updated;
+      report.delta_rows_applied += delta.size();
+    }
+    if (profiling_) entry.latency.Record(watch.ElapsedNanos());
+  }
+  return report;
+}
+
+Result<const LatencyHistogram*> ViewManager::GetViewLatency(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &views_[it->second].latency;
+}
+
+size_t ViewManager::MemoryFootprint() const {
+  size_t total = 0;
+  for (const ViewEntry& entry : views_) {
+    if (entry.view != nullptr) total += entry.view->MemoryFootprint();
+  }
+  return total;
+}
+
+}  // namespace chronicle

@@ -1,0 +1,151 @@
+// ViewManager: registry and maintenance driver for persistent views, with
+// the §5.2 machinery for identifying affected views.
+//
+// "When multiple views are to be maintained over the same chronicle, each
+// update to the chronicle would require checking all the views" — unless
+// the system can filter early. The manager supports three routing modes,
+// benchmarked against each other in experiment E3:
+//
+//   kCheckAll — the paper's strawman: every registered view is handed every
+//               append; the delta computation discovers emptiness.
+//   kGuards   — per-chronicle dependency lists plus guard predicates: a
+//               view whose defining expression selects on the base
+//               chronicle (σ_p directly above the scan) is skipped when no
+//               inserted tuple satisfies p. Sound because an empty scan
+//               delta on every inserted chronicle forces an empty view
+//               delta (monotonicity).
+//   kEqIndex  — additionally, views whose guard contains an equality
+//               conjunct `col = constant` are indexed by that constant, so
+//               an append probes a hash table instead of testing every
+//               view's guard (the "indices on persistent views" of §5.2).
+
+#ifndef CHRONICLE_VIEWS_VIEW_MANAGER_H_
+#define CHRONICLE_VIEWS_VIEW_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/delta_engine.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "views/persistent_view.h"
+
+namespace chronicle {
+
+enum class RoutingMode : uint8_t {
+  kCheckAll = 0,
+  kGuards = 1,
+  kEqIndex = 2,
+};
+
+// Outcome of maintaining all views for one append.
+struct MaintenanceReport {
+  size_t views_considered = 0;     // views whose delta was computed
+  size_t views_updated = 0;        // views that received >= 1 delta row
+  size_t views_skipped = 0;        // views filtered out before delta work
+  size_t delta_rows_applied = 0;   // total rows folded into views
+};
+
+class ViewManager {
+ public:
+  explicit ViewManager(RoutingMode mode = RoutingMode::kEqIndex);
+
+  RoutingMode routing_mode() const { return mode_; }
+
+  // Registers a view and indexes its guards. The manager owns the view.
+  Result<ViewId> AddView(std::unique_ptr<PersistentView> view);
+
+  // Unregisters a view: its materialized state is discarded and it stops
+  // being maintained. The slot is tombstoned (ids of other views remain
+  // stable) and the name becomes reusable. Restoring an old checkpoint
+  // into a renamed/re-created view is guarded by the per-group state-shape
+  // checks in RestoreGroup.
+  Status DropView(const std::string& name);
+
+  // Number of view slots ever allocated (including tombstones); iterate
+  // with GetView and skip NotFound to enumerate live views.
+  size_t num_views() const { return views_.size(); }
+  size_t num_live_views() const { return live_views_; }
+  Result<PersistentView*> GetView(ViewId id);
+  Result<const PersistentView*> GetView(ViewId id) const;
+  Result<PersistentView*> FindView(const std::string& name);
+
+  // Maintains every affected view for one append event. This is the
+  // operation whose complexity the whole paper is about.
+  Result<MaintenanceReport> ProcessAppend(const AppendEvent& event);
+
+  // Sum of all views' materialized-table footprints.
+  size_t MemoryFootprint() const;
+
+  // Delta-cache statistics: deltas of subexpressions shared between views
+  // (same scan, same guarded selection) are computed once per tick. Hits
+  // indicate sharing actually occurred (bench E9).
+  uint64_t delta_cache_hits() const { return cache_.hits(); }
+  uint64_t delta_cache_misses() const { return cache_.misses(); }
+
+  // Per-view maintenance latency profiling (delta computation + fold).
+  // Off by default: the timestamping costs two clock reads per view per
+  // tick.
+  void set_profiling(bool enabled) { profiling_ = enabled; }
+  bool profiling() const { return profiling_; }
+  // The latency histogram of one view (empty until profiling is enabled
+  // and appends flow).
+  Result<const LatencyHistogram*> GetViewLatency(const std::string& name) const;
+
+ private:
+  // One equality conjunct `column = literal` of a guard.
+  struct EqConstraint {
+    size_t column;
+    Value literal;
+  };
+  // The guard of one base-chronicle scan inside a view's plan.
+  struct ScanGuard {
+    ChronicleId chronicle;
+    // Conjunction of the Select predicates sitting directly above the scan
+    // (owned clones, bound to the chronicle payload schema). Empty means
+    // the scan is unguarded: any insert can produce delta rows.
+    std::vector<ScalarExprPtr> predicates;
+    std::vector<EqConstraint> eq_constraints;
+  };
+  struct ViewEntry {
+    std::unique_ptr<PersistentView> view;
+    std::vector<ScanGuard> guards;      // one per scan in the plan
+    std::set<ChronicleId> chronicles;   // base chronicles the view reads
+    bool eq_indexed = false;            // participates in the eq index
+    LatencyHistogram latency;           // populated when profiling is on
+  };
+
+  // Extracts scan guards from a plan.
+  static void CollectGuards(const CaExpr& expr,
+                            std::vector<const ScalarExpr*>* pending,
+                            std::vector<ScanGuard>* out);
+  // Pulls `col = literal` conjuncts out of a guard predicate.
+  static void CollectEqConstraints(const ScalarExpr& pred,
+                                   std::vector<EqConstraint>* out);
+
+  // True if the event can possibly produce delta rows for the view.
+  Result<bool> GuardsPass(const ViewEntry& entry, const AppendEvent& event) const;
+
+  RoutingMode mode_;
+  bool profiling_ = false;
+  size_t live_views_ = 0;
+  DeltaEngine engine_;
+  DeltaCache cache_;  // reset at the start of every ProcessAppend
+  std::vector<ViewEntry> views_;
+  std::unordered_map<std::string, ViewId> by_name_;
+  // chronicle -> views that depend on it and are NOT eq-indexed.
+  std::unordered_map<ChronicleId, std::vector<ViewId>> residual_by_chronicle_;
+  // (chronicle, column) -> literal -> views guarded by `column = literal`.
+  std::unordered_map<ChronicleId,
+                     std::unordered_map<size_t,
+                                        std::unordered_map<Value, std::vector<ViewId>,
+                                                           ValueHash>>>
+      eq_index_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_VIEWS_VIEW_MANAGER_H_

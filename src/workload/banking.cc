@@ -1,0 +1,36 @@
+#include "workload/banking.h"
+
+namespace chronicle {
+
+BankingGenerator::BankingGenerator(BankingOptions options)
+    : options_(options),
+      rng_(options.seed),
+      accounts_(options.num_accounts, options.account_skew, options.seed ^ 0x9e37) {}
+
+Schema BankingGenerator::RecordSchema() {
+  return Schema({{"acct", DataType::kInt64},
+                 {"kind", DataType::kString},
+                 {"amount", DataType::kDouble}});
+}
+
+Tuple BankingGenerator::Next() {
+  const int64_t acct = static_cast<int64_t>(accounts_.Next());
+  const double u = rng_.NextDouble();
+  const double magnitude = rng_.NextDouble() * options_.max_amount;
+  if (u < options_.fee_fraction) {
+    return Tuple{Value(acct), Value("fee"), Value(-2.5)};
+  }
+  if (u < options_.fee_fraction + options_.withdrawal_fraction) {
+    return Tuple{Value(acct), Value("withdrawal"), Value(-magnitude)};
+  }
+  return Tuple{Value(acct), Value("deposit"), Value(magnitude)};
+}
+
+std::vector<Tuple> BankingGenerator::NextBatch(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace chronicle

@@ -1,0 +1,48 @@
+// BankingGenerator: synthetic ATM/teller transaction records — the
+// paper's dollar_balance scenario (and the Chemical Bank anecdote that
+// motivates getting the update code out of application logic).
+
+#ifndef CHRONICLE_WORKLOAD_BANKING_H_
+#define CHRONICLE_WORKLOAD_BANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+
+struct BankingOptions {
+  uint64_t num_accounts = 5000;
+  double account_skew = 0.7;
+  double max_amount = 500.0;
+  // Fraction of withdrawals (the rest are deposits, plus a few fees).
+  double withdrawal_fraction = 0.55;
+  double fee_fraction = 0.05;
+  uint64_t seed = 7;
+};
+
+class BankingGenerator {
+ public:
+  explicit BankingGenerator(BankingOptions options = {});
+
+  // (acct INT64, kind STRING, amount DOUBLE) — amount is signed: deposits
+  // positive, withdrawals/fees negative, so SUM(amount) is the balance.
+  static Schema RecordSchema();
+
+  Tuple Next();
+  std::vector<Tuple> NextBatch(size_t n);
+
+  const BankingOptions& options() const { return options_; }
+
+ private:
+  BankingOptions options_;
+  Rng rng_;
+  ZipfSampler accounts_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_WORKLOAD_BANKING_H_

@@ -1,0 +1,60 @@
+#include "workload/call_records.h"
+
+namespace chronicle {
+
+namespace {
+const char* kRegions[] = {"NJ", "NY", "CA", "TX", "IL", "WA", "FL", "MA",
+                          "PA", "OH", "GA", "MI", "NC", "VA", "AZ", "CO"};
+constexpr int kMaxRegions = static_cast<int>(sizeof(kRegions) / sizeof(kRegions[0]));
+}  // namespace
+
+CallRecordGenerator::CallRecordGenerator(CallRecordOptions options)
+    : options_(options),
+      rng_(options.seed),
+      accounts_(options.num_accounts, options.account_skew, options.seed ^ 0x5bd1) {
+  if (options_.num_regions > kMaxRegions) options_.num_regions = kMaxRegions;
+  if (options_.num_regions < 1) options_.num_regions = 1;
+}
+
+Schema CallRecordGenerator::RecordSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64},
+                 {"charge", DataType::kDouble}});
+}
+
+Schema CallRecordGenerator::CustomerSchema() {
+  return Schema({{"acct", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"region", DataType::kString}});
+}
+
+Tuple CallRecordGenerator::Next() {
+  const int64_t caller = static_cast<int64_t>(accounts_.Next());
+  const char* region = kRegions[rng_.Uniform(static_cast<uint64_t>(options_.num_regions))];
+  const int64_t minutes = rng_.UniformInt(1, options_.max_minutes);
+  const double charge = static_cast<double>(minutes) * options_.rate_per_minute;
+  return Tuple{Value(caller), Value(region), Value(minutes), Value(charge)};
+}
+
+std::vector<Tuple> CallRecordGenerator::NextBatch(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+std::vector<Tuple> CallRecordGenerator::CustomerRows() const {
+  Rng rng(options_.seed ^ 0xc0ffee);
+  std::vector<Tuple> out;
+  out.reserve(options_.num_accounts);
+  for (uint64_t acct = 0; acct < options_.num_accounts; ++acct) {
+    const char* region =
+        kRegions[rng.Uniform(static_cast<uint64_t>(options_.num_regions))];
+    out.push_back(Tuple{Value(static_cast<int64_t>(acct)),
+                        Value("cust_" + std::to_string(acct)), Value(region)});
+  }
+  return out;
+}
+
+}  // namespace chronicle

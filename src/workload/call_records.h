@@ -1,0 +1,58 @@
+// CallRecordGenerator: synthetic cellular call-detail records (CDRs) — the
+// paper's motivating workload (a telecom collecting 75 GB/day of
+// transaction records, summary queries like "total minutes this month").
+//
+// Substitution note (DESIGN.md): the paper used proprietary AT&T streams;
+// any stream with controllable account cardinality and skew exercises the
+// same maintenance code paths, so a seeded Zipf generator preserves the
+// behaviors the theorems are about.
+
+#ifndef CHRONICLE_WORKLOAD_CALL_RECORDS_H_
+#define CHRONICLE_WORKLOAD_CALL_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+
+struct CallRecordOptions {
+  uint64_t num_accounts = 10000;
+  double account_skew = 0.9;  // Zipf s-parameter over accounts
+  int64_t max_minutes = 120;
+  double rate_per_minute = 0.11;  // dollars
+  int num_regions = 8;
+  uint64_t seed = 42;
+};
+
+class CallRecordGenerator {
+ public:
+  explicit CallRecordGenerator(CallRecordOptions options = {});
+
+  // (caller INT64, region STRING, minutes INT64, charge DOUBLE)
+  static Schema RecordSchema();
+  // Customer relation rows (acct INT64, name STRING, region STRING), for
+  // key-join scenarios: one row per account in [0, num_accounts).
+  static Schema CustomerSchema();
+
+  // One call record.
+  Tuple Next();
+  // `n` call records.
+  std::vector<Tuple> NextBatch(size_t n);
+  // The full customer relation contents.
+  std::vector<Tuple> CustomerRows() const;
+
+  const CallRecordOptions& options() const { return options_; }
+
+ private:
+  CallRecordOptions options_;
+  Rng rng_;
+  ZipfSampler accounts_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_WORKLOAD_CALL_RECORDS_H_

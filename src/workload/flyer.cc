@@ -1,0 +1,62 @@
+#include "workload/flyer.h"
+
+namespace chronicle {
+
+namespace {
+const char* kStates[] = {"NJ", "NY", "PA", "CT", "CA", "TX", "FL", "IL"};
+constexpr uint64_t kNumStates = sizeof(kStates) / sizeof(kStates[0]);
+const char* kAirports[] = {"EWR", "JFK", "SFO", "ORD", "DFW", "MIA", "SEA", "BOS"};
+constexpr uint64_t kNumAirports = sizeof(kAirports) / sizeof(kAirports[0]);
+}  // namespace
+
+FlyerGenerator::FlyerGenerator(FlyerOptions options)
+    : options_(options),
+      rng_(options.seed),
+      customers_(options.num_customers, options.customer_skew,
+                 options.seed ^ 0xfeed) {}
+
+Schema FlyerGenerator::FlightSchema() {
+  return Schema({{"acct", DataType::kInt64},
+                 {"flight", DataType::kString},
+                 {"miles", DataType::kInt64}});
+}
+
+Schema FlyerGenerator::CustomerSchema() {
+  return Schema({{"acct", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"state", DataType::kString}});
+}
+
+std::string FlyerGenerator::RandomState(Rng* rng) const {
+  return kStates[rng->Uniform(kNumStates)];
+}
+
+std::vector<Tuple> FlyerGenerator::CustomerRows() const {
+  Rng rng(options_.seed ^ 0xabcd);
+  std::vector<Tuple> out;
+  out.reserve(options_.num_customers);
+  for (uint64_t acct = 0; acct < options_.num_customers; ++acct) {
+    out.push_back(Tuple{Value(static_cast<int64_t>(acct)),
+                        Value("flyer_" + std::to_string(acct)),
+                        Value(RandomState(&rng))});
+  }
+  return out;
+}
+
+Tuple FlyerGenerator::NextFlight() {
+  const int64_t acct = static_cast<int64_t>(customers_.Next());
+  const std::string from = kAirports[rng_.Uniform(kNumAirports)];
+  const std::string to = kAirports[rng_.Uniform(kNumAirports)];
+  const int64_t miles = rng_.UniformInt(100, options_.max_miles);
+  return Tuple{Value(acct), Value(from + "-" + to), Value(miles)};
+}
+
+std::optional<Tuple> FlyerGenerator::MaybeAddressChange() {
+  if (!rng_.Bernoulli(options_.address_change_rate)) return std::nullopt;
+  const int64_t acct =
+      rng_.UniformInt(0, static_cast<int64_t>(options_.num_customers) - 1);
+  return Tuple{Value(acct), Value("flyer_" + std::to_string(acct)),
+               Value(RandomState(&rng_))};
+}
+
+}  // namespace chronicle

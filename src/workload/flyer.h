@@ -1,0 +1,61 @@
+// FlyerGenerator: the frequent-flyer scenario of Examples 2.1 / 2.2 —
+// mileage transactions joined against a customer relation whose addresses
+// change over time (proactive updates + implicit temporal join: a flight
+// earns the NJ bonus only if the customer lived in NJ when it was
+// recorded).
+
+#ifndef CHRONICLE_WORKLOAD_FLYER_H_
+#define CHRONICLE_WORKLOAD_FLYER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+
+struct FlyerOptions {
+  uint64_t num_customers = 2000;
+  double customer_skew = 0.8;
+  int64_t max_miles = 3000;
+  // Probability per generated flight that some customer moves first.
+  double address_change_rate = 0.01;
+  uint64_t seed = 1234;
+};
+
+class FlyerGenerator {
+ public:
+  explicit FlyerGenerator(FlyerOptions options = {});
+
+  // Mileage chronicle: (acct INT64, flight STRING, miles INT64)
+  static Schema FlightSchema();
+  // Customer relation: (acct INT64, name STRING, state STRING), key acct.
+  static Schema CustomerSchema();
+
+  // Initial customer relation contents.
+  std::vector<Tuple> CustomerRows() const;
+
+  // One flight record.
+  Tuple NextFlight();
+  // With probability address_change_rate, returns a replacement customer
+  // row (same acct, new state) to apply as a proactive update BEFORE the
+  // next flight is appended.
+  std::optional<Tuple> MaybeAddressChange();
+
+  const FlyerOptions& options() const { return options_; }
+
+ private:
+  std::string RandomState(Rng* rng) const;
+
+  FlyerOptions options_;
+  Rng rng_;
+  ZipfSampler customers_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_WORKLOAD_FLYER_H_

@@ -1,0 +1,32 @@
+#include "workload/stock.h"
+
+namespace chronicle {
+
+StockTradeGenerator::StockTradeGenerator(StockOptions options)
+    : options_(options),
+      rng_(options.seed),
+      symbols_(static_cast<uint64_t>(options.num_symbols), options.symbol_skew,
+               options.seed ^ 0x51ed) {}
+
+Schema StockTradeGenerator::RecordSchema() {
+  return Schema({{"symbol", DataType::kString},
+                 {"shares", DataType::kInt64},
+                 {"price", DataType::kDouble}});
+}
+
+Tuple StockTradeGenerator::Next() {
+  const uint64_t sym = symbols_.Next();
+  const int64_t shares = rng_.UniformInt(1, options_.max_shares);
+  const double price =
+      options_.base_price * (0.5 + rng_.NextDouble()) + static_cast<double>(sym);
+  return Tuple{Value("SYM" + std::to_string(sym)), Value(shares), Value(price)};
+}
+
+std::vector<Tuple> StockTradeGenerator::NextBatch(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace chronicle

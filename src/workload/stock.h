@@ -1,0 +1,45 @@
+// StockTradeGenerator: synthetic trade stream for the §5.1 moving-window
+// scenario ("total number of shares of a stock sold during the 30 days
+// preceding that day").
+
+#ifndef CHRONICLE_WORKLOAD_STOCK_H_
+#define CHRONICLE_WORKLOAD_STOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+
+struct StockOptions {
+  int num_symbols = 64;
+  double symbol_skew = 1.0;
+  int64_t max_shares = 10000;
+  double base_price = 50.0;
+  uint64_t seed = 99;
+};
+
+class StockTradeGenerator {
+ public:
+  explicit StockTradeGenerator(StockOptions options = {});
+
+  // (symbol STRING, shares INT64, price DOUBLE)
+  static Schema RecordSchema();
+
+  Tuple Next();
+  std::vector<Tuple> NextBatch(size_t n);
+
+  const StockOptions& options() const { return options_; }
+
+ private:
+  StockOptions options_;
+  Rng rng_;
+  ZipfSampler symbols_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_WORKLOAD_STOCK_H_

@@ -1,0 +1,256 @@
+#include "aggregates/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema NumSchema() {
+  return Schema({{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}});
+}
+
+AggSpec Bound(AggSpec spec) {
+  Status st = spec.Bind(NumSchema());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return spec;
+}
+
+TEST(AggregateTest, CountCountsRows) {
+  AggSpec count = Bound(AggSpec::Count());
+  AggState state = count.Init();
+  count.Update(&state, Tuple{Value(), Value(), Value()});  // NULLs still count
+  count.Update(&state, Tuple{Value(1), Value(1.0), Value("x")});
+  EXPECT_EQ(count.Finalize(state), Value(2));
+}
+
+TEST(AggregateTest, SumInt64StaysExact) {
+  AggSpec sum = Bound(AggSpec::Sum("i"));
+  AggState state = sum.Init();
+  const int64_t big = int64_t{1} << 62;
+  sum.Update(&state, Tuple{Value(big), Value(), Value()});
+  sum.Update(&state, Tuple{Value(1), Value(), Value()});
+  Value v = sum.Finalize(state);
+  ASSERT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), big + 1);
+}
+
+TEST(AggregateTest, SumDouble) {
+  AggSpec sum = Bound(AggSpec::Sum("d"));
+  AggState state = sum.Init();
+  sum.Update(&state, Tuple{Value(), Value(1.5), Value()});
+  sum.Update(&state, Tuple{Value(), Value(2.25), Value()});
+  Value v = sum.Finalize(state);
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 3.75);
+}
+
+TEST(AggregateTest, SumSkipsNullsAndEmptyIsNull) {
+  AggSpec sum = Bound(AggSpec::Sum("i"));
+  AggState state = sum.Init();
+  EXPECT_TRUE(sum.Finalize(state).is_null());  // SQL: SUM() over empty = NULL
+  sum.Update(&state, Tuple{Value(), Value(), Value()});
+  EXPECT_TRUE(sum.Finalize(state).is_null());
+  sum.Update(&state, Tuple{Value(5), Value(), Value()});
+  EXPECT_EQ(sum.Finalize(state), Value(5));
+}
+
+TEST(AggregateTest, MinMaxOverIntegers) {
+  AggSpec min = Bound(AggSpec::Min("i"));
+  AggSpec max = Bound(AggSpec::Max("i"));
+  AggState smin = min.Init(), smax = max.Init();
+  for (int64_t v : {5, -2, 9, 0}) {
+    Tuple row{Value(v), Value(), Value()};
+    min.Update(&smin, row);
+    max.Update(&smax, row);
+  }
+  EXPECT_EQ(min.Finalize(smin), Value(-2));
+  EXPECT_EQ(max.Finalize(smax), Value(9));
+}
+
+TEST(AggregateTest, MinMaxOverStrings) {
+  AggSpec min = Bound(AggSpec::Min("s"));
+  AggSpec max = Bound(AggSpec::Max("s"));
+  AggState smin = min.Init(), smax = max.Init();
+  for (const char* v : {"pear", "apple", "zebra"}) {
+    Tuple row{Value(), Value(), Value(v)};
+    min.Update(&smin, row);
+    max.Update(&smax, row);
+  }
+  EXPECT_EQ(min.Finalize(smin), Value("apple"));
+  EXPECT_EQ(max.Finalize(smax), Value("zebra"));
+}
+
+TEST(AggregateTest, MinMaxEmptyIsNull) {
+  AggSpec min = Bound(AggSpec::Min("i"));
+  EXPECT_TRUE(min.Finalize(min.Init()).is_null());
+}
+
+TEST(AggregateTest, AvgComputesMean) {
+  AggSpec avg = Bound(AggSpec::Avg("i"));
+  AggState state = avg.Init();
+  for (int64_t v : {2, 4, 9}) avg.Update(&state, Tuple{Value(v), Value(), Value()});
+  Value v = avg.Finalize(state);
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 5.0);
+  EXPECT_TRUE(avg.Finalize(avg.Init()).is_null());
+}
+
+TEST(AggregateTest, FirstAndLastFollowArrivalOrder) {
+  AggSpec first = Bound(AggSpec::First("s"));
+  AggSpec last = Bound(AggSpec::Last("s"));
+  AggState sf = first.Init(), sl = last.Init();
+  for (const char* v : {"alpha", "beta", "gamma"}) {
+    Tuple row{Value(), Value(), Value(v)};
+    first.Update(&sf, row);
+    last.Update(&sl, row);
+  }
+  EXPECT_EQ(first.Finalize(sf), Value("alpha"));
+  EXPECT_EQ(last.Finalize(sl), Value("gamma"));
+}
+
+TEST(AggregateTest, FirstAndLastSkipNulls) {
+  AggSpec first = Bound(AggSpec::First("i"));
+  AggSpec last = Bound(AggSpec::Last("i"));
+  AggState sf = first.Init(), sl = last.Init();
+  for (const Value& v : {Value(), Value(7), Value(), Value(9), Value()}) {
+    first.UpdateValue(&sf, v);
+    last.UpdateValue(&sl, v);
+  }
+  EXPECT_EQ(first.Finalize(sf), Value(7));
+  EXPECT_EQ(last.Finalize(sl), Value(9));
+  // Empty = NULL.
+  EXPECT_TRUE(first.Finalize(first.Init()).is_null());
+  EXPECT_TRUE(last.Finalize(last.Init()).is_null());
+}
+
+TEST(AggregateTest, FirstLastMergeIsChronological) {
+  // Merge contract: `other` is chronologically LATER than `state`.
+  AggSpec first = Bound(AggSpec::First("i"));
+  AggSpec last = Bound(AggSpec::Last("i"));
+  AggState early_f = first.Init(), late_f = first.Init();
+  AggState early_l = last.Init(), late_l = last.Init();
+  first.UpdateValue(&early_f, Value(1));
+  first.UpdateValue(&late_f, Value(2));
+  last.UpdateValue(&early_l, Value(1));
+  last.UpdateValue(&late_l, Value(2));
+  first.Merge(&early_f, late_f);
+  last.Merge(&early_l, late_l);
+  EXPECT_EQ(first.Finalize(early_f), Value(1));
+  EXPECT_EQ(last.Finalize(early_l), Value(2));
+  // Merging a later part into an empty earlier part adopts it.
+  AggState empty_f = first.Init();
+  first.Merge(&empty_f, late_f);
+  EXPECT_EQ(first.Finalize(empty_f), Value(2));
+}
+
+TEST(AggregateTest, MergeMatchesSequentialUpdates) {
+  // Decomposability: fold[a ++ b] == merge(fold[a], fold[b]) for every kind.
+  const std::vector<int64_t> all = {3, -1, 7, 7, 0, 12, -5};
+  const size_t split = 3;
+  for (AggSpec spec :
+       {AggSpec::Count(), Bound(AggSpec::Sum("i")), Bound(AggSpec::Min("i")),
+        Bound(AggSpec::Max("i")), Bound(AggSpec::Avg("i"))}) {
+    if (spec.kind() == AggKind::kCount) spec = Bound(std::move(spec));
+    AggState whole = spec.Init();
+    AggState part1 = spec.Init();
+    AggState part2 = spec.Init();
+    for (size_t i = 0; i < all.size(); ++i) {
+      Tuple row{Value(all[i]), Value(), Value()};
+      spec.Update(&whole, row);
+      spec.Update(i < split ? &part1 : &part2, row);
+    }
+    spec.Merge(&part1, part2);
+    EXPECT_EQ(spec.Finalize(whole), spec.Finalize(part1))
+        << AggKindToString(spec.kind());
+  }
+}
+
+TEST(AggregateTest, BindRejectsSumOverString) {
+  AggSpec sum = AggSpec::Sum("s");
+  EXPECT_TRUE(sum.Bind(NumSchema()).IsInvalidArgument());
+  AggSpec avg = AggSpec::Avg("s");
+  EXPECT_FALSE(avg.Bind(NumSchema()).ok());
+}
+
+TEST(AggregateTest, BindRejectsUnknownColumn) {
+  AggSpec sum = AggSpec::Sum("missing");
+  EXPECT_TRUE(sum.Bind(NumSchema()).IsNotFound());
+}
+
+TEST(AggregateTest, OutputFieldsAndNames) {
+  EXPECT_EQ(Bound(AggSpec::Count()).OutputField().name, "count");
+  EXPECT_EQ(Bound(AggSpec::Sum("i")).OutputField().type, DataType::kInt64);
+  EXPECT_EQ(Bound(AggSpec::Sum("d")).OutputField().type, DataType::kDouble);
+  EXPECT_EQ(Bound(AggSpec::Avg("i")).OutputField().type, DataType::kDouble);
+  EXPECT_EQ(Bound(AggSpec::Sum("i", "total")).OutputField().name, "total");
+  EXPECT_EQ(Bound(AggSpec::Sum("i")).OutputField().name, "SUM(i)");
+}
+
+TEST(AggregateTest, CustomAggregateRoundTrip) {
+  // Product of values, as a user-defined decomposable aggregate.
+  auto def = std::make_shared<CustomAggregateDef>();
+  def->name = "PRODUCT";
+  def->output_type = DataType::kInt64;
+  def->init = [] { return Tuple{Value(1)}; };
+  def->update = [](Tuple* state, const Value& v) {
+    (*state)[0] = Value((*state)[0].int64() * v.int64());
+  };
+  def->merge = [](Tuple* state, const Tuple& other) {
+    (*state)[0] = Value((*state)[0].int64() * other[0].int64());
+  };
+  def->finalize = [](const Tuple& state) { return state[0]; };
+
+  AggSpec spec = Bound(AggSpec::Custom(def, "i", "prod"));
+  AggState a = spec.Init(), b = spec.Init();
+  spec.Update(&a, Tuple{Value(3), Value(), Value()});
+  spec.Update(&a, Tuple{Value(4), Value(), Value()});
+  spec.Update(&b, Tuple{Value(5), Value(), Value()});
+  spec.Merge(&a, b);
+  EXPECT_EQ(spec.Finalize(a), Value(60));
+  EXPECT_EQ(spec.OutputField().name, "prod");
+}
+
+TEST(TieredScheduleTest, MakeValidation) {
+  EXPECT_TRUE(TieredSchedule::Make({{10, 0.1}, {25, 0.2}}).ok());
+  EXPECT_FALSE(TieredSchedule::Make({{10, 1.5}}).ok());       // rate >= 1
+  EXPECT_FALSE(TieredSchedule::Make({{10, 0.1}, {5, 0.2}}).ok());  // not increasing
+  EXPECT_TRUE(TieredSchedule::Make({}).ok());  // empty = no discount
+}
+
+TEST(TieredScheduleTest, RateSelection) {
+  // The paper's plan: 10% over $10, 20% over $25.
+  TieredSchedule plan = TieredSchedule::Make({{10, 0.1}, {25, 0.2}}).value();
+  EXPECT_DOUBLE_EQ(plan.RateFor(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.RateFor(10.0), 0.0);  // strictly exceeds
+  EXPECT_DOUBLE_EQ(plan.RateFor(10.01), 0.1);
+  EXPECT_DOUBLE_EQ(plan.RateFor(25.0), 0.1);
+  EXPECT_DOUBLE_EQ(plan.RateFor(26.0), 0.2);
+  EXPECT_DOUBLE_EQ(plan.DiscountedTotal(30.0), 24.0);
+}
+
+TEST(TieredScheduleTest, AggregateAppliesRateToRunningTotal) {
+  TieredSchedule plan = TieredSchedule::Make({{10, 0.1}, {25, 0.2}}).value();
+  AggSpec spec = AggSpec::TieredDiscount("d", plan, "owed");
+  ASSERT_TRUE(spec.Bind(NumSchema()).ok());
+  AggState state = spec.Init();
+  // Below first tier.
+  spec.UpdateValue(&state, Value(6.0));
+  EXPECT_DOUBLE_EQ(spec.Finalize(state).dbl(), 6.0);
+  // Crosses first tier: whole total discounted at 10%.
+  spec.UpdateValue(&state, Value(6.0));
+  EXPECT_DOUBLE_EQ(spec.Finalize(state).dbl(), 12.0 * 0.9);
+  // Crosses second tier.
+  spec.UpdateValue(&state, Value(20.0));
+  EXPECT_DOUBLE_EQ(spec.Finalize(state).dbl(), 32.0 * 0.8);
+  EXPECT_EQ(spec.OutputField().type, DataType::kDouble);
+}
+
+TEST(TieredScheduleTest, ToStringRendering) {
+  TieredSchedule plan = TieredSchedule::Make({{10, 0.1}, {25, 0.2}}).value();
+  EXPECT_EQ(plan.ToString(), "10%>@10, 20%>@25");
+}
+
+}  // namespace
+}  // namespace chronicle

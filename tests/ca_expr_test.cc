@@ -1,0 +1,159 @@
+#include "algebra/ca_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Schema CustSchema() {
+  return Schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+}
+
+CaExprPtr Scan() { return CaExpr::Scan(0, "calls", CallSchema()).value(); }
+
+TEST(CaExprTest, ScanCarriesSchemaAndId) {
+  CaExprPtr scan = Scan();
+  EXPECT_EQ(scan->op(), CaOp::kScan);
+  EXPECT_EQ(scan->chronicle_id(), 0u);
+  EXPECT_EQ(scan->schema(), CallSchema());
+  EXPECT_EQ(scan->label(), "calls");
+}
+
+TEST(CaExprTest, SelectBindsPredicate) {
+  Result<CaExprPtr> sel = CaExpr::Select(Scan(), Gt(Col("minutes"), Lit(Value(5))));
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_EQ((*sel)->schema(), CallSchema());
+  // Unknown column fails binding.
+  EXPECT_FALSE(CaExpr::Select(Scan(), Gt(Col("nope"), Lit(Value(5)))).ok());
+  EXPECT_FALSE(CaExpr::Select(nullptr, Lit(Value(1))).ok());
+}
+
+TEST(CaExprTest, ProjectComputesSchema) {
+  Result<CaExprPtr> proj = CaExpr::Project(Scan(), {"minutes", "caller"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ((*proj)->schema().field(0).name, "minutes");
+  EXPECT_EQ((*proj)->schema().field(1).name, "caller");
+  EXPECT_EQ((*proj)->projection(), (std::vector<size_t>{2, 0}));
+  EXPECT_FALSE(CaExpr::Project(Scan(), {}).ok());
+  EXPECT_FALSE(CaExpr::Project(Scan(), {"nope"}).ok());
+}
+
+TEST(CaExprTest, SeqJoinConcatsSchemas) {
+  Result<CaExprPtr> join = CaExpr::SeqJoin(Scan(), Scan());
+  ASSERT_TRUE(join.ok());
+  // Collisions prefixed on the right.
+  EXPECT_EQ((*join)->schema().num_fields(), 6u);
+  EXPECT_TRUE((*join)->schema().Contains("r.caller"));
+}
+
+TEST(CaExprTest, UnionRequiresSameSchema) {
+  EXPECT_TRUE(CaExpr::Union(Scan(), Scan()).ok());
+  CaExprPtr other = CaExpr::Scan(1, "c2", CustSchema()).value();
+  Result<CaExprPtr> bad = CaExpr::Union(Scan(), other);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(CaExprTest, DifferenceRequiresSameSchema) {
+  EXPECT_TRUE(CaExpr::Difference(Scan(), Scan()).ok());
+  CaExprPtr other = CaExpr::Scan(1, "c2", CustSchema()).value();
+  EXPECT_FALSE(CaExpr::Difference(Scan(), other).ok());
+}
+
+TEST(CaExprTest, GroupBySeqSchemaIsKeysThenAggs) {
+  Result<CaExprPtr> gb = CaExpr::GroupBySeq(
+      Scan(), {"caller"}, {AggSpec::Sum("minutes", "total"), AggSpec::Count()});
+  ASSERT_TRUE(gb.ok()) << gb.status().ToString();
+  const Schema& schema = (*gb)->schema();
+  ASSERT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.field(0).name, "caller");
+  EXPECT_EQ(schema.field(1).name, "total");
+  EXPECT_EQ(schema.field(1).type, DataType::kInt64);  // SUM of INT64
+  EXPECT_EQ(schema.field(2).name, "count");
+}
+
+TEST(CaExprTest, GroupBySeqRequiresAggregates) {
+  EXPECT_FALSE(CaExpr::GroupBySeq(Scan(), {"caller"}, {}).ok());
+}
+
+TEST(CaExprTest, AggregateTypeChecking) {
+  // SUM over a string column is rejected at bind time.
+  EXPECT_FALSE(
+      CaExpr::GroupBySeq(Scan(), {"caller"}, {AggSpec::Sum("region")}).ok());
+  // MIN over strings is fine.
+  EXPECT_TRUE(
+      CaExpr::GroupBySeq(Scan(), {"caller"}, {AggSpec::Min("region")}).ok());
+}
+
+TEST(CaExprTest, RelKeyJoinRequiresKey) {
+  Relation keyed = Relation::Make("cust", CustSchema(), "acct").value();
+  Relation keyless = Relation::Make("heap", CustSchema()).value();
+  EXPECT_TRUE(CaExpr::RelKeyJoin(Scan(), &keyed, "caller").ok());
+  Result<CaExprPtr> bad = CaExpr::RelKeyJoin(Scan(), &keyless, "caller");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("Definition 4.2"), std::string::npos);
+  EXPECT_FALSE(CaExpr::RelKeyJoin(Scan(), &keyed, "missing").ok());
+}
+
+TEST(CaExprTest, RelCrossSchemaConcat) {
+  Relation rel = Relation::Make("cust", CustSchema(), "acct").value();
+  Result<CaExprPtr> cross = CaExpr::RelCross(Scan(), &rel);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ((*cross)->schema().num_fields(), 5u);
+  EXPECT_EQ((*cross)->relation(), &rel);
+}
+
+TEST(CaExprTest, SeqThetaJoinRejectsEquality) {
+  Result<CaExprPtr> eq = CaExpr::SeqThetaJoin(Scan(), Scan(), CompareOp::kEq);
+  EXPECT_FALSE(eq.ok());
+  EXPECT_TRUE(CaExpr::SeqThetaJoin(Scan(), Scan(), CompareOp::kLt).ok());
+}
+
+TEST(CaExprTest, CollectBaseChronicles) {
+  CaExprPtr a = CaExpr::Scan(0, "a", CallSchema()).value();
+  CaExprPtr b = CaExpr::Scan(3, "b", CallSchema()).value();
+  CaExprPtr u = CaExpr::Union(a, b).value();
+  CaExprPtr plan = CaExpr::Select(u, Gt(Col("minutes"), Lit(Value(1)))).value();
+  std::set<ChronicleId> ids;
+  plan->CollectBaseChronicles(&ids);
+  EXPECT_EQ(ids, (std::set<ChronicleId>{0, 3}));
+}
+
+TEST(CaExprTest, CollectRelations) {
+  Relation rel = Relation::Make("cust", CustSchema(), "acct").value();
+  CaExprPtr plan = CaExpr::RelKeyJoin(Scan(), &rel, "caller").value();
+  std::set<const Relation*> rels;
+  plan->CollectRelations(&rels);
+  EXPECT_EQ(rels.size(), 1u);
+  EXPECT_EQ(*rels.begin(), &rel);
+}
+
+TEST(CaExprTest, SharedSubexpressionsAllowed) {
+  // DAG sharing: the same scan feeds both sides of a union.
+  CaExprPtr scan = Scan();
+  CaExprPtr left =
+      CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NJ")))).value();
+  CaExprPtr right =
+      CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NY")))).value();
+  Result<CaExprPtr> u = CaExpr::Union(left, right);
+  EXPECT_TRUE(u.ok());
+}
+
+TEST(CaExprTest, ToStringShowsTree) {
+  CaExprPtr plan =
+      CaExpr::Select(Scan(), Gt(Col("minutes"), Lit(Value(5)))).value();
+  std::string repr = plan->ToString();
+  EXPECT_NE(repr.find("Select"), std::string::npos);
+  EXPECT_NE(repr.find("Scan(calls)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronicle

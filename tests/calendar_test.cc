@@ -1,0 +1,100 @@
+#include "periodic/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+std::vector<int64_t> Containing(const Calendar& cal, Chronon t) {
+  std::vector<int64_t> out;
+  cal.IntervalsContaining(t, &out);
+  return out;
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  Interval iv{10, 20};
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_EQ(iv.ToString(), "[10, 20)");
+}
+
+TEST(FixedCalendarTest, FindsOverlappingIntervals) {
+  FixedCalendar cal({{0, 10}, {5, 15}, {20, 30}});
+  EXPECT_EQ(Containing(cal, 3), (std::vector<int64_t>{0}));
+  EXPECT_EQ(Containing(cal, 7), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(Containing(cal, 12), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(Containing(cal, 17).empty());
+  EXPECT_EQ(Containing(cal, 25), (std::vector<int64_t>{2}));
+}
+
+TEST(FixedCalendarTest, GetIntervalBounds) {
+  FixedCalendar cal({{0, 10}});
+  EXPECT_EQ(cal.GetInterval(0).value(), (Interval{0, 10}));
+  EXPECT_TRUE(cal.GetInterval(1).status().IsOutOfRange());
+  EXPECT_TRUE(cal.GetInterval(-1).status().IsOutOfRange());
+}
+
+TEST(PeriodicCalendarTest, TilesTheAxis) {
+  auto cal = PeriodicCalendar::Make(100, 30).value();  // billing months
+  EXPECT_TRUE(Containing(*cal, 99).empty());  // before origin
+  EXPECT_EQ(Containing(*cal, 100), (std::vector<int64_t>{0}));
+  EXPECT_EQ(Containing(*cal, 129), (std::vector<int64_t>{0}));
+  EXPECT_EQ(Containing(*cal, 130), (std::vector<int64_t>{1}));
+  EXPECT_EQ(Containing(*cal, 1000), (std::vector<int64_t>{30}));
+  EXPECT_EQ(cal->GetInterval(2).value(), (Interval{160, 190}));
+  EXPECT_TRUE(cal->GetInterval(-1).status().IsOutOfRange());
+}
+
+TEST(PeriodicCalendarTest, RejectsNonPositivePeriod) {
+  EXPECT_FALSE(PeriodicCalendar::Make(0, 0).ok());
+  EXPECT_FALSE(PeriodicCalendar::Make(0, -5).ok());
+}
+
+TEST(SlidingCalendarTest, OverlapCountIsWindowOverSlide) {
+  // 30-day window sliding daily: every instant inside the steady state is
+  // covered by exactly 30 intervals.
+  auto cal = SlidingCalendar::Make(0, 30, 1).value();
+  EXPECT_EQ(Containing(*cal, 100).size(), 30u);
+  // Early instants are covered by fewer (indexes start at 0).
+  EXPECT_EQ(Containing(*cal, 0), (std::vector<int64_t>{0}));
+  EXPECT_EQ(Containing(*cal, 5).size(), 6u);
+}
+
+TEST(SlidingCalendarTest, MembershipMatchesGetInterval) {
+  auto cal = SlidingCalendar::Make(7, 12, 5).value();
+  for (Chronon t = 0; t < 100; ++t) {
+    std::vector<int64_t> hits = Containing(*cal, t);
+    // Verify exactly the returned intervals contain t.
+    for (int64_t k = 0; k < 25; ++k) {
+      Interval iv = cal->GetInterval(k).value();
+      const bool listed = std::find(hits.begin(), hits.end(), k) != hits.end();
+      EXPECT_EQ(iv.Contains(t), listed) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(SlidingCalendarTest, NonOverlappingWhenSlideEqualsWindow) {
+  auto cal = SlidingCalendar::Make(0, 10, 10).value();
+  for (Chronon t = 0; t < 50; ++t) {
+    EXPECT_EQ(Containing(*cal, t).size(), 1u) << t;
+  }
+}
+
+TEST(SlidingCalendarTest, RejectsNonPositiveParameters) {
+  EXPECT_FALSE(SlidingCalendar::Make(0, 0, 1).ok());
+  EXPECT_FALSE(SlidingCalendar::Make(0, 10, 0).ok());
+}
+
+TEST(CalendarTest, ToStringRenderings) {
+  auto p = PeriodicCalendar::Make(0, 30).value();
+  EXPECT_NE(p->ToString().find("period=30"), std::string::npos);
+  auto s = SlidingCalendar::Make(0, 30, 1).value();
+  EXPECT_NE(s->ToString().find("window=30"), std::string::npos);
+  FixedCalendar f({{0, 1}});
+  EXPECT_NE(f.ToString().find("[0, 1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronicle

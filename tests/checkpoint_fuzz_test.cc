@@ -1,0 +1,151 @@
+// Robustness fuzzing for checkpoint restore: byte-level corruptions,
+// truncations, and splices of a valid image must produce Status errors —
+// never crashes or silent partial restores that pass the final checks.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint.h"
+#include "common/random.h"
+#include "workload/call_records.h"
+
+namespace chronicle {
+namespace checkpoint {
+namespace {
+
+void ApplyDdl(ChronicleDatabase* db) {
+  ASSERT_TRUE(db->CreateChronicle("calls", CallRecordGenerator::RecordSchema(),
+                                  RetentionPolicy::Window(32))
+                  .ok());
+  CaExprPtr scan = db->ScanChronicle("calls").value();
+  ASSERT_TRUE(db->CreateView("minutes", scan,
+                             SummarySpec::GroupBy(
+                                 scan->schema(), {"caller"},
+                                 {AggSpec::Sum("minutes", "m"),
+                                  AggSpec::Last("region", "last_region")})
+                                 .value())
+                  .ok());
+  ASSERT_TRUE(db->CreateSlidingView("window", scan,
+                                    SummarySpec::GroupBy(
+                                        scan->schema(), {"caller"},
+                                        {AggSpec::Count("n")})
+                                        .value(),
+                                    0, 5, 4)
+                  .ok());
+}
+
+std::string MakeImage() {
+  ChronicleDatabase db;
+  ApplyDdl(&db);
+  CallRecordOptions options;
+  options.num_accounts = 16;
+  CallRecordGenerator gen(options);
+  Chronon chronon = 0;
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(db.Append("calls", gen.NextBatch(2), ++chronon).ok());
+  }
+  return SaveDatabase(db).value();
+}
+
+TEST(CheckpointFuzzTest, SingleByteCorruptionsNeverCrash) {
+  const std::string image = MakeImage();
+  Rng rng(31337);
+  int clean_failures = 0, silent_successes = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string corrupted = image;
+    const size_t pos = rng.Uniform(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.Uniform(256));
+    if (corrupted == image) continue;
+
+    ChronicleDatabase target;
+    ApplyDdl(&target);
+    Status st = RestoreDatabase(corrupted, &target);
+    if (st.ok()) {
+      // A flipped byte inside a numeric payload can legitimately decode —
+      // the structure is intact, only a value changed. Count but accept.
+      ++silent_successes;
+    } else {
+      ++clean_failures;
+    }
+  }
+  // Most corruptions must be caught structurally.
+  EXPECT_GT(clean_failures, 0);
+}
+
+TEST(CheckpointFuzzTest, TruncationsAtEveryBoundaryFailCleanly) {
+  const std::string image = MakeImage();
+  for (size_t cut = 0; cut < image.size(); cut += 7) {
+    ChronicleDatabase target;
+    ApplyDdl(&target);
+    Status st = RestoreDatabase(image.substr(0, cut), &target);
+    EXPECT_FALSE(st.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointFuzzTest, RandomGarbageImagesFailCleanly) {
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const size_t len = rng.Uniform(256);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    ChronicleDatabase target;
+    ApplyDdl(&target);
+    EXPECT_FALSE(RestoreDatabase(garbage, &target).ok());
+  }
+}
+
+TEST(CheckpointFuzzTest, SplicedLengthFieldsCannotAllocateUnbounded) {
+  // Grow length/count prefixes to huge values: the reader must detect the
+  // truncation instead of attempting a giant allocation or spinning.
+  //
+  // Image layout: magic(4) version(4) appends(8) last_sn(8) chronon(8)
+  // num_chronicles(4)@32, then the first chronicle's name length u32 @36.
+  std::string image = MakeImage();
+  // (a) The chronicle-name length prefix.
+  {
+    std::string spliced = image;
+    for (size_t i = 36; i < 40; ++i) spliced[i] = static_cast<char>(0xFF);
+    ChronicleDatabase target;
+    ApplyDdl(&target);
+    EXPECT_FALSE(RestoreDatabase(spliced, &target).ok());
+  }
+  // (b) The chronicle-count prefix (2^32-1 chronicles "follow").
+  {
+    std::string spliced = image;
+    for (size_t i = 32; i < 36; ++i) spliced[i] = static_cast<char>(0xFF);
+    ChronicleDatabase target;
+    ApplyDdl(&target);
+    EXPECT_FALSE(RestoreDatabase(spliced, &target).ok());
+  }
+  // (c) Every u64 count field maxed, scanning the whole image: none may
+  // crash or hang (outcomes may legitimately be OK when the bytes land in
+  // plain numeric payloads).
+  for (size_t offset = 16; offset + 8 < image.size(); offset += 97) {
+    std::string spliced = image;
+    for (size_t i = offset; i < offset + 8; ++i) {
+      spliced[i] = static_cast<char>(0xFF);
+    }
+    ChronicleDatabase target;
+    ApplyDdl(&target);
+    Status st = RestoreDatabase(spliced, &target);
+    (void)st;  // any Status outcome is fine; crashing is not
+  }
+}
+
+TEST(CheckpointFuzzTest, FailedRestoreLeavesDatabaseOperational) {
+  // Restore is not atomic (state may be partially applied before the error)
+  // but the database object must remain usable for a fresh-DDL retry flow.
+  const std::string image = MakeImage();
+  ChronicleDatabase target;
+  ApplyDdl(&target);
+  ASSERT_FALSE(RestoreDatabase(image.substr(0, image.size() / 2), &target).ok());
+  // A brand-new instance restores fine from the intact image.
+  ChronicleDatabase fresh;
+  ApplyDdl(&fresh);
+  EXPECT_TRUE(RestoreDatabase(image, &fresh).ok());
+}
+
+}  // namespace
+}  // namespace checkpoint
+}  // namespace chronicle

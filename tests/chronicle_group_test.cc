@@ -1,0 +1,137 @@
+#include "storage/chronicle_group.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema OneCol() { return Schema({{"x", DataType::kInt64}}); }
+
+TEST(ChronicleGroupTest, CreateAndFind) {
+  ChronicleGroup group("g");
+  EXPECT_EQ(group.name(), "g");
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  ChronicleId b = group.CreateChronicle("b", OneCol()).value();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(group.num_chronicles(), 2u);
+  EXPECT_EQ(group.FindChronicle("a").value(), a);
+  EXPECT_TRUE(group.FindChronicle("zzz").status().IsNotFound());
+  EXPECT_TRUE(group.GetChronicle(99).status().IsNotFound());
+}
+
+TEST(ChronicleGroupTest, DuplicateNameRejected) {
+  ChronicleGroup group;
+  ASSERT_TRUE(group.CreateChronicle("a", OneCol()).ok());
+  EXPECT_TRUE(group.CreateChronicle("a", OneCol()).status().IsAlreadyExists());
+}
+
+TEST(ChronicleGroupTest, SequenceNumbersStrictlyIncrease) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  SeqNum prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    AppendEvent event = group.Append(a, {Tuple{Value(i)}}).value();
+    EXPECT_GT(event.sn, prev);
+    prev = event.sn;
+  }
+  EXPECT_EQ(group.last_sn(), prev);
+}
+
+TEST(ChronicleGroupTest, SnDisciplineSharedAcrossGroup) {
+  // "an insert into any chronicle in a chronicle group must have a sequence
+  // number greater than the sequence number of any tuple in the group"
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  ChronicleId b = group.CreateChronicle("b", OneCol()).value();
+  SeqNum sn_a = group.Append(a, {Tuple{Value(1)}}).value().sn;
+  SeqNum sn_b = group.Append(b, {Tuple{Value(2)}}).value().sn;
+  EXPECT_GT(sn_b, sn_a);
+}
+
+TEST(ChronicleGroupTest, ExplicitSnMustExceedLast) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  ASSERT_TRUE(group.AppendWithSeqNum(10, 1, {{a, {Tuple{Value(1)}}}}).ok());
+  // Equal is rejected.
+  EXPECT_TRUE(group.AppendWithSeqNum(10, 2, {{a, {Tuple{Value(2)}}}})
+                  .status()
+                  .IsOutOfRange());
+  // Lower is rejected.
+  EXPECT_TRUE(group.AppendWithSeqNum(5, 2, {{a, {Tuple{Value(2)}}}})
+                  .status()
+                  .IsOutOfRange());
+  // Gaps are fine — sequence numbers need not be dense.
+  EXPECT_TRUE(group.AppendWithSeqNum(100, 2, {{a, {Tuple{Value(3)}}}}).ok());
+}
+
+TEST(ChronicleGroupTest, ChrononMustNotRegress) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  ASSERT_TRUE(group.Append(a, {Tuple{Value(1)}}, 100).ok());
+  EXPECT_TRUE(
+      group.Append(a, {Tuple{Value(2)}}, 99).status().IsOutOfRange());
+  // Same chronon is fine (multiple ticks within one instant).
+  EXPECT_TRUE(group.Append(a, {Tuple{Value(2)}}, 100).ok());
+  EXPECT_EQ(group.last_chronon(), 100);
+}
+
+TEST(ChronicleGroupTest, MultiChronicleTickSharesSn) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  ChronicleId b = group.CreateChronicle("b", OneCol()).value();
+  AppendEvent event =
+      group
+          .AppendMulti({{a, {Tuple{Value(1)}}}, {b, {Tuple{Value(2)}}}},
+                       /*chronon=*/5)
+          .value();
+  EXPECT_EQ(event.inserts.size(), 2u);
+  EXPECT_EQ(group.GetChronicle(a).value()->last_sn(), event.sn);
+  EXPECT_EQ(group.GetChronicle(b).value()->last_sn(), event.sn);
+}
+
+TEST(ChronicleGroupTest, InvalidBatchIsAtomic) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  ChronicleId b = group.CreateChronicle("b", OneCol()).value();
+  // Second batch has a type error; nothing must be applied.
+  Result<AppendEvent> result = group.AppendMulti(
+      {{a, {Tuple{Value(1)}}}, {b, {Tuple{Value("wrong type")}}}}, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(group.GetChronicle(a).value()->total_appended(), 0u);
+  EXPECT_EQ(group.GetChronicle(b).value()->total_appended(), 0u);
+  EXPECT_EQ(group.last_sn(), 0u);
+}
+
+TEST(ChronicleGroupTest, EmptyEventRejected) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  EXPECT_TRUE(group.AppendMulti({}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(group.Append(a, {}).status().IsInvalidArgument());
+}
+
+TEST(ChronicleGroupTest, UnknownChronicleRejected) {
+  ChronicleGroup group;
+  EXPECT_TRUE(group.Append(3, {Tuple{Value(1)}}).status().IsNotFound());
+}
+
+TEST(ChronicleGroupTest, DefaultChrononAdvances) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  Chronon c1 = group.Append(a, {Tuple{Value(1)}}).value().chronon;
+  Chronon c2 = group.Append(a, {Tuple{Value(2)}}).value().chronon;
+  EXPECT_GT(c2, c1);
+}
+
+TEST(ChronicleGroupTest, EventCarriesInsertedTuples) {
+  ChronicleGroup group;
+  ChronicleId a = group.CreateChronicle("a", OneCol()).value();
+  AppendEvent event =
+      group.Append(a, {Tuple{Value(7)}, Tuple{Value(8)}}).value();
+  ASSERT_EQ(event.inserts.size(), 1u);
+  EXPECT_EQ(event.inserts[0].first, a);
+  ASSERT_EQ(event.inserts[0].second.size(), 2u);
+  EXPECT_EQ(event.inserts[0].second[1][0], Value(8));
+}
+
+}  // namespace
+}  // namespace chronicle

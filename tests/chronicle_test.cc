@@ -1,0 +1,99 @@
+#include "storage/chronicle.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64}, {"minutes", DataType::kInt64}});
+}
+
+TEST(ChronicleTest, RetainAllKeepsEverything) {
+  ChronicleGroup group;
+  ChronicleId id =
+      group.CreateChronicle("calls", CallSchema(), RetentionPolicy::All()).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group.Append(id, {Tuple{Value(i), Value(i * 2)}}).ok());
+  }
+  const Chronicle* c = group.GetChronicle(id).value();
+  EXPECT_EQ(c->total_appended(), 10u);
+  EXPECT_EQ(c->retained().size(), 10u);
+  EXPECT_EQ(c->retained().front().values[0], Value(0));
+  EXPECT_EQ(c->retained().back().values[0], Value(9));
+}
+
+TEST(ChronicleTest, RetainNoneStoresNothingButCounts) {
+  ChronicleGroup group;
+  ChronicleId id =
+      group.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
+          .value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(group.Append(id, {Tuple{Value(i), Value(1)}}).ok());
+  }
+  const Chronicle* c = group.GetChronicle(id).value();
+  EXPECT_EQ(c->total_appended(), 5u);
+  EXPECT_EQ(c->retained().size(), 0u);
+  EXPECT_EQ(c->last_sn(), 5u);
+  EXPECT_EQ(c->MemoryFootprint(), 0u);
+}
+
+TEST(ChronicleTest, RetainWindowKeepsSuffix) {
+  ChronicleGroup group;
+  ChronicleId id =
+      group.CreateChronicle("calls", CallSchema(), RetentionPolicy::Window(3))
+          .value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group.Append(id, {Tuple{Value(i), Value(1)}}).ok());
+  }
+  const Chronicle* c = group.GetChronicle(id).value();
+  EXPECT_EQ(c->total_appended(), 10u);
+  ASSERT_EQ(c->retained().size(), 3u);
+  EXPECT_EQ(c->retained()[0].values[0], Value(7));
+  EXPECT_EQ(c->retained()[2].values[0], Value(9));
+}
+
+TEST(ChronicleTest, WindowedMemoryIsBounded) {
+  ChronicleGroup group;
+  ChronicleId id =
+      group.CreateChronicle("calls", CallSchema(), RetentionPolicy::Window(8))
+          .value();
+  size_t peak = 0;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(group.Append(id, {Tuple{Value(i), Value(1)}}).ok());
+    peak = std::max(peak, group.GetChronicle(id).value()->MemoryFootprint());
+  }
+  // Footprint of 8 retained rows, with slack for container overhead.
+  const Chronicle* c = group.GetChronicle(id).value();
+  EXPECT_EQ(c->retained().size(), 8u);
+  EXPECT_LE(c->MemoryFootprint(), peak);
+  EXPECT_GT(c->MemoryFootprint(), 0u);
+}
+
+TEST(ChronicleTest, ScanRetainedVisitsInOrder) {
+  ChronicleGroup group;
+  ChronicleId id = group.CreateChronicle("calls", CallSchema()).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(group.Append(id, {Tuple{Value(i), Value(1)}}).ok());
+  }
+  std::vector<SeqNum> sns;
+  group.GetChronicle(id).value()->ScanRetained(
+      [&](const ChronicleRow& row) { sns.push_back(row.sn); });
+  EXPECT_EQ(sns, (std::vector<SeqNum>{1, 2, 3, 4}));
+}
+
+TEST(ChronicleTest, MultipleTuplesShareOneSn) {
+  ChronicleGroup group;
+  ChronicleId id = group.CreateChronicle("calls", CallSchema()).value();
+  ASSERT_TRUE(
+      group.Append(id, {Tuple{Value(1), Value(2)}, Tuple{Value(3), Value(4)}})
+          .ok());
+  const Chronicle* c = group.GetChronicle(id).value();
+  ASSERT_EQ(c->retained().size(), 2u);
+  EXPECT_EQ(c->retained()[0].sn, c->retained()[1].sn);
+}
+
+}  // namespace
+}  // namespace chronicle

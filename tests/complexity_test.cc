@@ -1,0 +1,109 @@
+#include "algebra/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/relation.h"
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Schema CustSchema() {
+  return Schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+}
+
+CaExprPtr Scan() { return CaExpr::Scan(0, "calls", CallSchema()).value(); }
+
+TEST(ComplexityTest, PureChronicleExpressionIsCa1ImConstant) {
+  CaExprPtr plan =
+      CaExpr::Select(Scan(), Gt(Col("minutes"), Lit(Value(0)))).value();
+  ComplexityReport report = AnalyzeComplexity(*plan);
+  EXPECT_EQ(report.ca_class, CaClass::kCa1);
+  EXPECT_EQ(report.im_class, ImClass::kImConstant);
+  EXPECT_EQ(report.num_joins, 0);
+  EXPECT_EQ(report.num_unions, 0);
+}
+
+TEST(ComplexityTest, KeyJoinIsCaJoinImLogR) {
+  Relation rel = Relation::Make("cust", CustSchema(), "acct").value();
+  CaExprPtr plan = CaExpr::RelKeyJoin(Scan(), &rel, "caller").value();
+  ComplexityReport report = AnalyzeComplexity(*plan);
+  EXPECT_EQ(report.ca_class, CaClass::kCaJoin);
+  EXPECT_EQ(report.im_class, ImClass::kImLogR);
+  EXPECT_EQ(report.num_joins, 1);
+  EXPECT_EQ(report.num_rel_keyjoin, 1);
+}
+
+TEST(ComplexityTest, RelCrossIsFullCaImPolyR) {
+  Relation rel = Relation::Make("cust", CustSchema(), "acct").value();
+  CaExprPtr plan = CaExpr::RelCross(Scan(), &rel).value();
+  ComplexityReport report = AnalyzeComplexity(*plan);
+  EXPECT_EQ(report.ca_class, CaClass::kCaFull);
+  EXPECT_EQ(report.im_class, ImClass::kImPolyR);
+  EXPECT_EQ(report.num_rel_cross, 1);
+}
+
+TEST(ComplexityTest, CrossDominatesKeyJoin) {
+  // An expression with both a key join and a cross product is only CA.
+  Relation rel = Relation::Make("cust", CustSchema(), "acct").value();
+  CaExprPtr plan = CaExpr::RelCross(
+                       CaExpr::RelKeyJoin(Scan(), &rel, "caller").value(), &rel)
+                       .value();
+  ComplexityReport report = AnalyzeComplexity(*plan);
+  EXPECT_EQ(report.ca_class, CaClass::kCaFull);
+  EXPECT_EQ(report.num_joins, 2);
+}
+
+TEST(ComplexityTest, ForbiddenConstructIsNotCaImPolyC) {
+  CaExprPtr plan = CaExpr::ChronicleCross(Scan(), Scan()).value();
+  ComplexityReport report = AnalyzeComplexity(*plan);
+  EXPECT_EQ(report.ca_class, CaClass::kNotCa);
+  EXPECT_EQ(report.im_class, ImClass::kImPolyC);
+  EXPECT_FALSE(report.explanation.empty());
+}
+
+TEST(ComplexityTest, CountsUnionsAndJoins) {
+  // ((a ∪ a) ∪ a) ⋈_SN a  → u=2, j=1
+  CaExprPtr u1 = CaExpr::Union(Scan(), Scan()).value();
+  CaExprPtr u2 = CaExpr::Union(u1, Scan()).value();
+  CaExprPtr plan = CaExpr::SeqJoin(u2, Scan()).value();
+  ComplexityReport report = AnalyzeComplexity(*plan);
+  EXPECT_EQ(report.num_unions, 2);
+  EXPECT_EQ(report.num_joins, 1);
+  // SN-equijoins alone do not require relation access.
+  EXPECT_EQ(report.ca_class, CaClass::kCa1);
+}
+
+TEST(ComplexityTest, ClassNames) {
+  EXPECT_STREQ(CaClassToString(CaClass::kCa1), "CA_1");
+  EXPECT_STREQ(CaClassToString(CaClass::kCaJoin), "CA_join");
+  EXPECT_STREQ(ImClassToString(ImClass::kImConstant), "IM-Constant");
+  EXPECT_STREQ(ImClassToString(ImClass::kImLogR), "IM-log(R)");
+  EXPECT_STREQ(ImClassToString(ImClass::kImPolyR), "IM-R^k");
+  EXPECT_STREQ(ImClassToString(ImClass::kImPolyC), "IM-C^k");
+}
+
+TEST(ComplexityTest, ReportToStringMentionsClassAndParameters) {
+  CaExprPtr plan = CaExpr::Union(Scan(), Scan()).value();
+  std::string repr = AnalyzeComplexity(*plan).ToString();
+  EXPECT_NE(repr.find("CA_1"), std::string::npos);
+  EXPECT_NE(repr.find("u=1"), std::string::npos);
+}
+
+// The §3 hierarchy: IM-Constant ⊂ IM-log(R) ⊂ IM-R^k ⊂ IM-C^k.
+TEST(ComplexityTest, ImClassOrderingReflectsHierarchy) {
+  EXPECT_LT(static_cast<int>(ImClass::kImConstant),
+            static_cast<int>(ImClass::kImLogR));
+  EXPECT_LT(static_cast<int>(ImClass::kImLogR),
+            static_cast<int>(ImClass::kImPolyR));
+  EXPECT_LT(static_cast<int>(ImClass::kImPolyR),
+            static_cast<int>(ImClass::kImPolyC));
+}
+
+}  // namespace
+}  // namespace chronicle

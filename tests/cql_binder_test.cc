@@ -1,0 +1,203 @@
+#include "cql/binder.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace cql {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void Exec(const std::string& sql) {
+    Result<ExecResult> result = Execute(&db_, sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    last_ = std::move(result).value();
+  }
+  Status ExecError(const std::string& sql) {
+    Result<ExecResult> result = Execute(&db_, sql);
+    EXPECT_FALSE(result.ok()) << sql;
+    return result.status();
+  }
+
+  ChronicleDatabase db_;
+  ExecResult last_;
+};
+
+TEST_F(BinderTest, EndToEndBillingScenario) {
+  Exec("CREATE CHRONICLE calls (caller INT64, region STRING, minutes INT64) "
+       "RETAIN NONE");
+  Exec("CREATE VIEW mins AS SELECT caller, SUM(minutes) AS total FROM calls "
+       "GROUP BY caller");
+  EXPECT_NE(last_.message.find("IM-Constant"), std::string::npos);
+
+  Exec("INSERT INTO calls VALUES (1, 'NJ', 5), (1, 'NJ', 7), (2, 'NY', 3)");
+  Exec("INSERT INTO calls VALUES (1, 'NJ', 10)");
+
+  Exec("SELECT * FROM mins WHERE caller = 1");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0], (Tuple{Value(1), Value(22)}));
+
+  Exec("SELECT total FROM mins WHERE caller = 2");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0], (Tuple{Value(3)}));
+}
+
+TEST_F(BinderTest, KeyJoinViewReportsLogR) {
+  Exec("CREATE CHRONICLE flights (acct INT64, miles INT64)");
+  Exec("CREATE RELATION cust (acct INT64, state STRING) KEY acct");
+  Exec("INSERT INTO cust VALUES (1, 'NJ')");
+  Exec("CREATE VIEW by_state AS SELECT state, SUM(miles) AS m FROM flights "
+       "JOIN cust ON acct = acct GROUP BY state");
+  EXPECT_NE(last_.message.find("IM-log(R)"), std::string::npos);
+  Exec("INSERT INTO flights VALUES (1, 500)");
+  Exec("SELECT * FROM by_state");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0], (Tuple{Value("NJ"), Value(500)}));
+}
+
+TEST_F(BinderTest, NonKeyJoinRejectedWithExplanation) {
+  Exec("CREATE CHRONICLE flights (acct INT64, miles INT64)");
+  Exec("CREATE RELATION cust (acct INT64, state STRING) KEY acct");
+  Status st = ExecError(
+      "CREATE VIEW v AS SELECT state, SUM(miles) AS m FROM flights "
+      "JOIN cust ON acct = state GROUP BY state");
+  EXPECT_TRUE(st.IsPlanError());
+  EXPECT_NE(st.message().find("Definition 4.2"), std::string::npos);
+}
+
+TEST_F(BinderTest, CrossJoinViewReportsPolyR) {
+  Exec("CREATE CHRONICLE c (x INT64)");
+  Exec("CREATE RELATION r (y INT64) KEY y");
+  Exec("CREATE VIEW v AS SELECT COUNT(*) AS n FROM c CROSS JOIN r");
+  EXPECT_NE(last_.message.find("IM-R^k"), std::string::npos);
+}
+
+TEST_F(BinderTest, WherePushedBelowJoinActsAsGuard) {
+  Exec("CREATE CHRONICLE calls (caller INT64, region STRING, minutes INT64)");
+  Exec("CREATE VIEW nj AS SELECT caller, SUM(minutes) AS total FROM calls "
+       "WHERE region = 'NJ' GROUP BY caller");
+  Exec("INSERT INTO calls VALUES (1, 'NJ', 5)");
+  Exec("INSERT INTO calls VALUES (1, 'TX', 50)");
+  Exec("SELECT * FROM nj");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0], (Tuple{Value(1), Value(5)}));
+}
+
+TEST_F(BinderTest, WhereOnJoinedColumnAppliedAboveJoin) {
+  Exec("CREATE CHRONICLE flights (acct INT64, miles INT64)");
+  Exec("CREATE RELATION cust (acct INT64, state STRING) KEY acct");
+  Exec("INSERT INTO cust VALUES (1, 'NJ'), (2, 'CA')");
+  Exec("CREATE VIEW nj_miles AS SELECT acct, SUM(miles) AS m FROM flights "
+       "JOIN cust ON acct = acct WHERE state = 'NJ' GROUP BY acct");
+  Exec("INSERT INTO flights VALUES (1, 100)");
+  Exec("INSERT INTO flights VALUES (2, 200)");
+  Exec("SELECT * FROM nj_miles");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0], (Tuple{Value(1), Value(100)}));
+}
+
+TEST_F(BinderTest, DistinctProjectionView) {
+  Exec("CREATE CHRONICLE calls (caller INT64, region STRING)");
+  Exec("CREATE VIEW regions AS SELECT region FROM calls");
+  Exec("INSERT INTO calls VALUES (1, 'NJ'), (2, 'NJ'), (3, 'NY')");
+  Exec("SELECT * FROM regions");
+  EXPECT_EQ(last_.rows.size(), 2u);
+}
+
+TEST_F(BinderTest, GlobalAggregateView) {
+  Exec("CREATE CHRONICLE c (x DOUBLE)");
+  Exec("CREATE VIEW stats AS SELECT COUNT(*) AS n, AVG(x) AS mean FROM c");
+  Exec("INSERT INTO c VALUES (1.0), (2.0), (6.0)");
+  Exec("SELECT * FROM stats");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0][0], Value(3));
+  EXPECT_DOUBLE_EQ(last_.rows[0][1].dbl(), 3.0);
+}
+
+TEST_F(BinderTest, TieredDiscountView) {
+  Exec("CREATE CHRONICLE calls (caller INT64, charge DOUBLE)");
+  Exec("CREATE VIEW bill AS SELECT caller, TIERED(charge, 10:0.1, 25:0.2) AS "
+       "owed FROM calls GROUP BY caller");
+  Exec("INSERT INTO calls VALUES (1, 6.0)");
+  Exec("INSERT INTO calls VALUES (1, 6.0)");
+  Exec("SELECT owed FROM bill WHERE caller = 1");
+  EXPECT_DOUBLE_EQ(last_.rows[0][0].dbl(), 12.0 * 0.9);
+}
+
+TEST_F(BinderTest, UpdateAndDeleteAreProactive) {
+  Exec("CREATE CHRONICLE flights (acct INT64, miles INT64)");
+  Exec("CREATE RELATION cust (acct INT64, state STRING) KEY acct");
+  Exec("INSERT INTO cust VALUES (1, 'NJ')");
+  Exec("CREATE VIEW by_state AS SELECT state, SUM(miles) AS m FROM flights "
+       "JOIN cust ON acct = acct GROUP BY state");
+  Exec("INSERT INTO flights VALUES (1, 100)");
+  Exec("UPDATE cust SET state = 'CA' WHERE acct = 1");
+  EXPECT_NE(last_.message.find("proactive"), std::string::npos);
+  Exec("INSERT INTO flights VALUES (1, 50)");
+  Exec("SELECT * FROM by_state");
+  ASSERT_EQ(last_.rows.size(), 2u);  // NJ=100 and CA=50
+  Exec("DELETE FROM cust WHERE acct = 1");
+  Exec("SELECT * FROM cust");
+  EXPECT_TRUE(last_.rows.empty());
+}
+
+TEST_F(BinderTest, SelectFromRelation) {
+  Exec("CREATE RELATION cust (acct INT64, state STRING) KEY acct");
+  Exec("INSERT INTO cust VALUES (1, 'NJ'), (2, 'CA')");
+  Exec("SELECT state FROM cust WHERE acct = 2");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0][0], Value("CA"));
+}
+
+TEST_F(BinderTest, InsertAtChrononFeedsPeriodicMachinery) {
+  Exec("CREATE CHRONICLE c (x INT64)");
+  Exec("INSERT INTO c VALUES (1) AT 100");
+  EXPECT_EQ(db_.group().last_chronon(), 100);
+  Status st = ExecError("INSERT INTO c VALUES (2) AT 50");  // regression
+  EXPECT_TRUE(st.IsOutOfRange());
+}
+
+TEST_F(BinderTest, PlanErrorsForBadViews) {
+  Exec("CREATE CHRONICLE c (x INT64, y STRING)");
+  EXPECT_TRUE(ExecError("CREATE VIEW v AS SELECT * FROM c").IsPlanError());
+  EXPECT_TRUE(
+      ExecError("CREATE VIEW v AS SELECT y, SUM(x) AS s FROM c").IsPlanError());
+  EXPECT_TRUE(
+      ExecError("CREATE VIEW v AS SELECT x FROM c GROUP BY x").IsPlanError());
+  EXPECT_TRUE(ExecError("CREATE VIEW v AS SELECT x FROM missing").IsNotFound());
+}
+
+TEST_F(BinderTest, SelectRestrictions) {
+  Exec("CREATE CHRONICLE c (x INT64)");
+  Exec("CREATE RELATION r (y INT64) KEY y");
+  EXPECT_TRUE(
+      ExecError("SELECT SUM(x) FROM c").IsPlanError());  // aggregate select
+  EXPECT_TRUE(ExecError("SELECT * FROM c JOIN r ON x = y").IsPlanError());
+}
+
+TEST_F(BinderTest, ScriptExecution) {
+  Result<ExecResult> result = ExecuteScript(
+      &db_,
+      "CREATE CHRONICLE c (x INT64);"
+      "CREATE VIEW n AS SELECT COUNT(*) AS cnt FROM c;"
+      "INSERT INTO c VALUES (1), (2);"
+      "SELECT * FROM n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value(2));
+}
+
+TEST_F(BinderTest, ScriptStopsAtFirstError) {
+  Result<ExecResult> result = ExecuteScript(
+      &db_,
+      "CREATE CHRONICLE c (x INT64);"
+      "INSERT INTO nonexistent VALUES (1);"
+      "CREATE CHRONICLE d (x INT64)");
+  EXPECT_FALSE(result.ok());
+  // The third statement never ran.
+  EXPECT_TRUE(db_.group().FindChronicle("d").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace chronicle

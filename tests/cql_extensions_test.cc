@@ -1,0 +1,290 @@
+// Tests for the extended CQL surface: periodic and sliding view DDL (§5.1
+// declaratively), EXPLAIN VIEW, SHOW, and CHECKPOINT/RESTORE.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cql/binder.h"
+
+namespace chronicle {
+namespace cql {
+namespace {
+
+// --- parser coverage for the new statements ---
+
+template <typename T>
+T Parse(const std::string& sql) {
+  Result<Statement> stmt = ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  T* typed = stmt.ok() ? std::get_if<T>(&stmt.value()) : nullptr;
+  EXPECT_NE(typed, nullptr) << "wrong statement type for: " << sql;
+  return typed != nullptr ? std::move(*typed) : T{};
+}
+
+TEST(ExtensionParserTest, CreatePeriodicView) {
+  auto stmt = Parse<CreateViewStmt>(
+      "CREATE PERIODIC VIEW monthly AS SELECT caller, SUM(minutes) AS m "
+      "FROM calls GROUP BY caller OVER PERIOD 720 ORIGIN 100 EXPIRE AFTER "
+      "1440");
+  EXPECT_EQ(stmt.target.kind, ViewTarget::Kind::kPeriodic);
+  EXPECT_EQ(stmt.target.period, 720);
+  EXPECT_EQ(stmt.target.origin, 100);
+  EXPECT_EQ(stmt.target.expire_after, 1440);
+}
+
+TEST(ExtensionParserTest, PeriodicDefaults) {
+  auto stmt = Parse<CreateViewStmt>(
+      "CREATE PERIODIC VIEW m AS SELECT COUNT(*) AS n FROM c OVER PERIOD 30");
+  EXPECT_EQ(stmt.target.origin, 0);
+  EXPECT_EQ(stmt.target.expire_after, -1);
+}
+
+TEST(ExtensionParserTest, CreateSlidingView) {
+  auto stmt = Parse<CreateViewStmt>(
+      "CREATE SLIDING VIEW moving AS SELECT symbol, SUM(shares) AS s "
+      "FROM trades GROUP BY symbol OVER WINDOW 30 PANES OF 1 ORIGIN 5");
+  EXPECT_EQ(stmt.target.kind, ViewTarget::Kind::kSliding);
+  EXPECT_EQ(stmt.target.num_panes, 30);
+  EXPECT_EQ(stmt.target.pane_width, 1);
+  EXPECT_EQ(stmt.target.origin, 5);
+}
+
+TEST(ExtensionParserTest, PeriodicRequiresOverClause) {
+  EXPECT_FALSE(
+      ParseStatement("CREATE PERIODIC VIEW m AS SELECT COUNT(*) AS n FROM c")
+          .ok());
+}
+
+TEST(ExtensionParserTest, ExplainShowCheckpointRestore) {
+  EXPECT_EQ(Parse<ExplainStmt>("EXPLAIN VIEW balances").view, "balances");
+  EXPECT_EQ(Parse<ShowStmt>("SHOW CHRONICLES").what,
+            ShowStmt::What::kChronicles);
+  EXPECT_EQ(Parse<ShowStmt>("SHOW RELATIONS").what, ShowStmt::What::kRelations);
+  EXPECT_EQ(Parse<ShowStmt>("SHOW VIEWS").what, ShowStmt::What::kViews);
+  EXPECT_EQ(Parse<CheckpointStmt>("CHECKPOINT TO '/tmp/x.ckpt'").path,
+            "/tmp/x.ckpt");
+  EXPECT_EQ(Parse<RestoreStmt>("RESTORE FROM '/tmp/x.ckpt'").path,
+            "/tmp/x.ckpt");
+  EXPECT_FALSE(ParseStatement("SHOW TABLES").ok());
+  EXPECT_FALSE(ParseStatement("CHECKPOINT TO unquoted").ok());
+}
+
+// --- end-to-end execution ---
+
+class ExtensionBinderTest : public ::testing::Test {
+ protected:
+  void Exec(const std::string& sql) {
+    Result<ExecResult> result = Execute(&db_, sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    last_ = std::move(result).value();
+  }
+
+  ChronicleDatabase db_;
+  ExecResult last_;
+};
+
+TEST_F(ExtensionBinderTest, PeriodicViewEndToEnd) {
+  Exec("CREATE CHRONICLE calls (caller INT64, minutes INT64) RETAIN NONE");
+  Exec("CREATE PERIODIC VIEW monthly AS SELECT caller, SUM(minutes) AS m "
+       "FROM calls GROUP BY caller OVER PERIOD 30");
+  EXPECT_NE(last_.message.find("periodic view monthly created"),
+            std::string::npos);
+  Exec("INSERT INTO calls VALUES (1, 10) AT 5");
+  Exec("INSERT INTO calls VALUES (1, 20) AT 35");
+  const PeriodicViewSet* monthly = db_.GetPeriodicView("monthly").value();
+  EXPECT_EQ(monthly->Lookup(0, Tuple{Value(1)}).value()[1], Value(10));
+  EXPECT_EQ(monthly->Lookup(1, Tuple{Value(1)}).value()[1], Value(20));
+}
+
+TEST_F(ExtensionBinderTest, SlidingViewEndToEnd) {
+  Exec("CREATE CHRONICLE trades (symbol STRING, shares INT64) RETAIN NONE");
+  Exec("CREATE SLIDING VIEW moving AS SELECT symbol, SUM(shares) AS s "
+       "FROM trades GROUP BY symbol OVER WINDOW 3 PANES OF 10");
+  Exec("INSERT INTO trades VALUES ('IBM', 100) AT 5");
+  Exec("INSERT INTO trades VALUES ('IBM', 50) AT 25");
+  const SlidingWindowView* moving = db_.GetSlidingView("moving").value();
+  EXPECT_EQ(moving->QueryWindow(Tuple{Value("IBM")}).value()[1], Value(150));
+}
+
+TEST_F(ExtensionBinderTest, ExplainViewReportsPlanAndClass) {
+  Exec("CREATE CHRONICLE calls (caller INT64, region STRING, minutes INT64)");
+  Exec("CREATE VIEW nj AS SELECT caller, SUM(minutes) AS m FROM calls "
+       "WHERE region = 'NJ' GROUP BY caller");
+  Exec("EXPLAIN VIEW nj");
+  EXPECT_NE(last_.message.find("Select"), std::string::npos);
+  EXPECT_NE(last_.message.find("Scan(calls)"), std::string::npos);
+  EXPECT_NE(last_.message.find("IM-Constant"), std::string::npos);
+  EXPECT_NE(last_.message.find("GROUPBY"), std::string::npos);
+
+  Result<ExecResult> missing = Execute(&db_, "EXPLAIN VIEW nope");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST_F(ExtensionBinderTest, ExplainCoversPeriodicAndSlidingViews) {
+  Exec("CREATE CHRONICLE c (a INT64, b INT64)");
+  Exec("CREATE PERIODIC VIEW p AS SELECT a, SUM(b) AS s FROM c GROUP BY a "
+       "OVER PERIOD 30");
+  Exec("CREATE SLIDING VIEW w AS SELECT a, SUM(b) AS s FROM c GROUP BY a "
+       "OVER WINDOW 4 PANES OF 5");
+  Exec("EXPLAIN VIEW p");
+  EXPECT_NE(last_.message.find("periodic view p"), std::string::npos);
+  EXPECT_NE(last_.message.find("period=30"), std::string::npos);
+  Exec("EXPLAIN VIEW w");
+  EXPECT_NE(last_.message.find("4 panes of 5"), std::string::npos);
+  EXPECT_NE(last_.message.find("IM-Constant"), std::string::npos);
+}
+
+TEST_F(ExtensionBinderTest, ExplainFlagsNonDefinition41Predicates) {
+  Exec("CREATE CHRONICLE c (a INT64, b INT64)");
+  // Conjunction is outside the paper's strict predicate grammar.
+  Exec("CREATE VIEW strict AS SELECT a, SUM(b) AS s FROM c "
+       "WHERE a > 0 GROUP BY a");
+  Exec("EXPLAIN VIEW strict");
+  EXPECT_EQ(last_.message.find("note:"), std::string::npos);
+
+  Exec("CREATE VIEW loose AS SELECT a, SUM(b) AS s FROM c "
+       "WHERE a > 0 AND b > 0 GROUP BY a");
+  Exec("EXPLAIN VIEW loose");
+  EXPECT_NE(last_.message.find("Definition 4.1"), std::string::npos);
+}
+
+TEST_F(ExtensionBinderTest, ShowListsEverything) {
+  Exec("CREATE CHRONICLE calls (caller INT64, minutes INT64) RETAIN LAST 10");
+  Exec("CREATE RELATION cust (acct INT64, state STRING) KEY acct");
+  Exec("CREATE VIEW v1 AS SELECT caller, SUM(minutes) AS m FROM calls "
+       "GROUP BY caller");
+  Exec("CREATE PERIODIC VIEW v2 AS SELECT COUNT(*) AS n FROM calls "
+       "OVER PERIOD 30");
+  Exec("CREATE SLIDING VIEW v3 AS SELECT caller, COUNT(*) AS n FROM calls "
+       "GROUP BY caller OVER WINDOW 4 PANES OF 5");
+  Exec("INSERT INTO calls VALUES (1, 5)");
+
+  Exec("SHOW CHRONICLES");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0][0], Value("calls"));
+  EXPECT_EQ(last_.rows[0][2], Value(1));  // total_appended
+
+  Exec("SHOW RELATIONS");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0][0], Value("cust"));
+
+  Exec("SHOW VIEWS");
+  ASSERT_EQ(last_.rows.size(), 3u);
+  EXPECT_EQ(last_.rows[0][1], Value("persistent"));
+  EXPECT_EQ(last_.rows[1][1], Value("periodic"));
+  EXPECT_EQ(last_.rows[2][1], Value("sliding"));
+}
+
+TEST(ExtensionParserTest, CaseExpression) {
+  auto stmt = Parse<SelectStmt>(
+      "SELECT * FROM v WHERE CASE WHEN a > 10 THEN 1 ELSE 0 END = 1");
+  ASSERT_NE(stmt.query.where, nullptr);
+  EXPECT_EQ(stmt.query.where->child(0).kind(), ExprKind::kCase);
+  // Missing END / empty CASE are rejected.
+  EXPECT_FALSE(ParseStatement("SELECT * FROM v WHERE CASE END = 1").ok());
+  EXPECT_FALSE(
+      ParseStatement("SELECT * FROM v WHERE CASE WHEN a THEN 1 = 1").ok());
+}
+
+TEST(ExtensionParserTest, ComputedItemsRequireAlias) {
+  EXPECT_TRUE(ParseStatement("SELECT a + b AS s FROM v").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a + b FROM v").ok());
+}
+
+TEST_F(ExtensionBinderTest, PremierStatusViewInPureCql) {
+  // Example 2.1's premier status, fully declarative: a CASE finalizer over
+  // the summarized miles total.
+  Exec("CREATE CHRONICLE mileage (acct INT64, miles INT64) RETAIN NONE");
+  Exec("CREATE VIEW premier AS SELECT acct, SUM(miles) AS total, "
+       "CASE WHEN total >= 50000 THEN 'gold' "
+       "WHEN total >= 25000 THEN 'silver' ELSE 'bronze' END AS status "
+       "FROM mileage GROUP BY acct");
+  Exec("INSERT INTO mileage VALUES (1, 60000), (2, 30000), (3, 100)");
+  Exec("SELECT status FROM premier WHERE acct = 1");
+  EXPECT_EQ(last_.rows[0][0], Value("gold"));
+  Exec("SELECT status FROM premier WHERE acct = 2");
+  EXPECT_EQ(last_.rows[0][0], Value("silver"));
+  Exec("SELECT status FROM premier WHERE acct = 3");
+  EXPECT_EQ(last_.rows[0][0], Value("bronze"));
+}
+
+TEST_F(ExtensionBinderTest, ComputedItemsInInteractiveSelect) {
+  Exec("CREATE RELATION cust (acct INT64, balance DOUBLE) KEY acct");
+  Exec("INSERT INTO cust VALUES (1, 150.0), (2, -20.0)");
+  Exec("SELECT acct, balance * 2 AS double_balance, "
+       "CASE WHEN balance < 0 THEN 'overdrawn' ELSE 'ok' END AS state "
+       "FROM cust WHERE acct = 2");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(last_.rows[0][1].dbl(), -40.0);
+  EXPECT_EQ(last_.rows[0][2], Value("overdrawn"));
+  EXPECT_EQ(last_.schema.field(1).name, "double_balance");
+}
+
+TEST_F(ExtensionBinderTest, ComputedItemsRejectedOnPeriodicAndSliding) {
+  Exec("CREATE CHRONICLE c (a INT64, b INT64)");
+  Result<ExecResult> periodic = Execute(
+      &db_,
+      "CREATE PERIODIC VIEW p AS SELECT a, SUM(b) AS s, s + 1 AS t FROM c "
+      "GROUP BY a OVER PERIOD 10");
+  EXPECT_TRUE(periodic.status().IsPlanError());
+  Result<ExecResult> sliding = Execute(
+      &db_,
+      "CREATE SLIDING VIEW w AS SELECT a, SUM(b) AS s, s + 1 AS t FROM c "
+      "GROUP BY a OVER WINDOW 4 PANES OF 5");
+  EXPECT_TRUE(sliding.status().IsPlanError());
+}
+
+TEST_F(ExtensionBinderTest, SelectFromChronicleReadsRetainedWindow) {
+  Exec("CREATE CHRONICLE calls (caller INT64, minutes INT64) RETAIN LAST 3");
+  Exec("INSERT INTO calls VALUES (1, 10)");
+  Exec("INSERT INTO calls VALUES (2, 20)");
+  Exec("INSERT INTO calls VALUES (3, 30)");
+  Exec("INSERT INTO calls VALUES (4, 40)");
+
+  Exec("SELECT * FROM calls");
+  ASSERT_EQ(last_.rows.size(), 3u);  // only the retained suffix
+  EXPECT_EQ(last_.rows[0][0], Value(2));
+
+  Exec("SELECT caller FROM calls WHERE minutes >= 30");
+  ASSERT_EQ(last_.rows.size(), 2u);
+
+  // Predicates over the sequencing attribute work in window queries.
+  Exec("SELECT caller FROM calls WHERE $sn = 4");
+  ASSERT_EQ(last_.rows.size(), 1u);
+  EXPECT_EQ(last_.rows[0][0], Value(4));
+}
+
+TEST_F(ExtensionBinderTest, SelectFromStreamOnlyChronicleIsEmpty) {
+  Exec("CREATE CHRONICLE calls (caller INT64, minutes INT64) RETAIN NONE");
+  Exec("INSERT INTO calls VALUES (1, 10)");
+  Exec("SELECT * FROM calls");
+  EXPECT_TRUE(last_.rows.empty());
+}
+
+TEST_F(ExtensionBinderTest, CheckpointRestoreCycleThroughCql) {
+  const std::string kDdl =
+      "CREATE CHRONICLE calls (caller INT64, minutes INT64) RETAIN NONE;"
+      "CREATE VIEW totals AS SELECT caller, SUM(minutes) AS m FROM calls "
+      "GROUP BY caller";
+  ASSERT_TRUE(ExecuteScript(&db_, kDdl).ok());
+  Exec("INSERT INTO calls VALUES (1, 5), (2, 7)");
+  Exec("INSERT INTO calls VALUES (1, 10)");
+  const std::string path = "/tmp/chronicle_cql_ckpt_test.ckpt";
+  Exec("CHECKPOINT TO '" + path + "'");
+
+  ChronicleDatabase fresh;
+  ASSERT_TRUE(ExecuteScript(&fresh, kDdl).ok());
+  Result<ExecResult> restored = Execute(&fresh, "RESTORE FROM '" + path + "'");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(fresh.QueryView("totals", Tuple{Value(1)}).value()[1], Value(15));
+  // The restored instance keeps streaming under the right sequence numbers.
+  Result<ExecResult> more = Execute(&fresh, "INSERT INTO calls VALUES (1, 1)");
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(fresh.QueryView("totals", Tuple{Value(1)}).value()[1], Value(16));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace chronicle

@@ -1,0 +1,125 @@
+// Robustness fuzzing for the CQL pipeline: random byte strings, mutated
+// valid statements, and truncations must produce Status errors — never
+// crashes, never OK results for garbage, and never corrupted database
+// state.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cql/binder.h"
+
+namespace chronicle {
+namespace cql {
+namespace {
+
+TEST(CqlFuzzTest, RandomBytesNeverCrashTheLexer) {
+  Rng rng(2001);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    const size_t len = rng.Uniform(64);
+    for (size_t j = 0; j < len; ++j) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    Result<std::vector<Token>> tokens = Tokenize(input);
+    if (tokens.ok()) {
+      EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+    } else {
+      EXPECT_TRUE(tokens.status().IsParseError());
+    }
+  }
+}
+
+TEST(CqlFuzzTest, RandomPrintableStringsNeverCrashTheParser) {
+  Rng rng(2002);
+  const std::string alphabet =
+      "abcdefgSELECT FROM WHERE GROUP BY ()*,;'0123456789.<>=+-/ ";
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    const size_t len = rng.Uniform(80);
+    for (size_t j = 0; j < len; ++j) {
+      input.push_back(alphabet[rng.Uniform(alphabet.size())]);
+    }
+    Result<Statement> stmt = ParseStatement(input);
+    // Any outcome is fine as long as errors are Status-shaped.
+    if (!stmt.ok()) {
+      EXPECT_TRUE(stmt.status().IsParseError()) << input;
+    }
+  }
+}
+
+TEST(CqlFuzzTest, TruncationsOfValidStatementsFailCleanly) {
+  const std::string statements[] = {
+      "CREATE CHRONICLE calls (caller INT64, region STRING) RETAIN LAST 100",
+      "CREATE VIEW v AS SELECT caller, SUM(minutes) AS m FROM calls "
+      "WHERE region = 'NJ' GROUP BY caller",
+      "CREATE SLIDING VIEW w AS SELECT a, COUNT(*) AS n FROM c GROUP BY a "
+      "OVER WINDOW 30 PANES OF 1",
+      "INSERT INTO calls VALUES (1, 'NJ', 5), (2, 'NY', 3) AT 77",
+      "UPDATE cust SET state = 'CA' WHERE acct = 7",
+  };
+  for (const std::string& sql : statements) {
+    ASSERT_TRUE(ParseStatement(sql).ok()) << sql;
+    // Every proper prefix (cut at token-ish boundaries) must error cleanly.
+    for (size_t cut = 1; cut + 1 < sql.size(); cut += 3) {
+      Result<Statement> stmt = ParseStatement(sql.substr(0, cut));
+      if (stmt.ok()) continue;  // some prefixes are themselves valid
+      EXPECT_TRUE(stmt.status().IsParseError()) << sql.substr(0, cut);
+    }
+  }
+}
+
+TEST(CqlFuzzTest, ExecutorErrorsLeaveDatabaseUsable) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(
+      Execute(&db, "CREATE CHRONICLE calls (caller INT64, minutes INT64)").ok());
+  ASSERT_TRUE(Execute(&db, "CREATE VIEW v AS SELECT caller, SUM(minutes) AS m "
+                           "FROM calls GROUP BY caller")
+                  .ok());
+
+  const std::string bad_statements[] = {
+      "INSERT INTO calls VALUES ('wrong', 'types')",
+      "INSERT INTO missing VALUES (1)",
+      "CREATE VIEW v AS SELECT caller, SUM(minutes) AS m FROM calls "
+      "GROUP BY caller",  // duplicate name
+      "CREATE VIEW v2 AS SELECT nope FROM calls",
+      "SELECT * FROM nothing",
+      "UPDATE calls SET caller = 1 WHERE caller = 1",  // chronicle, not rel
+      "DELETE FROM calls WHERE caller = 1",
+      "RESTORE FROM '/tmp/definitely_missing_chronicle_ckpt'",
+      "EXPLAIN VIEW missing_view",
+  };
+  for (const std::string& sql : bad_statements) {
+    Result<ExecResult> result = Execute(&db, sql);
+    EXPECT_FALSE(result.ok()) << sql;
+  }
+
+  // The database still works after every failure.
+  ASSERT_TRUE(Execute(&db, "INSERT INTO calls VALUES (1, 5)").ok());
+  EXPECT_EQ(db.QueryView("v", Tuple{Value(1)}).value()[1], Value(5));
+}
+
+TEST(CqlFuzzTest, DeepExpressionNestingParses) {
+  // 64 nested parens — recursive descent must handle reasonable depth.
+  std::string predicate = "a = 1";
+  for (int i = 0; i < 64; ++i) predicate = "(" + predicate + ")";
+  Result<Statement> stmt =
+      ParseStatement("SELECT * FROM v WHERE " + predicate);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(CqlFuzzTest, LongSelectListsAndScripts) {
+  std::string select = "SELECT c0";
+  for (int i = 1; i < 200; ++i) select += ", c" + std::to_string(i);
+  select += " FROM v";
+  EXPECT_TRUE(ParseStatement(select).ok());
+
+  std::string script;
+  for (int i = 0; i < 100; ++i) {
+    script += "INSERT INTO c VALUES (" + std::to_string(i) + ");";
+  }
+  EXPECT_TRUE(ParseScript(script).ok());
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace chronicle

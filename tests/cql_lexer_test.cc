@@ -1,0 +1,97 @@
+#include "cql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace cql {
+namespace {
+
+std::vector<Token> Lex(const std::string& input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersCarryUppercase) {
+  std::vector<Token> tokens = Lex("select Foo_1 $sn");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[0].upper, "SELECT");
+  EXPECT_EQ(tokens[1].text, "Foo_1");
+  EXPECT_EQ(tokens[2].text, "$sn");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  std::vector<Token> tokens = Lex("42 3.5 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuotes) {
+  std::vector<Token> tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsParseError) {
+  Result<std::vector<Token>> tokens = Tokenize("'oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  std::vector<Token> tokens = Lex("<= >= <> !=");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "<>");
+  EXPECT_EQ(tokens[3].text, "<>");  // != normalizes to <>
+}
+
+TEST(LexerTest, SingleCharSymbols) {
+  std::vector<Token> tokens = Lex("( ) , ; * = < > + - / : .");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol) << i;
+  }
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  std::vector<Token> tokens = Lex("a -- this is a comment\n b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, MinusAloneIsSymbol) {
+  std::vector<Token> tokens = Lex("a - b");
+  EXPECT_EQ(tokens[1].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[1].text, "-");
+}
+
+TEST(LexerTest, IllegalCharacterReported) {
+  Result<std::vector<Token>> tokens = Tokenize("a # b");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("#"), std::string::npos);
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  std::vector<Token> tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace chronicle

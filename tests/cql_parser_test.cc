@@ -1,0 +1,193 @@
+#include "cql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace cql {
+namespace {
+
+template <typename T>
+T Parse(const std::string& sql) {
+  Result<Statement> stmt = ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const T* typed = std::get_if<T>(&stmt.value());
+  EXPECT_NE(typed, nullptr) << "wrong statement type for: " << sql;
+  return typed != nullptr ? std::move(*std::get_if<T>(&stmt.value())) : T{};
+}
+
+TEST(ParserTest, CreateChronicleWithRetention) {
+  auto stmt = Parse<CreateChronicleStmt>(
+      "CREATE CHRONICLE calls (caller INT64, region STRING, charge DOUBLE) "
+      "RETAIN LAST 1000;");
+  EXPECT_EQ(stmt.name, "calls");
+  ASSERT_EQ(stmt.columns.size(), 3u);
+  EXPECT_EQ(stmt.columns[0].name, "caller");
+  EXPECT_EQ(stmt.columns[0].type, DataType::kInt64);
+  EXPECT_EQ(stmt.columns[2].type, DataType::kDouble);
+  EXPECT_EQ(stmt.retention.kind, RetentionPolicy::Kind::kWindow);
+  EXPECT_EQ(stmt.retention.window_rows, 1000u);
+}
+
+TEST(ParserTest, RetentionVariants) {
+  EXPECT_EQ(Parse<CreateChronicleStmt>("CREATE CHRONICLE c (a INT) RETAIN NONE")
+                .retention.kind,
+            RetentionPolicy::Kind::kNone);
+  EXPECT_EQ(Parse<CreateChronicleStmt>("CREATE CHRONICLE c (a INT) RETAIN ALL")
+                .retention.kind,
+            RetentionPolicy::Kind::kAll);
+  EXPECT_EQ(Parse<CreateChronicleStmt>("CREATE CHRONICLE c (a INT)")
+                .retention.kind,
+            RetentionPolicy::Kind::kAll);
+}
+
+TEST(ParserTest, TypeAliases) {
+  auto stmt = Parse<CreateRelationStmt>(
+      "CREATE RELATION r (a INT, b BIGINT, c FLOAT, d REAL, e TEXT, f VARCHAR)");
+  EXPECT_EQ(stmt.columns[0].type, DataType::kInt64);
+  EXPECT_EQ(stmt.columns[1].type, DataType::kInt64);
+  EXPECT_EQ(stmt.columns[2].type, DataType::kDouble);
+  EXPECT_EQ(stmt.columns[3].type, DataType::kDouble);
+  EXPECT_EQ(stmt.columns[4].type, DataType::kString);
+  EXPECT_EQ(stmt.columns[5].type, DataType::kString);
+}
+
+TEST(ParserTest, CreateRelationWithKey) {
+  auto stmt = Parse<CreateRelationStmt>(
+      "CREATE RELATION cust (acct INT64, name STRING) KEY acct");
+  EXPECT_EQ(stmt.key_column, "acct");
+}
+
+TEST(ParserTest, CreateViewFull) {
+  auto stmt = Parse<CreateViewStmt>(
+      "CREATE VIEW mins AS SELECT caller, SUM(minutes) AS total, COUNT(*) "
+      "FROM calls JOIN cust ON caller = acct "
+      "WHERE minutes > 0 AND region = 'NJ' GROUP BY caller");
+  EXPECT_EQ(stmt.name, "mins");
+  const SelectQuery& q = stmt.query;
+  ASSERT_EQ(q.items.size(), 3u);
+  EXPECT_FALSE(q.items[0].is_aggregate);
+  EXPECT_EQ(q.items[0].column, "caller");
+  EXPECT_TRUE(q.items[1].is_aggregate);
+  EXPECT_EQ(q.items[1].agg_kind, AggKind::kSum);
+  EXPECT_EQ(q.items[1].alias, "total");
+  EXPECT_EQ(q.items[2].agg_kind, AggKind::kCount);
+  EXPECT_EQ(q.from, "calls");
+  EXPECT_EQ(q.join.kind, JoinClause::Kind::kKey);
+  EXPECT_EQ(q.join.relation, "cust");
+  EXPECT_EQ(q.join.left_column, "caller");
+  EXPECT_EQ(q.join.right_column, "acct");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), ExprKind::kAnd);
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"caller"}));
+}
+
+TEST(ParserTest, CrossJoin) {
+  auto stmt = Parse<CreateViewStmt>(
+      "CREATE VIEW v AS SELECT COUNT(*) FROM calls CROSS JOIN cust");
+  EXPECT_EQ(stmt.query.join.kind, JoinClause::Kind::kCross);
+  EXPECT_EQ(stmt.query.join.relation, "cust");
+}
+
+TEST(ParserTest, TieredAggregate) {
+  auto stmt = Parse<CreateViewStmt>(
+      "CREATE VIEW bill AS SELECT caller, TIERED(charge, 10:0.1, 25:0.2) AS owed "
+      "FROM calls GROUP BY caller");
+  const SelectItem& item = stmt.query.items[1];
+  EXPECT_EQ(item.agg_kind, AggKind::kTieredDiscount);
+  ASSERT_EQ(item.tiers.size(), 2u);
+  EXPECT_DOUBLE_EQ(item.tiers[0].threshold, 10.0);
+  EXPECT_DOUBLE_EQ(item.tiers[0].rate, 0.1);
+  EXPECT_DOUBLE_EQ(item.tiers[1].threshold, 25.0);
+}
+
+TEST(ParserTest, WherePrecedenceOrBelowAnd) {
+  auto stmt = Parse<SelectStmt>(
+      "SELECT * FROM v WHERE a = 1 OR b = 2 AND c = 3");
+  // AND binds tighter: OR(a=1, AND(b=2, c=3)).
+  ASSERT_NE(stmt.query.where, nullptr);
+  EXPECT_EQ(stmt.query.where->kind(), ExprKind::kOr);
+  EXPECT_EQ(stmt.query.where->child(1).kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = Parse<SelectStmt>("SELECT * FROM v WHERE a + b * 2 > 10");
+  const ScalarExpr& cmp = *stmt.query.where;
+  EXPECT_EQ(cmp.kind(), ExprKind::kCompare);
+  const ScalarExpr& lhs = cmp.child(0);
+  EXPECT_EQ(lhs.kind(), ExprKind::kArith);
+  EXPECT_EQ(lhs.arith_op(), ArithOp::kAdd);
+  EXPECT_EQ(lhs.child(1).arith_op(), ArithOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = Parse<SelectStmt>("SELECT * FROM v WHERE (a = 1 OR b = 2) AND c = 3");
+  EXPECT_EQ(stmt.query.where->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, InsertMultipleRowsWithChronon) {
+  auto stmt = Parse<InsertStmt>(
+      "INSERT INTO calls VALUES (1, 'NJ', 5), (2, 'NY', -3) AT 77");
+  EXPECT_EQ(stmt.target, "calls");
+  ASSERT_EQ(stmt.rows.size(), 2u);
+  EXPECT_EQ(stmt.rows[0], (Tuple{Value(1), Value("NJ"), Value(5)}));
+  EXPECT_EQ(stmt.rows[1][2], Value(-3));
+  ASSERT_TRUE(stmt.at.has_value());
+  EXPECT_EQ(*stmt.at, 77);
+}
+
+TEST(ParserTest, InsertNullLiteral) {
+  auto stmt = Parse<InsertStmt>("INSERT INTO r VALUES (NULL, 1.5)");
+  EXPECT_TRUE(stmt.rows[0][0].is_null());
+  EXPECT_EQ(stmt.rows[0][1], Value(1.5));
+}
+
+TEST(ParserTest, UpdateStatement) {
+  auto stmt = Parse<UpdateStmt>(
+      "UPDATE cust SET state = 'CA', name = 'ann' WHERE acct = 7");
+  EXPECT_EQ(stmt.relation, "cust");
+  ASSERT_EQ(stmt.sets.size(), 2u);
+  EXPECT_EQ(stmt.sets[0].first, "state");
+  EXPECT_EQ(stmt.sets[0].second, Value("CA"));
+  EXPECT_EQ(stmt.where_column, "acct");
+  EXPECT_EQ(stmt.where_value, Value(7));
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto stmt = Parse<DeleteStmt>("DELETE FROM cust WHERE acct = 7");
+  EXPECT_EQ(stmt.relation, "cust");
+  EXPECT_EQ(stmt.where_value, Value(7));
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = Parse<SelectStmt>("SELECT * FROM balances WHERE acct = 3");
+  EXPECT_TRUE(stmt.query.select_star);
+  EXPECT_EQ(stmt.query.from, "balances");
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto stmts = ParseScript(
+                   "CREATE CHRONICLE c (a INT); INSERT INTO c VALUES (1); "
+                   "SELECT * FROM v;")
+                   .value();
+  EXPECT_EQ(stmts.size(), 3u);
+}
+
+TEST(ParserTest, ErrorsMentionOffset) {
+  Result<Statement> bad = ParseStatement("CREATE VIEW v AS SELECT FROM c");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsParseError());
+  EXPECT_NE(bad.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("DELETE FROM r WHERE a = 1 garbage").ok());
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(ParseStatement("create chronicle c (a int) retain none").ok());
+  EXPECT_TRUE(ParseStatement("Select * From v").ok());
+}
+
+}  // namespace
+}  // namespace cql
+}  // namespace chronicle

@@ -1,0 +1,172 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Schema CustSchema() {
+  return Schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+}
+
+Tuple Call(int64_t caller, const std::string& region, int64_t minutes) {
+  return Tuple{Value(caller), Value(region), Value(minutes)};
+}
+
+TEST(DatabaseTest, DdlNameCollisionsRejected) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle("calls", CallSchema()).ok());
+  ASSERT_TRUE(db.CreateRelation("cust", CustSchema(), "acct").ok());
+  EXPECT_TRUE(db.CreateChronicle("cust", CallSchema()).status().IsAlreadyExists());
+  EXPECT_TRUE(
+      db.CreateRelation("calls", CustSchema(), "acct").status().IsAlreadyExists());
+  EXPECT_TRUE(
+      db.CreateRelation("cust", CustSchema(), "acct").status().IsAlreadyExists());
+}
+
+TEST(DatabaseTest, AppendMaintainsViewsAutomatically) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle("calls", CallSchema()).ok());
+  CaExprPtr plan = db.ScanChronicle("calls").value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "total")})
+                         .value();
+  ASSERT_TRUE(db.CreateView("minutes", plan, spec).ok());
+
+  AppendResult result = db.Append("calls", {Call(1, "NJ", 5)}).value();
+  EXPECT_EQ(result.event.sn, 1u);
+  EXPECT_EQ(result.maintenance.views_updated, 1u);
+  ASSERT_TRUE(db.Append("calls", {Call(1, "NJ", 7)}).ok());
+
+  Tuple row = db.QueryView("minutes", Tuple{Value(1)}).value();
+  EXPECT_EQ(row, (Tuple{Value(1), Value(12)}));
+  EXPECT_EQ(db.appends_processed(), 2u);
+}
+
+TEST(DatabaseTest, ScanViewSortsByKey) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle("calls", CallSchema()).ok());
+  CaExprPtr plan = db.ScanChronicle("calls").value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Count("n")})
+                         .value();
+  ASSERT_TRUE(db.CreateView("counts", plan, spec).ok());
+  ASSERT_TRUE(db.Append("calls", {Call(3, "x", 1)}).ok());
+  ASSERT_TRUE(db.Append("calls", {Call(1, "x", 1)}).ok());
+  ASSERT_TRUE(db.Append("calls", {Call(2, "x", 1)}).ok());
+  std::vector<Tuple> rows = db.ScanView("counts").value();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], Value(1));
+  EXPECT_EQ(rows[2][0], Value(3));
+}
+
+TEST(DatabaseTest, RelationDmlIsProactive) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle("flights", CallSchema()).ok());
+  ASSERT_TRUE(db.CreateRelation("cust", CustSchema(), "acct").ok());
+  ASSERT_TRUE(db.InsertInto("cust", Tuple{Value(1), Value("NJ")}).ok());
+
+  // View: miles per state of residence *at flight time*.
+  Relation* cust = db.GetRelation("cust").value();
+  CaExprPtr plan =
+      CaExpr::RelKeyJoin(db.ScanChronicle("flights").value(), cust, "caller")
+          .value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"state"},
+                                          {AggSpec::Sum("minutes", "miles")})
+                         .value();
+  ASSERT_TRUE(db.CreateView("by_state", plan, spec).ok());
+
+  ASSERT_TRUE(db.Append("flights", {Call(1, "x", 100)}).ok());
+  // Proactive move to CA: affects only future flights.
+  ASSERT_TRUE(db.UpdateRelation("cust", Value(1), Tuple{Value(1), Value("CA")}).ok());
+  ASSERT_TRUE(db.Append("flights", {Call(1, "x", 200)}).ok());
+
+  EXPECT_EQ(db.QueryView("by_state", Tuple{Value("NJ")}).value()[1], Value(100));
+  EXPECT_EQ(db.QueryView("by_state", Tuple{Value("CA")}).value()[1], Value(200));
+
+  ASSERT_TRUE(db.DeleteFrom("cust", Value(1)).ok());
+  // Flights for deleted customers silently drop out of the join.
+  ASSERT_TRUE(db.Append("flights", {Call(1, "x", 300)}).ok());
+  EXPECT_EQ(db.QueryView("by_state", Tuple{Value("CA")}).value()[1], Value(200));
+}
+
+TEST(DatabaseTest, MultiChronicleAppendTick) {
+  ChronicleDatabase db;
+  Schema s({{"x", DataType::kInt64}});
+  ASSERT_TRUE(db.CreateChronicle("a", s).ok());
+  ASSERT_TRUE(db.CreateChronicle("b", s).ok());
+  AppendResult result =
+      db.AppendMulti({{"a", {Tuple{Value(1)}}}, {"b", {Tuple{Value(2)}}}}, 10)
+          .value();
+  EXPECT_EQ(result.event.inserts.size(), 2u);
+  EXPECT_EQ(db.group().last_chronon(), 10);
+}
+
+TEST(DatabaseTest, PeriodicViewMaintainedOnAppend) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle("calls", CallSchema()).ok());
+  CaExprPtr plan = db.ScanChronicle("calls").value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "total")})
+                         .value();
+  auto cal = PeriodicCalendar::Make(0, 30).value();
+  ASSERT_TRUE(db.CreatePeriodicView("monthly", plan, spec, cal).ok());
+
+  ASSERT_TRUE(db.Append("calls", {Call(1, "x", 10)}, /*chronon=*/5).ok());
+  ASSERT_TRUE(db.Append("calls", {Call(1, "x", 20)}, /*chronon=*/35).ok());
+
+  const PeriodicViewSet* monthly = db.GetPeriodicView("monthly").value();
+  EXPECT_EQ(monthly->Lookup(0, Tuple{Value(1)}).value()[1], Value(10));
+  EXPECT_EQ(monthly->Lookup(1, Tuple{Value(1)}).value()[1], Value(20));
+  EXPECT_TRUE(db.GetPeriodicView("zzz").status().IsNotFound());
+}
+
+TEST(DatabaseTest, SlidingViewMaintainedOnAppend) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle("trades", CallSchema()).ok());
+  CaExprPtr plan = db.ScanChronicle("trades").value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "total")})
+                         .value();
+  ASSERT_TRUE(db.CreateSlidingView("moving", plan, spec, 0, 10, 3).ok());
+  ASSERT_TRUE(db.Append("trades", {Call(1, "x", 10)}, 5).ok());
+  ASSERT_TRUE(db.Append("trades", {Call(1, "x", 20)}, 25).ok());
+  const SlidingWindowView* moving = db.GetSlidingView("moving").value();
+  EXPECT_EQ(moving->QueryWindow(Tuple{Value(1)}).value()[1], Value(30));
+  EXPECT_TRUE(db.GetSlidingView("zzz").status().IsNotFound());
+}
+
+TEST(DatabaseTest, QueryUnknownViewFails) {
+  ChronicleDatabase db;
+  EXPECT_TRUE(db.QueryView("nope", Tuple{}).status().IsNotFound());
+  EXPECT_TRUE(db.ScanView("nope").status().IsNotFound());
+  EXPECT_TRUE(db.ScanChronicle("nope").status().IsNotFound());
+  EXPECT_TRUE(db.GetRelation("nope").status().IsNotFound());
+}
+
+TEST(DatabaseTest, ViewOverStreamOnlyChronicle) {
+  // The headline property: retention None (nothing stored), yet the view is
+  // exact — maintenance never reads the chronicle.
+  ChronicleDatabase db;
+  ASSERT_TRUE(
+      db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None()).ok());
+  CaExprPtr plan = db.ScanChronicle("calls").value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "total")})
+                         .value();
+  ASSERT_TRUE(db.CreateView("minutes", plan, spec).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Append("calls", {Call(1, "NJ", 1)}).ok());
+  }
+  EXPECT_EQ(db.QueryView("minutes", Tuple{Value(1)}).value()[1], Value(100));
+  EXPECT_EQ(db.group().MemoryFootprint(), 0u);  // nothing stored
+}
+
+}  // namespace
+}  // namespace chronicle

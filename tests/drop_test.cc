@@ -1,0 +1,152 @@
+// Tests for DROP VIEW / DROP RELATION: tombstoning, routing cleanup,
+// reference protection, and CQL surface.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint.h"
+#include "cql/binder.h"
+#include "db/database.h"
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Tuple Call(int64_t caller, const std::string& region, int64_t minutes) {
+  return Tuple{Value(caller), Value(region), Value(minutes)};
+}
+
+class DropTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateChronicle("calls", CallSchema()).ok());
+    CaExprPtr scan = db_.ScanChronicle("calls").value();
+    SummarySpec spec = SummarySpec::GroupBy(scan->schema(), {"caller"},
+                                            {AggSpec::Sum("minutes", "m")})
+                           .value();
+    ASSERT_TRUE(db_.CreateView("totals", scan, spec).ok());
+  }
+
+  ChronicleDatabase db_;
+};
+
+TEST_F(DropTest, DroppedViewStopsBeingMaintainedAndQueried) {
+  ASSERT_TRUE(db_.Append("calls", {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(db_.DropView("totals").ok());
+  EXPECT_TRUE(db_.QueryView("totals", {Value(1)}).status().IsNotFound());
+  // Appends still flow; they just touch no views.
+  AppendResult result = db_.Append("calls", {Call(1, "NJ", 5)}).value();
+  EXPECT_EQ(result.maintenance.views_considered, 0u);
+  EXPECT_EQ(db_.view_manager().num_live_views(), 0u);
+}
+
+TEST_F(DropTest, DropUnknownViewIsNotFound) {
+  EXPECT_TRUE(db_.DropView("zzz").IsNotFound());
+}
+
+TEST_F(DropTest, NameReusableAfterDrop) {
+  ASSERT_TRUE(db_.DropView("totals").ok());
+  CaExprPtr scan = db_.ScanChronicle("calls").value();
+  SummarySpec spec = SummarySpec::GroupBy(scan->schema(), {"region"},
+                                          {AggSpec::Count("n")})
+                         .value();
+  ASSERT_TRUE(db_.CreateView("totals", scan, spec).ok());
+  ASSERT_TRUE(db_.Append("calls", {Call(1, "NJ", 5)}).ok());
+  // The replacement definition is in effect (grouped by region now).
+  EXPECT_EQ(db_.QueryView("totals", {Value("NJ")}).value()[1], Value(1));
+}
+
+TEST_F(DropTest, SurvivingViewsKeepWorkingAfterSiblingDrop) {
+  CaExprPtr scan = db_.ScanChronicle("calls").value();
+  for (const char* region : {"NJ", "NY", "CA"}) {
+    CaExprPtr plan =
+        CaExpr::Select(scan, Eq(Col("region"), Lit(Value(region)))).value();
+    SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                            {AggSpec::Count("n")})
+                           .value();
+    ASSERT_TRUE(db_.CreateView(std::string("r_") + region, plan, spec).ok());
+  }
+  ASSERT_TRUE(db_.DropView("r_NY").ok());
+  ASSERT_TRUE(db_.Append("calls", {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(db_.Append("calls", {Call(2, "NY", 5)}).ok());
+  EXPECT_EQ(db_.QueryView("r_NJ", {Value(1)}).value()[1], Value(1));
+  EXPECT_TRUE(db_.QueryView("r_NY", {Value(2)}).status().IsNotFound());
+  // The eq-index no longer routes to the dropped view: only the fixture's
+  // unguarded "totals" view fires for an NY append.
+  AppendResult result = db_.Append("calls", {Call(3, "NY", 5)}).value();
+  EXPECT_EQ(result.maintenance.views_updated, 1u);
+  EXPECT_TRUE(db_.QueryView("r_NY", {Value(3)}).status().IsNotFound());
+}
+
+TEST_F(DropTest, PeriodicAndSlidingViewsDroppable) {
+  CaExprPtr scan = db_.ScanChronicle("calls").value();
+  SummarySpec spec = SummarySpec::GroupBy(scan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "m")})
+                         .value();
+  auto cal = PeriodicCalendar::Make(0, 10).value();
+  ASSERT_TRUE(db_.CreatePeriodicView("monthly", scan, spec, cal).ok());
+  ASSERT_TRUE(db_.CreateSlidingView("moving", scan, spec, 0, 1, 5).ok());
+
+  ASSERT_TRUE(db_.DropView("monthly").ok());
+  ASSERT_TRUE(db_.DropView("moving").ok());
+  EXPECT_TRUE(db_.GetPeriodicView("monthly").status().IsNotFound());
+  EXPECT_TRUE(db_.GetSlidingView("moving").status().IsNotFound());
+  // Maintenance continues without them.
+  EXPECT_TRUE(db_.Append("calls", {Call(1, "NJ", 5)}).ok());
+}
+
+TEST_F(DropTest, RelationDropRefusedWhileReferenced) {
+  Schema cust_schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+  ASSERT_TRUE(db_.CreateRelation("cust", cust_schema, "acct").ok());
+  Relation* cust = db_.GetRelation("cust").value();
+  CaExprPtr joined =
+      CaExpr::RelKeyJoin(db_.ScanChronicle("calls").value(), cust, "caller")
+          .value();
+  SummarySpec spec = SummarySpec::GroupBy(joined->schema(), {"state"},
+                                          {AggSpec::Count("n")})
+                         .value();
+  ASSERT_TRUE(db_.CreateView("by_state", joined, spec).ok());
+
+  Status blocked = db_.DropRelation("cust");
+  ASSERT_TRUE(blocked.IsFailedPrecondition());
+  EXPECT_NE(blocked.message().find("referenced"), std::string::npos);
+
+  // After the referencing view goes away the relation can be dropped.
+  ASSERT_TRUE(db_.DropView("by_state").ok());
+  ASSERT_TRUE(db_.DropRelation("cust").ok());
+  EXPECT_TRUE(db_.GetRelation("cust").status().IsNotFound());
+  EXPECT_TRUE(db_.DropRelation("cust").IsNotFound());
+}
+
+TEST_F(DropTest, CheckpointSkipsDroppedViews) {
+  namespace ckpt = chronicle::checkpoint;
+  ASSERT_TRUE(db_.Append("calls", {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(db_.DropView("totals").ok());
+  // SaveDatabase must not choke on the tombstone.
+  Result<cql::ExecResult> saved =
+      cql::Execute(&db_, "CHECKPOINT TO '/tmp/chronicle_drop_test.ckpt'");
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  std::remove("/tmp/chronicle_drop_test.ckpt");
+}
+
+TEST_F(DropTest, CqlDropStatements) {
+  auto exec = [&](const std::string& sql) { return cql::Execute(&db_, sql); };
+  ASSERT_TRUE(exec("DROP VIEW totals").ok());
+  EXPECT_TRUE(exec("DROP VIEW totals").status().IsNotFound());
+  ASSERT_TRUE(exec("CREATE RELATION r (a INT64) KEY a").ok());
+  ASSERT_TRUE(exec("DROP RELATION r").ok());
+  EXPECT_TRUE(exec("DROP RELATION r").status().IsNotFound());
+  // Chronicles cannot be dropped — the parser says why.
+  Result<cql::ExecResult> bad = exec("DROP CHRONICLE calls");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("system of record"), std::string::npos);
+  // SHOW VIEWS tolerates tombstones.
+  EXPECT_TRUE(exec("SHOW VIEWS").ok());
+}
+
+}  // namespace
+}  // namespace chronicle

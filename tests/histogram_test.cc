@@ -1,0 +1,112 @@
+#include "common/histogram.h"
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include "views/view_manager.h"
+
+namespace chronicle {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 0.0);
+  EXPECT_EQ(h.PercentileNanos(0.5), 0);
+  EXPECT_EQ(h.MinNanos(), 0);
+  EXPECT_EQ(h.MaxNanos(), 0);
+}
+
+TEST(HistogramTest, BasicStatistics) {
+  LatencyHistogram h;
+  for (int64_t v : {100, 200, 300, 400}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 250.0);
+  EXPECT_EQ(h.MinNanos(), 100);
+  EXPECT_EQ(h.MaxNanos(), 400);
+}
+
+TEST(HistogramTest, PercentilesAreBucketUpperBounds) {
+  LatencyHistogram h;
+  // 99 samples at ~1us, 1 sample at ~1ms.
+  for (int i = 0; i < 99; ++i) h.Record(1000);
+  h.Record(1000000);
+  // p50 lands in the bucket containing 1000: [1024) upper bound is 1024.
+  EXPECT_LE(h.PercentileNanos(0.5), 2048);
+  EXPECT_GE(h.PercentileNanos(0.5), 1000);
+  // p100 reaches the millisecond bucket.
+  EXPECT_GE(h.PercentileNanos(1.0), 1000000);
+}
+
+TEST(HistogramTest, PercentileMonotoneInQ) {
+  LatencyHistogram h;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Uniform(1000000)));
+  }
+  int64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    int64_t p = h.PercentileNanos(q);
+    EXPECT_GE(p, prev) << q;
+    prev = p;
+  }
+}
+
+TEST(HistogramTest, NegativeClampsAndHugeValuesSaturate) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.MinNanos(), 0);
+  h.Record(int64_t{1} << 62);  // beyond the last bucket bound
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.MaxNanos(), int64_t{1} << 62);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MaxNanos(), 0);
+}
+
+TEST(HistogramTest, ToStringMentionsStats) {
+  LatencyHistogram h;
+  h.Record(1500);
+  std::string repr = h.ToString();
+  EXPECT_NE(repr.find("n=1"), std::string::npos);
+  EXPECT_NE(repr.find("p99"), std::string::npos);
+}
+
+TEST(ViewProfilingTest, HistogramPopulatedWhenEnabled) {
+  Schema schema({{"x", DataType::kInt64}});
+  CaExprPtr scan = CaExpr::Scan(0, "c", schema).value();
+  SummarySpec spec =
+      SummarySpec::GroupBy(schema, {}, {AggSpec::Count("n")}).value();
+
+  ViewManager manager;
+  ASSERT_TRUE(
+      manager.AddView(PersistentView::Make(0, "v", scan, spec).value()).ok());
+
+  AppendEvent event;
+  event.sn = 1;
+  event.chronon = 1;
+  event.inserts.emplace_back(0, std::vector<Tuple>{Tuple{Value(1)}});
+
+  // Off by default: nothing recorded.
+  ASSERT_TRUE(manager.ProcessAppend(event).ok());
+  EXPECT_EQ(manager.GetViewLatency("v").value()->count(), 0u);
+
+  manager.set_profiling(true);
+  event.sn = 2;
+  ASSERT_TRUE(manager.ProcessAppend(event).ok());
+  event.sn = 3;
+  ASSERT_TRUE(manager.ProcessAppend(event).ok());
+  const LatencyHistogram* latency = manager.GetViewLatency("v").value();
+  EXPECT_EQ(latency->count(), 2u);
+  EXPECT_GT(latency->MaxNanos(), 0);
+  EXPECT_TRUE(manager.GetViewLatency("nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,90 @@
+#include "storage/keyed_table.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+class KeyedTableModeTest : public ::testing::TestWithParam<IndexMode> {};
+
+TEST_P(KeyedTableModeTest, GetOrCreateAndFind) {
+  KeyedTable<int> table(GetParam());
+  EXPECT_EQ(table.size(), 0u);
+  Tuple key{Value(1), Value("a")};
+  table.GetOrCreate(key) = 7;
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_NE(table.Find(key), nullptr);
+  EXPECT_EQ(*table.Find(key), 7);
+  EXPECT_EQ(table.Find(Tuple{Value(2), Value("a")}), nullptr);
+}
+
+TEST_P(KeyedTableModeTest, GetOrCreateIsIdempotentPerKey) {
+  KeyedTable<int> table(GetParam());
+  Tuple key{Value(5)};
+  table.GetOrCreate(key) += 1;
+  table.GetOrCreate(key) += 1;
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.Find(key), 2);
+}
+
+TEST_P(KeyedTableModeTest, EraseAndClear) {
+  KeyedTable<int> table(GetParam());
+  table.GetOrCreate(Tuple{Value(1)}) = 1;
+  table.GetOrCreate(Tuple{Value(2)}) = 2;
+  EXPECT_TRUE(table.Erase(Tuple{Value(1)}));
+  EXPECT_FALSE(table.Erase(Tuple{Value(1)}));
+  EXPECT_EQ(table.size(), 1u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST_P(KeyedTableModeTest, ForEachVisitsAll) {
+  KeyedTable<int> table(GetParam());
+  for (int i = 0; i < 10; ++i) table.GetOrCreate(Tuple{Value(i)}) = i * i;
+  int sum = 0;
+  table.ForEach([&](const Tuple& key, const int& v) {
+    EXPECT_EQ(key[0].int64() * key[0].int64(), v);
+    sum += v;
+  });
+  EXPECT_EQ(sum, 285);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, KeyedTableModeTest,
+                         ::testing::Values(IndexMode::kHash, IndexMode::kOrdered),
+                         [](const ::testing::TestParamInfo<IndexMode>& info) {
+                           return info.param == IndexMode::kHash ? "Hash"
+                                                                 : "Ordered";
+                         });
+
+TEST(KeyedTableTest, OrderedModeIteratesInKeyOrder) {
+  KeyedTable<int> table(IndexMode::kOrdered);
+  table.GetOrCreate(Tuple{Value(3)}) = 3;
+  table.GetOrCreate(Tuple{Value(1)}) = 1;
+  table.GetOrCreate(Tuple{Value(2)}) = 2;
+  std::vector<int> order;
+  table.ForEach([&](const Tuple&, const int& v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KeyedTableTest, CrossTypeNumericKeysCollide) {
+  // Key semantics follow Value equality: 2 and 2.0 are the same group key
+  // in both index modes.
+  for (IndexMode mode : {IndexMode::kHash, IndexMode::kOrdered}) {
+    KeyedTable<int> table(mode);
+    table.GetOrCreate(Tuple{Value(2)}) = 1;
+    table.GetOrCreate(Tuple{Value(2.0)}) += 1;
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(*table.Find(Tuple{Value(2)}), 2);
+  }
+}
+
+TEST(KeyedTableTest, EmptyKeyTupleIsValid) {
+  // Views with an empty grouping list (global aggregates) key on ().
+  KeyedTable<int> table(IndexMode::kHash);
+  table.GetOrCreate(Tuple{}) = 42;
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.Find(Tuple{}), 42);
+}
+
+}  // namespace
+}  // namespace chronicle

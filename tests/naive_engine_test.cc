@@ -1,0 +1,221 @@
+#include "baseline/naive_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Schema CustSchema() {
+  return Schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+}
+
+Tuple Call(int64_t caller, const std::string& region, int64_t minutes) {
+  return Tuple{Value(caller), Value(region), Value(minutes)};
+}
+
+struct Fixture {
+  ChronicleGroup group;
+  ChronicleId calls;
+  NaiveEngine engine{&group};
+
+  Fixture() {
+    calls = group.CreateChronicle("calls", CallSchema()).value();
+  }
+
+  CaExprPtr Scan() {
+    return CaExpr::Scan(*group.GetChronicle(calls).value()).value();
+  }
+};
+
+TEST(NaiveEngineTest, ScanReturnsWholeChronicle) {
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(2, "NY", 3)}).ok());
+  auto rows = fx.engine.Evaluate(*fx.Scan()).value();
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(NaiveEngineTest, RequiresFullRetention) {
+  ChronicleGroup group;
+  ChronicleId id =
+      group.CreateChronicle("calls", CallSchema(), RetentionPolicy::Window(1))
+          .value();
+  ASSERT_TRUE(group.Append(id, {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(group.Append(id, {Call(2, "NY", 3)}).ok());  // first row dropped
+  NaiveEngine engine(&group);
+  CaExprPtr scan = CaExpr::Scan(*group.GetChronicle(id).value()).value();
+  Status st = engine.Evaluate(*scan).status();
+  ASSERT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("entire chronicle"), std::string::npos);
+}
+
+TEST(NaiveEngineTest, SelectProjectGroupBy) {
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 5), Call(2, "NJ", 7)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 2)}).ok());
+
+  CaExprPtr plan =
+      CaExpr::GroupBySeq(
+          CaExpr::Select(fx.Scan(), Gt(Col("minutes"), Lit(Value(2)))).value(),
+          {"region"}, {AggSpec::Sum("minutes", "total")})
+          .value();
+  auto rows = fx.engine.Evaluate(*plan).value();
+  // Tick 1 groups to (NJ, 12); tick 2's only row fails the filter.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].values, (Tuple{Value("NJ"), Value(12)}));
+  EXPECT_EQ(rows[0].sn, 1u);
+}
+
+TEST(NaiveEngineTest, EvaluateSummaryAggregatesAcrossTicks) {
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 7)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(2, "NY", 1)}).ok());
+
+  SummarySpec spec = SummarySpec::GroupBy(CallSchema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "total")})
+                         .value();
+  auto rows = fx.engine.EvaluateSummary(*fx.Scan(), spec).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Tuple{Value(1), Value(12)}));
+  EXPECT_EQ(rows[1], (Tuple{Value(2), Value(1)}));
+}
+
+TEST(NaiveEngineTest, EvaluateSummaryDistinctProjection) {
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(2, "NJ", 5)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(3, "NY", 5)}).ok());
+  SummarySpec spec =
+      SummarySpec::DistinctProjection(CallSchema(), {"region"}).value();
+  auto rows = fx.engine.EvaluateSummary(*fx.Scan(), spec).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Tuple{Value("NJ")}));
+  EXPECT_EQ(rows[1], (Tuple{Value("NY")}));
+}
+
+TEST(NaiveEngineTest, EvaluatesForbiddenOperators) {
+  // The relational baseline CAN express these; they are just not
+  // incrementally maintainable (Theorem 4.3).
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 5)}).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(2, "NY", 3)}).ok());
+
+  CaExprPtr drop = CaExpr::ProjectDropSn(fx.Scan(), {"region"}).value();
+  auto dropped = fx.engine.Evaluate(*drop).value();
+  EXPECT_EQ(dropped.size(), 2u);  // NJ and NY, sn=0
+
+  CaExprPtr cross = CaExpr::ChronicleCross(fx.Scan(), fx.Scan()).value();
+  auto crossed = fx.engine.Evaluate(*cross).value();
+  EXPECT_EQ(crossed.size(), 4u);  // 2 × 2
+
+  CaExprPtr lt = CaExpr::SeqThetaJoin(fx.Scan(), fx.Scan(), CompareOp::kLt)
+                     .value();
+  auto theta = fx.engine.Evaluate(*lt).value();
+  ASSERT_EQ(theta.size(), 1u);  // only sn1 < sn2
+  EXPECT_EQ(theta[0].sn, 2u);   // max of the pair
+
+  CaExprPtr nosn =
+      CaExpr::GroupByNoSn(fx.Scan(), {}, {AggSpec::Count("n")}).value();
+  auto grouped = fx.engine.Evaluate(*nosn).value();
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].values, (Tuple{Value(2)}));
+}
+
+TEST(NaiveEngineTest, SeqJoinMatchesOnSn) {
+  ChronicleGroup group;
+  Schema s({{"x", DataType::kInt64}});
+  ChronicleId a = group.CreateChronicle("a", s).value();
+  ChronicleId b = group.CreateChronicle("b", s).value();
+  ASSERT_TRUE(group
+                  .AppendMulti({{a, {Tuple{Value(1)}}}, {b, {Tuple{Value(10)}}}},
+                               1)
+                  .ok());
+  ASSERT_TRUE(group.Append(a, {Tuple{Value(2)}}).ok());  // no b-partner
+
+  NaiveEngine engine(&group);
+  CaExprPtr plan =
+      CaExpr::SeqJoin(CaExpr::Scan(*group.GetChronicle(a).value()).value(),
+                      CaExpr::Scan(*group.GetChronicle(b).value()).value())
+          .value();
+  auto rows = engine.Evaluate(*plan).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].values, (Tuple{Value(1), Value(10)}));
+}
+
+TEST(NaiveEngineTest, RelationHistoryReproducesTemporalJoin) {
+  // A customer moves from NJ to CA between two flights; the baseline must
+  // join the first flight with the NJ version and the second with CA.
+  ChronicleGroup group;
+  ChronicleId flights = group.CreateChronicle("flights", CallSchema()).value();
+  Relation cust = Relation::Make("cust", CustSchema(), "acct").value();
+  RelationHistory history;
+
+  ASSERT_TRUE(cust.Insert(Tuple{Value(1), Value("NJ")}).ok());
+  history.Snapshot(cust, /*from_sn=*/1);
+  ASSERT_TRUE(group.Append(flights, {Call(1, "x", 100)}).ok());  // sn 1
+
+  ASSERT_TRUE(cust.UpdateByKey(Value(1), Tuple{Value(1), Value("CA")}).ok());
+  history.Snapshot(cust, /*from_sn=*/2);
+  ASSERT_TRUE(group.Append(flights, {Call(1, "x", 200)}).ok());  // sn 2
+
+  NaiveEngine engine(&group, &history);
+  CaExprPtr plan =
+      CaExpr::RelKeyJoin(
+          CaExpr::Scan(*group.GetChronicle(flights).value()).value(), &cust,
+          "caller")
+          .value();
+  auto rows = engine.Evaluate(*plan).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].values[4], Value("NJ"));  // sn 1 sees the old version
+  EXPECT_EQ(rows[1].values[4], Value("CA"));  // sn 2 sees the new version
+  EXPECT_EQ(history.num_snapshots(), 2u);
+
+  // Without history, the engine (incorrectly for retro analysis) uses the
+  // current version for everything — which is why the chronicle model
+  // maintains views forward instead.
+  NaiveEngine no_history(&group);
+  auto rows2 = no_history.Evaluate(*plan).value();
+  EXPECT_EQ(rows2[0].values[4], Value("CA"));
+}
+
+TEST(NaiveEngineTest, ChrononResolverFeedsPredicates) {
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 5)}, /*chronon=*/100).ok());
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(2, "NY", 3)}, /*chronon=*/200).ok());
+  CaExprPtr plan =
+      CaExpr::Select(fx.Scan(),
+                     Ge(ScalarExpr::ChrononRef(), Lit(Value(150))))
+          .value();
+  // Default resolver (chronon == sn) filters everything out.
+  EXPECT_TRUE(fx.engine.Evaluate(*plan).value().empty());
+  // A real resolver finds the second tick.
+  fx.engine.set_chronon_resolver(
+      [](SeqNum sn) { return static_cast<Chronon>(sn * 100); });
+  auto rows = fx.engine.Evaluate(*plan).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].values[0], Value(2));
+}
+
+TEST(NaiveEngineTest, UnionAndDifferenceSetSemantics) {
+  Fixture fx;
+  ASSERT_TRUE(fx.group.Append(fx.calls, {Call(1, "NJ", 15)}).ok());
+  CaExprPtr scan = fx.Scan();
+  CaExprPtr nj = CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NJ")))).value();
+  CaExprPtr big = CaExpr::Select(scan, Ge(Col("minutes"), Lit(Value(10)))).value();
+  // The row satisfies both branches: union holds it once.
+  auto u = fx.engine.Evaluate(*CaExpr::Union(nj, big).value()).value();
+  EXPECT_EQ(u.size(), 1u);
+  // scan − nj is empty.
+  auto d = fx.engine.Evaluate(*CaExpr::Difference(scan, nj).value()).value();
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace chronicle

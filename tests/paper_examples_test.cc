@@ -1,0 +1,199 @@
+// Integration tests that walk through the paper's own running examples,
+// asserting the exact behaviors the prose describes.
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_engine.h"
+#include "cql/binder.h"
+#include "db/database.h"
+
+namespace chronicle {
+namespace {
+
+// Example 2.1: "an airline database for tracking frequent flyer miles...
+// one chronicle (mileage transactions), at least one relation (customers),
+// at least three persistent views: the mileage balance, the miles actually
+// flown, and the premier status of each customer. The language must allow
+// for aggregation and joins between the chronicle and the relation."
+TEST(PaperExamplesTest, Example21FrequentFlyerDatabase) {
+  ChronicleDatabase db;
+  Schema flight_schema({{"acct", DataType::kInt64},
+                        {"miles", DataType::kInt64},
+                        {"bonus", DataType::kInt64}});
+  Schema cust_schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+  ASSERT_TRUE(
+      db.CreateChronicle("mileage", flight_schema, RetentionPolicy::None()).ok());
+  ASSERT_TRUE(db.CreateRelation("customer", cust_schema, "acct").ok());
+  ASSERT_TRUE(db.InsertInto("customer", Tuple{Value(1), Value("NJ")}).ok());
+
+  CaExprPtr scan = db.ScanChronicle("mileage").value();
+
+  // View 1: mileage balance (miles + bonuses).
+  SummarySpec balance_spec =
+      SummarySpec::GroupBy(scan->schema(), {"acct"},
+                           {AggSpec::Sum("miles", "flown"),
+                            AggSpec::Sum("bonus", "bonus")})
+          .value();
+  ASSERT_TRUE(db.CreateView("balance", scan, balance_spec).ok());
+
+  // View 2: miles actually flown.
+  SummarySpec flown_spec =
+      SummarySpec::GroupBy(scan->schema(), {"acct"},
+                           {AggSpec::Sum("miles", "flown")})
+          .value();
+  ASSERT_TRUE(db.CreateView("miles_flown", scan, flown_spec).ok());
+
+  // View 3: premier status, derived from the balance with a CASE.
+  std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> branches;
+  branches.emplace_back(Ge(Col("total"), Lit(Value(50000))), Lit(Value("gold")));
+  branches.emplace_back(Ge(Col("total"), Lit(Value(25000))),
+                        Lit(Value("silver")));
+  std::vector<ComputedColumn> premier;
+  premier.push_back(ComputedColumn{
+      "status", ScalarExpr::Case(std::move(branches), Lit(Value("bronze")))});
+  SummarySpec premier_spec =
+      SummarySpec::GroupBy(scan->schema(), {"acct"},
+                           {AggSpec::Sum("miles", "total")})
+          .value();
+  ASSERT_TRUE(
+      db.CreateView("premier", scan, premier_spec, std::move(premier)).ok());
+
+  // Fly.
+  ASSERT_TRUE(db.Append("mileage", {Tuple{Value(1), Value(20000), Value(0)}}).ok());
+  ASSERT_TRUE(db.Append("mileage", {Tuple{Value(1), Value(10000), Value(500)}}).ok());
+
+  EXPECT_EQ(db.QueryView("balance", {Value(1)}).value(),
+            (Tuple{Value(1), Value(30000), Value(500)}));
+  EXPECT_EQ(db.QueryView("miles_flown", {Value(1)}).value()[1], Value(30000));
+  EXPECT_EQ(db.QueryView("premier", {Value(1)}).value()[2], Value("silver"));
+}
+
+// Example 2.2: "each customer living in New Jersey gets a bonus of 500
+// miles on each flight... A flight tuple qualifies for the bonus only if
+// the flight was made during the period of residence in New Jersey. An
+// update to the relation is proactive if the address update occurs before
+// the associated tuples are appended to the chronicle."
+TEST(PaperExamplesTest, Example22NjBonusTemporalJoin) {
+  ChronicleDatabase db;
+  Schema flight_schema({{"acct", DataType::kInt64}, {"miles", DataType::kInt64}});
+  Schema cust_schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+  ASSERT_TRUE(
+      db.CreateChronicle("flights", flight_schema, RetentionPolicy::None()).ok());
+  ASSERT_TRUE(db.CreateRelation("customer", cust_schema, "acct").ok());
+  ASSERT_TRUE(db.InsertInto("customer", Tuple{Value(1), Value("NJ")}).ok());
+
+  Relation* customer = db.GetRelation("customer").value();
+  CaExprPtr joined =
+      CaExpr::RelKeyJoin(db.ScanChronicle("flights").value(), customer, "acct")
+          .value();
+  CaExprPtr nj_only =
+      CaExpr::Select(joined, Eq(Col("state"), Lit(Value("NJ")))).value();
+  SummarySpec bonus_spec =
+      SummarySpec::GroupBy(nj_only->schema(), {"acct"},
+                           {AggSpec::Count("nj_flights")})
+          .value();
+  ASSERT_TRUE(db.CreateView("nj_bonus", nj_only, bonus_spec).ok());
+
+  // Flight while resident in NJ: qualifies.
+  ASSERT_TRUE(db.Append("flights", {Tuple{Value(1), Value(1000)}}).ok());
+  // Proactive move out of NJ, BEFORE the next flight.
+  ASSERT_TRUE(
+      db.UpdateRelation("customer", Value(1), Tuple{Value(1), Value("CA")}).ok());
+  // Flight while resident in CA: does not qualify.
+  ASSERT_TRUE(db.Append("flights", {Tuple{Value(1), Value(1000)}}).ok());
+  // Move back; qualifies again.
+  ASSERT_TRUE(
+      db.UpdateRelation("customer", Value(1), Tuple{Value(1), Value("NJ")}).ok());
+  ASSERT_TRUE(db.Append("flights", {Tuple{Value(1), Value(1000)}}).ok());
+
+  // 2 of the 3 flights earn the bonus: 1000 bonus miles at 500 each.
+  Tuple row = db.QueryView("nj_bonus", {Value(1)}).value();
+  EXPECT_EQ(row[1], Value(2));
+  const int64_t bonus_miles = 500 * row[1].int64();
+  EXPECT_EQ(bonus_miles, 1000);
+}
+
+// §1: "a summary query that computes the total number of minutes of calls
+// made in the current billing month from a phone number... executed
+// whenever a cellular phone is turned on", all in CQL.
+TEST(PaperExamplesTest, Section1CellularPowerOnQuery) {
+  ChronicleDatabase db;
+  auto exec = [&](const std::string& sql) {
+    Result<cql::ExecResult> result = cql::Execute(&db, sql);
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+  };
+  exec("CREATE CHRONICLE calls (number INT64, minutes INT64) RETAIN NONE");
+  exec("CREATE PERIODIC VIEW monthly AS SELECT number, SUM(minutes) AS m "
+       "FROM calls GROUP BY number OVER PERIOD 720");  // 720 h = 1 month
+  exec("CREATE VIEW since_assigned AS SELECT number, SUM(minutes) AS m "
+       "FROM calls GROUP BY number");
+
+  exec("INSERT INTO calls VALUES (5551234, 12) AT 10");
+  exec("INSERT INTO calls VALUES (5551234, 8) AT 500");
+  exec("INSERT INTO calls VALUES (5551234, 40) AT 900");  // next month
+
+  // Power-on display in month 1.
+  const PeriodicViewSet* monthly = db.GetPeriodicView("monthly").value();
+  EXPECT_EQ(monthly->Lookup(1, {Value(5551234)}).value()[1], Value(40));
+  EXPECT_EQ(monthly->Lookup(0, {Value(5551234)}).value()[1], Value(20));
+  // The customer-care query: total since the number was assigned.
+  EXPECT_EQ(db.QueryView("since_assigned", {Value(5551234)}).value()[1],
+            Value(60));
+}
+
+// §5.3's discount plan, checked against a hand-computed bill.
+TEST(PaperExamplesTest, Section53TelephoneDiscountPlan) {
+  ChronicleDatabase db;
+  ASSERT_TRUE(db.CreateChronicle(
+                    "calls",
+                    Schema({{"number", DataType::kInt64},
+                            {"charge", DataType::kDouble}}),
+                    RetentionPolicy::None())
+                  .ok());
+  CaExprPtr scan = db.ScanChronicle("calls").value();
+  TieredSchedule plan =
+      TieredSchedule::Make({{10.0, 0.10}, {25.0, 0.20}}).value();
+  SummarySpec spec =
+      SummarySpec::GroupBy(scan->schema(), {"number"},
+                           {AggSpec::Sum("charge", "gross"),
+                            AggSpec::TieredDiscount("charge", plan, "owed")})
+          .value();
+  ASSERT_TRUE(db.CreateView("bill", scan, spec).ok());
+
+  auto owed = [&]() {
+    return db.QueryView("bill", {Value(1)}).value()[2].dbl();
+  };
+  ASSERT_TRUE(db.Append("calls", {Tuple{Value(1), Value(8.0)}}).ok());
+  EXPECT_DOUBLE_EQ(owed(), 8.0);  // below $10: no discount
+  ASSERT_TRUE(db.Append("calls", {Tuple{Value(1), Value(8.0)}}).ok());
+  EXPECT_DOUBLE_EQ(owed(), 16.0 * 0.9);  // exceeded $10: 10% off everything
+  ASSERT_TRUE(db.Append("calls", {Tuple{Value(1), Value(12.0)}}).ok());
+  EXPECT_DOUBLE_EQ(owed(), 28.0 * 0.8);  // exceeded $25: 20% off everything
+}
+
+// §3: "the size of the relations is assumed to be much smaller than the
+// size of the chronicle" — and the class hierarchy must be reported to
+// users so they can see what their view definition costs.
+TEST(PaperExamplesTest, Section3ComplexityClassesSurfacedToUsers) {
+  ChronicleDatabase db;
+  auto exec = [&](const std::string& sql) {
+    Result<cql::ExecResult> result = cql::Execute(&db, sql);
+    EXPECT_TRUE(result.ok()) << sql;
+    return result.ok() ? result->message : "";
+  };
+  exec("CREATE CHRONICLE c (a INT64, b INT64)");
+  exec("CREATE RELATION r (a INT64, x STRING) KEY a");
+  EXPECT_NE(exec("CREATE VIEW v1 AS SELECT a, SUM(b) AS s FROM c GROUP BY a")
+                .find("IM-Constant"),
+            std::string::npos);
+  EXPECT_NE(exec("CREATE VIEW v2 AS SELECT x, SUM(b) AS s FROM c "
+                 "JOIN r ON a = a GROUP BY x")
+                .find("IM-log(R)"),
+            std::string::npos);
+  EXPECT_NE(exec("CREATE VIEW v3 AS SELECT COUNT(*) AS n FROM c CROSS JOIN r")
+                .find("IM-R^k"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronicle

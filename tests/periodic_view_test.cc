@@ -1,0 +1,143 @@
+#include "periodic/periodic_view.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema TradeSchema() {
+  return Schema({{"symbol", DataType::kString}, {"shares", DataType::kInt64}});
+}
+
+CaExprPtr ScanTrades() { return CaExpr::Scan(0, "trades", TradeSchema()).value(); }
+
+SummarySpec SharesSpec() {
+  return SummarySpec::GroupBy(TradeSchema(), {"symbol"},
+                              {AggSpec::Sum("shares", "total")})
+      .value();
+}
+
+AppendEvent Trade(SeqNum sn, Chronon chronon, const std::string& symbol,
+                  int64_t shares) {
+  AppendEvent event;
+  event.sn = sn;
+  event.chronon = chronon;
+  event.inserts.emplace_back(
+      0, std::vector<Tuple>{Tuple{Value(symbol), Value(shares)}});
+  return event;
+}
+
+TEST(PeriodicViewTest, MonthlyInstancesAccumulateIndependently) {
+  auto cal = PeriodicCalendar::Make(0, 30).value();
+  auto set =
+      PeriodicViewSet::Make("monthly", ScanTrades(), SharesSpec(), cal).value();
+
+  ASSERT_TRUE(set->ProcessAppend(Trade(1, 5, "IBM", 100)).ok());
+  ASSERT_TRUE(set->ProcessAppend(Trade(2, 15, "IBM", 50)).ok());
+  ASSERT_TRUE(set->ProcessAppend(Trade(3, 35, "IBM", 7)).ok());  // month 1
+
+  EXPECT_EQ(set->num_active_instances(), 2u);
+  EXPECT_EQ(set->Lookup(0, Tuple{Value("IBM")}).value()[1], Value(150));
+  EXPECT_EQ(set->Lookup(1, Tuple{Value("IBM")}).value()[1], Value(7));
+}
+
+TEST(PeriodicViewTest, InstancesCreatedLazily) {
+  auto cal = PeriodicCalendar::Make(0, 10).value();
+  auto set =
+      PeriodicViewSet::Make("lazy", ScanTrades(), SharesSpec(), cal).value();
+  EXPECT_EQ(set->num_active_instances(), 0u);
+  // Jump straight to interval 5; intervals 0-4 never materialize.
+  ASSERT_TRUE(set->ProcessAppend(Trade(1, 55, "IBM", 1)).ok());
+  EXPECT_EQ(set->num_active_instances(), 1u);
+  EXPECT_EQ(set->instances_created(), 1u);
+  EXPECT_TRUE(set->GetInstance(0).status().IsNotFound());
+  EXPECT_TRUE(set->GetInstance(5).ok());
+}
+
+TEST(PeriodicViewTest, ExpirationReclaimsClosedInstances) {
+  auto cal = PeriodicCalendar::Make(0, 10).value();
+  PeriodicViewOptions options;
+  options.expire_after = 15;  // keep ~1.5 closed periods
+  auto set = PeriodicViewSet::Make("exp", ScanTrades(), SharesSpec(), cal,
+                                   options)
+                 .value();
+  for (SeqNum sn = 1; sn <= 10; ++sn) {
+    Chronon t = static_cast<Chronon>((sn - 1) * 10);  // one trade per period
+    ASSERT_TRUE(set->ProcessAppend(Trade(sn, t, "IBM", 1)).ok());
+  }
+  // Now at chronon 90. Periods ending at <= 75 are expired.
+  EXPECT_GT(set->instances_expired(), 0u);
+  EXPECT_LT(set->num_active_instances(), 10u);
+  EXPECT_TRUE(set->GetInstance(0).status().IsNotFound());
+  EXPECT_TRUE(set->GetInstance(9).ok());
+}
+
+TEST(PeriodicViewTest, NoExpirationByDefault) {
+  auto cal = PeriodicCalendar::Make(0, 10).value();
+  auto set =
+      PeriodicViewSet::Make("keep", ScanTrades(), SharesSpec(), cal).value();
+  for (SeqNum sn = 1; sn <= 10; ++sn) {
+    ASSERT_TRUE(
+        set->ProcessAppend(Trade(sn, static_cast<Chronon>((sn - 1) * 10),
+                                 "IBM", 1))
+            .ok());
+  }
+  EXPECT_EQ(set->num_active_instances(), 10u);
+  EXPECT_EQ(set->instances_expired(), 0u);
+}
+
+TEST(PeriodicViewTest, OverlappingSlidingInstancesEachSeeTheirWindow) {
+  // Window 20, slide 10: each trade lands in 2 instances.
+  auto cal = SlidingCalendar::Make(0, 20, 10).value();
+  auto set =
+      PeriodicViewSet::Make("moving", ScanTrades(), SharesSpec(), cal).value();
+  ASSERT_TRUE(set->ProcessAppend(Trade(1, 5, "IBM", 10)).ok());   // inst 0
+  ASSERT_TRUE(set->ProcessAppend(Trade(2, 15, "IBM", 20)).ok());  // inst 0,1
+  ASSERT_TRUE(set->ProcessAppend(Trade(3, 25, "IBM", 40)).ok());  // inst 1,2
+
+  EXPECT_EQ(set->Lookup(0, Tuple{Value("IBM")}).value()[1], Value(30));
+  EXPECT_EQ(set->Lookup(1, Tuple{Value("IBM")}).value()[1], Value(60));
+  EXPECT_EQ(set->Lookup(2, Tuple{Value("IBM")}).value()[1], Value(40));
+}
+
+TEST(PeriodicViewTest, EventOutsideEveryIntervalIsIgnored) {
+  FixedCalendar* fixed = new FixedCalendar({{10, 20}});
+  std::shared_ptr<const Calendar> cal(fixed);
+  auto set =
+      PeriodicViewSet::Make("fixed", ScanTrades(), SharesSpec(), cal).value();
+  ASSERT_TRUE(set->ProcessAppend(Trade(1, 5, "IBM", 10)).ok());
+  EXPECT_EQ(set->num_active_instances(), 0u);
+  ASSERT_TRUE(set->ProcessAppend(Trade(2, 15, "IBM", 10)).ok());
+  EXPECT_EQ(set->num_active_instances(), 1u);
+}
+
+TEST(PeriodicViewTest, MakeValidatesInputs) {
+  auto cal = PeriodicCalendar::Make(0, 10).value();
+  EXPECT_FALSE(
+      PeriodicViewSet::Make("x", nullptr, SharesSpec(), cal).ok());
+  EXPECT_FALSE(
+      PeriodicViewSet::Make("x", ScanTrades(), SharesSpec(), nullptr).ok());
+  CaExprPtr bad = CaExpr::ChronicleCross(ScanTrades(), ScanTrades()).value();
+  SummarySpec bad_spec =
+      SummarySpec::GroupBy(bad->schema(), {}, {AggSpec::Count()}).value();
+  EXPECT_FALSE(PeriodicViewSet::Make("x", bad, bad_spec, cal).ok());
+}
+
+TEST(PeriodicViewTest, MemoryFootprintShrinksOnExpiration) {
+  auto cal = PeriodicCalendar::Make(0, 10).value();
+  PeriodicViewOptions options;
+  options.expire_after = 0;  // drop instances the moment their interval ends
+  auto set = PeriodicViewSet::Make("mem", ScanTrades(), SharesSpec(), cal,
+                                   options)
+                 .value();
+  ASSERT_TRUE(set->ProcessAppend(Trade(1, 5, "IBM", 1)).ok());
+  size_t with_one = set->MemoryFootprint();
+  EXPECT_GT(with_one, 0u);
+  // Next period: previous instance expires.
+  ASSERT_TRUE(set->ProcessAppend(Trade(2, 15, "IBM", 1)).ok());
+  EXPECT_EQ(set->num_active_instances(), 1u);
+  EXPECT_EQ(set->instances_expired(), 1u);
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,167 @@
+#include "algebra/scalar_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"a", DataType::kInt64},
+                 {"b", DataType::kDouble},
+                 {"s", DataType::kString}});
+}
+
+Value EvalOn(const ScalarExprPtr& expr, const Tuple& row, SeqNum sn = 0,
+             int64_t chronon = 0) {
+  EvalRow eval{&row, sn, chronon};
+  Result<Value> v = expr->Eval(eval);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? *v : Value();
+}
+
+TEST(ScalarExprTest, ColumnNeedsBinding) {
+  ScalarExprPtr expr = Col("a");
+  Tuple row{Value(1), Value(2.0), Value("x")};
+  EvalRow eval{&row, 0, 0};
+  EXPECT_TRUE(expr->Eval(eval).status().IsFailedPrecondition());
+  ASSERT_TRUE(expr->Bind(TestSchema()).ok());
+  EXPECT_EQ(EvalOn(expr, row), Value(1));
+}
+
+TEST(ScalarExprTest, BindUnknownColumnFails) {
+  ScalarExprPtr expr = Col("missing");
+  EXPECT_TRUE(expr->Bind(TestSchema()).IsNotFound());
+}
+
+TEST(ScalarExprTest, LiteralEvaluatesToItself) {
+  EXPECT_EQ(EvalOn(Lit(Value(9)), Tuple{}), Value(9));
+  EXPECT_EQ(EvalOn(Lit(Value("hi")), Tuple{}), Value("hi"));
+}
+
+TEST(ScalarExprTest, SeqNumAndChrononRefs) {
+  EXPECT_EQ(EvalOn(ScalarExpr::SeqNumRef(), Tuple{}, 42, 0), Value(42));
+  EXPECT_EQ(EvalOn(ScalarExpr::ChrononRef(), Tuple{}, 0, 777), Value(777));
+}
+
+TEST(ScalarExprTest, AllComparisonOps) {
+  Tuple row;
+  auto check = [&](CompareOp op, int64_t a, int64_t b, bool expected) {
+    ScalarExprPtr e = ScalarExpr::Compare(op, Lit(Value(a)), Lit(Value(b)));
+    EXPECT_EQ(EvalOn(e, row), Value(expected ? 1 : 0))
+        << a << " " << CompareOpToString(op) << " " << b;
+  };
+  check(CompareOp::kEq, 2, 2, true);
+  check(CompareOp::kEq, 2, 3, false);
+  check(CompareOp::kNe, 2, 3, true);
+  check(CompareOp::kLt, 2, 3, true);
+  check(CompareOp::kLt, 3, 3, false);
+  check(CompareOp::kLe, 3, 3, true);
+  check(CompareOp::kGt, 4, 3, true);
+  check(CompareOp::kGe, 3, 3, true);
+  check(CompareOp::kGe, 2, 3, false);
+}
+
+TEST(ScalarExprTest, ComparisonWithNullIsFalse) {
+  ScalarExprPtr e = Eq(Lit(Value()), Lit(Value()));
+  EXPECT_EQ(EvalOn(e, Tuple{}), Value(int64_t{0}));
+  ScalarExprPtr lt = Lt(Lit(Value()), Lit(Value(5)));
+  EXPECT_EQ(EvalOn(lt, Tuple{}), Value(int64_t{0}));
+}
+
+TEST(ScalarExprTest, BooleanConnectives) {
+  auto t = [] { return Lit(Value(1)); };
+  auto f = [] { return Lit(Value(int64_t{0})); };
+  EXPECT_EQ(EvalOn(ScalarExpr::And(t(), t()), Tuple{}), Value(1));
+  EXPECT_EQ(EvalOn(ScalarExpr::And(t(), f()), Tuple{}), Value(int64_t{0}));
+  EXPECT_EQ(EvalOn(ScalarExpr::Or(f(), t()), Tuple{}), Value(1));
+  EXPECT_EQ(EvalOn(ScalarExpr::Or(f(), f()), Tuple{}), Value(int64_t{0}));
+  EXPECT_EQ(EvalOn(ScalarExpr::Not(f()), Tuple{}), Value(1));
+  EXPECT_EQ(EvalOn(ScalarExpr::Not(t()), Tuple{}), Value(int64_t{0}));
+}
+
+TEST(ScalarExprTest, ShortCircuitSkipsRightSide) {
+  // Right side would fail (string as boolean); AND false short-circuits.
+  ScalarExprPtr e =
+      ScalarExpr::And(Lit(Value(int64_t{0})), Lit(Value("boom")));
+  EXPECT_EQ(EvalOn(e, Tuple{}), Value(int64_t{0}));
+  ScalarExprPtr o = ScalarExpr::Or(Lit(Value(1)), Lit(Value("boom")));
+  EXPECT_EQ(EvalOn(o, Tuple{}), Value(1));
+}
+
+TEST(ScalarExprTest, IntegerArithmeticStaysExact) {
+  ScalarExprPtr e = ScalarExpr::Arith(
+      ArithOp::kAdd, Lit(Value(int64_t{1} << 60)), Lit(Value(1)));
+  Value v = EvalOn(e, Tuple{});
+  ASSERT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), (int64_t{1} << 60) + 1);
+}
+
+TEST(ScalarExprTest, MixedArithmeticWidensToDouble) {
+  ScalarExprPtr e = ScalarExpr::Arith(ArithOp::kMul, Lit(Value(3)), Lit(Value(0.5)));
+  Value v = EvalOn(e, Tuple{});
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 1.5);
+}
+
+TEST(ScalarExprTest, DivisionAlwaysDouble) {
+  Value v = EvalOn(ScalarExpr::Arith(ArithOp::kDiv, Lit(Value(7)), Lit(Value(2))),
+                   Tuple{});
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.dbl(), 3.5);
+}
+
+TEST(ScalarExprTest, DivisionByZeroIsError) {
+  ScalarExprPtr e =
+      ScalarExpr::Arith(ArithOp::kDiv, Lit(Value(1)), Lit(Value(int64_t{0})));
+  EvalRow eval{nullptr, 0, 0};
+  Tuple empty;
+  eval.values = &empty;
+  EXPECT_FALSE(e->Eval(eval).ok());
+}
+
+TEST(ScalarExprTest, NullPropagatesThroughArithmetic) {
+  ScalarExprPtr e = ScalarExpr::Arith(ArithOp::kAdd, Lit(Value()), Lit(Value(1)));
+  EXPECT_TRUE(EvalOn(e, Tuple{}).is_null());
+}
+
+TEST(ScalarExprTest, CaseSelectsFirstMatchingBranch) {
+  // CASE WHEN a >= 10 THEN "big" WHEN a >= 5 THEN "mid" ELSE "small" END
+  std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> branches;
+  branches.emplace_back(Ge(Col("a"), Lit(Value(10))), Lit(Value("big")));
+  branches.emplace_back(Ge(Col("a"), Lit(Value(5))), Lit(Value("mid")));
+  ScalarExprPtr e = ScalarExpr::Case(std::move(branches), Lit(Value("small")));
+  ASSERT_TRUE(e->Bind(TestSchema()).ok());
+  EXPECT_EQ(EvalOn(e, Tuple{Value(12), Value(0.0), Value("")}), Value("big"));
+  EXPECT_EQ(EvalOn(e, Tuple{Value(7), Value(0.0), Value("")}), Value("mid"));
+  EXPECT_EQ(EvalOn(e, Tuple{Value(1), Value(0.0), Value("")}), Value("small"));
+}
+
+TEST(ScalarExprTest, EvalBoolCoercions) {
+  Tuple row;
+  EvalRow eval{&row, 0, 0};
+  EXPECT_TRUE(Lit(Value(3))->EvalBool(eval).value());
+  EXPECT_FALSE(Lit(Value(int64_t{0}))->EvalBool(eval).value());
+  EXPECT_FALSE(Lit(Value())->EvalBool(eval).value());
+  EXPECT_TRUE(Lit(Value(0.5))->EvalBool(eval).value());
+  EXPECT_FALSE(Lit(Value("x"))->EvalBool(eval).ok());
+}
+
+TEST(ScalarExprTest, CloneIsDeepAndPreservesBinding) {
+  ScalarExprPtr e = ScalarExpr::And(Gt(Col("a"), Lit(Value(5))),
+                                    Eq(Col("s"), Lit(Value("x"))));
+  ASSERT_TRUE(e->Bind(TestSchema()).ok());
+  ScalarExprPtr clone = e->Clone();
+  Tuple row{Value(6), Value(0.0), Value("x")};
+  EXPECT_EQ(EvalOn(clone, row), Value(1));
+  EXPECT_EQ(clone->ToString(), e->ToString());
+}
+
+TEST(ScalarExprTest, ToStringRendering) {
+  ScalarExprPtr e = ScalarExpr::Or(Gt(Col("a"), Lit(Value(5))),
+                                   Le(Col("b"), Lit(Value(1.5))));
+  EXPECT_EQ(e->ToString(), "((a > 5) OR (b <= 1.5))");
+  EXPECT_EQ(ScalarExpr::SeqNumRef()->ToString(), "$sn");
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,85 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"acct", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"amount", DataType::kDouble}});
+}
+
+TEST(SchemaTest, MakeAcceptsDistinctNames) {
+  Result<Schema> schema = Schema::Make(
+      {{"a", DataType::kInt64}, {"b", DataType::kString}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 2u);
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  Result<Schema> schema =
+      Schema::Make({{"a", DataType::kInt64}, {"a", DataType::kString}});
+  ASSERT_FALSE(schema.ok());
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, MakeRejectsEmptyName) {
+  Result<Schema> schema = Schema::Make({{"", DataType::kInt64}});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("acct").value(), 0u);
+  EXPECT_EQ(s.IndexOf("amount").value(), 2u);
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+  EXPECT_TRUE(s.Contains("region"));
+  EXPECT_FALSE(s.Contains("missing"));
+}
+
+TEST(SchemaTest, ProjectReordersAndSubsets) {
+  Schema s = TestSchema();
+  Result<Schema> p = s.Project({"amount", "acct"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_fields(), 2u);
+  EXPECT_EQ(p->field(0).name, "amount");
+  EXPECT_EQ(p->field(0).type, DataType::kDouble);
+  EXPECT_EQ(p->field(1).name, "acct");
+}
+
+TEST(SchemaTest, ProjectUnknownColumnFails) {
+  EXPECT_FALSE(TestSchema().Project({"nope"}).ok());
+}
+
+TEST(SchemaTest, ConcatWithoutCollision) {
+  Schema left({{"a", DataType::kInt64}});
+  Schema right({{"b", DataType::kString}});
+  Schema joined = left.Concat(right, "r");
+  EXPECT_EQ(joined.num_fields(), 2u);
+  EXPECT_EQ(joined.field(1).name, "b");
+}
+
+TEST(SchemaTest, ConcatPrefixesCollisions) {
+  Schema left({{"acct", DataType::kInt64}, {"x", DataType::kDouble}});
+  Schema right({{"acct", DataType::kInt64}, {"y", DataType::kString}});
+  Schema joined = left.Concat(right, "cust");
+  ASSERT_EQ(joined.num_fields(), 4u);
+  EXPECT_EQ(joined.field(2).name, "cust.acct");
+  EXPECT_EQ(joined.field(3).name, "y");
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  Schema other({{"acct", DataType::kInt64}});
+  EXPECT_NE(TestSchema(), other);
+}
+
+TEST(SchemaTest, ToStringRendering) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "(a INT64, b STRING)");
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,78 @@
+#include "views/summary_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+TEST(SummarySpecTest, GroupBySchemaIsKeysThenAggregates) {
+  SummarySpec spec =
+      SummarySpec::GroupBy(CallSchema(), {"caller"},
+                           {AggSpec::Sum("minutes", "total"), AggSpec::Count()})
+          .value();
+  EXPECT_EQ(spec.kind(), SummarySpec::Kind::kGroupBy);
+  ASSERT_EQ(spec.output_schema().num_fields(), 3u);
+  EXPECT_EQ(spec.output_schema().field(0).name, "caller");
+  EXPECT_EQ(spec.output_schema().field(1).name, "total");
+  EXPECT_EQ(spec.output_schema().field(2).name, "count");
+}
+
+TEST(SummarySpecTest, EmptyGroupListIsGlobalGroup) {
+  SummarySpec spec =
+      SummarySpec::GroupBy(CallSchema(), {}, {AggSpec::Count("n")}).value();
+  EXPECT_TRUE(spec.key_columns().empty());
+  EXPECT_EQ(spec.output_schema().num_fields(), 1u);
+  EXPECT_EQ(spec.KeyOf(Tuple{Value(1), Value("NJ"), Value(5)}), Tuple{});
+}
+
+TEST(SummarySpecTest, GroupByRequiresAggregates) {
+  EXPECT_FALSE(SummarySpec::GroupBy(CallSchema(), {"caller"}, {}).ok());
+}
+
+TEST(SummarySpecTest, GroupByUnknownColumnFails) {
+  EXPECT_FALSE(
+      SummarySpec::GroupBy(CallSchema(), {"nope"}, {AggSpec::Count()}).ok());
+}
+
+TEST(SummarySpecTest, KeyOfExtractsGroupColumns) {
+  SummarySpec spec =
+      SummarySpec::GroupBy(CallSchema(), {"region", "caller"},
+                           {AggSpec::Count()})
+          .value();
+  Tuple key = spec.KeyOf(Tuple{Value(7), Value("NJ"), Value(30)});
+  EXPECT_EQ(key, (Tuple{Value("NJ"), Value(7)}));
+}
+
+TEST(SummarySpecTest, DistinctProjection) {
+  SummarySpec spec =
+      SummarySpec::DistinctProjection(CallSchema(), {"region"}).value();
+  EXPECT_EQ(spec.kind(), SummarySpec::Kind::kDistinctProjection);
+  EXPECT_EQ(spec.output_schema().num_fields(), 1u);
+  EXPECT_TRUE(spec.aggregates().empty());
+  EXPECT_EQ(spec.KeyOf(Tuple{Value(1), Value("NJ"), Value(5)}),
+            (Tuple{Value("NJ")}));
+}
+
+TEST(SummarySpecTest, DistinctProjectionRequiresColumns) {
+  EXPECT_FALSE(SummarySpec::DistinctProjection(CallSchema(), {}).ok());
+  EXPECT_FALSE(SummarySpec::DistinctProjection(CallSchema(), {"nope"}).ok());
+}
+
+TEST(SummarySpecTest, ToStringRendering) {
+  SummarySpec gb = SummarySpec::GroupBy(CallSchema(), {"caller"},
+                                        {AggSpec::Sum("minutes")})
+                       .value();
+  EXPECT_NE(gb.ToString().find("GROUPBY[caller"), std::string::npos);
+  SummarySpec dp =
+      SummarySpec::DistinctProjection(CallSchema(), {"region"}).value();
+  EXPECT_NE(dp.ToString().find("DISTINCT_PROJECT[region]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronicle

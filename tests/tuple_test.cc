@@ -1,0 +1,92 @@
+#include "types/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace chronicle {
+namespace {
+
+TEST(TupleTest, Equality) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  Tuple c{Value(1), Value("y")};
+  EXPECT_TRUE(TupleEquals(a, b));
+  EXPECT_FALSE(TupleEquals(a, c));
+  EXPECT_FALSE(TupleEquals(a, Tuple{Value(1)}));
+}
+
+TEST(TupleTest, CompareLexicographic) {
+  Tuple a{Value(1), Value(2)};
+  Tuple b{Value(1), Value(3)};
+  EXPECT_LT(TupleCompare(a, b), 0);
+  EXPECT_GT(TupleCompare(b, a), 0);
+  EXPECT_EQ(TupleCompare(a, a), 0);
+  // Prefix sorts before longer tuple.
+  EXPECT_LT(TupleCompare(Tuple{Value(1)}, a), 0);
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  Tuple a{Value(2), Value("x")};
+  Tuple b{Value(2.0), Value("x")};  // cross-type equal
+  EXPECT_TRUE(TupleEquals(a, b));
+  EXPECT_EQ(TupleHashValue(a), TupleHashValue(b));
+}
+
+TEST(TupleTest, WorksInUnorderedSet) {
+  std::unordered_set<Tuple, TupleHash, TupleEq> set;
+  set.insert(Tuple{Value(1), Value("a")});
+  set.insert(Tuple{Value(1), Value("a")});
+  set.insert(Tuple{Value(2), Value("a")});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TupleTest, ToStringRendering) {
+  EXPECT_EQ(TupleToString(Tuple{Value(1), Value("x")}), "(1, \"x\")");
+  EXPECT_EQ(TupleToString(Tuple{}), "()");
+}
+
+TEST(ChronicleRowTest, EqualityIncludesSn) {
+  ChronicleRow a{1, Tuple{Value(5)}};
+  ChronicleRow b{1, Tuple{Value(5)}};
+  ChronicleRow c{2, Tuple{Value(5)}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ChronicleRowTest, ToStringRendering) {
+  ChronicleRow row{7, Tuple{Value(42)}};
+  EXPECT_EQ(ChronicleRowToString(row), "[sn=7 | (42)]");
+}
+
+TEST(ValidateTupleTest, AcceptsMatchingTuple) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_TRUE(ValidateTuple(schema, Tuple{Value(1), Value("x")}).ok());
+}
+
+TEST(ValidateTupleTest, AcceptsNulls) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_TRUE(ValidateTuple(schema, Tuple{Value(), Value()}).ok());
+}
+
+TEST(ValidateTupleTest, RejectsArityMismatch) {
+  Schema schema({{"a", DataType::kInt64}});
+  Status st = ValidateTuple(schema, Tuple{Value(1), Value(2)});
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(ValidateTupleTest, RejectsTypeMismatch) {
+  Schema schema({{"a", DataType::kInt64}});
+  Status st = ValidateTuple(schema, Tuple{Value("not an int")});
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("'a'"), std::string::npos);
+}
+
+TEST(ValidateTupleTest, IntIsNotDouble) {
+  Schema schema({{"a", DataType::kDouble}});
+  EXPECT_FALSE(ValidateTuple(schema, Tuple{Value(1)}).ok());
+  EXPECT_TRUE(ValidateTuple(schema, Tuple{Value(1.0)}).ok());
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,115 @@
+#include "algebra/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+CaExprPtr Scan() { return CaExpr::Scan(0, "calls", CallSchema()).value(); }
+
+TEST(ValidateTest, LegalCaPasses) {
+  CaExprPtr plan =
+      CaExpr::GroupBySeq(
+          CaExpr::Select(Scan(), Gt(Col("minutes"), Lit(Value(0)))).value(),
+          {"caller"}, {AggSpec::Sum("minutes")})
+          .value();
+  EXPECT_TRUE(ValidateChronicleAlgebra(*plan).ok());
+}
+
+// Theorem 4.3, part 1: SN-dropping projection is not a chronicle.
+TEST(ValidateTest, RejectsProjectDropSn) {
+  CaExprPtr plan = CaExpr::ProjectDropSn(Scan(), {"caller"}).value();
+  Status st = ValidateChronicleAlgebra(*plan);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("Theorem 4.3"), std::string::npos);
+}
+
+// Theorem 4.3, part 2: group-by without SN is not a chronicle.
+TEST(ValidateTest, RejectsGroupByNoSn) {
+  CaExprPtr plan =
+      CaExpr::GroupByNoSn(Scan(), {"caller"}, {AggSpec::Sum("minutes")}).value();
+  Status st = ValidateChronicleAlgebra(*plan);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("summarization"), std::string::npos);
+}
+
+// Theorem 4.3, part 3: chronicle cross product needs old chronicle tuples.
+TEST(ValidateTest, RejectsChronicleCross) {
+  CaExprPtr plan = CaExpr::ChronicleCross(Scan(), Scan()).value();
+  Status st = ValidateChronicleAlgebra(*plan);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("IM-C^k"), std::string::npos);
+}
+
+// Theorem 4.3, part 4: non-equijoin on SN needs old chronicle tuples.
+TEST(ValidateTest, RejectsSeqThetaJoin) {
+  CaExprPtr plan =
+      CaExpr::SeqThetaJoin(Scan(), Scan(), CompareOp::kLt).value();
+  Status st = ValidateChronicleAlgebra(*plan);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("IM-C^k"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectionDetectedDeepInTree) {
+  CaExprPtr bad = CaExpr::ChronicleCross(Scan(), Scan()).value();
+  CaExprPtr wrapped =
+      CaExpr::Select(bad, Gt(Col("minutes"), Lit(Value(0)))).value();
+  EXPECT_FALSE(ValidateChronicleAlgebra(*wrapped).ok());
+}
+
+// Definition 4.1 predicate grammar.
+
+TEST(Def41PredicateTest, AtomicComparisonsPass) {
+  ScalarExprPtr col_const = Gt(Col("minutes"), Lit(Value(5)));
+  EXPECT_TRUE(IsDefinition41Predicate(*col_const));
+  ScalarExprPtr col_col = Eq(Col("caller"), Col("minutes"));
+  EXPECT_TRUE(IsDefinition41Predicate(*col_col));
+}
+
+TEST(Def41PredicateTest, DisjunctionsPass) {
+  ScalarExprPtr pred = ScalarExpr::Or(
+      Eq(Col("region"), Lit(Value("NJ"))),
+      ScalarExpr::Or(Eq(Col("region"), Lit(Value("NY"))),
+                     Gt(Col("minutes"), Lit(Value(100)))));
+  EXPECT_TRUE(IsDefinition41Predicate(*pred));
+}
+
+TEST(Def41PredicateTest, ConjunctionIsOutsideTheGrammar) {
+  ScalarExprPtr pred = ScalarExpr::And(Gt(Col("minutes"), Lit(Value(0))),
+                                       Eq(Col("region"), Lit(Value("NJ"))));
+  EXPECT_FALSE(IsDefinition41Predicate(*pred));
+}
+
+TEST(Def41PredicateTest, ArithmeticOperandIsOutsideTheGrammar) {
+  ScalarExprPtr pred =
+      Gt(ScalarExpr::Arith(ArithOp::kMul, Col("minutes"), Lit(Value(2))),
+         Lit(Value(10)));
+  EXPECT_FALSE(IsDefinition41Predicate(*pred));
+}
+
+TEST(Def41PredicateTest, SeqNumComparisonCountsAsAtomic) {
+  ScalarExprPtr pred = Ge(ScalarExpr::SeqNumRef(), Lit(Value(100)));
+  EXPECT_TRUE(IsDefinition41Predicate(*pred));
+}
+
+TEST(ValidateStrictTest, FlagsNonConformingSelect) {
+  ScalarExprPtr strict_pred = Gt(Col("minutes"), Lit(Value(0)));
+  CaExprPtr ok_plan = CaExpr::Select(Scan(), std::move(strict_pred)).value();
+  EXPECT_TRUE(ValidateStrictPredicates(*ok_plan).ok());
+
+  ScalarExprPtr loose_pred = ScalarExpr::And(
+      Gt(Col("minutes"), Lit(Value(0))), Eq(Col("region"), Lit(Value("NJ"))));
+  CaExprPtr loose_plan = CaExpr::Select(Scan(), std::move(loose_pred)).value();
+  Status st = ValidateStrictPredicates(*loose_plan);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Definition 4.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,101 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace chronicle {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(5).is_int64());  // int promotes to int64
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value(1.5).dbl(), 1.5);
+  EXPECT_EQ(Value("hi").str(), "hi");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value(1.0).type(), DataType::kDouble);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "STRING");
+}
+
+TEST(ValueTest, AsNumeric) {
+  EXPECT_DOUBLE_EQ(Value(3).AsNumeric().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsNumeric().value(), 3.5);
+  EXPECT_FALSE(Value("x").AsNumeric().ok());
+  EXPECT_FALSE(Value().AsNumeric().ok());
+}
+
+TEST(ValueTest, IntegerComparison) {
+  EXPECT_LT(Value(1).Compare(Value(2)), 0);
+  EXPECT_GT(Value(2).Compare(Value(1)), 0);
+  EXPECT_EQ(Value(2).Compare(Value(2)), 0);
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value(2).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(2).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(3)), 0);
+  EXPECT_TRUE(Value(2) == Value(2.0));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsNull) {
+  EXPECT_LT(Value().Compare(Value(0)), 0);
+  EXPECT_LT(Value().Compare(Value("")), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+  EXPECT_GT(Value(0).Compare(Value()), 0);
+}
+
+TEST(ValueTest, MixedStringNumericOrdersByTypeTag) {
+  EXPECT_LT(Value(5).Compare(Value("5")), 0);
+  EXPECT_GT(Value("5").Compare(Value(5)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Cross-type numeric equality must imply equal hashes.
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(-1).ToString(), "-1");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, HashSpreads) {
+  // Not a strict requirement, but consecutive ints should not all collide.
+  size_t h0 = Value(0).Hash();
+  int collisions = 0;
+  for (int i = 1; i < 100; ++i) {
+    if (Value(i).Hash() == h0) ++collisions;
+  }
+  EXPECT_LT(collisions, 5);
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,207 @@
+#include "views/view_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Tuple Call(int64_t caller, const std::string& region, int64_t minutes) {
+  return Tuple{Value(caller), Value(region), Value(minutes)};
+}
+
+// A per-region SUM(minutes) view guarded by region = <region>.
+std::unique_ptr<PersistentView> RegionView(ViewId id, const std::string& region) {
+  CaExprPtr scan = CaExpr::Scan(0, "calls", CallSchema()).value();
+  CaExprPtr plan =
+      CaExpr::Select(scan, Eq(Col("region"), Lit(Value(region)))).value();
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "total")})
+                         .value();
+  return PersistentView::Make(id, "region_" + region, plan, spec).value();
+}
+
+// An unguarded view over all calls.
+std::unique_ptr<PersistentView> AllCallsView(ViewId id) {
+  CaExprPtr scan = CaExpr::Scan(0, "calls", CallSchema()).value();
+  SummarySpec spec =
+      SummarySpec::GroupBy(scan->schema(), {}, {AggSpec::Count("n")}).value();
+  return PersistentView::Make(id, "all_calls", scan, spec).value();
+}
+
+AppendEvent Event(SeqNum sn, std::vector<Tuple> tuples) {
+  AppendEvent event;
+  event.sn = sn;
+  event.chronon = static_cast<Chronon>(sn);
+  event.inserts.emplace_back(0, std::move(tuples));
+  return event;
+}
+
+class RoutingModeTest : public ::testing::TestWithParam<RoutingMode> {};
+
+TEST_P(RoutingModeTest, AllModesProduceIdenticalViewContents) {
+  ViewManager manager(GetParam());
+  ASSERT_TRUE(manager.AddView(RegionView(0, "NJ")).ok());
+  ASSERT_TRUE(manager.AddView(RegionView(1, "NY")).ok());
+  ASSERT_TRUE(manager.AddView(AllCallsView(2)).ok());
+
+  ASSERT_TRUE(manager.ProcessAppend(Event(1, {Call(1, "NJ", 5)})).ok());
+  ASSERT_TRUE(manager.ProcessAppend(Event(2, {Call(2, "NY", 7)})).ok());
+  ASSERT_TRUE(manager.ProcessAppend(Event(3, {Call(1, "NJ", 3)})).ok());
+  ASSERT_TRUE(manager.ProcessAppend(Event(4, {Call(3, "CA", 9)})).ok());
+
+  PersistentView* nj = manager.FindView("region_NJ").value();
+  EXPECT_EQ(nj->Lookup(Tuple{Value(1)}).value()[1], Value(8));
+  PersistentView* ny = manager.FindView("region_NY").value();
+  EXPECT_EQ(ny->Lookup(Tuple{Value(2)}).value()[1], Value(7));
+  PersistentView* all = manager.FindView("all_calls").value();
+  EXPECT_EQ(all->Lookup(Tuple{}).value()[0], Value(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, RoutingModeTest,
+    ::testing::Values(RoutingMode::kCheckAll, RoutingMode::kGuards,
+                      RoutingMode::kEqIndex),
+    [](const ::testing::TestParamInfo<RoutingMode>& info) {
+      switch (info.param) {
+        case RoutingMode::kCheckAll:
+          return "CheckAll";
+        case RoutingMode::kGuards:
+          return "Guards";
+        case RoutingMode::kEqIndex:
+          return "EqIndex";
+      }
+      return "Unknown";
+    });
+
+TEST(ViewManagerTest, DuplicateNameRejected) {
+  ViewManager manager;
+  ASSERT_TRUE(manager.AddView(RegionView(0, "NJ")).ok());
+  EXPECT_TRUE(manager.AddView(RegionView(1, "NJ")).status().IsAlreadyExists());
+}
+
+TEST(ViewManagerTest, FindAndGet) {
+  ViewManager manager;
+  ViewId id = manager.AddView(RegionView(0, "NJ")).value();
+  EXPECT_TRUE(manager.GetView(id).ok());
+  EXPECT_TRUE(manager.GetView(99).status().IsNotFound());
+  EXPECT_TRUE(manager.FindView("region_NJ").ok());
+  EXPECT_TRUE(manager.FindView("zzz").status().IsNotFound());
+}
+
+TEST(ViewManagerTest, CheckAllConsidersEveryView) {
+  ViewManager manager(RoutingMode::kCheckAll);
+  ASSERT_TRUE(manager.AddView(RegionView(0, "NJ")).ok());
+  ASSERT_TRUE(manager.AddView(RegionView(1, "NY")).ok());
+  MaintenanceReport report =
+      manager.ProcessAppend(Event(1, {Call(1, "CA", 5)})).value();
+  EXPECT_EQ(report.views_considered, 2u);
+  EXPECT_EQ(report.views_updated, 0u);  // CA matches neither guard
+  EXPECT_EQ(report.views_skipped, 0u);
+}
+
+TEST(ViewManagerTest, GuardsSkipNonMatchingViews) {
+  ViewManager manager(RoutingMode::kGuards);
+  ASSERT_TRUE(manager.AddView(RegionView(0, "NJ")).ok());
+  ASSERT_TRUE(manager.AddView(RegionView(1, "NY")).ok());
+  ASSERT_TRUE(manager.AddView(AllCallsView(2)).ok());
+
+  MaintenanceReport report =
+      manager.ProcessAppend(Event(1, {Call(1, "NJ", 5)})).value();
+  // NY view skipped by its guard; NJ + all_calls maintained.
+  EXPECT_EQ(report.views_considered, 2u);
+  EXPECT_EQ(report.views_updated, 2u);
+  EXPECT_EQ(report.views_skipped, 1u);
+}
+
+TEST(ViewManagerTest, EqIndexProbesOnlyMatchingLiteral) {
+  ViewManager manager(RoutingMode::kEqIndex);
+  // 50 per-region views; an append to one region must consider ~1.
+  const char* regions[] = {"R0", "R1", "R2", "R3", "R4"};
+  for (ViewId i = 0; i < 50; ++i) {
+    ASSERT_TRUE(manager.AddView(RegionView(i, regions[i % 5] +
+                                                  std::string("_") +
+                                                  std::to_string(i)))
+                    .ok());
+  }
+  // Views have guards region = "R0_0", "R1_1", ...; append "R1_1".
+  MaintenanceReport report =
+      manager.ProcessAppend(Event(1, {Call(1, "R1_1", 5)})).value();
+  EXPECT_EQ(report.views_considered, 1u);
+  EXPECT_EQ(report.views_updated, 1u);
+  EXPECT_EQ(report.views_skipped, 49u);
+}
+
+TEST(ViewManagerTest, EqIndexStillRoutesUnguardedViews) {
+  ViewManager manager(RoutingMode::kEqIndex);
+  ASSERT_TRUE(manager.AddView(RegionView(0, "NJ")).ok());
+  ASSERT_TRUE(manager.AddView(AllCallsView(1)).ok());
+  MaintenanceReport report =
+      manager.ProcessAppend(Event(1, {Call(1, "TX", 5)})).value();
+  // The eq-indexed NJ view is not probed; all_calls still maintained.
+  EXPECT_EQ(report.views_considered, 1u);
+  EXPECT_EQ(report.views_updated, 1u);
+}
+
+TEST(ViewManagerTest, EventForUnrelatedChronicleTouchesNothing) {
+  ViewManager manager(RoutingMode::kEqIndex);
+  ASSERT_TRUE(manager.AddView(RegionView(0, "NJ")).ok());
+  AppendEvent event;
+  event.sn = 1;
+  event.chronon = 1;
+  event.inserts.emplace_back(7, std::vector<Tuple>{Call(1, "NJ", 5)});
+  MaintenanceReport report = manager.ProcessAppend(event).value();
+  EXPECT_EQ(report.views_considered, 0u);
+  EXPECT_EQ(report.views_updated, 0u);
+}
+
+TEST(ViewManagerTest, MultiScanViewRoutedThroughResidualList) {
+  // A union of two selections over the same chronicle is not eq-indexable
+  // (two scans); it must still be maintained correctly.
+  ViewManager manager(RoutingMode::kEqIndex);
+  CaExprPtr scan = CaExpr::Scan(0, "calls", CallSchema()).value();
+  CaExprPtr nj =
+      CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NJ")))).value();
+  CaExprPtr ny =
+      CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NY")))).value();
+  CaExprPtr plan = CaExpr::Union(nj, ny).value();
+  SummarySpec spec =
+      SummarySpec::GroupBy(plan->schema(), {}, {AggSpec::Count("n")}).value();
+  ASSERT_TRUE(
+      manager.AddView(PersistentView::Make(0, "nj_ny", plan, spec).value()).ok());
+
+  ASSERT_TRUE(manager.ProcessAppend(Event(1, {Call(1, "NJ", 5)})).ok());
+  ASSERT_TRUE(manager.ProcessAppend(Event(2, {Call(2, "TX", 5)})).ok());
+  ASSERT_TRUE(manager.ProcessAppend(Event(3, {Call(3, "NY", 5)})).ok());
+  PersistentView* view = manager.FindView("nj_ny").value();
+  EXPECT_EQ(view->Lookup(Tuple{}).value()[0], Value(2));
+}
+
+TEST(ViewManagerTest, GuardSkipsAreCheaperThanDeltas) {
+  // Behavioral check on the report: with guards, a non-matching append is
+  // skipped without being "considered".
+  ViewManager guards(RoutingMode::kGuards);
+  ASSERT_TRUE(guards.AddView(RegionView(0, "NJ")).ok());
+  MaintenanceReport report =
+      guards.ProcessAppend(Event(1, {Call(1, "TX", 5)})).value();
+  EXPECT_EQ(report.views_considered, 0u);
+  EXPECT_EQ(report.views_skipped, 1u);
+}
+
+TEST(ViewManagerTest, MemoryFootprintSumsViews) {
+  ViewManager manager;
+  ASSERT_TRUE(manager.AddView(AllCallsView(0)).ok());
+  size_t before = manager.MemoryFootprint();
+  ASSERT_TRUE(manager.ProcessAppend(Event(1, {Call(1, "NJ", 5)})).ok());
+  EXPECT_GE(manager.MemoryFootprint(), before);
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "workload/banking.h"
+#include "workload/call_records.h"
+#include "workload/flyer.h"
+#include "workload/stock.h"
+
+namespace chronicle {
+namespace {
+
+TEST(CallRecordsTest, RecordsMatchSchema) {
+  CallRecordGenerator gen;
+  Schema schema = CallRecordGenerator::RecordSchema();
+  for (const Tuple& t : gen.NextBatch(200)) {
+    EXPECT_TRUE(ValidateTuple(schema, t).ok());
+    EXPECT_GE(t[2].int64(), 1);
+    EXPECT_LE(t[2].int64(), gen.options().max_minutes);
+    EXPECT_DOUBLE_EQ(t[3].dbl(),
+                     static_cast<double>(t[2].int64()) *
+                         gen.options().rate_per_minute);
+  }
+}
+
+TEST(CallRecordsTest, DeterministicForSeed) {
+  CallRecordOptions options;
+  options.seed = 5;
+  CallRecordGenerator a(options), b(options);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(CallRecordsTest, CallersStayInRange) {
+  CallRecordOptions options;
+  options.num_accounts = 16;
+  CallRecordGenerator gen(options);
+  for (const Tuple& t : gen.NextBatch(500)) {
+    EXPECT_GE(t[0].int64(), 0);
+    EXPECT_LT(t[0].int64(), 16);
+  }
+}
+
+TEST(CallRecordsTest, CustomerRowsCoverEveryAccount) {
+  CallRecordOptions options;
+  options.num_accounts = 50;
+  CallRecordGenerator gen(options);
+  std::vector<Tuple> rows = gen.CustomerRows();
+  ASSERT_EQ(rows.size(), 50u);
+  Schema schema = CallRecordGenerator::CustomerSchema();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(ValidateTuple(schema, rows[i]).ok());
+    EXPECT_EQ(rows[i][0], Value(static_cast<int64_t>(i)));
+  }
+}
+
+TEST(BankingTest, AmountsSignedByKind) {
+  BankingGenerator gen;
+  Schema schema = BankingGenerator::RecordSchema();
+  int deposits = 0, withdrawals = 0;
+  for (const Tuple& t : gen.NextBatch(500)) {
+    ASSERT_TRUE(ValidateTuple(schema, t).ok());
+    const std::string& kind = t[1].str();
+    if (kind == "deposit") {
+      EXPECT_GE(t[2].dbl(), 0.0);
+      ++deposits;
+    } else {
+      EXPECT_LE(t[2].dbl(), 0.0);
+      ++withdrawals;
+    }
+  }
+  EXPECT_GT(deposits, 0);
+  EXPECT_GT(withdrawals, 0);
+}
+
+TEST(FlyerTest, FlightsAndCustomersConform) {
+  FlyerGenerator gen;
+  Schema flight_schema = FlyerGenerator::FlightSchema();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(ValidateTuple(flight_schema, gen.NextFlight()).ok());
+  }
+  Schema cust_schema = FlyerGenerator::CustomerSchema();
+  for (const Tuple& row : gen.CustomerRows()) {
+    EXPECT_TRUE(ValidateTuple(cust_schema, row).ok());
+  }
+}
+
+TEST(FlyerTest, AddressChangesRespectRate) {
+  FlyerOptions options;
+  options.address_change_rate = 0.5;
+  FlyerGenerator gen(options);
+  int changes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (gen.MaybeAddressChange().has_value()) ++changes;
+  }
+  EXPECT_NEAR(changes / 1000.0, 0.5, 0.08);
+
+  FlyerOptions never;
+  never.address_change_rate = 0.0;
+  FlyerGenerator none(never);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(none.MaybeAddressChange().has_value());
+  }
+}
+
+TEST(StockTest, TradesConformAndSymbolsBounded) {
+  StockOptions options;
+  options.num_symbols = 8;
+  StockTradeGenerator gen(options);
+  Schema schema = StockTradeGenerator::RecordSchema();
+  for (const Tuple& t : gen.NextBatch(300)) {
+    ASSERT_TRUE(ValidateTuple(schema, t).ok());
+    EXPECT_EQ(t[0].str().substr(0, 3), "SYM");
+    EXPECT_GE(t[1].int64(), 1);
+    EXPECT_GT(t[2].dbl(), 0.0);
+  }
+}
+
+TEST(StockTest, SkewFavorsHeadSymbols) {
+  StockOptions options;
+  options.num_symbols = 100;
+  options.symbol_skew = 1.2;
+  StockTradeGenerator gen(options);
+  int head = 0;
+  for (const Tuple& t : gen.NextBatch(2000)) {
+    if (t[0].str() == "SYM0" || t[0].str() == "SYM1") ++head;
+  }
+  EXPECT_GT(head, 200);  // far above the uniform expectation of 40
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -1,0 +1,144 @@
+// chronicle_shell: an interactive (or scripted) CQL shell.
+//
+//   $ ./chronicle_shell               # interactive REPL on stdin
+//   $ ./chronicle_shell script.cql    # execute a ';'-separated script
+//   $ echo "SHOW VIEWS;" | ./chronicle_shell
+//
+// Statements end with ';' and may span lines. Meta-commands:
+//   \profile on|off   toggle per-view maintenance profiling
+//   \quit             exit
+// Errors are printed and the session continues (scripts abort on error).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cql/binder.h"
+#include "db/database.h"
+
+namespace {
+
+using chronicle::ChronicleDatabase;
+using chronicle::Tuple;
+using chronicle::cql::ExecResult;
+
+// Renders a result-set as an aligned text table.
+void PrintRows(const ExecResult& result) {
+  if (result.rows.empty()) return;
+  const size_t cols = result.schema.num_fields();
+  std::vector<size_t> widths(cols, 0);
+  std::vector<std::vector<std::string>> cells;
+  // Header.
+  std::vector<std::string> header;
+  for (size_t c = 0; c < cols; ++c) {
+    header.push_back(result.schema.field(c).name);
+    widths[c] = header[c].size();
+  }
+  for (const Tuple& row : result.rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < cols && c < row.size(); ++c) {
+      line.push_back(row[c].ToString());
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto print_line = [&](const std::vector<std::string>& line) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "| " : " | ", static_cast<int>(widths[c]),
+                  line[c].c_str());
+    }
+    std::printf(" |\n");
+  };
+  print_line(header);
+  for (size_t c = 0; c < cols; ++c) {
+    std::printf("%s%s", c == 0 ? "|-" : "-|-", std::string(widths[c], '-').c_str());
+  }
+  std::printf("-|\n");
+  for (const auto& line : cells) print_line(line);
+}
+
+// Executes one statement, printing results; returns false on error.
+bool RunStatement(ChronicleDatabase* db, const std::string& sql) {
+  chronicle::Result<ExecResult> result = chronicle::cql::Execute(db, sql);
+  if (!result.ok()) {
+    std::printf("ERROR: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  if (!result->message.empty()) std::printf("%s\n", result->message.c_str());
+  PrintRows(*result);
+  return true;
+}
+
+// Handles a \meta command; returns true if it was one.
+bool HandleMeta(ChronicleDatabase* db, const std::string& line, bool* done) {
+  if (line.empty() || line[0] != '\\') return false;
+  if (line == "\\quit" || line == "\\q") {
+    *done = true;
+  } else if (line == "\\profile on") {
+    db->view_manager().set_profiling(true);
+    std::printf("profiling on\n");
+  } else if (line == "\\profile off") {
+    db->view_manager().set_profiling(false);
+    std::printf("profiling off\n");
+  } else {
+    std::printf("unknown meta-command %s (try \\profile on|off, \\quit)\n",
+                line.c_str());
+  }
+  return true;
+}
+
+int RunScriptFile(ChronicleDatabase* db, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  chronicle::Result<ExecResult> result =
+      chronicle::cql::ExecuteScript(db, buffer.str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "ERROR: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result->message.empty()) std::printf("%s\n", result->message.c_str());
+  PrintRows(*result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChronicleDatabase db;
+  if (argc > 1) return RunScriptFile(&db, argv[1]);
+
+  const bool interactive = isatty(0);
+  if (interactive) {
+    std::printf("chronicle shell — end statements with ';', \\quit to exit\n");
+  }
+  std::string pending;
+  std::string line;
+  bool done = false;
+  while (!done) {
+    if (interactive) std::printf(pending.empty() ? "cql> " : "...> ");
+    if (!std::getline(std::cin, line)) break;
+    // Meta-commands act on whole lines, outside any pending statement.
+    if (pending.empty() && HandleMeta(&db, line, &done)) continue;
+    pending += line;
+    pending += "\n";
+    // Execute every complete statement accumulated so far.
+    size_t semi;
+    while ((semi = pending.find(';')) != std::string::npos) {
+      std::string sql = pending.substr(0, semi);
+      pending.erase(0, semi + 1);
+      // Skip pure-whitespace statements.
+      if (sql.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+      RunStatement(&db, sql);
+    }
+  }
+  return 0;
+}
