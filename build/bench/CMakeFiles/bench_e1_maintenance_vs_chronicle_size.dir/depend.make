@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e1_maintenance_vs_chronicle_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_maintenance_vs_relation_size.dir/bench_e2_maintenance_vs_relation_size.cc.o"
+  "CMakeFiles/bench_e2_maintenance_vs_relation_size.dir/bench_e2_maintenance_vs_relation_size.cc.o.d"
+  "bench_e2_maintenance_vs_relation_size"
+  "bench_e2_maintenance_vs_relation_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_maintenance_vs_relation_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_view_routing.dir/bench_e3_view_routing.cc.o"
+  "CMakeFiles/bench_e3_view_routing.dir/bench_e3_view_routing.cc.o.d"
+  "bench_e3_view_routing"
+  "bench_e3_view_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_view_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e4_sliding_window.cc" "bench/CMakeFiles/bench_e4_sliding_window.dir/bench_e4_sliding_window.cc.o" "gcc" "bench/CMakeFiles/bench_e4_sliding_window.dir/bench_e4_sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronicle_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_periodic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_aggregates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_summary_query.dir/bench_e5_summary_query.cc.o"
+  "CMakeFiles/bench_e5_summary_query.dir/bench_e5_summary_query.cc.o.d"
+  "bench_e5_summary_query"
+  "bench_e5_summary_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_summary_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

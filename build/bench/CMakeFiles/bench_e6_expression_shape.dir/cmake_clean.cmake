@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_expression_shape.dir/bench_e6_expression_shape.cc.o"
+  "CMakeFiles/bench_e6_expression_shape.dir/bench_e6_expression_shape.cc.o.d"
+  "bench_e6_expression_shape"
+  "bench_e6_expression_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_expression_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_space.dir/bench_e8_space.cc.o"
+  "CMakeFiles/bench_e8_space.dir/bench_e8_space.cc.o.d"
+  "bench_e8_space"
+  "bench_e8_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_shared_delta.dir/bench_e9_shared_delta.cc.o"
+  "CMakeFiles/bench_e9_shared_delta.dir/bench_e9_shared_delta.cc.o.d"
+  "bench_e9_shared_delta"
+  "bench_e9_shared_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_shared_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_banking.dir/atm_banking.cpp.o"
+  "CMakeFiles/atm_banking.dir/atm_banking.cpp.o.d"
+  "atm_banking"
+  "atm_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

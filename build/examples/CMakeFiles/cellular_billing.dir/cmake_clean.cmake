@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_billing.dir/cellular_billing.cpp.o"
+  "CMakeFiles/cellular_billing.dir/cellular_billing.cpp.o.d"
+  "cellular_billing"
+  "cellular_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequent_flyer.dir/frequent_flyer.cpp.o"
+  "CMakeFiles/frequent_flyer.dir/frequent_flyer.cpp.o.d"
+  "frequent_flyer"
+  "frequent_flyer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_flyer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_control.dir/sensor_control.cpp.o"
+  "CMakeFiles/sensor_control.dir/sensor_control.cpp.o.d"
+  "sensor_control"
+  "sensor_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

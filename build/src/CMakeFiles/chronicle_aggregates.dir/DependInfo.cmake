@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregates/aggregate.cc" "src/CMakeFiles/chronicle_aggregates.dir/aggregates/aggregate.cc.o" "gcc" "src/CMakeFiles/chronicle_aggregates.dir/aggregates/aggregate.cc.o.d"
+  "/root/repo/src/aggregates/tiered_discount.cc" "src/CMakeFiles/chronicle_aggregates.dir/aggregates/tiered_discount.cc.o" "gcc" "src/CMakeFiles/chronicle_aggregates.dir/aggregates/tiered_discount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronicle_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_aggregates.dir/aggregates/aggregate.cc.o"
+  "CMakeFiles/chronicle_aggregates.dir/aggregates/aggregate.cc.o.d"
+  "CMakeFiles/chronicle_aggregates.dir/aggregates/tiered_discount.cc.o"
+  "CMakeFiles/chronicle_aggregates.dir/aggregates/tiered_discount.cc.o.d"
+  "libchronicle_aggregates.a"
+  "libchronicle_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

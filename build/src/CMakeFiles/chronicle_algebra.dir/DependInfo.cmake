@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/ca_expr.cc" "src/CMakeFiles/chronicle_algebra.dir/algebra/ca_expr.cc.o" "gcc" "src/CMakeFiles/chronicle_algebra.dir/algebra/ca_expr.cc.o.d"
+  "/root/repo/src/algebra/complexity.cc" "src/CMakeFiles/chronicle_algebra.dir/algebra/complexity.cc.o" "gcc" "src/CMakeFiles/chronicle_algebra.dir/algebra/complexity.cc.o.d"
+  "/root/repo/src/algebra/delta_engine.cc" "src/CMakeFiles/chronicle_algebra.dir/algebra/delta_engine.cc.o" "gcc" "src/CMakeFiles/chronicle_algebra.dir/algebra/delta_engine.cc.o.d"
+  "/root/repo/src/algebra/scalar_expr.cc" "src/CMakeFiles/chronicle_algebra.dir/algebra/scalar_expr.cc.o" "gcc" "src/CMakeFiles/chronicle_algebra.dir/algebra/scalar_expr.cc.o.d"
+  "/root/repo/src/algebra/validate.cc" "src/CMakeFiles/chronicle_algebra.dir/algebra/validate.cc.o" "gcc" "src/CMakeFiles/chronicle_algebra.dir/algebra/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronicle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_aggregates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

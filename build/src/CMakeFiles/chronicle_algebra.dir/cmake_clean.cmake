@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_algebra.dir/algebra/ca_expr.cc.o"
+  "CMakeFiles/chronicle_algebra.dir/algebra/ca_expr.cc.o.d"
+  "CMakeFiles/chronicle_algebra.dir/algebra/complexity.cc.o"
+  "CMakeFiles/chronicle_algebra.dir/algebra/complexity.cc.o.d"
+  "CMakeFiles/chronicle_algebra.dir/algebra/delta_engine.cc.o"
+  "CMakeFiles/chronicle_algebra.dir/algebra/delta_engine.cc.o.d"
+  "CMakeFiles/chronicle_algebra.dir/algebra/scalar_expr.cc.o"
+  "CMakeFiles/chronicle_algebra.dir/algebra/scalar_expr.cc.o.d"
+  "CMakeFiles/chronicle_algebra.dir/algebra/validate.cc.o"
+  "CMakeFiles/chronicle_algebra.dir/algebra/validate.cc.o.d"
+  "libchronicle_algebra.a"
+  "libchronicle_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_baseline.dir/baseline/naive_engine.cc.o"
+  "CMakeFiles/chronicle_baseline.dir/baseline/naive_engine.cc.o.d"
+  "libchronicle_baseline.a"
+  "libchronicle_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

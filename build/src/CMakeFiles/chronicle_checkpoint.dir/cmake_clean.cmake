@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_checkpoint.dir/checkpoint/checkpoint.cc.o"
+  "CMakeFiles/chronicle_checkpoint.dir/checkpoint/checkpoint.cc.o.d"
+  "CMakeFiles/chronicle_checkpoint.dir/checkpoint/serde.cc.o"
+  "CMakeFiles/chronicle_checkpoint.dir/checkpoint/serde.cc.o.d"
+  "libchronicle_checkpoint.a"
+  "libchronicle_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchronicle_checkpoint.a"
+)

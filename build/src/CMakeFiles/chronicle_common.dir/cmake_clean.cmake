@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_common.dir/common/histogram.cc.o"
+  "CMakeFiles/chronicle_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/chronicle_common.dir/common/random.cc.o"
+  "CMakeFiles/chronicle_common.dir/common/random.cc.o.d"
+  "CMakeFiles/chronicle_common.dir/common/status.cc.o"
+  "CMakeFiles/chronicle_common.dir/common/status.cc.o.d"
+  "CMakeFiles/chronicle_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/chronicle_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/chronicle_common.dir/common/tracking_allocator.cc.o"
+  "CMakeFiles/chronicle_common.dir/common/tracking_allocator.cc.o.d"
+  "libchronicle_common.a"
+  "libchronicle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_cql.dir/cql/binder.cc.o"
+  "CMakeFiles/chronicle_cql.dir/cql/binder.cc.o.d"
+  "CMakeFiles/chronicle_cql.dir/cql/lexer.cc.o"
+  "CMakeFiles/chronicle_cql.dir/cql/lexer.cc.o.d"
+  "CMakeFiles/chronicle_cql.dir/cql/parser.cc.o"
+  "CMakeFiles/chronicle_cql.dir/cql/parser.cc.o.d"
+  "libchronicle_cql.a"
+  "libchronicle_cql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_cql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

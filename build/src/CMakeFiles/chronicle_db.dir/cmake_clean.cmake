@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_db.dir/db/database.cc.o"
+  "CMakeFiles/chronicle_db.dir/db/database.cc.o.d"
+  "libchronicle_db.a"
+  "libchronicle_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_periodic.dir/periodic/calendar.cc.o"
+  "CMakeFiles/chronicle_periodic.dir/periodic/calendar.cc.o.d"
+  "CMakeFiles/chronicle_periodic.dir/periodic/periodic_view.cc.o"
+  "CMakeFiles/chronicle_periodic.dir/periodic/periodic_view.cc.o.d"
+  "CMakeFiles/chronicle_periodic.dir/periodic/sliding_window.cc.o"
+  "CMakeFiles/chronicle_periodic.dir/periodic/sliding_window.cc.o.d"
+  "libchronicle_periodic.a"
+  "libchronicle_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_storage.dir/storage/chronicle.cc.o"
+  "CMakeFiles/chronicle_storage.dir/storage/chronicle.cc.o.d"
+  "CMakeFiles/chronicle_storage.dir/storage/chronicle_group.cc.o"
+  "CMakeFiles/chronicle_storage.dir/storage/chronicle_group.cc.o.d"
+  "CMakeFiles/chronicle_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/chronicle_storage.dir/storage/relation.cc.o.d"
+  "libchronicle_storage.a"
+  "libchronicle_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_types.dir/types/schema.cc.o"
+  "CMakeFiles/chronicle_types.dir/types/schema.cc.o.d"
+  "CMakeFiles/chronicle_types.dir/types/tuple.cc.o"
+  "CMakeFiles/chronicle_types.dir/types/tuple.cc.o.d"
+  "CMakeFiles/chronicle_types.dir/types/value.cc.o"
+  "CMakeFiles/chronicle_types.dir/types/value.cc.o.d"
+  "libchronicle_types.a"
+  "libchronicle_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/views/persistent_view.cc" "src/CMakeFiles/chronicle_views.dir/views/persistent_view.cc.o" "gcc" "src/CMakeFiles/chronicle_views.dir/views/persistent_view.cc.o.d"
+  "/root/repo/src/views/summary_spec.cc" "src/CMakeFiles/chronicle_views.dir/views/summary_spec.cc.o" "gcc" "src/CMakeFiles/chronicle_views.dir/views/summary_spec.cc.o.d"
+  "/root/repo/src/views/view_manager.cc" "src/CMakeFiles/chronicle_views.dir/views/view_manager.cc.o" "gcc" "src/CMakeFiles/chronicle_views.dir/views/view_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronicle_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_aggregates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

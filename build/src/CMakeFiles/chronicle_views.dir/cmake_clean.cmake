@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_views.dir/views/persistent_view.cc.o"
+  "CMakeFiles/chronicle_views.dir/views/persistent_view.cc.o.d"
+  "CMakeFiles/chronicle_views.dir/views/summary_spec.cc.o"
+  "CMakeFiles/chronicle_views.dir/views/summary_spec.cc.o.d"
+  "CMakeFiles/chronicle_views.dir/views/view_manager.cc.o"
+  "CMakeFiles/chronicle_views.dir/views/view_manager.cc.o.d"
+  "libchronicle_views.a"
+  "libchronicle_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

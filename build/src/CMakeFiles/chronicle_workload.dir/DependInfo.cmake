@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/banking.cc" "src/CMakeFiles/chronicle_workload.dir/workload/banking.cc.o" "gcc" "src/CMakeFiles/chronicle_workload.dir/workload/banking.cc.o.d"
+  "/root/repo/src/workload/call_records.cc" "src/CMakeFiles/chronicle_workload.dir/workload/call_records.cc.o" "gcc" "src/CMakeFiles/chronicle_workload.dir/workload/call_records.cc.o.d"
+  "/root/repo/src/workload/flyer.cc" "src/CMakeFiles/chronicle_workload.dir/workload/flyer.cc.o" "gcc" "src/CMakeFiles/chronicle_workload.dir/workload/flyer.cc.o.d"
+  "/root/repo/src/workload/stock.cc" "src/CMakeFiles/chronicle_workload.dir/workload/stock.cc.o" "gcc" "src/CMakeFiles/chronicle_workload.dir/workload/stock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chronicle_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chronicle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

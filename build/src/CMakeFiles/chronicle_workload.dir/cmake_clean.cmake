@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_workload.dir/workload/banking.cc.o"
+  "CMakeFiles/chronicle_workload.dir/workload/banking.cc.o.d"
+  "CMakeFiles/chronicle_workload.dir/workload/call_records.cc.o"
+  "CMakeFiles/chronicle_workload.dir/workload/call_records.cc.o.d"
+  "CMakeFiles/chronicle_workload.dir/workload/flyer.cc.o"
+  "CMakeFiles/chronicle_workload.dir/workload/flyer.cc.o.d"
+  "CMakeFiles/chronicle_workload.dir/workload/stock.cc.o"
+  "CMakeFiles/chronicle_workload.dir/workload/stock.cc.o.d"
+  "libchronicle_workload.a"
+  "libchronicle_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

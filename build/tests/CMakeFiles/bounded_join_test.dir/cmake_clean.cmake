@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_join_test.dir/bounded_join_test.cc.o"
+  "CMakeFiles/bounded_join_test.dir/bounded_join_test.cc.o.d"
+  "bounded_join_test"
+  "bounded_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_expr_test.dir/ca_expr_test.cc.o"
+  "CMakeFiles/ca_expr_test.dir/ca_expr_test.cc.o.d"
+  "ca_expr_test"
+  "ca_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

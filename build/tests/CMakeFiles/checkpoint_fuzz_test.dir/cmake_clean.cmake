@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_fuzz_test.dir/checkpoint_fuzz_test.cc.o"
+  "CMakeFiles/checkpoint_fuzz_test.dir/checkpoint_fuzz_test.cc.o.d"
+  "checkpoint_fuzz_test"
+  "checkpoint_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

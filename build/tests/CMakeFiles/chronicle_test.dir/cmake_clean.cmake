@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_test.dir/chronicle_test.cc.o"
+  "CMakeFiles/chronicle_test.dir/chronicle_test.cc.o.d"
+  "chronicle_test"
+  "chronicle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

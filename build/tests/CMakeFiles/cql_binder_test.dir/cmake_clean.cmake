@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_binder_test.dir/cql_binder_test.cc.o"
+  "CMakeFiles/cql_binder_test.dir/cql_binder_test.cc.o.d"
+  "cql_binder_test"
+  "cql_binder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_extensions_test.dir/cql_extensions_test.cc.o"
+  "CMakeFiles/cql_extensions_test.dir/cql_extensions_test.cc.o.d"
+  "cql_extensions_test"
+  "cql_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

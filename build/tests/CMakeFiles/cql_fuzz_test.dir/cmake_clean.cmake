@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_fuzz_test.dir/cql_fuzz_test.cc.o"
+  "CMakeFiles/cql_fuzz_test.dir/cql_fuzz_test.cc.o.d"
+  "cql_fuzz_test"
+  "cql_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

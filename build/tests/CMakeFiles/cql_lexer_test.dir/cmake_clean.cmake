@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_lexer_test.dir/cql_lexer_test.cc.o"
+  "CMakeFiles/cql_lexer_test.dir/cql_lexer_test.cc.o.d"
+  "cql_lexer_test"
+  "cql_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_parser_test.dir/cql_parser_test.cc.o"
+  "CMakeFiles/cql_parser_test.dir/cql_parser_test.cc.o.d"
+  "cql_parser_test"
+  "cql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_cache_test.dir/delta_cache_test.cc.o"
+  "CMakeFiles/delta_cache_test.dir/delta_cache_test.cc.o.d"
+  "delta_cache_test"
+  "delta_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

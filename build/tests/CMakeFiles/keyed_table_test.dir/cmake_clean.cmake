@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_table_test.dir/keyed_table_test.cc.o"
+  "CMakeFiles/keyed_table_test.dir/keyed_table_test.cc.o.d"
+  "keyed_table_test"
+  "keyed_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_engine_test.dir/naive_engine_test.cc.o"
+  "CMakeFiles/naive_engine_test.dir/naive_engine_test.cc.o.d"
+  "naive_engine_test"
+  "naive_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

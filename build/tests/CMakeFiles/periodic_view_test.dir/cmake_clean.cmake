@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_view_test.dir/periodic_view_test.cc.o"
+  "CMakeFiles/periodic_view_test.dir/periodic_view_test.cc.o.d"
+  "periodic_view_test"
+  "periodic_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_view_test.dir/persistent_view_test.cc.o"
+  "CMakeFiles/persistent_view_test.dir/persistent_view_test.cc.o.d"
+  "persistent_view_test"
+  "persistent_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_query_test.dir/window_query_test.cc.o"
+  "CMakeFiles/window_query_test.dir/window_query_test.cc.o.d"
+  "window_query_test"
+  "window_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

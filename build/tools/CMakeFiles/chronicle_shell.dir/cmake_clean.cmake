@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronicle_shell.dir/chronicle_shell.cc.o"
+  "CMakeFiles/chronicle_shell.dir/chronicle_shell.cc.o.d"
+  "chronicle_shell"
+  "chronicle_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronicle_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
