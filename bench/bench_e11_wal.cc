@@ -1,0 +1,161 @@
+// Experiment E11 (operational) — write-ahead logging overhead + recovery.
+//
+// The WAL makes the volatile view state durable; the question is what the
+// ingest path pays for it. Series:
+//   * LoggedAppend — E1-style append workload with no log, and with a WAL
+//     under each fsync policy (off / group-commit batch / every record).
+//     The acceptance bar: batched fsync stays within ~2x of unlogged.
+//   * RecoveryCost — Recover() wall time as the replayed log tail grows
+//     (checkpoint at LSN 0, i.e. pure replay), and with a checkpoint
+//     covering all but a fixed tail.
+//
+// WAL directories live under the system temp dir and are removed per run.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench_common.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
+#include "workload/call_records.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ScratchDir(const std::string& tag) {
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("chronicle_bench_e11_" + tag + "_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(path);
+  return path;
+}
+
+void ApplyDdl(ChronicleDatabase* db) {
+  Check(db->CreateChronicle("calls", CallRecordGenerator::RecordSchema(),
+                            RetentionPolicy::None())
+            .status());
+  CaExprPtr scan = Unwrap(db->ScanChronicle("calls"));
+  Check(db->CreateView("minutes", scan,
+                       Unwrap(SummarySpec::GroupBy(
+                           scan->schema(), {"caller"},
+                           {AggSpec::Sum("minutes", "total"),
+                            AggSpec::Count("n")})))
+            .status());
+}
+
+// Appends `records` call records in batches of 64 to a fresh database,
+// optionally WAL-attached under `policy`.
+void RunAppends(benchmark::State& state, bool logged,
+                wal::FsyncPolicy policy) {
+  const int64_t records = state.range(0);
+  const std::string dir = ScratchDir("append");
+  uint64_t bytes_logged = 0, syncs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    ChronicleDatabase db;
+    ApplyDdl(&db);
+    std::unique_ptr<wal::Wal> w;
+    std::unique_ptr<wal::WalMutationLog> log;
+    if (logged) {
+      wal::WalOptions options;
+      options.fsync = policy;
+      w = Unwrap(wal::Wal::Open(dir, options));
+      log = std::make_unique<wal::WalMutationLog>(w.get(), &db);
+      db.set_durability({log.get()});
+    }
+    CallRecordOptions gen_options;
+    gen_options.num_accounts = 4096;
+    CallRecordGenerator gen(gen_options);
+    Chronon chronon = 0;
+    state.ResumeTiming();
+
+    int64_t left = records;
+    while (left > 0) {
+      const size_t n = left < 64 ? static_cast<size_t>(left) : 64;
+      Check(db.Append("calls", gen.NextBatch(n), ++chronon).status());
+      left -= static_cast<int64_t>(n);
+    }
+    if (logged) Check(w->Sync());
+
+    state.PauseTiming();
+    if (logged) {
+      bytes_logged = w->stats().bytes_logged;
+      syncs = w->stats().syncs;
+      Check(w->Close());
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["wal_bytes"] = static_cast<double>(bytes_logged);
+  state.counters["syncs"] = static_cast<double>(syncs);
+  fs::remove_all(dir);
+}
+
+void LoggedAppend_NoWal(benchmark::State& state) {
+  RunAppends(state, false, wal::FsyncPolicy::kNever);
+}
+void LoggedAppend_FsyncOff(benchmark::State& state) {
+  RunAppends(state, true, wal::FsyncPolicy::kNever);
+}
+void LoggedAppend_FsyncBatch(benchmark::State& state) {
+  RunAppends(state, true, wal::FsyncPolicy::kBatch);
+}
+void LoggedAppend_FsyncEveryRecord(benchmark::State& state) {
+  RunAppends(state, true, wal::FsyncPolicy::kEveryRecord);
+}
+BENCHMARK(LoggedAppend_NoWal)->Arg(1 << 14);
+BENCHMARK(LoggedAppend_FsyncOff)->Arg(1 << 14);
+BENCHMARK(LoggedAppend_FsyncBatch)->Arg(1 << 14);
+BENCHMARK(LoggedAppend_FsyncEveryRecord)->Arg(1 << 13);
+
+// Recovery wall time as a function of how much log tail must be replayed.
+// `tail_ticks` appends land after the checkpoint (0 = image only).
+void RecoveryCost(benchmark::State& state) {
+  const int64_t total_ticks = 2048;
+  const int64_t tail_ticks = state.range(0);
+  const std::string dir = ScratchDir("recover");
+  {
+    wal::WalOptions options;
+    options.fsync = wal::FsyncPolicy::kNever;
+    std::unique_ptr<wal::Wal> w = Unwrap(wal::Wal::Open(dir, options));
+    ChronicleDatabase db;
+    ApplyDdl(&db);
+    wal::WalMutationLog log(w.get(), &db);
+    db.set_durability({&log});
+    CallRecordOptions gen_options;
+    gen_options.num_accounts = 4096;
+    CallRecordGenerator gen(gen_options);
+    Chronon chronon = 0;
+    for (int64_t i = 0; i < total_ticks; ++i) {
+      if (i == total_ticks - tail_ticks) Check(w->WriteCheckpoint(db));
+      Check(db.Append("calls", gen.NextBatch(64), ++chronon).status());
+    }
+    Check(w->Close());
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    ChronicleDatabase fresh;
+    ApplyDdl(&fresh);
+    wal::RecoveryReport report = Unwrap(wal::Recover(dir, &fresh));
+    replayed = report.replay.records_applied;
+    benchmark::DoNotOptimize(fresh.appends_processed());
+  }
+  state.counters["tail_records_replayed"] = static_cast<double>(replayed);
+  fs::remove_all(dir);
+}
+BENCHMARK(RecoveryCost)->Arg(0)->Arg(256)->Arg(1024)->Arg(2048);
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+BENCHMARK_MAIN();

@@ -12,7 +12,9 @@ namespace checkpoint {
 namespace {
 
 constexpr uint32_t kMagic = 0x43484b50;  // "CHKP"
-constexpr uint32_t kVersion = 1;
+// v2 added the WAL watermark after the append counter; v1 images (no
+// watermark field) still restore.
+constexpr uint32_t kVersion = 2;
 
 void WriteAggState(Writer* w, const AggState& state) {
   w->WriteI64(state.count);
@@ -71,11 +73,13 @@ Result<GroupRecord> ReadGroupRecord(Reader* r) {
 
 }  // namespace
 
-Result<std::string> SaveDatabase(const ChronicleDatabase& db) {
+Result<std::string> SaveDatabase(const ChronicleDatabase& db,
+                                 uint64_t wal_watermark) {
   Writer w;
   w.WriteU32(kMagic);
   w.WriteU32(kVersion);
   w.WriteU64(db.appends_processed());
+  w.WriteU64(wal_watermark);
 
   // Chronicle group.
   const ChronicleGroup& group = db.group();
@@ -168,11 +172,15 @@ Status RestoreDatabase(const std::string& image, ChronicleDatabase* db) {
     return Status::ParseError("not a chronicle checkpoint (bad magic)");
   }
   CHRONICLE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::ParseError("unsupported checkpoint version " +
                               std::to_string(version));
   }
   CHRONICLE_ASSIGN_OR_RETURN(uint64_t appends, r.ReadU64());
+  if (version >= 2) {
+    CHRONICLE_ASSIGN_OR_RETURN(uint64_t watermark, r.ReadU64());
+    (void)watermark;  // recovery reads it via CheckpointWatermark
+  }
 
   // Chronicle group.
   CHRONICLE_ASSIGN_OR_RETURN(uint64_t group_sn, r.ReadU64());
@@ -284,6 +292,22 @@ Status RestoreDatabase(const std::string& image, ChronicleDatabase* db) {
   }
   db->RestoreAppendsProcessed(appends);
   return Status::OK();
+}
+
+Result<uint64_t> CheckpointWatermark(const std::string& image) {
+  Reader r(image);
+  CHRONICLE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return Status::ParseError("not a chronicle checkpoint (bad magic)");
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != 1 && version != kVersion) {
+    return Status::ParseError("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  if (version < 2) return uint64_t{0};
+  CHRONICLE_RETURN_NOT_OK(r.ReadU64().status());  // appends_processed
+  return r.ReadU64();
 }
 
 Status SaveDatabaseToFile(const ChronicleDatabase& db,

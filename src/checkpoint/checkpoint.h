@@ -22,6 +22,12 @@
 // fresh ChronicleDatabase, re-applies the same DDL, and then calls
 // RestoreDatabase, which matches objects BY NAME and refuses mismatches
 // (missing objects, non-empty targets, wrong aggregate counts).
+//
+// On its own a checkpoint recovers only up to the moment it was taken;
+// everything after it used to be lost on a crash. The write-ahead log
+// (src/wal, docs/DURABILITY.md) closes that gap: images carry a WAL
+// watermark — the LSN of the last logged operation they cover — and
+// recovery replays the log tail past it.
 
 #ifndef CHRONICLE_CHECKPOINT_CHECKPOINT_H_
 #define CHRONICLE_CHECKPOINT_CHECKPOINT_H_
@@ -34,8 +40,15 @@
 namespace chronicle {
 namespace checkpoint {
 
-// Serializes the full database state into a byte buffer.
-Result<std::string> SaveDatabase(const ChronicleDatabase& db);
+// Serializes the full database state into a byte buffer. `wal_watermark`
+// is the LSN of the last write-ahead-log record this image covers (0 when
+// the database runs unlogged).
+Result<std::string> SaveDatabase(const ChronicleDatabase& db,
+                                 uint64_t wal_watermark = 0);
+
+// Reads an image's WAL watermark without restoring it. Images from before
+// the watermark existed (format v1) report 0.
+Result<uint64_t> CheckpointWatermark(const std::string& image);
 
 // Restores a checkpoint into `db`, which must be freshly constructed with
 // the same DDL already applied and no appends processed.

@@ -21,6 +21,10 @@ namespace checkpoint {
 class Writer {
  public:
   const std::string& buffer() const { return buffer_; }
+  // Moves the encoded bytes out (the writer is spent afterwards).
+  std::string release() { return std::move(buffer_); }
+  // Pre-sizes the buffer (hot encoding paths pass a size estimate).
+  void Reserve(size_t bytes) { buffer_.reserve(bytes); }
 
   void WriteU8(uint8_t v);
   void WriteU32(uint32_t v);

@@ -31,6 +31,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "PlanError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kParseError,         // CQL syntax error
   kPlanError,          // CQL semantic / binding error
   kInternal,           // invariant breach inside the library (a bug)
+  kDataLoss,           // on-disk corruption / torn write detected (src/wal)
 };
 
 // Human-readable name of a StatusCode, e.g. "InvalidArgument".
@@ -74,6 +75,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -92,6 +96,7 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsPlanError() const { return code() == StatusCode::kPlanError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
  private:
   struct Rep {

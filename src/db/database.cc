@@ -169,17 +169,56 @@ Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
   return result;
 }
 
+Status ChronicleDatabase::ValidateAppendForLog(
+    const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>& inserts,
+    Chronon chronon) const {
+  if (chronon < group_.last_chronon()) {
+    return Status::OutOfRange("chronon " + std::to_string(chronon) +
+                              " regresses below " +
+                              std::to_string(group_.last_chronon()));
+  }
+  if (inserts.empty()) {
+    return Status::InvalidArgument("append event has no inserts");
+  }
+  for (const auto& [id, tuples] : inserts) {
+    CHRONICLE_ASSIGN_OR_RETURN(const Chronicle* target,
+                               group_.GetChronicle(id));
+    if (tuples.empty()) {
+      return Status::InvalidArgument("empty tuple batch for chronicle '" +
+                                     target->name() + "'");
+    }
+    for (const Tuple& t : tuples) {
+      CHRONICLE_RETURN_NOT_OK(ValidateTuple(target->schema(), t));
+    }
+  }
+  return Status::OK();
+}
+
+Result<AppendResult> ChronicleDatabase::AppendInternal(
+    std::vector<std::pair<ChronicleId, std::vector<Tuple>>> inserts,
+    Chronon chronon) {
+  if (durability_.mutation_log != nullptr) {
+    // Write-ahead: validate (so the log never records a tick that fails to
+    // apply), then log under the sequence number the tick will receive.
+    CHRONICLE_RETURN_NOT_OK(ValidateAppendForLog(inserts, chronon));
+    CHRONICLE_RETURN_NOT_OK(durability_.mutation_log->LogAppend(
+        group_.last_sn() + 1, chronon, inserts));
+  }
+  return Maintain(group_.AppendMulti(std::move(inserts), chronon));
+}
+
 Result<AppendResult> ChronicleDatabase::Append(const std::string& chronicle,
                                                std::vector<Tuple> tuples) {
-  CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(chronicle));
-  return Maintain(group_.Append(id, std::move(tuples)));
+  return Append(chronicle, std::move(tuples), group_.last_chronon() + 1);
 }
 
 Result<AppendResult> ChronicleDatabase::Append(const std::string& chronicle,
                                                std::vector<Tuple> tuples,
                                                Chronon chronon) {
   CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(chronicle));
-  return Maintain(group_.Append(id, std::move(tuples), chronon));
+  std::vector<std::pair<ChronicleId, std::vector<Tuple>>> inserts;
+  inserts.emplace_back(id, std::move(tuples));
+  return AppendInternal(std::move(inserts), chronon);
 }
 
 Result<AppendResult> ChronicleDatabase::AppendMulti(
@@ -191,23 +230,69 @@ Result<AppendResult> ChronicleDatabase::AppendMulti(
     CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(name));
     resolved.emplace_back(id, std::move(tuples));
   }
-  return Maintain(group_.AppendMulti(std::move(resolved), chronon));
+  return AppendInternal(std::move(resolved), chronon);
 }
 
 Status ChronicleDatabase::InsertInto(const std::string& relation, Tuple row) {
   CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
+  if (durability_.mutation_log != nullptr) {
+    // Mirror Relation::Insert's checks so the log only records inserts
+    // that will apply.
+    CHRONICLE_RETURN_NOT_OK(ValidateTuple(rel->schema(), row));
+    if (rel->has_key()) {
+      const Value& key = row[rel->key_index()];
+      if (key.is_null()) {
+        return Status::InvalidArgument("NULL key in relation '" + relation +
+                                       "'");
+      }
+      if (rel->LookupByKey(key).ok()) {
+        return Status::AlreadyExists("duplicate key " + key.ToString() +
+                                     " in relation '" + relation + "'");
+      }
+    }
+    CHRONICLE_RETURN_NOT_OK(
+        durability_.mutation_log->LogRelationInsert(relation, row));
+  }
   return rel->Insert(std::move(row));
 }
 
 Status ChronicleDatabase::UpdateRelation(const std::string& relation,
                                          const Value& key, Tuple new_row) {
   CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
+  if (durability_.mutation_log != nullptr) {
+    CHRONICLE_RETURN_NOT_OK(ValidateTuple(rel->schema(), new_row));
+    if (!rel->has_key()) {
+      return Status::FailedPrecondition("relation '" + relation +
+                                        "' has no key");
+    }
+    CHRONICLE_RETURN_NOT_OK(rel->LookupByKey(key).status());
+    const Value& new_key = new_row[rel->key_index()];
+    if (new_key.is_null()) {
+      return Status::InvalidArgument("NULL key in relation '" + relation +
+                                     "'");
+    }
+    if (new_key != key && rel->LookupByKey(new_key).ok()) {
+      return Status::AlreadyExists("duplicate key " + new_key.ToString() +
+                                   " in relation '" + relation + "'");
+    }
+    CHRONICLE_RETURN_NOT_OK(
+        durability_.mutation_log->LogRelationUpdate(relation, key, new_row));
+  }
   return rel->UpdateByKey(key, std::move(new_row));
 }
 
 Status ChronicleDatabase::DeleteFrom(const std::string& relation,
                                      const Value& key) {
   CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
+  if (durability_.mutation_log != nullptr) {
+    if (!rel->has_key()) {
+      return Status::FailedPrecondition("relation '" + relation +
+                                        "' has no key");
+    }
+    CHRONICLE_RETURN_NOT_OK(rel->LookupByKey(key).status());
+    CHRONICLE_RETURN_NOT_OK(
+        durability_.mutation_log->LogRelationDelete(relation, key));
+  }
   return rel->DeleteByKey(key);
 }
 

@@ -31,11 +31,46 @@
 
 namespace chronicle {
 
+class ChronicleDatabase;
+
+namespace checkpoint {
+// Declared here so checkpoint restore — and nothing else — can be granted
+// friend access to the append-counter rewind below.
+Status RestoreDatabase(const std::string& image, ChronicleDatabase* db);
+}  // namespace checkpoint
+
 // Result of one Append: the event that was recorded plus what maintenance
 // it triggered.
 struct AppendResult {
   AppendEvent event;
   MaintenanceReport maintenance;
+};
+
+// Durability hook (implemented by src/wal): each DML entry point calls
+// exactly one Log* method after the operation has been validated and
+// BEFORE it is applied, so the log never records an operation that fails
+// and never misses one that succeeds. A non-OK status from the hook aborts
+// the operation. `inserts` carry chronicle ids; resolve them to names (the
+// durable identity) through the database's group().
+class MutationLog {
+ public:
+  virtual ~MutationLog() = default;
+  virtual Status LogAppend(
+      SeqNum sn, Chronon chronon,
+      const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>&
+          inserts) = 0;
+  virtual Status LogRelationInsert(const std::string& relation,
+                                   const Tuple& row) = 0;
+  virtual Status LogRelationUpdate(const std::string& relation,
+                                   const Value& key, const Tuple& row) = 0;
+  virtual Status LogRelationDelete(const std::string& relation,
+                                   const Value& key) = 0;
+};
+
+struct DurabilityOptions {
+  // Borrowed write-ahead hook; must outlive the database. nullptr runs the
+  // database without durability (the seed behavior).
+  MutationLog* mutation_log = nullptr;
 };
 
 class ChronicleDatabase {
@@ -149,10 +184,34 @@ class ChronicleDatabase {
   // Mutable lookups used by checkpoint restore.
   Result<PeriodicViewSet*> GetPeriodicViewMutable(const std::string& name);
   Result<SlidingWindowView*> GetSlidingViewMutable(const std::string& name);
-  // Reinstates the append counter after a restore.
-  void RestoreAppendsProcessed(uint64_t n) { appends_processed_ = n; }
+
+  // --- durability ---
+
+  // Attaches (or detaches, with a default-constructed options) the
+  // write-ahead hook. Must not be set while recovery is replaying the log.
+  void set_durability(const DurabilityOptions& options) {
+    durability_ = options;
+  }
+  const DurabilityOptions& durability() const { return durability_; }
 
  private:
+  // Rewinding the append counter is only legal during checkpoint restore;
+  // the friend grant keeps every other caller out (see docs/DURABILITY.md).
+  friend Status checkpoint::RestoreDatabase(const std::string& image,
+                                            ChronicleDatabase* db);
+  void RestoreAppendsProcessed(uint64_t n) { appends_processed_ = n; }
+
+  // Common append path: logs the tick (when a mutation log is attached),
+  // then applies and maintains it.
+  Result<AppendResult> AppendInternal(
+      std::vector<std::pair<ChronicleId, std::vector<Tuple>>> inserts,
+      Chronon chronon);
+  // Mirrors ChronicleGroup's append validation so a logged tick cannot
+  // fail to apply.
+  Status ValidateAppendForLog(
+      const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>& inserts,
+      Chronon chronon) const;
+
   Result<AppendResult> Maintain(Result<AppendEvent> event);
 
   ChronicleGroup group_;
@@ -165,6 +224,7 @@ class ChronicleDatabase {
   std::vector<std::unique_ptr<SlidingWindowView>> sliding_;
   std::unordered_map<std::string, size_t> sliding_by_name_;
   uint64_t appends_processed_ = 0;
+  DurabilityOptions durability_;
 };
 
 }  // namespace chronicle

@@ -1,0 +1,62 @@
+// Crash recovery: checkpoint + log-tail replay.
+//
+// Protocol (docs/DURABILITY.md):
+//   1. The caller constructs a fresh ChronicleDatabase and re-applies the
+//      same DDL (definitions live in application code, exactly as for plain
+//      checkpoint restore — see checkpoint/checkpoint.h).
+//   2. Recover() restores the newest checkpoint whose CRC validates
+//      (corrupt newer checkpoints are skipped in favor of older ones),
+//      yielding the state as of the checkpoint's watermark LSN.
+//   3. Every WAL record with LSN > watermark is replayed through the
+//      normal DML entry points, so views are re-maintained incrementally —
+//      the recovered state is bit-identical to an uninterrupted run up to
+//      the last fully-synced record.
+//   4. Replay stops cleanly at a torn tail (the last record of the log was
+//      mid-write when the crash hit); corruption anywhere earlier fails
+//      with kDataLoss instead of applying records past a hole.
+//
+// After a successful Recover, open a Wal in the same directory and attach
+// it (ChronicleDatabase::set_durability) to resume logging; Wal::Open
+// starts a fresh segment past the recovered tail, never appending after
+// torn bytes.
+
+#ifndef CHRONICLE_WAL_RECOVERY_H_
+#define CHRONICLE_WAL_RECOVERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "wal/wal.h"
+
+namespace chronicle {
+namespace wal {
+
+struct RecoveryReport {
+  // True if a checkpoint image was restored (false: replayed from genesis).
+  bool checkpoint_restored = false;
+  // Path of the checkpoint that was applied, when one was.
+  std::string checkpoint_path;
+  // Number of newer checkpoint files skipped because they failed
+  // validation.
+  uint64_t checkpoints_skipped = 0;
+  // The applied checkpoint's watermark (0 without a checkpoint): replay
+  // starts at watermark + 1.
+  uint64_t watermark = 0;
+  WalReplayStats replay;
+
+  // LSN of the last operation the recovered database reflects.
+  uint64_t recovered_lsn() const {
+    return watermark + replay.records_applied;
+  }
+};
+
+// Recovers the database state persisted in `dir` into `db`, which must be
+// freshly constructed with the same DDL applied, no appends processed, and
+// no mutation log attached yet.
+Result<RecoveryReport> Recover(const std::string& dir, ChronicleDatabase* db);
+
+}  // namespace wal
+}  // namespace chronicle
+
+#endif  // CHRONICLE_WAL_RECOVERY_H_

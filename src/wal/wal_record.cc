@@ -1,0 +1,165 @@
+#include "wal/wal_record.h"
+
+#include <algorithm>
+
+#include "checkpoint/serde.h"
+
+namespace chronicle {
+namespace wal {
+
+WalRecord WalRecord::MakeAppend(
+    SeqNum sn, Chronon chronon,
+    std::vector<std::pair<std::string, std::vector<Tuple>>> inserts) {
+  WalRecord r;
+  r.type = WalRecordType::kAppend;
+  r.sn = sn;
+  r.chronon = chronon;
+  r.inserts = std::move(inserts);
+  return r;
+}
+
+WalRecord WalRecord::MakeRelationInsert(std::string relation, Tuple row) {
+  WalRecord r;
+  r.type = WalRecordType::kRelationInsert;
+  r.relation = std::move(relation);
+  r.row = std::move(row);
+  return r;
+}
+
+WalRecord WalRecord::MakeRelationUpdate(std::string relation, Value key,
+                                        Tuple row) {
+  WalRecord r;
+  r.type = WalRecordType::kRelationUpdate;
+  r.relation = std::move(relation);
+  r.key = std::move(key);
+  r.row = std::move(row);
+  return r;
+}
+
+WalRecord WalRecord::MakeRelationDelete(std::string relation, Value key) {
+  WalRecord r;
+  r.type = WalRecordType::kRelationDelete;
+  r.relation = std::move(relation);
+  r.key = std::move(key);
+  return r;
+}
+
+bool operator==(const WalRecord& a, const WalRecord& b) {
+  return a.lsn == b.lsn && a.type == b.type && a.sn == b.sn &&
+         a.chronon == b.chronon && a.inserts == b.inserts &&
+         a.relation == b.relation && a.key == b.key && a.row == b.row;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  checkpoint::Writer w;
+  w.WriteU64(record.lsn);
+  w.WriteU8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kAppend:
+      w.WriteU64(record.sn);
+      w.WriteI64(record.chronon);
+      w.WriteU32(static_cast<uint32_t>(record.inserts.size()));
+      for (const auto& [name, tuples] : record.inserts) {
+        w.WriteString(name);
+        w.WriteU32(static_cast<uint32_t>(tuples.size()));
+        for (const Tuple& t : tuples) w.WriteTuple(t);
+      }
+      break;
+    case WalRecordType::kRelationInsert:
+      w.WriteString(record.relation);
+      w.WriteTuple(record.row);
+      break;
+    case WalRecordType::kRelationUpdate:
+      w.WriteString(record.relation);
+      w.WriteValue(record.key);
+      w.WriteTuple(record.row);
+      break;
+    case WalRecordType::kRelationDelete:
+      w.WriteString(record.relation);
+      w.WriteValue(record.key);
+      break;
+  }
+  return w.release();
+}
+
+std::string EncodeAppendRecord(uint64_t lsn, SeqNum sn, Chronon chronon,
+                               const std::vector<AppendBatchRef>& batches) {
+  checkpoint::Writer w;
+  // Rough size estimate (tag + length prefixes + ~12 bytes per value)
+  // to avoid buffer regrowth while encoding the tick.
+  size_t estimate = 29;
+  for (const AppendBatchRef& batch : batches) {
+    estimate += 12 + batch.name->size();
+    for (const Tuple& t : *batch.tuples) estimate += 4 + t.size() * 12;
+  }
+  w.Reserve(estimate);
+  w.WriteU64(lsn);
+  w.WriteU8(static_cast<uint8_t>(WalRecordType::kAppend));
+  w.WriteU64(sn);
+  w.WriteI64(chronon);
+  w.WriteU32(static_cast<uint32_t>(batches.size()));
+  for (const AppendBatchRef& batch : batches) {
+    w.WriteString(*batch.name);
+    w.WriteU32(static_cast<uint32_t>(batch.tuples->size()));
+    for (const Tuple& t : *batch.tuples) w.WriteTuple(t);
+  }
+  return w.release();
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& payload) {
+  checkpoint::Reader r(payload);
+  WalRecord record;
+  CHRONICLE_ASSIGN_OR_RETURN(record.lsn, r.ReadU64());
+  CHRONICLE_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kAppend: {
+      record.type = WalRecordType::kAppend;
+      CHRONICLE_ASSIGN_OR_RETURN(record.sn, r.ReadU64());
+      CHRONICLE_ASSIGN_OR_RETURN(record.chronon, r.ReadI64());
+      CHRONICLE_ASSIGN_OR_RETURN(uint32_t num_chronicles, r.ReadU32());
+      record.inserts.reserve(
+          std::min<size_t>(num_chronicles, r.remaining()));
+      for (uint32_t i = 0; i < num_chronicles; ++i) {
+        CHRONICLE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        CHRONICLE_ASSIGN_OR_RETURN(uint32_t num_tuples, r.ReadU32());
+        std::vector<Tuple> tuples;
+        tuples.reserve(std::min<size_t>(num_tuples, r.remaining()));
+        for (uint32_t j = 0; j < num_tuples; ++j) {
+          CHRONICLE_ASSIGN_OR_RETURN(Tuple t, r.ReadTuple());
+          tuples.push_back(std::move(t));
+        }
+        record.inserts.emplace_back(std::move(name), std::move(tuples));
+      }
+      break;
+    }
+    case WalRecordType::kRelationInsert: {
+      record.type = WalRecordType::kRelationInsert;
+      CHRONICLE_ASSIGN_OR_RETURN(record.relation, r.ReadString());
+      CHRONICLE_ASSIGN_OR_RETURN(record.row, r.ReadTuple());
+      break;
+    }
+    case WalRecordType::kRelationUpdate: {
+      record.type = WalRecordType::kRelationUpdate;
+      CHRONICLE_ASSIGN_OR_RETURN(record.relation, r.ReadString());
+      CHRONICLE_ASSIGN_OR_RETURN(record.key, r.ReadValue());
+      CHRONICLE_ASSIGN_OR_RETURN(record.row, r.ReadTuple());
+      break;
+    }
+    case WalRecordType::kRelationDelete: {
+      record.type = WalRecordType::kRelationDelete;
+      CHRONICLE_ASSIGN_OR_RETURN(record.relation, r.ReadString());
+      CHRONICLE_ASSIGN_OR_RETURN(record.key, r.ReadValue());
+      break;
+    }
+    default:
+      return Status::ParseError("bad wal record type " + std::to_string(type));
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes in wal record (" +
+                              std::to_string(r.remaining()) + ")");
+  }
+  return record;
+}
+
+}  // namespace wal
+}  // namespace chronicle

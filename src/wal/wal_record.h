@@ -1,0 +1,89 @@
+// WAL record model and serialization.
+//
+// One record per DML operation, in commit order:
+//   * kAppend         — one tick: (sn, chronon, tuples per chronicle). Covers
+//                       Append, Append-with-chronon, and AppendMulti; a
+//                       single-chronicle append is a one-entry tick.
+//   * kRelationInsert / kRelationUpdate / kRelationDelete — proactive
+//                       relation updates (paper §2.3).
+//
+// Chronicles and relations are identified BY NAME: ids are assigned in DDL
+// order and the whole recovery protocol (like checkpoint restore) matches
+// objects by name against freshly re-applied DDL.
+//
+// Records are encoded with the checkpoint serde (bounds-checked little-
+// endian) and framed by the segment writer as [len u32][crc32c u32][payload];
+// the CRC covers the payload, so any in-payload corruption surfaces as a
+// frame-level kDataLoss before decoding is attempted.
+
+#ifndef CHRONICLE_WAL_WAL_RECORD_H_
+#define CHRONICLE_WAL_WAL_RECORD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/chronicle_group.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace chronicle {
+namespace wal {
+
+enum class WalRecordType : uint8_t {
+  kAppend = 1,
+  kRelationInsert = 2,
+  kRelationUpdate = 3,
+  kRelationDelete = 4,
+};
+
+struct WalRecord {
+  // Log sequence number: position of this record in the log, starting at 1.
+  // Assigned by the log manager; the checkpoint watermark is an LSN.
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kAppend;
+
+  // kAppend payload.
+  SeqNum sn = 0;
+  Chronon chronon = 0;
+  std::vector<std::pair<std::string, std::vector<Tuple>>> inserts;
+
+  // Relation-op payload.
+  std::string relation;
+  Value key;  // update / delete target
+  Tuple row;  // insert / update payload
+
+  static WalRecord MakeAppend(
+      SeqNum sn, Chronon chronon,
+      std::vector<std::pair<std::string, std::vector<Tuple>>> inserts);
+  static WalRecord MakeRelationInsert(std::string relation, Tuple row);
+  static WalRecord MakeRelationUpdate(std::string relation, Value key,
+                                      Tuple row);
+  static WalRecord MakeRelationDelete(std::string relation, Value key);
+};
+
+bool operator==(const WalRecord& a, const WalRecord& b);
+
+// Encodes the record payload (no frame).
+std::string EncodeWalRecord(const WalRecord& record);
+
+// Zero-copy encoding for the hot ingest path: an append tick is encoded
+// straight from the database's borrowed batches, skipping the tuple copies
+// a WalRecord would force. Produces bytes identical to EncodeWalRecord of
+// the equivalent kAppend record.
+struct AppendBatchRef {
+  const std::string* name;
+  const std::vector<Tuple>* tuples;
+};
+std::string EncodeAppendRecord(uint64_t lsn, SeqNum sn, Chronon chronon,
+                               const std::vector<AppendBatchRef>& batches);
+
+// Decodes a payload produced by EncodeWalRecord. ParseError on malformed
+// input; never crashes or over-allocates on corrupt length prefixes.
+Result<WalRecord> DecodeWalRecord(const std::string& payload);
+
+}  // namespace wal
+}  // namespace chronicle
+
+#endif  // CHRONICLE_WAL_WAL_RECORD_H_

@@ -99,13 +99,14 @@ TEST(CheckpointFuzzTest, SplicedLengthFieldsCannotAllocateUnbounded) {
   // Grow length/count prefixes to huge values: the reader must detect the
   // truncation instead of attempting a giant allocation or spinning.
   //
-  // Image layout: magic(4) version(4) appends(8) last_sn(8) chronon(8)
-  // num_chronicles(4)@32, then the first chronicle's name length u32 @36.
+  // Image layout (v2): magic(4) version(4) appends(8) wal_watermark(8)
+  // last_sn(8) chronon(8) num_chronicles(4)@40, then the first chronicle's
+  // name length u32 @44.
   std::string image = MakeImage();
   // (a) The chronicle-name length prefix.
   {
     std::string spliced = image;
-    for (size_t i = 36; i < 40; ++i) spliced[i] = static_cast<char>(0xFF);
+    for (size_t i = 44; i < 48; ++i) spliced[i] = static_cast<char>(0xFF);
     ChronicleDatabase target;
     ApplyDdl(&target);
     EXPECT_FALSE(RestoreDatabase(spliced, &target).ok());
@@ -113,7 +114,7 @@ TEST(CheckpointFuzzTest, SplicedLengthFieldsCannotAllocateUnbounded) {
   // (b) The chronicle-count prefix (2^32-1 chronicles "follow").
   {
     std::string spliced = image;
-    for (size_t i = 32; i < 36; ++i) spliced[i] = static_cast<char>(0xFF);
+    for (size_t i = 40; i < 44; ++i) spliced[i] = static_cast<char>(0xFF);
     ChronicleDatabase target;
     ApplyDdl(&target);
     EXPECT_FALSE(RestoreDatabase(spliced, &target).ok());

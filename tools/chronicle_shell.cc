@@ -6,6 +6,11 @@
 //
 // Statements end with ';' and may span lines. Meta-commands:
 //   \profile on|off   toggle per-view maintenance profiling
+//   \wal <dir>        log every mutation to a write-ahead log in <dir>
+//   \wal off          sync and detach the write-ahead log
+//   \checkpoint       checkpoint the database into the WAL directory
+//   \recover <dir>    rebuild state from <dir> (apply the DDL first!),
+//                     then resume logging there
 //   \quit             exit
 // Errors are printed and the session continues (scripts abort on error).
 
@@ -14,17 +19,50 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "cql/binder.h"
 #include "db/database.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
 
 namespace {
 
 using chronicle::ChronicleDatabase;
 using chronicle::Tuple;
 using chronicle::cql::ExecResult;
+
+// The shell's database plus its (optional) durability attachment.
+struct Session {
+  ChronicleDatabase db;
+  std::unique_ptr<chronicle::wal::Wal> wal;
+  std::unique_ptr<chronicle::wal::WalMutationLog> log;
+
+  // Opens a WAL in `dir` and routes every future mutation through it.
+  bool AttachWal(const std::string& dir) {
+    auto opened = chronicle::wal::Wal::Open(dir);
+    if (!opened.ok()) {
+      std::printf("ERROR: %s\n", opened.status().ToString().c_str());
+      return false;
+    }
+    wal = std::move(opened).value();
+    log = std::make_unique<chronicle::wal::WalMutationLog>(wal.get(), &db);
+    db.set_durability({log.get()});
+    return true;
+  }
+
+  void DetachWal() {
+    db.set_durability({});
+    if (wal != nullptr) {
+      chronicle::Status st = wal->Close();
+      if (!st.ok()) std::printf("ERROR: %s\n", st.ToString().c_str());
+    }
+    log.reset();
+    wal.reset();
+  }
+};
 
 // Renders a result-set as an aligned text table.
 void PrintRows(const ExecResult& result) {
@@ -74,8 +112,9 @@ bool RunStatement(ChronicleDatabase* db, const std::string& sql) {
 }
 
 // Handles a \meta command; returns true if it was one.
-bool HandleMeta(ChronicleDatabase* db, const std::string& line, bool* done) {
+bool HandleMeta(Session* session, const std::string& line, bool* done) {
   if (line.empty() || line[0] != '\\') return false;
+  ChronicleDatabase* db = &session->db;
   if (line == "\\quit" || line == "\\q") {
     *done = true;
   } else if (line == "\\profile on") {
@@ -84,9 +123,53 @@ bool HandleMeta(ChronicleDatabase* db, const std::string& line, bool* done) {
   } else if (line == "\\profile off") {
     db->view_manager().set_profiling(false);
     std::printf("profiling off\n");
+  } else if (line == "\\wal off") {
+    session->DetachWal();
+    std::printf("wal detached\n");
+  } else if (line.rfind("\\wal ", 0) == 0) {
+    const std::string dir = line.substr(5);
+    session->DetachWal();
+    if (session->AttachWal(dir)) {
+      std::printf("logging to %s (next lsn %llu)\n", dir.c_str(),
+                  static_cast<unsigned long long>(session->wal->next_lsn()));
+    }
+  } else if (line == "\\checkpoint") {
+    if (session->wal == nullptr) {
+      std::printf("no wal attached (use \\wal <dir> first)\n");
+    } else {
+      chronicle::Status st = session->wal->WriteCheckpoint(*db);
+      if (!st.ok()) {
+        std::printf("ERROR: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("checkpoint written at lsn %llu\n",
+                    static_cast<unsigned long long>(
+                        session->wal->last_synced_lsn()));
+      }
+    }
+  } else if (line.rfind("\\recover ", 0) == 0) {
+    const std::string dir = line.substr(9);
+    // Recovery needs a detached log; re-attach to the same dir on success
+    // so the session keeps logging where it left off.
+    session->DetachWal();
+    chronicle::Result<chronicle::wal::RecoveryReport> report =
+        chronicle::wal::Recover(dir, db);
+    if (!report.ok()) {
+      std::printf("ERROR: %s\n", report.status().ToString().c_str());
+    } else {
+      std::printf(
+          "recovered to lsn %llu (%s; %llu record(s) replayed%s)\n",
+          static_cast<unsigned long long>(report->recovered_lsn()),
+          report->checkpoint_restored ? "checkpoint + log tail"
+                                      : "log replay from genesis",
+          static_cast<unsigned long long>(report->replay.records_applied),
+          report->replay.tail_truncated ? "; torn tail discarded" : "");
+      session->AttachWal(dir);
+    }
   } else {
-    std::printf("unknown meta-command %s (try \\profile on|off, \\quit)\n",
-                line.c_str());
+    std::printf(
+        "unknown meta-command %s (try \\profile on|off, \\wal <dir>|off, "
+        "\\checkpoint, \\recover <dir>, \\quit)\n",
+        line.c_str());
   }
   return true;
 }
@@ -113,8 +196,8 @@ int RunScriptFile(ChronicleDatabase* db, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  ChronicleDatabase db;
-  if (argc > 1) return RunScriptFile(&db, argv[1]);
+  Session session;
+  if (argc > 1) return RunScriptFile(&session.db, argv[1]);
 
   const bool interactive = isatty(0);
   if (interactive) {
@@ -127,7 +210,7 @@ int main(int argc, char** argv) {
     if (interactive) std::printf(pending.empty() ? "cql> " : "...> ");
     if (!std::getline(std::cin, line)) break;
     // Meta-commands act on whole lines, outside any pending statement.
-    if (pending.empty() && HandleMeta(&db, line, &done)) continue;
+    if (pending.empty() && HandleMeta(&session, line, &done)) continue;
     pending += line;
     pending += "\n";
     // Execute every complete statement accumulated so far.
@@ -137,8 +220,14 @@ int main(int argc, char** argv) {
       pending.erase(0, semi + 1);
       // Skip pure-whitespace statements.
       if (sql.find_first_not_of(" \t\r\n") == std::string::npos) continue;
-      RunStatement(&db, sql);
+      RunStatement(&session.db, sql);
+    }
+    // Leftover whitespace (the newline after 'stmt;') would otherwise keep
+    // `pending` non-empty and block the next meta-command.
+    if (pending.find_first_not_of(" \t\r\n") == std::string::npos) {
+      pending.clear();
     }
   }
+  session.DetachWal();
   return 0;
 }
