@@ -1,12 +1,26 @@
-// Shared helpers for the experiment benches (E1..E8). Each bench binary
+// Shared helpers for the experiment benches (E1..E12). Each bench binary
 // regenerates one experiment from DESIGN.md §5; the pass criteria (curve
 // shapes, who wins) are recorded in EXPERIMENTS.md.
+//
+// Smoke mode: every bench accepts `--smoke` (or CHRONICLE_BENCH_SMOKE=1 in
+// the environment). It shrinks the registered problem sizes (via Scaled)
+// and clamps --benchmark_min_time so the whole binary finishes in seconds.
+// CI runs every bench this way on every push, so benchmarks cannot bitrot
+// uncompiled or crash unnoticed. Benches use CHRONICLE_BENCH_MAIN() in
+// place of BENCHMARK_MAIN() to get the flag handling.
 
 #ifndef CHRONICLE_BENCH_BENCH_COMMON_H_
 #define CHRONICLE_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -28,7 +42,62 @@ T Unwrap(Result<T> result) {
   return std::move(result).value();
 }
 
+// True when the binary runs in smoke mode. Benchmark sizes are registered
+// during static initialization — before main() can parse argv — so this
+// checks the CHRONICLE_BENCH_SMOKE environment variable and, on Linux,
+// scans /proc/self/cmdline for a literal `--smoke` argument (NUL-separated,
+// so no substring false positives). The result is computed once.
+inline bool SmokeMode() {
+  static const bool smoke = [] {
+    if (std::getenv("CHRONICLE_BENCH_SMOKE") != nullptr) return true;
+    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+    if (!cmdline) return false;
+    std::string raw((std::istreambuf_iterator<char>(cmdline)),
+                    std::istreambuf_iterator<char>());
+    size_t pos = 0;
+    while (pos < raw.size()) {
+      const size_t end = raw.find('\0', pos);
+      const std::string arg = raw.substr(pos, end - pos);
+      if (arg == "--smoke") return true;
+      if (end == std::string::npos) break;
+      pos = end + 1;
+    }
+    return false;
+  }();
+  return smoke;
+}
+
+// Experiment size selector: the real size normally, the tiny one in smoke
+// mode. Use on Range/Args upper bounds and setup loop counts.
+inline int64_t Scaled(int64_t full, int64_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+// Entry point shared by all benches: strips `--smoke` (google-benchmark
+// rejects unknown flags), clamps min_time in smoke mode, then runs.
+inline int RunMain(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) continue;
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (SmokeMode()) args.insert(args.begin() + 1, min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace chronicle
+
+#define CHRONICLE_BENCH_MAIN()                      \
+  int main(int argc, char** argv) {                 \
+    return chronicle::bench::RunMain(argc, argv);   \
+  }
 
 #endif  // CHRONICLE_BENCH_BENCH_COMMON_H_

@@ -60,7 +60,7 @@ void SaveCost(benchmark::State& state) {
   state.counters["stream_records"] = static_cast<double>(state.range(0));
   state.counters["image_bytes"] = static_cast<double>(image_bytes);
 }
-BENCHMARK(SaveCost)->RangeMultiplier(8)->Range(1 << 12, 1 << 18);
+BENCHMARK(SaveCost)->RangeMultiplier(8)->Range(1 << 12, Scaled(1 << 18, 1 << 13));
 
 void RestoreCost(benchmark::State& state) {
   ChronicleDatabase source;
@@ -76,10 +76,10 @@ void RestoreCost(benchmark::State& state) {
   state.counters["stream_records"] = static_cast<double>(state.range(0));
   state.counters["image_bytes"] = static_cast<double>(image.size());
 }
-BENCHMARK(RestoreCost)->RangeMultiplier(8)->Range(1 << 12, 1 << 18);
+BENCHMARK(RestoreCost)->RangeMultiplier(8)->Range(1 << 12, Scaled(1 << 18, 1 << 13));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

@@ -112,10 +112,10 @@ void LoggedAppend_FsyncBatch(benchmark::State& state) {
 void LoggedAppend_FsyncEveryRecord(benchmark::State& state) {
   RunAppends(state, true, wal::FsyncPolicy::kEveryRecord);
 }
-BENCHMARK(LoggedAppend_NoWal)->Arg(1 << 14);
-BENCHMARK(LoggedAppend_FsyncOff)->Arg(1 << 14);
-BENCHMARK(LoggedAppend_FsyncBatch)->Arg(1 << 14);
-BENCHMARK(LoggedAppend_FsyncEveryRecord)->Arg(1 << 13);
+BENCHMARK(LoggedAppend_NoWal)->Arg(Scaled(1 << 14, 1 << 10));
+BENCHMARK(LoggedAppend_FsyncOff)->Arg(Scaled(1 << 14, 1 << 10));
+BENCHMARK(LoggedAppend_FsyncBatch)->Arg(Scaled(1 << 14, 1 << 10));
+BENCHMARK(LoggedAppend_FsyncEveryRecord)->Arg(Scaled(1 << 13, 1 << 8));
 
 // Recovery wall time as a function of how much log tail must be replayed.
 // `tail_ticks` appends land after the checkpoint (0 = image only).
@@ -152,10 +152,10 @@ void RecoveryCost(benchmark::State& state) {
   state.counters["tail_records_replayed"] = static_cast<double>(replayed);
   fs::remove_all(dir);
 }
-BENCHMARK(RecoveryCost)->Arg(0)->Arg(256)->Arg(1024)->Arg(2048);
+BENCHMARK(RecoveryCost)->Arg(0)->Arg(256)->Arg(Scaled(1024, 256))->Arg(Scaled(2048, 512));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

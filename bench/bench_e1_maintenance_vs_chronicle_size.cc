@@ -89,17 +89,17 @@ void RunIncremental(benchmark::State& state, ViewKind kind,
 void IncrementalSca1(benchmark::State& state) {
   RunIncremental(state, ViewKind::kSca1, RetentionPolicy::None());
 }
-BENCHMARK(IncrementalSca1)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+BENCHMARK(IncrementalSca1)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 19, 1 << 12));
 
 void IncrementalScaJoin(benchmark::State& state) {
   RunIncremental(state, ViewKind::kScaJoin, RetentionPolicy::None());
 }
-BENCHMARK(IncrementalScaJoin)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+BENCHMARK(IncrementalScaJoin)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 19, 1 << 12));
 
 void IncrementalScaCross(benchmark::State& state) {
   RunIncremental(state, ViewKind::kScaCross, RetentionPolicy::None());
 }
-BENCHMARK(IncrementalScaCross)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+BENCHMARK(IncrementalScaCross)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 19, 1 << 12));
 
 // The relational baseline: the summary is answered by recomputing over the
 // stored chronicle, so every "maintenance" step costs O(|C|).
@@ -126,10 +126,10 @@ void BaselineRecompute(benchmark::State& state) {
   }
   state.counters["chronicle_size"] = static_cast<double>(prefill);
 }
-BENCHMARK(BaselineRecompute)->RangeMultiplier(8)->Range(1 << 10, 1 << 17);
+BENCHMARK(BaselineRecompute)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 17, 1 << 12));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

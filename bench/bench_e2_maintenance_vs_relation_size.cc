@@ -60,20 +60,20 @@ void RunJoinBench(benchmark::State& state, JoinKind kind, IndexMode mode) {
 void KeyJoinOrderedIndex(benchmark::State& state) {
   RunJoinBench(state, JoinKind::kKeyJoin, IndexMode::kOrdered);
 }
-BENCHMARK(KeyJoinOrderedIndex)->RangeMultiplier(8)->Range(1 << 10, 1 << 20);
+BENCHMARK(KeyJoinOrderedIndex)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 20, 1 << 12));
 
 void KeyJoinHashIndex(benchmark::State& state) {
   RunJoinBench(state, JoinKind::kKeyJoin, IndexMode::kHash);
 }
-BENCHMARK(KeyJoinHashIndex)->RangeMultiplier(8)->Range(1 << 10, 1 << 20);
+BENCHMARK(KeyJoinHashIndex)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 20, 1 << 12));
 
 void CrossProduct(benchmark::State& state) {
   RunJoinBench(state, JoinKind::kCross, IndexMode::kHash);
 }
-BENCHMARK(CrossProduct)->RangeMultiplier(8)->Range(1 << 10, 1 << 16);
+BENCHMARK(CrossProduct)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 16, 1 << 12));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

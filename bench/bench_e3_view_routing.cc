@@ -54,20 +54,20 @@ void RunRouting(benchmark::State& state, RoutingMode mode) {
 void CheckAllViews(benchmark::State& state) {
   RunRouting(state, RoutingMode::kCheckAll);
 }
-BENCHMARK(CheckAllViews)->RangeMultiplier(4)->Range(1, 1 << 10);
+BENCHMARK(CheckAllViews)->RangeMultiplier(4)->Range(1, Scaled(1 << 10, 16));
 
 void GuardFiltering(benchmark::State& state) {
   RunRouting(state, RoutingMode::kGuards);
 }
-BENCHMARK(GuardFiltering)->RangeMultiplier(4)->Range(1, 1 << 10);
+BENCHMARK(GuardFiltering)->RangeMultiplier(4)->Range(1, Scaled(1 << 10, 16));
 
 void EqIndexRouting(benchmark::State& state) {
   RunRouting(state, RoutingMode::kEqIndex);
 }
-BENCHMARK(EqIndexRouting)->RangeMultiplier(4)->Range(1, 1 << 10);
+BENCHMARK(EqIndexRouting)->RangeMultiplier(4)->Range(1, Scaled(1 << 10, 16));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

@@ -62,7 +62,7 @@ void NaivePeriodic(benchmark::State& state) {
   state.counters["appends_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(NaivePeriodic)->RangeMultiplier(4)->Range(8, 1 << 10);
+BENCHMARK(NaivePeriodic)->RangeMultiplier(4)->Range(8, Scaled(1 << 10, 32));
 
 void PaneRingBuffer(benchmark::State& state) {
   const int64_t panes = state.range(0);
@@ -75,7 +75,7 @@ void PaneRingBuffer(benchmark::State& state) {
   state.counters["appends_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(PaneRingBuffer)->RangeMultiplier(4)->Range(8, 1 << 10);
+BENCHMARK(PaneRingBuffer)->RangeMultiplier(4)->Range(8, Scaled(1 << 10, 32));
 
 // The flip side of the trade-off: the ring pays O(P) at query time.
 void PaneRingBufferQuery(benchmark::State& state) {
@@ -93,7 +93,7 @@ void PaneRingBufferQuery(benchmark::State& state) {
   }
   state.counters["window_panes"] = static_cast<double>(panes);
 }
-BENCHMARK(PaneRingBufferQuery)->RangeMultiplier(4)->Range(8, 1 << 10);
+BENCHMARK(PaneRingBufferQuery)->RangeMultiplier(4)->Range(8, Scaled(1 << 10, 32));
 
 // Naive instances answer window queries with one O(1)/O(log|V|) lookup.
 void NaivePeriodicQuery(benchmark::State& state) {
@@ -112,10 +112,10 @@ void NaivePeriodicQuery(benchmark::State& state) {
   }
   state.counters["window_panes"] = static_cast<double>(panes);
 }
-BENCHMARK(NaivePeriodicQuery)->RangeMultiplier(4)->Range(8, 1 << 10);
+BENCHMARK(NaivePeriodicQuery)->RangeMultiplier(4)->Range(8, Scaled(1 << 10, 32));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

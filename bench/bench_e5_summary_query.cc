@@ -58,12 +58,12 @@ void RunViewLookup(benchmark::State& state, IndexMode mode) {
 void ViewLookupHash(benchmark::State& state) {
   RunViewLookup(state, IndexMode::kHash);
 }
-BENCHMARK(ViewLookupHash)->RangeMultiplier(8)->Range(1 << 10, 1 << 20);
+BENCHMARK(ViewLookupHash)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 20, 1 << 12));
 
 void ViewLookupOrdered(benchmark::State& state) {
   RunViewLookup(state, IndexMode::kOrdered);
 }
-BENCHMARK(ViewLookupOrdered)->RangeMultiplier(8)->Range(1 << 10, 1 << 20);
+BENCHMARK(ViewLookupOrdered)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 20, 1 << 12));
 
 void ChronicleScan(benchmark::State& state) {
   Setup setup(state.range(0), RetentionPolicy::All(), IndexMode::kHash);
@@ -81,10 +81,10 @@ void ChronicleScan(benchmark::State& state) {
   }
   state.counters["chronicle_size"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(ChronicleScan)->RangeMultiplier(8)->Range(1 << 10, 1 << 17);
+BENCHMARK(ChronicleScan)->RangeMultiplier(8)->Range(1 << 10, Scaled(1 << 17, 1 << 12));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

@@ -86,7 +86,7 @@ void KeyJoinChain(benchmark::State& state) {
   state.counters["j"] = static_cast<double>(j);
   ReportStats(state, stats, state.iterations());
 }
-BENCHMARK(KeyJoinChain)->DenseRange(0, 4);
+BENCHMARK(KeyJoinChain)->DenseRange(0, Scaled(4, 2));
 
 void CrossChain(benchmark::State& state) {
   const int64_t j = state.range(0);
@@ -108,7 +108,7 @@ void CrossChain(benchmark::State& state) {
       std::pow(static_cast<double>(kSmallRel), static_cast<double>(j));
   ReportStats(state, stats, state.iterations());
 }
-BENCHMARK(CrossChain)->DenseRange(0, 3);
+BENCHMARK(CrossChain)->DenseRange(0, Scaled(3, 1));
 
 void UnionFan(benchmark::State& state) {
   const int64_t u = state.range(0);
@@ -131,10 +131,10 @@ void UnionFan(benchmark::State& state) {
   state.counters["u"] = static_cast<double>(u);
   ReportStats(state, stats, state.iterations());
 }
-BENCHMARK(UnionFan)->RangeMultiplier(2)->Range(1, 32);
+BENCHMARK(UnionFan)->RangeMultiplier(2)->Range(1, Scaled(32, 4));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

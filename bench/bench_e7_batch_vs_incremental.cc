@@ -85,7 +85,7 @@ void BatchAtPeriodEnd(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate |
           benchmark::Counter::kInvert);
 }
-BENCHMARK(BatchAtPeriodEnd)->RangeMultiplier(8)->Range(1 << 12, 1 << 18);
+BENCHMARK(BatchAtPeriodEnd)->RangeMultiplier(8)->Range(1 << 12, Scaled(1 << 18, 1 << 12));
 
 // Correctness cross-check run once at startup: the incremental bill equals
 // the batch bill at period end (the "nontrivial mapping" is exact).
@@ -102,7 +102,8 @@ void VerifyEquivalenceOnce() {
 
   CallRecordGenerator gen(CallRecordOptions{});
   Chronon chronon = 0;
-  for (int i = 0; i < 5000; ++i) {
+  const int64_t verify_ticks = Scaled(5000, 500);
+  for (int64_t i = 0; i < verify_ticks; ++i) {
     Check(db.Append("calls", {gen.Next()}, ++chronon).status());
   }
   NaiveEngine engine(&db.group());
@@ -129,7 +130,5 @@ void VerifyEquivalenceOnce() {
 
 int main(int argc, char** argv) {
   chronicle::bench::VerifyEquivalenceOnce();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return chronicle::bench::RunMain(argc, argv);
 }

@@ -69,23 +69,23 @@ void RunSpace(benchmark::State& state, RetentionPolicy retention) {
 void RetentionNone(benchmark::State& state) {
   RunSpace(state, RetentionPolicy::None());
 }
-BENCHMARK(RetentionNone)->RangeMultiplier(8)->Range(1 << 12, 1 << 18)
+BENCHMARK(RetentionNone)->RangeMultiplier(8)->Range(1 << 12, Scaled(1 << 18, 1 << 13))
     ->Iterations(1);
 
 void RetentionWindow1k(benchmark::State& state) {
   RunSpace(state, RetentionPolicy::Window(1024));
 }
-BENCHMARK(RetentionWindow1k)->RangeMultiplier(8)->Range(1 << 12, 1 << 18)
+BENCHMARK(RetentionWindow1k)->RangeMultiplier(8)->Range(1 << 12, Scaled(1 << 18, 1 << 13))
     ->Iterations(1);
 
 void RetentionAll(benchmark::State& state) {
   RunSpace(state, RetentionPolicy::All());
 }
-BENCHMARK(RetentionAll)->RangeMultiplier(8)->Range(1 << 12, 1 << 18)
+BENCHMARK(RetentionAll)->RangeMultiplier(8)->Range(1 << 12, Scaled(1 << 18, 1 << 13))
     ->Iterations(1);
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

@@ -96,13 +96,13 @@ void RunSharing(benchmark::State& state, bool shared) {
 }
 
 void SharedSubplan(benchmark::State& state) { RunSharing(state, true); }
-BENCHMARK(SharedSubplan)->RangeMultiplier(4)->Range(1, 256);
+BENCHMARK(SharedSubplan)->RangeMultiplier(4)->Range(1, Scaled(256, 16));
 
 void PrivateSubplans(benchmark::State& state) { RunSharing(state, false); }
-BENCHMARK(PrivateSubplans)->RangeMultiplier(4)->Range(1, 256);
+BENCHMARK(PrivateSubplans)->RangeMultiplier(4)->Range(1, Scaled(256, 16));
 
 }  // namespace
 }  // namespace bench
 }  // namespace chronicle
 
-BENCHMARK_MAIN();
+CHRONICLE_BENCH_MAIN();

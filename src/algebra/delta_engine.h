@@ -64,6 +64,15 @@ class DeltaCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  // Folds another cache's hit/miss counters into this one. The parallel
+  // maintenance path gives each worker a private per-tick cache (no
+  // cross-thread writes) and merges the counters back afterwards so the
+  // manager-level statistics stay meaningful.
+  void MergeCounters(const DeltaCache& other) {
+    hits_ += other.hits_;
+    misses_ += other.misses_;
+  }
+
  private:
   friend class DeltaEngine;
   std::unordered_map<const CaExpr*, std::vector<Tuple>> memo_;
@@ -71,6 +80,15 @@ class DeltaCache {
   uint64_t misses_ = 0;
 };
 
+// Thread safety: the engine is stateless and ComputeDelta is const — it
+// reads only the event, the (shared-const) expression DAG, and the current
+// relation versions through const lookups. Concurrent ComputeDelta calls
+// are safe provided (a) each call uses its own DeltaCache (or none) — the
+// cache is the ONLY state mutated during delta computation — and (b) no
+// relation referenced by the plans is mutated concurrently. (b) holds by
+// construction: relations are updated proactively, never during an append
+// tick, and ChronicleDatabase rejects relation DML while maintenance is in
+// flight.
 class DeltaEngine {
  public:
   DeltaEngine() = default;
@@ -78,7 +96,7 @@ class DeltaEngine {
   // Computes the delta rows `expr` gains from `event`. All returned rows
   // carry event.sn. `stats` may be null. When `cache` is non-null it must
   // belong to this event's tick (share it across plans of one tick, clear
-  // it between ticks).
+  // it between ticks) and must not be shared across threads.
   Result<std::vector<ChronicleRow>> ComputeDelta(const CaExpr& expr,
                                                  const AppendEvent& event,
                                                  DeltaStats* stats,

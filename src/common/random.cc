@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace chronicle {
+
+uint64_t FuzzSeed(uint64_t fallback) {
+  const char* env = std::getenv("CHRONICLE_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env) return fallback;  // not a number: keep the baked-in seed
+  return static_cast<uint64_t>(parsed);
+}
 
 uint64_t Rng::Next() {
   // SplitMix64 (Vigna). Public domain reference constants.

@@ -11,6 +11,13 @@
 
 namespace chronicle {
 
+// Seed source for fuzz-style tests: the CHRONICLE_FUZZ_SEED environment
+// variable when set (and numeric), otherwise `fallback`. CI exports a
+// per-run value so fuzz coverage varies run to run; tests announce the
+// effective seed on failure (SCOPED_TRACE), so any CI fuzz failure is
+// reproduced locally with CHRONICLE_FUZZ_SEED=<printed value>.
+uint64_t FuzzSeed(uint64_t fallback);
+
 // SplitMix64: tiny, fast, well-distributed 64-bit PRNG. Used directly for
 // workloads and as the seeding function for Zipf tables.
 class Rng {

@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+namespace chronicle {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Stopping workers still drain the queue: destruction runs queued
+      // work rather than dropping it.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace chronicle

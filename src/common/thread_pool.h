@@ -1,0 +1,68 @@
+// ThreadPool: a fixed-size pool of worker threads with a shared FIFO queue.
+//
+// Built for the parallel view-maintenance path (views/view_manager.cc):
+// per Theorem 4.2 each view's per-append delta depends only on the appended
+// tuples and the current relation versions, never on other views — so the
+// maintenance fan-out is embarrassingly parallel and a plain fixed pool
+// (no work stealing) is enough: the driver partitions views into a handful
+// of contiguous batches and submits one task per batch.
+//
+// Semantics:
+//   * Submit enqueues a task; any worker may run it, in any order.
+//   * Wait blocks until every task submitted so far has finished. If one
+//     or more tasks threw, the FIRST captured exception is rethrown from
+//     Wait (later ones are dropped); the pool stays usable afterwards.
+//   * The destructor drains the queue — tasks already submitted are RUN,
+//     not discarded — then joins the workers. A pending exception that was
+//     never collected via Wait is swallowed at destruction.
+//   * Submit/Wait may be called from any thread, but tasks must not call
+//     Submit or Wait on their own pool (the pool is not re-entrant).
+
+#ifndef CHRONICLE_COMMON_THREAD_POOL_H_
+#define CHRONICLE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chronicle {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running, then rethrows
+  // the first exception any task raised since the last Wait (if any).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes workers: task queued or stopping
+  std::condition_variable idle_cv_;  // wakes Wait: pending_ reached zero
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_COMMON_THREAD_POOL_H_

@@ -151,10 +151,29 @@ Result<const Relation*> ChronicleDatabase::GetRelation(
   return static_cast<const Relation*>(relations_[it->second].get());
 }
 
+namespace {
+
+// RAII flag flip for the relations-frozen-during-maintenance invariant.
+class ScopedFlag {
+ public:
+  explicit ScopedFlag(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~ScopedFlag() { *flag_ = false; }
+  ScopedFlag(const ScopedFlag&) = delete;
+  ScopedFlag& operator=(const ScopedFlag&) = delete;
+
+ private:
+  bool* flag_;
+};
+
+}  // namespace
+
 Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
   if (!event.ok()) return event.status();
   AppendResult result;
   result.event = std::move(event).value();
+  // Delta workers read relations lock-free; proactive updates must never
+  // overlap maintenance (enforced by the guard in the relation DML paths).
+  ScopedFlag in_maintenance(&maintenance_in_progress_);
   CHRONICLE_ASSIGN_OR_RETURN(result.maintenance,
                              views_.ProcessAppend(result.event));
   for (const auto& set : periodic_) {
@@ -233,7 +252,53 @@ Result<AppendResult> ChronicleDatabase::AppendMulti(
   return AppendInternal(std::move(resolved), chronon);
 }
 
+Result<std::vector<AppendResult>> ChronicleDatabase::AppendMany(
+    const std::string& chronicle, std::vector<std::vector<Tuple>> batches) {
+  if (batches.empty()) {
+    return Status::InvalidArgument("AppendMany with no batches");
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group_.FindChronicle(chronicle));
+  std::vector<std::vector<std::pair<ChronicleId, std::vector<Tuple>>>> ticks;
+  ticks.reserve(batches.size());
+  for (auto& tuples : batches) {
+    std::vector<std::pair<ChronicleId, std::vector<Tuple>>> inserts;
+    inserts.emplace_back(id, std::move(tuples));
+    ticks.push_back(std::move(inserts));
+  }
+  const Chronon first_chronon = group_.last_chronon() + 1;
+  if (durability_.mutation_log != nullptr) {
+    // Write-ahead, batch-wide: validate EVERY tick against the SN/chronon
+    // sequence it will receive, then log the whole batch (one group-commit
+    // sync) before the first tick is applied. Nothing is logged — and
+    // nothing applied — if any tick would fail.
+    std::vector<PendingAppend> pending;
+    pending.reserve(ticks.size());
+    for (size_t i = 0; i < ticks.size(); ++i) {
+      const Chronon chronon = first_chronon + static_cast<Chronon>(i);
+      CHRONICLE_RETURN_NOT_OK(ValidateAppendForLog(ticks[i], chronon));
+      pending.push_back(PendingAppend{
+          group_.last_sn() + 1 + static_cast<SeqNum>(i), chronon, &ticks[i]});
+    }
+    CHRONICLE_RETURN_NOT_OK(durability_.mutation_log->LogAppendMany(pending));
+  }
+  std::vector<AppendResult> results;
+  results.reserve(ticks.size());
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    CHRONICLE_ASSIGN_OR_RETURN(
+        AppendResult result,
+        Maintain(group_.AppendMulti(std::move(ticks[i]),
+                                    first_chronon + static_cast<Chronon>(i))));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 Status ChronicleDatabase::InsertInto(const std::string& relation, Tuple row) {
+  if (maintenance_in_progress_) {
+    return Status::FailedPrecondition(
+        "relation mutated during append maintenance; relations are "
+        "proactive-only (§2.3) and delta workers read them lock-free");
+  }
   CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
   if (durability_.mutation_log != nullptr) {
     // Mirror Relation::Insert's checks so the log only records inserts
@@ -258,6 +323,11 @@ Status ChronicleDatabase::InsertInto(const std::string& relation, Tuple row) {
 
 Status ChronicleDatabase::UpdateRelation(const std::string& relation,
                                          const Value& key, Tuple new_row) {
+  if (maintenance_in_progress_) {
+    return Status::FailedPrecondition(
+        "relation mutated during append maintenance; relations are "
+        "proactive-only (§2.3) and delta workers read them lock-free");
+  }
   CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
   if (durability_.mutation_log != nullptr) {
     CHRONICLE_RETURN_NOT_OK(ValidateTuple(rel->schema(), new_row));
@@ -283,6 +353,11 @@ Status ChronicleDatabase::UpdateRelation(const std::string& relation,
 
 Status ChronicleDatabase::DeleteFrom(const std::string& relation,
                                      const Value& key) {
+  if (maintenance_in_progress_) {
+    return Status::FailedPrecondition(
+        "relation mutated during append maintenance; relations are "
+        "proactive-only (§2.3) and delta workers read them lock-free");
+  }
   CHRONICLE_ASSIGN_OR_RETURN(Relation * rel, GetRelation(relation));
   if (durability_.mutation_log != nullptr) {
     if (!rel->has_key()) {

@@ -52,6 +52,16 @@ struct AppendResult {
 // and never misses one that succeeds. A non-OK status from the hook aborts
 // the operation. `inserts` carry chronicle ids; resolve them to names (the
 // durable identity) through the database's group().
+// One not-yet-applied append tick of an AppendMany batch, with the SN and
+// chronon it WILL receive. `inserts` is borrowed from the caller and only
+// valid for the duration of the LogAppendMany call.
+struct PendingAppend {
+  SeqNum sn = 0;
+  Chronon chronon = 0;
+  const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>* inserts =
+      nullptr;
+};
+
 class MutationLog {
  public:
   virtual ~MutationLog() = default;
@@ -59,6 +69,18 @@ class MutationLog {
       SeqNum sn, Chronon chronon,
       const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>&
           inserts) = 0;
+  // Logs a whole AppendMany batch. Ticks must be recorded in order (their
+  // SNs are consecutive); the write-ahead contract is per BATCH: every
+  // tick is logged before the FIRST one is applied, so a crash can never
+  // leave the log missing a tick that was applied. The default simply
+  // loops LogAppend; implementations override to amortize one group-commit
+  // sync across the batch.
+  virtual Status LogAppendMany(const std::vector<PendingAppend>& ticks) {
+    for (const PendingAppend& tick : ticks) {
+      CHRONICLE_RETURN_NOT_OK(LogAppend(tick.sn, tick.chronon, *tick.inserts));
+    }
+    return Status::OK();
+  }
   virtual Status LogRelationInsert(const std::string& relation,
                                    const Tuple& row) = 0;
   virtual Status LogRelationUpdate(const std::string& relation,
@@ -140,6 +162,15 @@ class ChronicleDatabase {
   Result<AppendResult> AppendMulti(
       std::vector<std::pair<std::string, std::vector<Tuple>>> inserts,
       Chronon chronon);
+  // Batched ingest: each element of `batches` becomes one tick (fresh SN,
+  // chronon advancing by 1 per tick), maintained in order. Amortizes two
+  // per-tick costs across the batch: the WAL sync (all ticks are validated
+  // up front and logged with ONE group commit before the first applies)
+  // and, under parallel maintenance, pool dispatch against a warm pool.
+  // With no WAL attached a mid-batch validation failure behaves like a
+  // failing Append in a loop: earlier ticks stay applied.
+  Result<std::vector<AppendResult>> AppendMany(
+      const std::string& chronicle, std::vector<std::vector<Tuple>> batches);
 
   // Proactive relation updates (§2.3). They take effect for all FUTURE
   // sequence numbers; the model forbids retroactive updates by design.
@@ -174,6 +205,15 @@ class ChronicleDatabase {
   ViewManager& view_manager() { return views_; }
   const ViewManager& view_manager() const { return views_; }
   uint64_t appends_processed() const { return appends_processed_; }
+
+  // Parallel maintenance knobs (see MaintenanceOptions). Takes effect from
+  // the next append; must not be called during one.
+  void set_maintenance_options(const MaintenanceOptions& options) {
+    views_.set_maintenance_options(options);
+  }
+  const MaintenanceOptions& maintenance_options() const {
+    return views_.maintenance_options();
+  }
 
   // Iteration over registered objects (used by checkpointing and SHOW).
   void ForEachRelation(const std::function<void(const Relation&)>& fn) const;
@@ -225,6 +265,11 @@ class ChronicleDatabase {
   std::unordered_map<std::string, size_t> sliding_by_name_;
   uint64_t appends_processed_ = 0;
   DurabilityOptions durability_;
+  // True while Maintain is folding deltas into views. Relations are
+  // updated proactively — never during an append (§2.3) — and the parallel
+  // maintenance path depends on that: workers read relations lock-free.
+  // The relation DML entry points assert this invariant.
+  bool maintenance_in_progress_ = false;
 };
 
 }  // namespace chronicle

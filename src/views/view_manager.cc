@@ -211,7 +211,10 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
     report.views_skipped = views_.size() - candidates.size();
   }
 
-  // 2. Guard filtering + delta maintenance.
+  // 2. Guard filtering (cheap predicate probes, kept serial) producing the
+  // final work list of views whose delta must actually be computed.
+  std::vector<ViewId> work;
+  work.reserve(candidates.size());
   for (ViewId id : candidates) {
     ViewEntry& entry = views_[id];
     if (entry.view == nullptr) continue;  // dropped (kCheckAll tombstones)
@@ -222,19 +225,92 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
         continue;
       }
     }
-    ++report.views_considered;
-    Stopwatch watch;
-    CHRONICLE_ASSIGN_OR_RETURN(
-        std::vector<ChronicleRow> delta,
-        engine_.ComputeDelta(*entry.view->plan(), event, nullptr, &cache_));
-    if (!delta.empty()) {
-      CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(delta));
-      ++report.views_updated;
-      report.delta_rows_applied += delta.size();
-    }
-    if (profiling_) entry.latency.Record(watch.ElapsedNanos());
+    work.push_back(id);
   }
+  report.views_considered = work.size();
+
+  // 3. Delta maintenance: each view in `work` is independent (Thm 4.2), so
+  // the fold can fan out across the pool once the list is long enough to
+  // amortize dispatch.
+  const bool parallel =
+      pool_ != nullptr && work.size() >= 2 * options_.min_views_per_task;
+  if (!parallel) {
+    // Serial path: one shared cache gives full cross-view DAG sharing.
+    for (ViewId id : work) {
+      CHRONICLE_RETURN_NOT_OK(MaintainOne(id, event, &cache_, &report));
+    }
+    return report;
+  }
+  CHRONICLE_RETURN_NOT_OK(MaintainParallel(work, event, &report));
   return report;
+}
+
+Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
+                                DeltaCache* cache, MaintenanceReport* report) {
+  ViewEntry& entry = views_[id];
+  Stopwatch watch;
+  CHRONICLE_ASSIGN_OR_RETURN(
+      std::vector<ChronicleRow> delta,
+      engine_.ComputeDelta(*entry.view->plan(), event, nullptr, cache));
+  if (!delta.empty()) {
+    CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(delta));
+    ++report->views_updated;
+    report->delta_rows_applied += delta.size();
+  }
+  if (profiling_) entry.latency.Record(watch.ElapsedNanos());
+  return Status::OK();
+}
+
+Status ViewManager::MaintainParallel(const std::vector<ViewId>& work,
+                                     const AppendEvent& event,
+                                     MaintenanceReport* report) {
+  // Contiguous partition by registration order: deterministic, and each
+  // view (and its latency histogram) is touched by exactly one worker.
+  const size_t per_task = std::max<size_t>(1, options_.min_views_per_task);
+  const size_t num_tasks =
+      std::min(pool_->num_threads(), std::max<size_t>(1, work.size() / per_task));
+  struct TaskState {
+    Status status;
+    MaintenanceReport partial;
+    // Private per-worker memo: DAG sharing still happens within a batch,
+    // without cross-thread writes to a shared cache.
+    DeltaCache cache;
+  };
+  std::vector<TaskState> tasks(num_tasks);
+  const size_t base = work.size() / num_tasks;
+  const size_t extra = work.size() % num_tasks;
+  size_t begin = 0;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    const size_t end = begin + base + (t < extra ? 1 : 0);
+    TaskState* state = &tasks[t];
+    pool_->Submit([this, &work, &event, state, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        state->status = MaintainOne(work[i], event, &state->cache,
+                                    &state->partial);
+        if (!state->status.ok()) return;
+      }
+    });
+    begin = end;
+  }
+  pool_->Wait();
+  // Merge in batch order so counters (and the error returned, if several
+  // batches failed) never depend on worker scheduling.
+  for (const TaskState& task : tasks) {
+    CHRONICLE_RETURN_NOT_OK(task.status);
+    report->views_updated += task.partial.views_updated;
+    report->delta_rows_applied += task.partial.delta_rows_applied;
+    cache_.MergeCounters(task.cache);
+  }
+  return Status::OK();
+}
+
+void ViewManager::set_maintenance_options(const MaintenanceOptions& options) {
+  options_ = options;
+  if (options_.num_threads <= 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->num_threads() != options_.num_threads) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
 }
 
 Result<const LatencyHistogram*> ViewManager::GetViewLatency(

@@ -31,6 +31,7 @@
 #include "algebra/delta_engine.h"
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "views/persistent_view.h"
 
 namespace chronicle {
@@ -39,6 +40,24 @@ enum class RoutingMode : uint8_t {
   kCheckAll = 0,
   kGuards = 1,
   kEqIndex = 2,
+};
+
+// Knobs for the parallel maintenance path. Theorem 4.2 makes each view's
+// per-append delta independent of every other view, so once routing has
+// selected the affected views their deltas can be computed concurrently.
+// The fold stays deterministic: views are partitioned into contiguous
+// batches by registration order, each view is touched by exactly one
+// worker, and the per-batch MaintenanceReport counters are summed — the
+// merged report is byte-identical to the serial one regardless of how the
+// OS schedules the workers.
+struct MaintenanceOptions {
+  // Worker threads for delta computation. 1 (the default) keeps the seed's
+  // serial path — no pool is created at all.
+  size_t num_threads = 1;
+  // Don't split the affected-view list into more batches than would leave
+  // each worker at least this many views; below 2x this, run serially.
+  // Guards against paying dispatch latency on ticks that touch few views.
+  size_t min_views_per_task = 8;
 };
 
 // Outcome of maintaining all views for one append.
@@ -74,8 +93,16 @@ class ViewManager {
   Result<PersistentView*> FindView(const std::string& name);
 
   // Maintains every affected view for one append event. This is the
-  // operation whose complexity the whole paper is about.
+  // operation whose complexity the whole paper is about. With
+  // maintenance_options().num_threads > 1 the per-view delta computations
+  // run on the pool; the report is identical either way.
   Result<MaintenanceReport> ProcessAppend(const AppendEvent& event);
+
+  // Reconfigures the parallel maintenance path. Creating/destroying the
+  // pool happens here, never on the append path. Must not be called while
+  // an append is in flight.
+  void set_maintenance_options(const MaintenanceOptions& options);
+  const MaintenanceOptions& maintenance_options() const { return options_; }
 
   // Sum of all views' materialized-table footprints.
   size_t MemoryFootprint() const;
@@ -129,11 +156,24 @@ class ViewManager {
   // True if the event can possibly produce delta rows for the view.
   Result<bool> GuardsPass(const ViewEntry& entry, const AppendEvent& event) const;
 
+  // Computes and folds one view's delta for the tick, accumulating into
+  // `report`. `cache` is the per-tick delta memo the call may share with
+  // other views (serial path: all views; parallel path: one per worker).
+  Status MaintainOne(ViewId id, const AppendEvent& event, DeltaCache* cache,
+                     MaintenanceReport* report);
+
+  // Runs MaintainOne over `work` on the pool, one contiguous batch per
+  // worker, and merges the per-batch reports into `report`.
+  Status MaintainParallel(const std::vector<ViewId>& work,
+                          const AppendEvent& event, MaintenanceReport* report);
+
   RoutingMode mode_;
   bool profiling_ = false;
   size_t live_views_ = 0;
   DeltaEngine engine_;
   DeltaCache cache_;  // reset at the start of every ProcessAppend
+  MaintenanceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // non-null iff options_.num_threads > 1
   std::vector<ViewEntry> views_;
   std::unordered_map<std::string, ViewId> by_name_;
   // chronicle -> views that depend on it and are NOT eq-indexed.

@@ -344,7 +344,22 @@ Result<uint64_t> Wal::LogAppend(SeqNum sn, Chronon chronon,
   return LogPayload(EncodeAppendRecord(next_lsn_, sn, chronon, batches));
 }
 
-Result<uint64_t> Wal::LogPayload(const std::string& payload) {
+Result<uint64_t> Wal::LogAppendGroup(const std::vector<AppendTickRef>& ticks) {
+  if (closed_) return Status::FailedPrecondition("wal is closed");
+  if (ticks.empty()) return Status::InvalidArgument("empty append group");
+  uint64_t last_lsn = 0;
+  for (const AppendTickRef& tick : ticks) {
+    CHRONICLE_ASSIGN_OR_RETURN(
+        last_lsn,
+        LogPayload(EncodeAppendRecord(next_lsn_, tick.sn, tick.chronon,
+                                      tick.batches),
+                   /*defer_sync=*/true));
+  }
+  CHRONICLE_RETURN_NOT_OK(ApplyFsyncPolicy());
+  return last_lsn;
+}
+
+Result<uint64_t> Wal::LogPayload(const std::string& payload, bool defer_sync) {
   // Frame header + payload are appended separately (the stdio layer
   // batches them) to avoid copying the payload into a combined buffer.
   char header[8];
@@ -366,6 +381,11 @@ Result<uint64_t> Wal::LogPayload(const std::string& payload) {
   ++stats_.records_logged;
   stats_.bytes_logged += frame_bytes;
 
+  if (!defer_sync) CHRONICLE_RETURN_NOT_OK(ApplyFsyncPolicy());
+  return lsn;
+}
+
+Status Wal::ApplyFsyncPolicy() {
   switch (options_.fsync) {
     case FsyncPolicy::kEveryRecord:
       CHRONICLE_RETURN_NOT_OK(Sync());
@@ -378,7 +398,7 @@ Result<uint64_t> Wal::LogPayload(const std::string& payload) {
     case FsyncPolicy::kNever:
       break;
   }
-  return lsn;
+  return Status::OK();
 }
 
 Status Wal::Sync() {
@@ -460,6 +480,24 @@ Status WalMutationLog::LogAppend(
     batches.push_back({&chron->name(), &tuples});
   }
   return wal_->LogAppend(sn, chronon, batches).status();
+}
+
+Status WalMutationLog::LogAppendMany(const std::vector<PendingAppend>& ticks) {
+  std::vector<Wal::AppendTickRef> group;
+  group.reserve(ticks.size());
+  for (const PendingAppend& tick : ticks) {
+    Wal::AppendTickRef ref;
+    ref.sn = tick.sn;
+    ref.chronon = tick.chronon;
+    ref.batches.reserve(tick.inserts->size());
+    for (const auto& [id, tuples] : *tick.inserts) {
+      CHRONICLE_ASSIGN_OR_RETURN(const Chronicle* chron,
+                                 db_->group().GetChronicle(id));
+      ref.batches.push_back({&chron->name(), &tuples});
+    }
+    group.push_back(std::move(ref));
+  }
+  return wal_->LogAppendGroup(group).status();
 }
 
 Status WalMutationLog::LogRelationInsert(const std::string& relation,

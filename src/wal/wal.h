@@ -99,6 +99,20 @@ class Wal {
   Result<uint64_t> LogAppend(SeqNum sn, Chronon chronon,
                              const std::vector<AppendBatchRef>& batches);
 
+  // One append tick of a LogAppendGroup batch (borrowed, like
+  // AppendBatchRef).
+  struct AppendTickRef {
+    SeqNum sn = 0;
+    Chronon chronon = 0;
+    std::vector<AppendBatchRef> batches;
+  };
+
+  // Group commit for batched ingest (ChronicleDatabase::AppendMany):
+  // frames every tick under consecutive LSNs, then applies the fsync
+  // policy ONCE for the whole group — under kEveryRecord that is a single
+  // sync instead of one per tick. Returns the last LSN written.
+  Result<uint64_t> LogAppendGroup(const std::vector<AppendTickRef>& ticks);
+
   // Forces everything logged so far to stable storage.
   Status Sync();
 
@@ -128,8 +142,14 @@ class Wal {
   Status OpenSegment(uint64_t first_lsn);
   Status TruncateObsolete(uint64_t watermark);
   // Frames `payload` (already stamped with next_lsn_), writes it, and
-  // applies the fsync policy. Returns the consumed LSN.
-  Result<uint64_t> LogPayload(const std::string& payload);
+  // applies the fsync policy — unless `defer_sync`, which skips the policy
+  // so a batch caller can group-commit once at the end. Returns the
+  // consumed LSN.
+  Result<uint64_t> LogPayload(const std::string& payload,
+                              bool defer_sync = false);
+  // The per-record half of the fsync policy, factored out so group commits
+  // can apply it once per batch.
+  Status ApplyFsyncPolicy();
 
   std::string dir_;
   WalOptions options_;
@@ -153,6 +173,7 @@ class WalMutationLog : public MutationLog {
   Status LogAppend(SeqNum sn, Chronon chronon,
                    const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>&
                        inserts) override;
+  Status LogAppendMany(const std::vector<PendingAppend>& ticks) override;
   Status LogRelationInsert(const std::string& relation,
                            const Tuple& row) override;
   Status LogRelationUpdate(const std::string& relation, const Value& key,

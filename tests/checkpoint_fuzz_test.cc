@@ -48,7 +48,9 @@ std::string MakeImage() {
 
 TEST(CheckpointFuzzTest, SingleByteCorruptionsNeverCrash) {
   const std::string image = MakeImage();
-  Rng rng(31337);
+  const uint64_t seed = FuzzSeed(31337);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   int clean_failures = 0, silent_successes = 0;
   for (int trial = 0; trial < 400; ++trial) {
     std::string corrupted = image;
@@ -82,7 +84,9 @@ TEST(CheckpointFuzzTest, TruncationsAtEveryBoundaryFailCleanly) {
 }
 
 TEST(CheckpointFuzzTest, RandomGarbageImagesFailCleanly) {
-  Rng rng(777);
+  const uint64_t seed = FuzzSeed(777);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     std::string garbage;
     const size_t len = rng.Uniform(256);

@@ -13,7 +13,9 @@ namespace cql {
 namespace {
 
 TEST(CqlFuzzTest, RandomBytesNeverCrashTheLexer) {
-  Rng rng(2001);
+  const uint64_t seed = FuzzSeed(2001);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   for (int i = 0; i < 2000; ++i) {
     std::string input;
     const size_t len = rng.Uniform(64);
@@ -30,7 +32,9 @@ TEST(CqlFuzzTest, RandomBytesNeverCrashTheLexer) {
 }
 
 TEST(CqlFuzzTest, RandomPrintableStringsNeverCrashTheParser) {
-  Rng rng(2002);
+  const uint64_t seed = FuzzSeed(2002);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   const std::string alphabet =
       "abcdefgSELECT FROM WHERE GROUP BY ()*,;'0123456789.<>=+-/ ";
   for (int i = 0; i < 2000; ++i) {

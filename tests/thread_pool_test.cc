@@ -1,0 +1,89 @@
+// ThreadPool contract tests: submit/drain, exception propagation through
+// Wait, and destruction with work still queued (queued tasks must RUN, not
+// be dropped — the parallel maintenance path relies on never losing a
+// batch).
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+
+namespace chronicle {
+namespace {
+
+TEST(ThreadPoolTest, SubmitAndDrain) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted: must not deadlock
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception did not take down other tasks or the pool.
+  EXPECT_EQ(ran.load(), 20);
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();  // error was consumed by the previous Wait: no rethrow
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPoolTest, DestructionRunsQueuedWork) {
+  std::atomic<int> counter{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  {
+    ThreadPool pool(1);
+    // Block the only worker, then pile up work behind it.
+    pool.Submit([gate] { gate.wait(); });
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 0);  // everything still queued
+    release.set_value();
+    // Destructor must drain the 100 queued tasks before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -129,7 +129,9 @@ int ReplayAndCheckPrefix(const std::string& dir,
 }
 
 TEST(WalFuzzTest, RandomRecordsRoundTrip) {
-  Rng rng(4242);
+  const uint64_t seed = FuzzSeed(4242);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   for (int trial = 0; trial < 500; ++trial) {
     WalRecord r = RandomRecord(&rng);
     r.lsn = 1 + rng.Uniform(1 << 20);
@@ -140,7 +142,9 @@ TEST(WalFuzzTest, RandomRecordsRoundTrip) {
 }
 
 TEST(WalFuzzTest, RandomBytesNeverCrashTheRecordDecoder) {
-  Rng rng(1234);
+  const uint64_t seed = FuzzSeed(1234);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   for (int trial = 0; trial < 500; ++trial) {
     std::string garbage;
     const size_t len = rng.Uniform(128);
@@ -154,7 +158,9 @@ TEST(WalFuzzTest, RandomBytesNeverCrashTheRecordDecoder) {
 
 TEST(WalFuzzTest, SingleByteCorruptionsYieldExactPrefixOrDataLoss) {
   ScratchDir dir("flip");
-  Rng rng(31337);
+  const uint64_t seed = FuzzSeed(31337);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   const std::vector<WalRecord> truth = BuildLog(dir.path, &rng, 25);
   auto segments = ListWalSegments(dir.path).value();
   ASSERT_EQ(segments.size(), 1u);
@@ -187,7 +193,9 @@ TEST(WalFuzzTest, SingleByteCorruptionsYieldExactPrefixOrDataLoss) {
 
 TEST(WalFuzzTest, TruncationsAtEveryBoundaryStopCleanly) {
   ScratchDir dir("cut");
-  Rng rng(99);
+  const uint64_t seed = FuzzSeed(99);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   const std::vector<WalRecord> truth = BuildLog(dir.path, &rng, 15);
   auto segments = ListWalSegments(dir.path).value();
   ASSERT_EQ(segments.size(), 1u);
@@ -207,7 +215,9 @@ TEST(WalFuzzTest, TruncationsAtEveryBoundaryStopCleanly) {
 
 TEST(WalFuzzTest, GarbageSegmentFilesNeverCrashReplay) {
   ScratchDir dir("garbage");
-  Rng rng(777);
+  const uint64_t seed = FuzzSeed(777);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     std::string garbage;
     const size_t len = rng.Uniform(512);
@@ -237,7 +247,9 @@ TEST(WalFuzzTest, CorruptionAcrossSegmentsIsPrefixOrDataLoss) {
   // replay (DataLoss) rather than skip a hole; corruption in the final
   // segment is a clean tail.
   ScratchDir dir("multi");
-  Rng rng(2024);
+  const uint64_t seed = FuzzSeed(2024);
+  SCOPED_TRACE(testing::Message() << "CHRONICLE_FUZZ_SEED=" << seed);
+  Rng rng(seed);
   std::vector<WalRecord> truth;
   {
     WalOptions options;

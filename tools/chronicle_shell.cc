@@ -6,6 +6,7 @@
 //
 // Statements end with ';' and may span lines. Meta-commands:
 //   \profile on|off   toggle per-view maintenance profiling
+//   \threads <n>      maintain views on n worker threads (1 = serial)
 //   \wal <dir>        log every mutation to a write-ahead log in <dir>
 //   \wal off          sync and detach the write-ahead log
 //   \checkpoint       checkpoint the database into the WAL directory
@@ -17,6 +18,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -133,6 +135,18 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
       std::printf("logging to %s (next lsn %llu)\n", dir.c_str(),
                   static_cast<unsigned long long>(session->wal->next_lsn()));
     }
+  } else if (line.rfind("\\threads ", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(line.c_str() + 9, &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
+      std::printf("usage: \\threads <n>   (1 = serial maintenance)\n");
+    } else {
+      chronicle::MaintenanceOptions options = db->maintenance_options();
+      options.num_threads = static_cast<size_t>(n);
+      db->set_maintenance_options(options);
+      std::printf("maintenance threads: %lu%s\n", n,
+                  n == 1 ? " (serial)" : "");
+    }
   } else if (line == "\\checkpoint") {
     if (session->wal == nullptr) {
       std::printf("no wal attached (use \\wal <dir> first)\n");
@@ -167,8 +181,8 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
     }
   } else {
     std::printf(
-        "unknown meta-command %s (try \\profile on|off, \\wal <dir>|off, "
-        "\\checkpoint, \\recover <dir>, \\quit)\n",
+        "unknown meta-command %s (try \\profile on|off, \\threads <n>, "
+        "\\wal <dir>|off, \\checkpoint, \\recover <dir>, \\quit)\n",
         line.c_str());
   }
   return true;
