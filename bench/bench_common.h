@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,17 +74,45 @@ inline int64_t Scaled(int64_t full, int64_t smoke) {
   return SmokeMode() ? smoke : full;
 }
 
+// "BENCH_E<k>.json" derived from the binary name ("bench_e<k>_..."), or ""
+// when the name does not follow the experiment convention. Smoke runs dump
+// google-benchmark's JSON report (name, run params, ns/op, counters) there
+// so CI can archive every experiment's numbers as build artifacts.
+inline std::string SmokeReportFile(const char* argv0) {
+  std::string base = argv0;
+  const size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const char* prefix = "bench_e";
+  if (base.rfind(prefix, 0) != 0) return "";
+  std::string digits;
+  for (size_t i = std::strlen(prefix); i < base.size() && std::isdigit(static_cast<unsigned char>(base[i])); ++i) {
+    digits.push_back(base[i]);
+  }
+  if (digits.empty()) return "";
+  return "BENCH_E" + digits + ".json";
+}
+
 // Entry point shared by all benches: strips `--smoke` (google-benchmark
 // rejects unknown flags), clamps min_time in smoke mode, then runs.
 inline int RunMain(int argc, char** argv) {
   std::vector<char*> args;
-  args.reserve(static_cast<size_t>(argc) + 1);
+  args.reserve(static_cast<size_t>(argc) + 4);
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) continue;
     args.push_back(argv[i]);
   }
   static char min_time[] = "--benchmark_min_time=0.01";
-  if (SmokeMode()) args.insert(args.begin() + 1, min_time);
+  static char out_format[] = "--benchmark_out_format=json";
+  std::string out_flag;  // must outlive Initialize
+  if (SmokeMode()) {
+    args.insert(args.begin() + 1, min_time);
+    const std::string report = SmokeReportFile(argv[0]);
+    if (!report.empty()) {
+      out_flag = "--benchmark_out=" + report;
+      args.insert(args.begin() + 2, out_flag.data());
+      args.insert(args.begin() + 3, out_format);
+    }
+  }
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

@@ -1,0 +1,179 @@
+// Experiment E13 — compiled delta plans vs the tree-walking interpreter.
+//
+// Reruns the E6 expression shapes (key-join chains, union fan-ins, group-by
+// summaries) through both execution engines on identical append streams:
+//   * Interpreted — DeltaEngine::ComputeDelta, fresh vectors per operator,
+//     per-node memo probes, a heap Status per unmatched join key;
+//   * Compiled    — DeltaPlan::ExecuteToRows over one PlanScratch reused
+//     across ticks (slot buffers cleared not freed, arena reset, retained
+//     dedupe/group tables), relation probes through the status-free
+//     Relation::FindByKey.
+// Both engines produce byte-identical deltas (enforced by
+// tests/plan_equivalence_fuzz_test.cc), so the gap between the curves is
+// pure interpretation overhead — the constant factor Theorem 4.2 does not
+// see. Pass criterion (EXPERIMENTS.md): >= 2x appends/sec on UnionFan at
+// u=64.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/delta_engine.h"
+#include "bench_common.h"
+#include "common/random.h"
+#include "exec/plan_compiler.h"
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Schema RelSchema() {
+  return Schema({{"acct", DataType::kInt64}, {"state", DataType::kString}});
+}
+
+struct Setup {
+  ChronicleGroup group;
+  ChronicleId calls;
+  std::unique_ptr<Relation> rel;
+  Rng rng{17};
+
+  explicit Setup(int64_t rel_rows) {
+    calls = Unwrap(group.CreateChronicle("calls", CallSchema(),
+                                         RetentionPolicy::None()));
+    rel = std::make_unique<Relation>(
+        Unwrap(Relation::Make("cust", RelSchema(), "acct")));
+    for (int64_t i = 0; i < rel_rows; ++i) {
+      Check(rel->Insert(Tuple{Value(i), Value("NJ")}));
+    }
+  }
+
+  CaExprPtr Scan() {
+    return Unwrap(CaExpr::Scan(*Unwrap(group.GetChronicle(calls))));
+  }
+
+  AppendEvent NextEvent(int64_t key_bound, int64_t batch) {
+    std::vector<Tuple> tuples;
+    tuples.reserve(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+      tuples.push_back(Tuple{Value(static_cast<int64_t>(rng.Uniform(
+                                 static_cast<uint64_t>(key_bound)))),
+                             Value("NJ"),
+                             Value(static_cast<int64_t>(rng.Uniform(100)))});
+    }
+    return Unwrap(group.Append(calls, std::move(tuples)));
+  }
+};
+
+// Drives one plan through the selected engine on identical event streams.
+// `batch` tuples per append: the executor is batch-at-a-time, so larger
+// ticks amortize its fixed costs while the interpreter re-pays per node.
+void RunEngine(benchmark::State& state, Setup* setup, CaExprPtr plan,
+               bool compiled, int64_t key_bound, int64_t batch) {
+  DeltaEngine engine;
+  exec::DeltaPlanPtr compiled_plan;
+  exec::PlanScratch scratch;
+  if (compiled) compiled_plan = Unwrap(exec::CompileDeltaPlan(plan));
+  size_t rows = 0;
+  for (auto _ : state) {
+    AppendEvent event = setup->NextEvent(key_bound, batch);
+    if (compiled) {
+      const std::vector<ChronicleRow>* delta =
+          Unwrap(compiled_plan->ExecuteToRows(event, &scratch, nullptr));
+      rows += delta->size();
+      benchmark::DoNotOptimize(delta);
+    } else {
+      std::vector<ChronicleRow> delta =
+          Unwrap(engine.ComputeDelta(*plan, event, nullptr, nullptr));
+      rows += delta.size();
+      benchmark::DoNotOptimize(delta);
+    }
+  }
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["rows_per_delta"] =
+      static_cast<double>(rows) / static_cast<double>(state.iterations());
+}
+
+// --- UnionFan(u): the acceptance shape. u guarded selections over one
+// shared scan, unioned; the compiler lowers the scan once and the
+// interpreter memo-probes it u times per tick.
+CaExprPtr UnionFanPlan(Setup* setup, int64_t u) {
+  CaExprPtr scan = setup->Scan();
+  CaExprPtr plan =
+      Unwrap(CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NJ")))));
+  for (int64_t i = 1; i < u; ++i) {
+    CaExprPtr branch =
+        Unwrap(CaExpr::Select(scan, Gt(Col("minutes"), Lit(Value(i % 90)))));
+    plan = Unwrap(CaExpr::Union(plan, branch));
+  }
+  return plan;
+}
+
+void UnionFan(benchmark::State& state) {
+  Setup setup(16);
+  RunEngine(state, &setup, UnionFanPlan(&setup, state.range(0)),
+            /*compiled=*/state.range(1) != 0, /*key_bound=*/16,
+            /*batch=*/4);
+  state.counters["u"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(UnionFan)
+    ->ArgNames({"u", "compiled"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+// --- KeyJoinChain(j): j stacked relation key joins (the CA_join fast
+// path); the compiled engine's win here is the status-free miss path and
+// the absence of per-node vectors.
+void KeyJoinChain(benchmark::State& state) {
+  const int64_t j = state.range(0);
+  Setup setup(Scaled(100000, 1000));
+  CaExprPtr plan = setup.Scan();
+  for (int64_t i = 0; i < j; ++i) {
+    plan = Unwrap(CaExpr::RelKeyJoin(plan, setup.rel.get(), "caller"));
+  }
+  // Half the probes miss: key_bound = 2x relation size.
+  RunEngine(state, &setup, plan, /*compiled=*/state.range(1) != 0,
+            /*key_bound=*/Scaled(200000, 2000), /*batch=*/4);
+  state.counters["j"] = static_cast<double>(j);
+}
+BENCHMARK(KeyJoinChain)
+    ->ArgNames({"j", "compiled"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
+// --- GroupedSummary(batch): selection + group-by over growing tick sizes;
+// exercises the retained group table, the reused key probe, and the arena
+// that carries the group output order.
+void GroupedSummary(benchmark::State& state) {
+  Setup setup(16);
+  CaExprPtr plan = Unwrap(CaExpr::GroupBySeq(
+      Unwrap(CaExpr::Select(setup.Scan(),
+                            Gt(Col("minutes"), Lit(Value(10))))),
+      {"caller"}, {AggSpec::Sum("minutes", "m"), AggSpec::Count("n")}));
+  RunEngine(state, &setup, plan, /*compiled=*/state.range(1) != 0,
+            /*key_bound=*/64, /*batch=*/state.range(0));
+  state.counters["batch"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(GroupedSummary)
+    ->ArgNames({"batch", "compiled"})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+CHRONICLE_BENCH_MAIN();

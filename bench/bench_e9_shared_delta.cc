@@ -49,6 +49,11 @@ SummarySpec SpecFor(const Schema& schema, int64_t i) {
 void RunSharing(benchmark::State& state, bool shared) {
   const int64_t num_views = state.range(0);
   ChronicleDatabase db;
+  // E9 is the interpreter's cross-view DeltaCache ablation; compiled plans
+  // (E13) share subexpressions within a plan instead of through the cache.
+  MaintenanceOptions interpreted;
+  interpreted.use_compiled_plans = false;
+  db.set_maintenance_options(interpreted);
   Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
             .status());
 

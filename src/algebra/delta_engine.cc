@@ -1,5 +1,6 @@
 #include "algebra/delta_engine.h"
 
+#include <limits>
 #include <unordered_set>
 
 #include "storage/keyed_table.h"
@@ -16,15 +17,24 @@ void Record(DeltaStats* stats, size_t rows) {
   if (rows > stats->max_intermediate_rows) stats->max_intermediate_rows = rows;
 }
 
-// Removes duplicate tuples, preserving first-seen order.
+// Removes duplicate tuples in place, preserving first-seen order.
 void Dedupe(std::vector<Tuple>* rows) {
   TupleSet seen;
-  std::vector<Tuple> out;
-  out.reserve(rows->size());
-  for (Tuple& t : *rows) {
-    if (seen.insert(t).second) out.push_back(std::move(t));
+  size_t w = 0;
+  for (size_t r = 0; r < rows->size(); ++r) {
+    if (!seen.insert((*rows)[r]).second) continue;
+    if (w != r) (*rows)[w] = std::move((*rows)[r]);
+    ++w;
   }
-  *rows = std::move(out);
+  rows->resize(w);
+}
+
+// reserve() for a join output of a*b rows; skipped if the product cannot
+// be represented (adversarial inputs — the push_backs below still grow
+// correctly, just without the up-front reservation).
+void ReserveProduct(std::vector<Tuple>* out, size_t a, size_t b) {
+  if (a != 0 && b > std::numeric_limits<size_t>::max() / a) return;
+  out->reserve(a * b);
 }
 
 Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
@@ -112,7 +122,7 @@ Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
                                  Delta(*expr.child(0), event, stats, cache));
       CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* right,
                                  Delta(*expr.child(1), event, stats, cache));
-      out.reserve(left->size() * right->size());
+      ReserveProduct(&out, left->size(), right->size());
       for (const Tuple& l : *left) {
         for (const Tuple& r : *right) {
           out.push_back(ConcatTuples(l, r));
@@ -126,7 +136,8 @@ Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
                                  Delta(*expr.child(0), event, stats, cache));
       CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* right,
                                  Delta(*expr.child(1), event, stats, cache));
-      out = *left;
+      out.reserve(left->size() + right->size());
+      out.insert(out.end(), left->begin(), left->end());
       out.insert(out.end(), right->begin(), right->end());
       Dedupe(&out);
       break;
@@ -154,30 +165,33 @@ Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
       CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
                                  Delta(*expr.child(0), event, stats, cache));
       KeyedTable<std::vector<AggState>> groups(IndexMode::kHash);
-      std::vector<Tuple> group_order;  // deterministic output order
+      // Deterministic output order, holding stable pointers into the table
+      // so finalize never re-probes and the key is copied exactly once (on
+      // group creation, inside the table).
+      std::vector<KeyedTable<std::vector<AggState>>::Entry> group_order;
+      Tuple key;  // reused probe key: capacity survives clear()
       for (const Tuple& t : *child) {
-        Tuple key;
-        key.reserve(expr.group_columns().size());
+        key.clear();
         for (size_t idx : expr.group_columns()) key.push_back(t[idx]);
-        std::vector<AggState>* states = groups.Find(key);
-        if (states == nullptr) {
-          states = &groups.GetOrCreate(key);
-          states->reserve(expr.aggregates().size());
+        auto entry = groups.GetOrCreateEntry(key);
+        if (entry.inserted) {
+          entry.value->reserve(expr.aggregates().size());
           for (const AggSpec& agg : expr.aggregates()) {
-            states->push_back(agg.Init());
+            entry.value->push_back(agg.Init());
           }
-          group_order.push_back(key);
+          group_order.push_back(entry);
         }
         for (size_t i = 0; i < expr.aggregates().size(); ++i) {
-          expr.aggregates()[i].Update(&(*states)[i], t);
+          expr.aggregates()[i].Update(&(*entry.value)[i], t);
         }
       }
       out.reserve(group_order.size());
-      for (const Tuple& key : group_order) {
-        const std::vector<AggState>* states = groups.Find(key);
-        Tuple row = key;
+      for (const auto& entry : group_order) {
+        Tuple row;
+        row.reserve(entry.key->size() + expr.aggregates().size());
+        row.insert(row.end(), entry.key->begin(), entry.key->end());
         for (size_t i = 0; i < expr.aggregates().size(); ++i) {
-          row.push_back(expr.aggregates()[i].Finalize((*states)[i]));
+          row.push_back(expr.aggregates()[i].Finalize((*entry.value)[i]));
         }
         out.push_back(std::move(row));
       }
@@ -190,7 +204,7 @@ Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
       CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
                                  Delta(*expr.child(0), event, stats, cache));
       const Relation* rel = expr.relation();
-      out.reserve(child->size() * rel->size());
+      ReserveProduct(&out, child->size(), rel->size());
       for (const Tuple& t : *child) {
         for (const Tuple& r : rel->rows()) {
           out.push_back(ConcatTuples(t, r));
@@ -207,9 +221,10 @@ Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
       out.reserve(child->size());
       for (const Tuple& t : *child) {
         if (stats != nullptr) ++stats->relation_lookups;
-        Result<const Tuple*> match = rel->LookupByKey(t[expr.join_column()]);
-        if (!match.ok()) continue;  // inner join: unmatched rows drop out
-        out.push_back(ConcatTuples(t, **match));
+        // Status-free probe: the inner-join miss path allocates nothing.
+        const Tuple* match = rel->FindByKey(t[expr.join_column()]);
+        if (match == nullptr) continue;  // inner join: unmatched rows drop out
+        out.push_back(ConcatTuples(t, *match));
       }
       break;
     }
@@ -218,24 +233,26 @@ Result<const std::vector<Tuple>*> DeltaEngine::Delta(const CaExpr& expr,
       CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* child,
                                  Delta(*expr.child(0), event, stats, cache));
       const Relation* rel = expr.relation();
-      out.reserve(child->size() * expr.max_matches());
-      std::vector<const Tuple*> matches;
+      ReserveProduct(&out, child->size(), expr.max_matches());
       for (const Tuple& t : *child) {
-        matches.clear();
         if (stats != nullptr) ++stats->relation_lookups;
-        CHRONICLE_RETURN_NOT_OK(rel->LookupBySecondary(
-            expr.relation_column(), t[expr.join_column()], &matches));
-        if (matches.size() > expr.max_matches()) {
+        // Status-free probe straight into the index's slot list (the index
+        // exists by construction, see CaExpr::RelBoundedJoin): no staging
+        // vector, and the miss path allocates nothing.
+        const std::vector<size_t>* slots =
+            rel->FindBySecondary(expr.relation_column(), t[expr.join_column()]);
+        if (slots == nullptr) continue;
+        if (slots->size() > expr.max_matches()) {
           // The Definition 4.2 guarantee is an integrity constraint; its
           // violation means the view definition's admission into CA_join
           // was unsound.
           return Status::FailedPrecondition(
-              "bounded join matched " + std::to_string(matches.size()) +
+              "bounded join matched " + std::to_string(slots->size()) +
               " relation tuples, declared bound is " +
               std::to_string(expr.max_matches()) + " (Definition 4.2)");
         }
-        for (const Tuple* r : matches) {
-          out.push_back(ConcatTuples(t, *r));
+        for (size_t slot : *slots) {
+          out.push_back(ConcatTuples(t, rel->rows()[slot]));
         }
       }
       break;

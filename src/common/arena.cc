@@ -1,0 +1,59 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace chronicle {
+
+Arena::Arena(size_t initial_block_bytes, size_t max_block_bytes)
+    : initial_block_bytes_(std::max<size_t>(initial_block_bytes, 64)),
+      max_block_bytes_(std::max(max_block_bytes, initial_block_bytes_)) {}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  while (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    const size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      bytes_allocated_ += bytes;
+      return block.data.get() + aligned;
+    }
+    // Advance into the next retained block (its bump position starts at 0).
+    ++current_;
+    offset_ = 0;
+  }
+  AddBlock(bytes + align);
+  Block& block = blocks_[current_];
+  const size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  offset_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return block.data.get() + aligned;
+}
+
+void Arena::AddBlock(size_t bytes) {
+  size_t size = blocks_.empty()
+                    ? initial_block_bytes_
+                    : std::min(blocks_.back().size * 2, max_block_bytes_);
+  size = std::max(size, bytes);
+  Block block;
+  block.data = std::make_unique<uint8_t[]>(size);
+  block.size = size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::Reset() {
+  // Drop oversized one-off blocks so a single pathological tick does not
+  // pin its peak footprint; regular (geometric) blocks are retained.
+  while (!blocks_.empty() && blocks_.back().size > max_block_bytes_) {
+    bytes_reserved_ -= blocks_.back().size;
+    blocks_.pop_back();
+  }
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace chronicle

@@ -1,0 +1,114 @@
+// Arena: a block-based bump allocator for per-tick scratch data.
+//
+// The compiled delta executor (src/exec) allocates small, variably sized
+// transients on every append tick — group-order entries, match staging —
+// and frees all of them together when the tick ends. A bump arena turns
+// each of those allocations into a pointer increment and makes the bulk
+// free a single counter reset: Reset() retires every allocation but KEEPS
+// the underlying blocks, so a steady-state tick performs zero calls into
+// the system allocator. This is the "clear, don't free" discipline that
+// also governs the executor's slot buffers.
+//
+// The arena only supports trivially destructible element types (it never
+// runs destructors). ArenaAllocator adapts it to STL containers whose
+// lifetime is bounded by one tick (e.g. std::vector<T, ArenaAllocator<T>>).
+//
+// Not thread-safe: each worker owns its own arena (the parallel
+// maintenance fan-out gives every worker a private PlanScratch).
+
+#ifndef CHRONICLE_COMMON_ARENA_H_
+#define CHRONICLE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace chronicle {
+
+class Arena {
+ public:
+  // Blocks double from `initial_block_bytes` up to `max_block_bytes`;
+  // requests larger than the block size get a dedicated block.
+  explicit Arena(size_t initial_block_bytes = 4096,
+                 size_t max_block_bytes = 256 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  // Typed array allocation; T must be trivially destructible because the
+  // arena never runs destructors.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Retires every allocation but keeps the blocks: the next tick bumps
+  // through the same memory. (Oversized one-off blocks are dropped so a
+  // single pathological tick cannot pin its peak footprint forever.)
+  void Reset();
+
+  // Bytes handed out since the last Reset.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  // Bytes held in retained blocks (the reusable footprint).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  // Makes `current_` a block with at least `bytes` free.
+  void AddBlock(size_t bytes);
+
+  size_t initial_block_bytes_;
+  size_t max_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;   // block being bumped (blocks_.size() if none)
+  size_t offset_ = 0;    // bump position within the current block
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+// Minimal STL allocator over an Arena. Deallocate is a no-op — memory is
+// reclaimed wholesale by Arena::Reset — so containers using it must not
+// outlive the tick. Works for vectors of trivially destructible elements.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) { return arena_->AllocateArray<T>(n); }
+  void deallocate(T*, size_t) {}  // reclaimed by Arena::Reset
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const {
+    return arena_ == other.arena_;
+  }
+  bool operator!=(const ArenaAllocator& other) const {
+    return arena_ != other.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+// A tick-scoped vector drawing its storage from an arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace chronicle
+
+#endif  // CHRONICLE_COMMON_ARENA_H_

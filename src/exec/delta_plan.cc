@@ -1,0 +1,309 @@
+#include "exec/delta_plan.h"
+
+#include <limits>
+#include <string>
+
+#include "storage/relation.h"
+
+namespace chronicle {
+namespace exec {
+
+namespace {
+
+void Record(DeltaStats* stats, size_t rows) {
+  if (stats == nullptr) return;
+  stats->total_rows_produced += rows;
+  if (rows > stats->max_intermediate_rows) stats->max_intermediate_rows = rows;
+}
+
+// Appends a ⧺ b to *out without a temporary.
+void EmitConcat(std::vector<Tuple>* out, const Tuple& a, const Tuple& b) {
+  out->emplace_back();
+  Tuple& dst = out->back();
+  dst.reserve(a.size() + b.size());
+  dst.insert(dst.end(), a.begin(), a.end());
+  dst.insert(dst.end(), b.begin(), b.end());
+}
+
+// reserve() for a*b rows, skipped when the product is unrepresentable.
+void ReserveProduct(std::vector<Tuple>* out, size_t a, size_t b) {
+  if (a != 0 && b > std::numeric_limits<size_t>::max() / a) return;
+  out->reserve(a * b);
+}
+
+}  // namespace
+
+bool TupleRefSet::Insert(const Tuple* t) {
+  if (slots_.empty() || size_ * 2 >= slots_.size()) Grow();
+  const size_t mask = slots_.size() - 1;
+  size_t i = TupleHash()(*t) & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (!Live(slot)) {
+      slot.key = t;
+      slot.generation = generation_;
+      ++size_;
+      return true;
+    }
+    if (TupleEq()(*slot.key, *t)) return false;
+    i = (i + 1) & mask;
+  }
+}
+
+bool TupleRefSet::Contains(const Tuple& t) const {
+  if (slots_.empty()) return false;
+  const size_t mask = slots_.size() - 1;
+  size_t i = TupleHash()(t) & mask;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (!Live(slot)) return false;
+    if (TupleEq()(*slot.key, t)) return true;
+    i = (i + 1) & mask;
+  }
+}
+
+void TupleRefSet::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.key == nullptr || slot.generation != generation_) continue;
+    size_t i = TupleHash()(*slot.key) & mask;
+    while (slots_[i].generation == generation_ && slots_[i].key != nullptr) {
+      i = (i + 1) & mask;
+    }
+    slots_[i] = slot;
+  }
+}
+
+void PlanScratch::Prepare(size_t num_slots) {
+  if (slots_.size() < num_slots) slots_.resize(num_slots);
+  // clear() keeps each slot's capacity: steady-state ticks reuse it.
+  for (size_t i = 0; i < num_slots; ++i) slots_[i].clear();
+  arena_.Reset();
+}
+
+Result<const std::vector<Tuple>*> DeltaPlan::Execute(const AppendEvent& event,
+                                                     PlanScratch* scratch,
+                                                     DeltaStats* stats) const {
+  scratch->Prepare(num_slots());
+  for (const PlanInstr& instr : instrs_) {
+    std::vector<Tuple>& out = scratch->slots_[instr.out];
+    const CaExpr& node = *instr.node;
+    switch (instr.op) {
+      case PlanOp::kScan: {
+        // Set semantics: identical tuples appended under one SN are one
+        // row. First-seen survivors are copied once; duplicates never are.
+        scratch->seen_.Clear();
+        for (const auto& [id, tuples] : event.inserts) {
+          if (id != node.chronicle_id()) continue;
+          out.reserve(out.size() + tuples.size());
+          for (const Tuple& t : tuples) {
+            if (scratch->seen_.Insert(&t)) out.push_back(t);
+          }
+        }
+        break;
+      }
+
+      case PlanOp::kSelect: {
+        const std::vector<Tuple>& in = scratch->slots_[instr.in0];
+        out.reserve(in.size());
+        const ScalarExpr* predicate = node.predicate();
+        for (const Tuple& t : in) {
+          EvalRow row{&t, event.sn, event.chronon};
+          CHRONICLE_ASSIGN_OR_RETURN(bool keep, predicate->EvalBool(row));
+          if (keep) out.push_back(t);
+        }
+        break;
+      }
+
+      case PlanOp::kProject: {
+        const std::vector<Tuple>& in = scratch->slots_[instr.in0];
+        out.reserve(in.size());
+        const std::vector<size_t>& projection = node.projection();
+        // Projection can merge rows that differed only on dropped columns.
+        // out is reserved for the whole input above, so accepted rows never
+        // move and the dedupe set can reference them in place.
+        scratch->seen_.Clear();
+        for (const Tuple& t : in) {
+          out.emplace_back();
+          Tuple& projected = out.back();
+          projected.reserve(projection.size());
+          for (size_t idx : projection) projected.push_back(t[idx]);
+          if (!scratch->seen_.Insert(&projected)) out.pop_back();
+        }
+        break;
+      }
+
+      case PlanOp::kSeqJoin: {
+        // One tick = one SN, so the SN-equijoin of the deltas is their full
+        // pairing (Theorem 4.1).
+        const std::vector<Tuple>& left = scratch->slots_[instr.in0];
+        const std::vector<Tuple>& right = scratch->slots_[instr.in1];
+        ReserveProduct(&out, left.size(), right.size());
+        for (const Tuple& l : left) {
+          for (const Tuple& r : right) EmitConcat(&out, l, r);
+        }
+        break;
+      }
+
+      case PlanOp::kUnion: {
+        const std::vector<Tuple>& left = scratch->slots_[instr.in0];
+        const std::vector<Tuple>& right = scratch->slots_[instr.in1];
+        out.reserve(left.size() + right.size());
+        scratch->seen_.Clear();
+        for (const Tuple& t : left) {
+          if (scratch->seen_.Insert(&t)) out.push_back(t);
+        }
+        for (const Tuple& t : right) {
+          if (scratch->seen_.Insert(&t)) out.push_back(t);
+        }
+        break;
+      }
+
+      case PlanOp::kDifference: {
+        // Δ(E1 − E2) = ΔE1 − ΔE2 exactly (Theorem 4.1 proof).
+        const std::vector<Tuple>& left = scratch->slots_[instr.in0];
+        const std::vector<Tuple>& right = scratch->slots_[instr.in1];
+        scratch->removed_.Clear();
+        for (const Tuple& t : right) scratch->removed_.Insert(&t);
+        out.reserve(left.size());
+        // Subtraction and dedupe fused into one first-seen pass — same
+        // output order as subtract-then-dedupe.
+        scratch->seen_.Clear();
+        for (const Tuple& t : left) {
+          if (!scratch->removed_.Contains(t) && scratch->seen_.Insert(&t)) {
+            out.push_back(t);
+          }
+        }
+        break;
+      }
+
+      case PlanOp::kGroupBySeq: {
+        // SN is in the grouping list, so appended tuples form brand-new
+        // groups: aggregate within the tick only.
+        const std::vector<Tuple>& in = scratch->slots_[instr.in0];
+        const std::vector<size_t>& group_columns = node.group_columns();
+        const std::vector<AggSpec>& aggregates = node.aggregates();
+        PlanScratch::GroupMap& groups = scratch->groups_;
+        groups.clear();
+        // Deterministic output order: stable (key, states) pointers into
+        // the retained map, collected in the tick arena.
+        struct GroupRef {
+          const Tuple* key;
+          std::vector<AggState>* states;
+        };
+        ArenaVector<GroupRef> group_order{
+            ArenaAllocator<GroupRef>(&scratch->arena_)};
+        Tuple& key = scratch->key_;
+        for (const Tuple& t : in) {
+          key.clear();
+          for (size_t idx : group_columns) key.push_back(t[idx]);
+          auto [it, inserted] = groups.try_emplace(key);
+          std::vector<AggState>* states = &it->second;
+          if (inserted) {
+            states->reserve(aggregates.size());
+            for (const AggSpec& agg : aggregates) states->push_back(agg.Init());
+            group_order.push_back(GroupRef{&it->first, states});
+          }
+          for (size_t i = 0; i < aggregates.size(); ++i) {
+            aggregates[i].Update(&(*states)[i], t);
+          }
+        }
+        out.reserve(group_order.size());
+        for (const GroupRef& group : group_order) {
+          out.emplace_back();
+          Tuple& row = out.back();
+          row.reserve(group.key->size() + aggregates.size());
+          row.insert(row.end(), group.key->begin(), group.key->end());
+          for (size_t i = 0; i < aggregates.size(); ++i) {
+            row.push_back(aggregates[i].Finalize((*group.states)[i]));
+          }
+        }
+        break;
+      }
+
+      case PlanOp::kRelCross: {
+        // Implicit temporal join against the current relation version.
+        const std::vector<Tuple>& in = scratch->slots_[instr.in0];
+        const Relation* rel = node.relation();
+        ReserveProduct(&out, in.size(), rel->size());
+        for (const Tuple& t : in) {
+          for (const Tuple& r : rel->rows()) EmitConcat(&out, t, r);
+          if (stats != nullptr) stats->relation_rows_scanned += rel->size();
+        }
+        break;
+      }
+
+      case PlanOp::kRelKeyJoin: {
+        const std::vector<Tuple>& in = scratch->slots_[instr.in0];
+        const Relation* rel = node.relation();
+        const size_t join_column = node.join_column();
+        out.reserve(in.size());
+        for (const Tuple& t : in) {
+          if (stats != nullptr) ++stats->relation_lookups;
+          const Tuple* match = rel->FindByKey(t[join_column]);
+          if (match == nullptr) continue;  // inner join: misses drop out
+          EmitConcat(&out, t, *match);
+        }
+        break;
+      }
+
+      case PlanOp::kRelBoundedJoin: {
+        const std::vector<Tuple>& in = scratch->slots_[instr.in0];
+        const Relation* rel = node.relation();
+        ReserveProduct(&out, in.size(), node.max_matches());
+        for (const Tuple& t : in) {
+          if (stats != nullptr) ++stats->relation_lookups;
+          const std::vector<size_t>* slots =
+              rel->FindBySecondary(node.relation_column(), t[node.join_column()]);
+          if (slots == nullptr) continue;
+          if (slots->size() > node.max_matches()) {
+            // Same integrity-constraint failure (and text) as the
+            // interpreter: Definition 4.2 admission was unsound.
+            return Status::FailedPrecondition(
+                "bounded join matched " + std::to_string(slots->size()) +
+                " relation tuples, declared bound is " +
+                std::to_string(node.max_matches()) + " (Definition 4.2)");
+          }
+          for (size_t slot : *slots) EmitConcat(&out, t, rel->rows()[slot]);
+        }
+        break;
+      }
+    }
+    Record(stats, out.size());
+  }
+  return &scratch->slots_[root_slot_];
+}
+
+Result<const std::vector<ChronicleRow>*> DeltaPlan::ExecuteToRows(
+    const AppendEvent& event, PlanScratch* scratch, DeltaStats* stats) const {
+  CHRONICLE_ASSIGN_OR_RETURN(const std::vector<Tuple>* tuples,
+                             Execute(event, scratch, stats));
+  scratch->rows_.clear();
+  scratch->rows_.reserve(tuples->size());
+  // The root slot is not read again this tick, so its tuples can be moved
+  // out rather than copied (the slot is cleared by the next Prepare).
+  for (Tuple& t : scratch->slots_[root_slot_]) {
+    scratch->rows_.push_back(ChronicleRow{event.sn, std::move(t)});
+  }
+  return &scratch->rows_;
+}
+
+std::string DeltaPlan::ToString() const {
+  std::string out;
+  for (const PlanInstr& instr : instrs_) {
+    out += "s" + std::to_string(instr.out) + " = ";
+    out += CaOpToString(instr.node->op());
+    out += "(";
+    const size_t arity = instr.node->num_children();
+    if (arity >= 1) out += "s" + std::to_string(instr.in0);
+    if (arity >= 2) out += ", s" + std::to_string(instr.in1);
+    out += ")\n";
+  }
+  out += "root: s" + std::to_string(root_slot_) + "\n";
+  return out;
+}
+
+}  // namespace exec
+}  // namespace chronicle

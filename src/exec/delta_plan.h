@@ -1,0 +1,194 @@
+// Compiled delta plans: the batch-at-a-time twin of algebra/delta_engine.
+//
+// DeltaEngine re-walks the CaExpr tree on every tick and pays a hash-map
+// memo probe per node, a fresh std::vector per operator, and a heap Status
+// per unmatched join key. Theorem 4.2 says the per-append algebra is cheap;
+// those constant factors are pure interpretation overhead. A DeltaPlan
+// removes them structurally:
+//
+//   * At view-registration time the validated CaExpr DAG is lowered into a
+//     flat POST-ORDER instruction list (exec/plan_compiler.h). Instructions
+//     read and write numbered operand slots; a subexpression shared by
+//     several parents is lowered ONCE and its slot read many times — the
+//     per-tick memo hashing of DeltaCache disappears by construction.
+//   * Execution is batch-at-a-time over a PlanScratch: every slot is a
+//     retained std::vector<Tuple> that is cleared (never freed) between
+//     ticks, dedupe reuses a retained hash set, group-by reuses a retained
+//     group table, and tick-scoped transients (group output order) live in
+//     a bump Arena that is Reset, not freed. A steady-state tick touches
+//     the system allocator only for the payload Tuples themselves.
+//   * Relation probes go through the status-free Relation::FindByKey /
+//     FindBySecondary, so the inner-join miss path allocates nothing.
+//
+// Semantics are BYTE-IDENTICAL to DeltaEngine (same operator order, same
+// first-seen dedupe, same error texts for Definition 4.2 violations);
+// tests/plan_equivalence_fuzz_test.cc enforces this with randomized
+// expressions, and ViewManager keeps the interpreter available as the
+// MaintenanceOptions::use_compiled_plans=false fallback.
+//
+// Thread safety: a DeltaPlan is immutable after compilation and may be
+// executed concurrently; all mutable state lives in the caller-owned
+// PlanScratch, one per worker (the parallel fan-out stays TSan-clean).
+
+#ifndef CHRONICLE_EXEC_DELTA_PLAN_H_
+#define CHRONICLE_EXEC_DELTA_PLAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "aggregates/aggregate.h"
+#include "algebra/ca_expr.h"
+#include "algebra/delta_engine.h"
+#include "common/arena.h"
+#include "common/status.h"
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace exec {
+
+// The compiled operator set: exactly the legal CA operators (Definition
+// 4.1 / CA_join). Theorem 4.3 constructs are rejected at compile time.
+enum class PlanOp : uint8_t {
+  kScan = 0,
+  kSelect,
+  kProject,
+  kSeqJoin,
+  kUnion,
+  kDifference,
+  kGroupBySeq,
+  kRelCross,
+  kRelKeyJoin,
+  kRelBoundedJoin,
+};
+
+// One instruction of the flat post-order program. Operand payloads
+// (predicate, projection map, aggregate specs, relation pointer) are read
+// through `node`, which the owning DeltaPlan keeps alive via its root.
+struct PlanInstr {
+  PlanOp op;
+  uint32_t out = 0;  // slot this instruction writes (written exactly once)
+  uint32_t in0 = 0;  // first input slot (unary/binary ops)
+  uint32_t in1 = 0;  // second input slot (binary ops)
+  const CaExpr* node = nullptr;
+};
+
+// Open-addressing set of tuples referenced by pointer, used for the
+// executor's dedupe and difference membership tests. Keys live in the
+// operand slots (or the append event) for the duration of one
+// instruction, so the set never copies a Tuple — the node allocation and
+// second deep copy per row that std::unordered_set<Tuple> would pay.
+// Clear is O(1): every slot carries the generation that wrote it, and
+// bumping the generation invalidates them all, so a tiny dedupe after a
+// huge one does not pay a table-sized wipe.
+class TupleRefSet {
+ public:
+  // Invalidates every element. The table (and its capacity) is retained.
+  void Clear() {
+    ++generation_;
+    size_ = 0;
+  }
+
+  // Inserts `t` (by reference) unless a tuple equal to *t is already
+  // present; returns whether it was inserted — the dedupe "first seen?".
+  bool Insert(const Tuple* t);
+  // Membership by value (the difference-operator probe).
+  bool Contains(const Tuple& t) const;
+
+ private:
+  struct Slot {
+    const Tuple* key = nullptr;
+    uint64_t generation = 0;
+  };
+
+  bool Live(const Slot& slot) const {
+    return slot.key != nullptr && slot.generation == generation_;
+  }
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  uint64_t generation_ = 1;  // default Slot::generation (0) is never live
+};
+
+// Per-worker, cross-tick execution state. Everything here follows the
+// clear-don't-free discipline, so its footprint converges to the largest
+// tick it has served — O((u·|R|)^j) in the Theorem 4.2 parameters, never
+// proportional to |C| or to any view size. One scratch serves any number
+// of plans (slot storage is sized to the largest), but only one execution
+// at a time: give each thread its own.
+class PlanScratch {
+ public:
+  PlanScratch() = default;
+  PlanScratch(const PlanScratch&) = delete;
+  PlanScratch& operator=(const PlanScratch&) = delete;
+
+  // Reusable-footprint accounting (bench E13 / tests).
+  size_t num_slots() const { return slots_.size(); }
+  size_t arena_bytes_reserved() const { return arena_.bytes_reserved(); }
+
+ private:
+  friend class DeltaPlan;
+
+  using GroupMap =
+      std::unordered_map<Tuple, std::vector<AggState>, TupleHash, TupleEq>;
+
+  // Clears (without freeing) the first `num_slots` slot buffers and resets
+  // the arena, growing the slot array if this plan is the largest yet.
+  void Prepare(size_t num_slots);
+
+  std::vector<std::vector<Tuple>> slots_;
+  TupleRefSet seen_;     // dedupe scratch (table retained across ticks)
+  TupleRefSet removed_;  // difference scratch
+  GroupMap groups_;    // group-by scratch
+  Tuple key_;          // reused group-key probe (capacity survives clear())
+  Arena arena_;        // tick-scoped transients (group output order)
+  std::vector<ChronicleRow> rows_;  // retained final-output buffer
+};
+
+class DeltaPlan {
+ public:
+  // Executes the plan for one append event. Returns the root delta as a
+  // pointer into `scratch` — valid until the scratch's next execution.
+  // All rows conceptually carry event.sn (ExecuteToRows stamps it).
+  // `stats` may be null; counters match the interpreter's exactly.
+  Result<const std::vector<Tuple>*> Execute(const AppendEvent& event,
+                                            PlanScratch* scratch,
+                                            DeltaStats* stats) const;
+
+  // Execute + SN stamping into the scratch's retained row buffer: the
+  // drop-in replacement for DeltaEngine::ComputeDelta on the maintenance
+  // path. The returned pointer is valid until the scratch's next use.
+  Result<const std::vector<ChronicleRow>*> ExecuteToRows(
+      const AppendEvent& event, PlanScratch* scratch,
+      DeltaStats* stats) const;
+
+  // --- inspection (compiler tests, EXPLAIN-style diagnostics) ---
+  const std::vector<PlanInstr>& instructions() const { return instrs_; }
+  // One slot per instruction: slot i is written by instruction i.
+  size_t num_slots() const { return instrs_.size(); }
+  uint32_t root_slot() const { return root_slot_; }
+  // DAG edges that were resolved to an already-compiled slot — each one is
+  // a whole subtree the interpreter would have re-memoized every tick.
+  size_t shared_subexpressions() const { return shared_subexpressions_; }
+  const CaExprPtr& root() const { return root_; }
+
+  // One instruction per line: "s3 = Union(s1, s2)".
+  std::string ToString() const;
+
+ private:
+  friend class PlanCompiler;
+  DeltaPlan() = default;
+
+  CaExprPtr root_;  // keeps every node (and its payloads) alive
+  std::vector<PlanInstr> instrs_;
+  uint32_t root_slot_ = 0;
+  size_t shared_subexpressions_ = 0;
+};
+
+using DeltaPlanPtr = std::shared_ptr<const DeltaPlan>;
+
+}  // namespace exec
+}  // namespace chronicle
+
+#endif  // CHRONICLE_EXEC_DELTA_PLAN_H_

@@ -1,0 +1,41 @@
+// Lowering of chronicle-algebra DAGs into flat DeltaPlans.
+//
+// Compilation happens once, at view-registration time — never on the
+// append path. The compiler walks the shared-const CaExpr DAG in post
+// order, assigns each DISTINCT node one output slot, and emits one
+// instruction per distinct node: a subexpression reachable through many
+// parents (the same scan under every branch of a union fan, a guarded
+// selection shared by two views' plans) is compiled once and referenced by
+// slot thereafter. That is the whole DeltaCache, paid at compile time.
+//
+// The four Theorem 4.3 constructs are rejected with the interpreter's
+// exact diagnostic, so callers see one error surface regardless of
+// execution mode.
+
+#ifndef CHRONICLE_EXEC_PLAN_COMPILER_H_
+#define CHRONICLE_EXEC_PLAN_COMPILER_H_
+
+#include "algebra/ca_expr.h"
+#include "common/status.h"
+#include "exec/delta_plan.h"
+
+namespace chronicle {
+namespace exec {
+
+class PlanCompiler {
+ public:
+  // Compiles `root` (which the plan retains, keeping the DAG alive) into
+  // an executable DeltaPlan. Fails with InvalidArgument on any operator
+  // outside chronicle algebra (Theorem 4.3).
+  static Result<DeltaPlanPtr> Compile(CaExprPtr root);
+};
+
+// Convenience wrapper.
+inline Result<DeltaPlanPtr> CompileDeltaPlan(CaExprPtr root) {
+  return PlanCompiler::Compile(std::move(root));
+}
+
+}  // namespace exec
+}  // namespace chronicle
+
+#endif  // CHRONICLE_EXEC_PLAN_COMPILER_H_

@@ -37,6 +37,25 @@ class KeyedTable {
     return ordered_[key];
   }
 
+  // One-probe variant for hot loops: stable pointers to the stored key and
+  // payload, plus whether the entry was just created. The key is copied
+  // only on creation, and the pointers survive later insertions (both
+  // underlying containers are node-based), so callers can hold them
+  // instead of re-probing per output row.
+  struct Entry {
+    const Tuple* key;
+    V* value;
+    bool inserted;
+  };
+  Entry GetOrCreateEntry(const Tuple& key) {
+    if (mode_ == IndexMode::kHash) {
+      auto [it, inserted] = hash_.try_emplace(key);
+      return Entry{&it->first, &it->second, inserted};
+    }
+    auto [it, inserted] = ordered_.try_emplace(key);
+    return Entry{&it->first, &it->second, inserted};
+  }
+
   // Returns the payload for `key` or nullptr if absent.
   const V* Find(const Tuple& key) const {
     if (mode_ == IndexMode::kHash) {

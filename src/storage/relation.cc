@@ -85,18 +85,21 @@ Result<const Tuple*> Relation::LookupByKey(const Value& key) const {
   if (!has_key()) {
     return Status::FailedPrecondition("relation '" + name_ + "' has no key");
   }
-  if (index_mode_ == IndexMode::kHash) {
-    auto it = key_hash_.find(key);
-    if (it == key_hash_.end()) {
-      return Status::NotFound("no row with key " + key.ToString());
-    }
-    return &rows_[it->second];
-  }
-  auto it = key_ordered_.find(key);
-  if (it == key_ordered_.end()) {
+  const Tuple* row = FindByKey(key);
+  if (row == nullptr) {
     return Status::NotFound("no row with key " + key.ToString());
   }
-  return &rows_[it->second];
+  return row;
+}
+
+const Tuple* Relation::FindByKey(const Value& key) const {
+  if (!has_key()) return nullptr;
+  if (index_mode_ == IndexMode::kHash) {
+    auto it = key_hash_.find(key);
+    return it == key_hash_.end() ? nullptr : &rows_[it->second];
+  }
+  auto it = key_ordered_.find(key);
+  return it == key_ordered_.end() ? nullptr : &rows_[it->second];
 }
 
 Status Relation::CreateSecondaryIndex(const std::string& column) {
@@ -118,15 +121,22 @@ bool Relation::HasSecondaryIndex(size_t column) const {
 
 Status Relation::LookupBySecondary(size_t column, const Value& value,
                                    std::vector<const Tuple*>* out) const {
-  auto idx_it = secondary_.find(column);
-  if (idx_it == secondary_.end()) {
+  if (secondary_.count(column) == 0) {
     return Status::FailedPrecondition("no secondary index on column " +
                                       std::to_string(column));
   }
-  auto it = idx_it->second.find(value);
-  if (it == idx_it->second.end()) return Status::OK();
-  for (size_t slot : it->second) out->push_back(&rows_[slot]);
+  const std::vector<size_t>* slots = FindBySecondary(column, value);
+  if (slots == nullptr) return Status::OK();
+  for (size_t slot : *slots) out->push_back(&rows_[slot]);
   return Status::OK();
+}
+
+const std::vector<size_t>* Relation::FindBySecondary(size_t column,
+                                                     const Value& value) const {
+  auto idx_it = secondary_.find(column);
+  if (idx_it == secondary_.end()) return nullptr;
+  auto it = idx_it->second.find(value);
+  return it == idx_it->second.end() ? nullptr : &it->second;
 }
 
 void Relation::ScanAll(const std::function<void(const Tuple&)>& fn) const {

@@ -77,6 +77,13 @@ class Relation {
   // invalidated by the next mutation.
   Result<const Tuple*> LookupByKey(const Value& key) const;
 
+  // Status-free key lookup for hot paths (delta maintenance probes this
+  // once per inserted tuple): the unique matching row, or nullptr when the
+  // key is absent or the relation is keyless. Never allocates — the miss
+  // path of an inner join costs one hash/tree probe and nothing else.
+  // The pointer is invalidated by the next mutation.
+  const Tuple* FindByKey(const Value& key) const;
+
   // Builds a non-unique hash index on `column` to bound equality lookups.
   Status CreateSecondaryIndex(const std::string& column);
   // True iff a secondary index exists on that column.
@@ -85,6 +92,14 @@ class Relation {
   // Appends matching rows to `out`.
   Status LookupBySecondary(size_t column, const Value& value,
                            std::vector<const Tuple*>* out) const;
+
+  // Status-free secondary lookup: the row slots matching `value`, or
+  // nullptr when there are no matches (or no index on `column` — callers
+  // on the hot path have already proven the index exists at plan-build
+  // time, see CaExpr::RelBoundedJoin). Resolve slots through rows().
+  // Never allocates; invalidated by the next mutation.
+  const std::vector<size_t>* FindBySecondary(size_t column,
+                                             const Value& value) const;
 
   // Applies `fn` to every row (arbitrary order).
   void ScanAll(const std::function<void(const Tuple&)>& fn) const;

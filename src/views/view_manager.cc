@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "exec/plan_compiler.h"
 
 namespace chronicle {
 
@@ -72,6 +73,13 @@ Result<ViewId> ViewManager::AddView(std::unique_ptr<PersistentView> view) {
   std::vector<const ScalarExpr*> pending;
   CollectGuards(*entry.view->plan(), &pending, &entry.guards);
 
+  // Lower the plan once, here — never on the append path. A non-CA plan
+  // (rejected by the compiler exactly as the interpreter would per tick)
+  // simply stays interpreted, preserving the legacy error surface.
+  Result<exec::DeltaPlanPtr> compiled =
+      exec::CompileDeltaPlan(entry.view->plan());
+  if (compiled.ok()) entry.compiled = std::move(compiled).value();
+
   // Eligible for the eq index iff the view reads exactly one chronicle
   // through exactly one scan, and that scan's guard has an eq conjunct:
   // then `no eq match` alone proves the delta empty.
@@ -113,6 +121,7 @@ Status ViewManager::DropView(const std::string& name) {
   }
   by_name_.erase(it);
   entry.view.reset();  // tombstone; ids of other views stay stable
+  entry.compiled.reset();
   entry.guards.clear();
   entry.chronicles.clear();
   --live_views_;
@@ -235,9 +244,10 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
   const bool parallel =
       pool_ != nullptr && work.size() >= 2 * options_.min_views_per_task;
   if (!parallel) {
-    // Serial path: one shared cache gives full cross-view DAG sharing.
+    // Serial path: one shared cache (interpreter) / one scratch (compiled).
     for (ViewId id : work) {
-      CHRONICLE_RETURN_NOT_OK(MaintainOne(id, event, &cache_, &report));
+      CHRONICLE_RETURN_NOT_OK(MaintainOne(id, event, &cache_, &scratch_,
+                                          &report));
     }
     return report;
   }
@@ -246,16 +256,30 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
 }
 
 Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
-                                DeltaCache* cache, MaintenanceReport* report) {
+                                DeltaCache* cache, exec::PlanScratch* scratch,
+                                MaintenanceReport* report) {
   ViewEntry& entry = views_[id];
   Stopwatch watch;
-  CHRONICLE_ASSIGN_OR_RETURN(
-      std::vector<ChronicleRow> delta,
-      engine_.ComputeDelta(*entry.view->plan(), event, nullptr, cache));
-  if (!delta.empty()) {
-    CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(delta));
-    ++report->views_updated;
-    report->delta_rows_applied += delta.size();
+  if (options_.use_compiled_plans && entry.compiled != nullptr) {
+    // Compiled fast path: delta lands in the scratch's retained row buffer
+    // — no per-view allocation at steady state.
+    CHRONICLE_ASSIGN_OR_RETURN(
+        const std::vector<ChronicleRow>* delta,
+        entry.compiled->ExecuteToRows(event, scratch, nullptr));
+    if (!delta->empty()) {
+      CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(*delta));
+      ++report->views_updated;
+      report->delta_rows_applied += delta->size();
+    }
+  } else {
+    CHRONICLE_ASSIGN_OR_RETURN(
+        std::vector<ChronicleRow> delta,
+        engine_.ComputeDelta(*entry.view->plan(), event, nullptr, cache));
+    if (!delta.empty()) {
+      CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(delta));
+      ++report->views_updated;
+      report->delta_rows_applied += delta.size();
+    }
   }
   if (profiling_) entry.latency.Record(watch.ElapsedNanos());
   return Status::OK();
@@ -277,15 +301,22 @@ Status ViewManager::MaintainParallel(const std::vector<ViewId>& work,
     DeltaCache cache;
   };
   std::vector<TaskState> tasks(num_tasks);
+  // Per-task compiled-execution scratch, created once and retained across
+  // ticks (the whole point is that its buffers warm up). Task t always
+  // uses worker_scratch_[t], so no two live closures ever share one.
+  while (worker_scratch_.size() < num_tasks) {
+    worker_scratch_.push_back(std::make_unique<exec::PlanScratch>());
+  }
   const size_t base = work.size() / num_tasks;
   const size_t extra = work.size() % num_tasks;
   size_t begin = 0;
   for (size_t t = 0; t < num_tasks; ++t) {
     const size_t end = begin + base + (t < extra ? 1 : 0);
     TaskState* state = &tasks[t];
-    pool_->Submit([this, &work, &event, state, begin, end] {
+    exec::PlanScratch* scratch = worker_scratch_[t].get();
+    pool_->Submit([this, &work, &event, state, scratch, begin, end] {
       for (size_t i = begin; i < end; ++i) {
-        state->status = MaintainOne(work[i], event, &state->cache,
+        state->status = MaintainOne(work[i], event, &state->cache, scratch,
                                     &state->partial);
         if (!state->status.ok()) return;
       }

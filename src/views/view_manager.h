@@ -32,6 +32,7 @@
 #include "common/histogram.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/delta_plan.h"
 #include "views/persistent_view.h"
 
 namespace chronicle {
@@ -58,6 +59,16 @@ struct MaintenanceOptions {
   // each worker at least this many views; below 2x this, run serially.
   // Guards against paying dispatch latency on ticks that touch few views.
   size_t min_views_per_task = 8;
+  // Execute deltas through the compiled DeltaPlan (src/exec) each view
+  // gets at registration time: flat post-order programs over reused
+  // scratch buffers, no per-tick memo hashing or per-operator allocation.
+  // false falls back to the tree-walking DeltaEngine interpreter (which is
+  // also what any view whose plan failed to compile uses). Results are
+  // identical either way (enforced by tests/plan_equivalence_fuzz_test.cc);
+  // only the constant factors differ (bench E13). Note the interpreter's
+  // cross-view DeltaCache sharing does not apply to compiled execution —
+  // sharing there is within-plan, by slot construction.
+  bool use_compiled_plans = true;
 };
 
 // Outcome of maintaining all views for one append.
@@ -139,6 +150,10 @@ class ViewManager {
   };
   struct ViewEntry {
     std::unique_ptr<PersistentView> view;
+    // Compiled at AddView (never on the append path); null only if the
+    // plan is outside CA, in which case the interpreter path — which
+    // rejects it with the same diagnostic — serves the view.
+    exec::DeltaPlanPtr compiled;
     std::vector<ScanGuard> guards;      // one per scan in the plan
     std::set<ChronicleId> chronicles;   // base chronicles the view reads
     bool eq_indexed = false;            // participates in the eq index
@@ -158,9 +173,12 @@ class ViewManager {
 
   // Computes and folds one view's delta for the tick, accumulating into
   // `report`. `cache` is the per-tick delta memo the call may share with
-  // other views (serial path: all views; parallel path: one per worker).
+  // other views (serial path: all views; parallel path: one per worker) —
+  // interpreter mode only. `scratch` is the reused-across-ticks compiled
+  // execution state (serial path: the manager's; parallel path: one per
+  // worker) — compiled mode only.
   Status MaintainOne(ViewId id, const AppendEvent& event, DeltaCache* cache,
-                     MaintenanceReport* report);
+                     exec::PlanScratch* scratch, MaintenanceReport* report);
 
   // Runs MaintainOne over `work` on the pool, one contiguous batch per
   // worker, and merges the per-batch reports into `report`.
@@ -172,6 +190,11 @@ class ViewManager {
   size_t live_views_ = 0;
   DeltaEngine engine_;
   DeltaCache cache_;  // reset at the start of every ProcessAppend
+  // Compiled-execution scratch, reused across ticks (clear, don't free).
+  // scratch_ serves the serial path; worker_scratch_[t] is owned by task t
+  // of the parallel fan-out — no shared mutable state between workers.
+  exec::PlanScratch scratch_;
+  std::vector<std::unique_ptr<exec::PlanScratch>> worker_scratch_;
   MaintenanceOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // non-null iff options_.num_threads > 1
   std::vector<ViewEntry> views_;

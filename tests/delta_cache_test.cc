@@ -105,8 +105,13 @@ TEST(DeltaCacheTest, StaleCacheWouldServeOldTick) {
 
 TEST(DeltaCacheTest, ViewManagerSharesScanAcrossViews) {
   // Views registered over the SAME scan node trigger cache hits inside
-  // ProcessAppend.
+  // ProcessAppend. Cross-view sharing through DeltaCache is an interpreter
+  // mechanism — compiled plans share subexpressions within a plan by slot
+  // construction instead — so this test pins the interpreter path.
   ViewManager manager(RoutingMode::kCheckAll);
+  MaintenanceOptions interpreted;
+  interpreted.use_compiled_plans = false;
+  manager.set_maintenance_options(interpreted);
   CaExprPtr scan = CaExpr::Scan(0, "calls", CallSchema()).value();
   for (int i = 0; i < 4; ++i) {
     SummarySpec spec =
