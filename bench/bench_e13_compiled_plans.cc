@@ -16,10 +16,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "algebra/delta_engine.h"
 #include "bench_common.h"
 #include "common/random.h"
+#include "db/database.h"
 #include "exec/plan_compiler.h"
+#include "obs/export.h"
 #include "storage/chronicle_group.h"
 
 namespace chronicle {
@@ -171,6 +175,61 @@ BENCHMARK(GroupedSummary)
     ->Args({8, 1})
     ->Args({64, 0})
     ->Args({64, 1});
+
+// --- DbUnionFan(obs): the acceptance shape driven through the full
+// ChronicleDatabase append path (routing, compiled execution, view fold),
+// once with observability disabled and once with metrics + tracing on.
+// The obs/ subsystem's acceptance bound is that the instrumented curve
+// stays within 5% of the uninstrumented one; tools/check_obs_overhead.py
+// asserts that ratio from this bench's smoke JSON report. The obs=1 run
+// also validates the JSON exporter against its own grammar checker and, in
+// smoke mode, dumps the snapshot to STATS_E13.json for CI to parse.
+void DbUnionFan(benchmark::State& state) {
+  const int64_t u = 64;
+  const bool obs = state.range(0) != 0;
+  ChronicleDatabase db(DatabaseOptions()
+                           .set_metrics(obs)
+                           .set_trace_capacity(obs ? 256 : 0));
+  Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
+            .status());
+  CaExprPtr scan = Unwrap(db.ScanChronicle("calls"));
+  CaExprPtr plan =
+      Unwrap(CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NJ")))));
+  for (int64_t i = 1; i < u; ++i) {
+    CaExprPtr branch =
+        Unwrap(CaExpr::Select(scan, Gt(Col("minutes"), Lit(Value(i % 90)))));
+    plan = Unwrap(CaExpr::Union(plan, branch));
+  }
+  SummarySpec spec = Unwrap(SummarySpec::GroupBy(
+      plan->schema(), {"caller"}, {AggSpec::Sum("minutes", "m")}));
+  Check(db.CreateView("fan", plan, spec).status());
+
+  Rng rng{17};
+  Chronon chronon = 0;
+  for (auto _ : state) {
+    std::vector<Tuple> tuples;
+    tuples.reserve(4);
+    for (int64_t i = 0; i < 4; ++i) {
+      tuples.push_back(Tuple{Value(static_cast<int64_t>(rng.Uniform(16))),
+                             Value("NJ"),
+                             Value(static_cast<int64_t>(rng.Uniform(100)))});
+    }
+    Check(db.Append("calls", std::move(tuples), ++chronon).status());
+  }
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["obs"] = obs ? 1.0 : 0.0;
+
+  if (obs) {
+    const std::string json = obs::RenderJson(db.CollectStats());
+    Check(obs::ValidateJson(json));
+    if (SmokeMode()) {
+      std::ofstream out("STATS_E13.json");
+      out << json << "\n";
+    }
+  }
+}
+BENCHMARK(DbUnionFan)->ArgNames({"obs"})->Args({0})->Args({1});
 
 }  // namespace
 }  // namespace bench

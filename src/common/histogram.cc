@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <cstdio>
+#include <limits>
 
 namespace chronicle {
 
@@ -41,6 +42,23 @@ void LatencyHistogram::Record(int64_t nanos) {
   sum_ += static_cast<double>(nanos);
   ++count_;
   ++buckets_[static_cast<size_t>(BucketFor(nanos))];
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+}
+
+int64_t LatencyHistogram::BucketUpperBound(int i) {
+  if (i <= 0) return 1;
+  if (i >= kBuckets - 1) return std::numeric_limits<int64_t>::max();
+  return int64_t{1} << i;
 }
 
 double LatencyHistogram::MeanNanos() const {

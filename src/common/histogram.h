@@ -1,6 +1,9 @@
 // LatencyHistogram: a fixed-size log-bucketed histogram for nanosecond
-// latencies. Used by the ViewManager's per-view maintenance profiling and
-// by the bench harnesses; no dynamic allocation after construction.
+// latencies. Used by the ViewManager's per-view maintenance profiling, the
+// observability layer (src/obs), and the bench harnesses; no dynamic
+// allocation after construction. The value domain is any non-negative
+// int64 — the obs layer also records sizes (batch ticks, bytes) into it;
+// only ToString assumes nanoseconds.
 
 #ifndef CHRONICLE_COMMON_HISTOGRAM_H_
 #define CHRONICLE_COMMON_HISTOGRAM_H_
@@ -19,7 +22,19 @@ class LatencyHistogram {
   // Records one sample (negative values clamp to 0).
   void Record(int64_t nanos);
 
+  // Folds `other` into this histogram (buckets, count, sum, min, max).
+  // The observability layer keeps one histogram per worker shard and
+  // merges them on read, so the hot path never contends on shared state.
+  void Merge(const LatencyHistogram& other);
+
   uint64_t count() const { return count_; }
+  // Sum of all recorded samples (0 if empty).
+  double SumNanos() const { return sum_; }
+  // Raw count of bucket `i` in [0, kBuckets); exporters iterate these.
+  uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  // Inclusive upper bound of bucket `i` (the Prometheus `le` label); the
+  // last bucket is unbounded and reports INT64_MAX.
+  static int64_t BucketUpperBound(int i);
   // Arithmetic mean of recorded samples (0 if empty).
   double MeanNanos() const;
   // Smallest bucket upper bound such that >= q of samples fall below it.

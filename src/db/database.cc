@@ -6,7 +6,35 @@
 
 namespace chronicle {
 
-ChronicleDatabase::ChronicleDatabase(RoutingMode routing) : views_(routing) {}
+ChronicleDatabase::ChronicleDatabase(DatabaseOptions options)
+    : options_(std::move(options)), views_(options_.routing) {
+  views_.set_maintenance_options(options_.maintenance);
+  durability_ = options_.durability;
+  if (options_.observability.metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    m_append_batch_ticks_ = metrics_->AddHistogram(
+        "append_batch_ticks", "Ticks per AppendMany batch");
+  }
+  if (options_.observability.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceRing>(
+        options_.observability.trace_capacity);
+  }
+  views_.set_observability(metrics_.get(), trace_.get());
+  if (options_.observability.profile_view_latency) views_.set_profiling(true);
+}
+
+ChronicleDatabase::ChronicleDatabase(RoutingMode routing)
+    : ChronicleDatabase(DatabaseOptions().set_routing(routing)) {}
+
+std::unique_ptr<ChronicleDatabase> ChronicleDatabase::Open(
+    DatabaseOptions options) {
+  return std::make_unique<ChronicleDatabase>(std::move(options));
+}
+
+Result<ChronicleId> ChronicleDatabase::CreateChronicle(const std::string& name,
+                                                       Schema schema) {
+  return CreateChronicle(name, std::move(schema), options_.default_retention);
+}
 
 Result<ChronicleId> ChronicleDatabase::CreateChronicle(
     const std::string& name, Schema schema, RetentionPolicy retention) {
@@ -290,7 +318,26 @@ Result<std::vector<AppendResult>> ChronicleDatabase::AppendMany(
                                     first_chronon + static_cast<Chronon>(i))));
     results.push_back(std::move(result));
   }
+  if (metrics_ != nullptr) {
+    metrics_->Observe(m_append_batch_ticks_,
+                      static_cast<int64_t>(results.size()));
+  }
   return results;
+}
+
+obs::StatsSnapshot ChronicleDatabase::CollectStats() const {
+  obs::StatsSnapshot snap;
+  snap.appends_processed = appends_processed_;
+  snap.live_views = views_.num_live_views();
+  snap.delta_cache_hits = views_.delta_cache_hits();
+  snap.delta_cache_misses = views_.delta_cache_misses();
+  if (metrics_ != nullptr) metrics_->Snapshot(&snap.metrics);
+  views_.SnapshotViewStats(&snap.views);
+  if (trace_ != nullptr) {
+    snap.trace_emitted = trace_->total_emitted();
+    snap.trace_capacity = trace_->capacity();
+  }
+  return snap;
 }
 
 Status ChronicleDatabase::InsertInto(const std::string& relation, Tuple row) {
@@ -373,23 +420,24 @@ Status ChronicleDatabase::DeleteFrom(const std::string& relation,
 
 Result<Tuple> ChronicleDatabase::QueryView(const std::string& view,
                                            const Tuple& key) const {
-  // const_cast-free lookup: ViewManager only exposes mutable find; keep a
-  // const path through the id table.
-  ViewManager& views = const_cast<ChronicleDatabase*>(this)->views_;
-  CHRONICLE_ASSIGN_OR_RETURN(PersistentView * v, views.FindView(view));
+  CHRONICLE_ASSIGN_OR_RETURN(const PersistentView* v, views_.FindView(view));
   return v->Lookup(key);
 }
 
 Result<std::vector<Tuple>> ChronicleDatabase::ScanView(
     const std::string& view) const {
-  ViewManager& views = const_cast<ChronicleDatabase*>(this)->views_;
-  CHRONICLE_ASSIGN_OR_RETURN(PersistentView * v, views.FindView(view));
+  CHRONICLE_ASSIGN_OR_RETURN(const PersistentView* v, views_.FindView(view));
   std::vector<Tuple> rows;
   CHRONICLE_RETURN_NOT_OK(v->Scan([&](const Tuple& row) { rows.push_back(row); }));
   std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
     return TupleCompare(a, b) < 0;
   });
   return rows;
+}
+
+Result<const PersistentView*> ChronicleDatabase::GetView(
+    const std::string& name) const {
+  return views_.FindView(name);
 }
 
 Result<const PeriodicViewSet*> ChronicleDatabase::GetPeriodicView(

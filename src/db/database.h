@@ -23,6 +23,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "periodic/periodic_view.h"
 #include "periodic/sliding_window.h"
 #include "storage/chronicle_group.h"
@@ -95,18 +98,97 @@ struct DurabilityOptions {
   MutationLog* mutation_log = nullptr;
 };
 
+// The single configuration entry point for a ChronicleDatabase. Every knob
+// that used to be scattered across the constructor (routing), post-hoc
+// setters (set_maintenance_options, set_durability), and per-call default
+// arguments (retention) lives here, next to the new ObservabilityOptions.
+// Builder-style: each set_* returns *this, so construction reads as one
+// expression:
+//
+//   ChronicleDatabase db(DatabaseOptions()
+//                            .set_routing(RoutingMode::kEqIndex)
+//                            .set_num_threads(4)
+//                            .set_trace_capacity(1024));
+//
+// Plain aggregate access (options.maintenance.num_threads = 4) works too;
+// the setters are sugar, not gatekeepers.
+struct DatabaseOptions {
+  RoutingMode routing = RoutingMode::kEqIndex;
+  MaintenanceOptions maintenance;
+  DurabilityOptions durability;
+  // Retention applied by CreateChronicle calls that do not pass their own
+  // policy.
+  RetentionPolicy default_retention = RetentionPolicy::All();
+  obs::ObservabilityOptions observability;
+
+  DatabaseOptions& set_routing(RoutingMode mode) {
+    routing = mode;
+    return *this;
+  }
+  DatabaseOptions& set_maintenance(const MaintenanceOptions& m) {
+    maintenance = m;
+    return *this;
+  }
+  DatabaseOptions& set_num_threads(size_t n) {
+    maintenance.num_threads = n;
+    return *this;
+  }
+  DatabaseOptions& set_use_compiled_plans(bool on) {
+    maintenance.use_compiled_plans = on;
+    return *this;
+  }
+  DatabaseOptions& set_mutation_log(MutationLog* log) {
+    durability.mutation_log = log;
+    return *this;
+  }
+  DatabaseOptions& set_default_retention(RetentionPolicy policy) {
+    default_retention = policy;
+    return *this;
+  }
+  DatabaseOptions& set_observability(const obs::ObservabilityOptions& o) {
+    observability = o;
+    return *this;
+  }
+  DatabaseOptions& set_metrics(bool on) {
+    observability.metrics = on;
+    return *this;
+  }
+  DatabaseOptions& set_trace_capacity(size_t slots) {
+    observability.trace_capacity = slots;
+    return *this;
+  }
+  DatabaseOptions& set_profile_view_latency(bool on) {
+    observability.profile_view_latency = on;
+    return *this;
+  }
+};
+
 class ChronicleDatabase {
  public:
-  explicit ChronicleDatabase(RoutingMode routing = RoutingMode::kEqIndex);
+  // The one real constructor: everything is configured through options.
+  explicit ChronicleDatabase(DatabaseOptions options = DatabaseOptions());
+
+  // Legacy routing-only construction; forwards to the options constructor.
+  // Prefer ChronicleDatabase(DatabaseOptions().set_routing(...)).
+  explicit ChronicleDatabase(RoutingMode routing);
+
+  // Heap-allocating convenience for callers that keep the database behind
+  // a pointer (the shell, benches): Open(options) reads better than
+  // make_unique at every such site and is the natural place for future
+  // open-time work (e.g. attaching recovery).
+  static std::unique_ptr<ChronicleDatabase> Open(
+      DatabaseOptions options = DatabaseOptions());
 
   ChronicleDatabase(const ChronicleDatabase&) = delete;
   ChronicleDatabase& operator=(const ChronicleDatabase&) = delete;
 
   // --- DDL ---
 
-  Result<ChronicleId> CreateChronicle(
-      const std::string& name, Schema schema,
-      RetentionPolicy retention = RetentionPolicy::All());
+  // Without an explicit policy, the chronicle gets
+  // options().default_retention.
+  Result<ChronicleId> CreateChronicle(const std::string& name, Schema schema);
+  Result<ChronicleId> CreateChronicle(const std::string& name, Schema schema,
+                                      RetentionPolicy retention);
 
   Result<RelationId> CreateRelation(const std::string& name, Schema schema,
                                     const std::string& key_column = "",
@@ -189,6 +271,10 @@ class ChronicleDatabase {
   Result<const PeriodicViewSet*> GetPeriodicView(const std::string& name) const;
   Result<const SlidingWindowView*> GetSlidingView(const std::string& name) const;
 
+  // Borrowed const view pointer by name (stable while the view is live) —
+  // the facade-level twin of GetRelation.
+  Result<const PersistentView*> GetView(const std::string& name) const;
+
   // Detail query over the RETAINED window of the plan's base chronicles
   // (§2.2): evaluates `plan` against whatever the retention policies kept.
   // This is the one query path that reads chronicle storage; summary
@@ -206,9 +292,29 @@ class ChronicleDatabase {
   const ViewManager& view_manager() const { return views_; }
   uint64_t appends_processed() const { return appends_processed_; }
 
-  // Parallel maintenance knobs (see MaintenanceOptions). Takes effect from
-  // the next append; must not be called during one.
+  // The options this database was opened with (durability/maintenance kept
+  // in sync by the deprecated setters below).
+  const DatabaseOptions& options() const { return options_; }
+
+  // --- observability ---
+
+  // The metrics registry / trace ring, or nullptr when disabled by
+  // options().observability. Borrowed; owned by the database.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  const obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+  obs::TraceRing* trace() { return trace_.get(); }
+  const obs::TraceRing* trace() const { return trace_.get(); }
+
+  // Assembles the full statistics snapshot (metrics, per-view stats, trace
+  // accounting). The WAL section is left detached — the Wal's owner merges
+  // it (see obs::WalStatsSnapshot). Driver thread only, between appends.
+  obs::StatsSnapshot CollectStats() const;
+
+  // DEPRECATED: prefer DatabaseOptions::maintenance at construction.
+  // Retained as a thin forwarder for existing call sites; takes effect
+  // from the next append and must not be called during one.
   void set_maintenance_options(const MaintenanceOptions& options) {
+    options_.maintenance = options;
     views_.set_maintenance_options(options);
   }
   const MaintenanceOptions& maintenance_options() const {
@@ -227,9 +333,12 @@ class ChronicleDatabase {
 
   // --- durability ---
 
-  // Attaches (or detaches, with a default-constructed options) the
-  // write-ahead hook. Must not be set while recovery is replaying the log.
+  // DEPRECATED: prefer DatabaseOptions::durability at construction.
+  // Retained as a thin forwarder: attaches (or detaches, with a
+  // default-constructed options) the write-ahead hook. Must not be set
+  // while recovery is replaying the log.
   void set_durability(const DurabilityOptions& options) {
+    options_.durability = options;
     durability_ = options;
   }
   const DurabilityOptions& durability() const { return durability_; }
@@ -253,6 +362,15 @@ class ChronicleDatabase {
       Chronon chronon) const;
 
   Result<AppendResult> Maintain(Result<AppendEvent> event);
+
+  // Declared before views_: the constructor initializes views_ from
+  // options_.routing.
+  DatabaseOptions options_;
+  // Observability sinks, created per options_.observability and wired into
+  // views_ at construction (null when disabled).
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceRing> trace_;
+  obs::MetricId m_append_batch_ticks_ = 0;  // histogram: AppendMany sizes
 
   ChronicleGroup group_;
   mutable std::unordered_map<ChronicleId, CaExprPtr> scan_cache_;

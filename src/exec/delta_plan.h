@@ -95,6 +95,11 @@ class TupleRefSet {
   // Membership by value (the difference-operator probe).
   bool Contains(const Tuple& t) const;
 
+  // Live elements since the last Clear / table capacity (0 before the
+  // first growth). Exposed for the obs layer's dedupe-pressure gauge.
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
  private:
   struct Slot {
     const Tuple* key = nullptr;
@@ -123,9 +128,20 @@ class PlanScratch {
   PlanScratch(const PlanScratch&) = delete;
   PlanScratch& operator=(const PlanScratch&) = delete;
 
-  // Reusable-footprint accounting (bench E13 / tests).
+  // Reusable-footprint accounting (bench E13 / tests / obs).
   size_t num_slots() const { return slots_.size(); }
   size_t arena_bytes_reserved() const { return arena_.bytes_reserved(); }
+  // Arena bytes handed out by the most recent execution (reset on the
+  // next Prepare); the obs layer's per-tick arena high-water gauge.
+  size_t arena_bytes_allocated() const { return arena_.bytes_allocated(); }
+  // Load factor of the dedupe set as left by the most recent execution
+  // (0 until the table first grows); the obs layer's dedupe-pressure
+  // gauge.
+  double dedupe_load_factor() const {
+    return seen_.capacity() == 0
+               ? 0.0
+               : static_cast<double>(seen_.size()) / seen_.capacity();
+  }
 
  private:
   friend class DeltaPlan;

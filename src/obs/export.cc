@@ -1,0 +1,509 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace chronicle {
+namespace obs {
+
+namespace {
+
+// Appends a printf-style formatted chunk to `out`.
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf) ? n : sizeof(buf) - 1);
+}
+
+// Escapes a string for a JSON string literal or a Prometheus label value
+// (both use backslash escapes for `"` and `\`; JSON additionally needs
+// control characters escaped, which is harmless in label values too).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Renders a double without locale surprises; trims to something readable.
+std::string Dbl(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// --- Prometheus helpers ---
+
+void PromHistogram(std::string* out, const std::string& name,
+                   const std::string& labels, const LatencyHistogram& h) {
+  // Only emit non-empty buckets (plus the terminal +Inf) — 52 series per
+  // histogram would drown the exposition; cumulative counts stay exact.
+  uint64_t cumulative = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += h.bucket(i);
+    if (h.bucket(i) == 0 && i != LatencyHistogram::kBuckets - 1) continue;
+    const int64_t ub = LatencyHistogram::BucketUpperBound(i);
+    std::string le = (i == LatencyHistogram::kBuckets - 1)
+                         ? std::string("+Inf")
+                         : std::to_string(ub);
+    Appendf(out, "%s_bucket{%s%sle=\"%s\"} %" PRIu64 "\n", name.c_str(),
+            labels.c_str(), labels.empty() ? "" : ",", le.c_str(), cumulative);
+  }
+  const std::string brace = labels.empty() ? "" : "{" + labels + "}";
+  Appendf(out, "%s_sum%s %s\n", name.c_str(), brace.c_str(),
+          Dbl(h.SumNanos()).c_str());
+  Appendf(out, "%s_count%s %" PRIu64 "\n", name.c_str(), brace.c_str(),
+          h.count());
+}
+
+void PromCounter(std::string* out, const std::string& name,
+                 const std::string& help, uint64_t value) {
+  Appendf(out, "# HELP %s %s\n# TYPE %s counter\n%s %" PRIu64 "\n",
+          name.c_str(), help.c_str(), name.c_str(), name.c_str(), value);
+}
+
+// --- JSON helpers (emission) ---
+
+void JsonHistogram(std::string* out, const LatencyHistogram& h) {
+  Appendf(out, "{\"count\":%" PRIu64 ",\"sum\":%s,\"min\":%" PRId64
+               ",\"max\":%" PRId64 ",\"p50\":%" PRId64 ",\"p99\":%" PRId64 "}",
+          h.count(), Dbl(h.SumNanos()).c_str(), h.MinNanos(), h.MaxNanos(),
+          h.PercentileNanos(0.5), h.PercentileNanos(0.99));
+}
+
+// --- JSON validation (recursive descent over RFC 8259) ---
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Status Validate() {
+    SkipWs();
+    CHRONICLE_RETURN_NOT_OK(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters after value");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) {
+    return Status::ParseError("JSON invalid at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  Status Expect(char c) {
+    if (!Peek(c)) return Err(std::string("expected '") + c + "'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Literal(const char* word) {
+    const size_t len = strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return Err("bad literal");
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status String() {
+    CHRONICLE_RETURN_NOT_OK(Expect('"'));
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Err("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Err("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Err("bad \\u escape");
+            }
+          }
+        } else if (strchr("\"\\/bfnrt", e) == nullptr) {
+          return Err("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Status Number() {
+    if (Peek('-')) ++pos_;
+    if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Err("bad number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (Peek('.')) {
+      ++pos_;
+      if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Err("bad fraction");
+      }
+      while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (Peek('e') || Peek('E')) {
+      ++pos_;
+      if (Peek('+') || Peek('-')) ++pos_;
+      if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Err("bad exponent");
+      }
+      while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    if (c == '-' || isdigit(static_cast<unsigned char>(c))) return Number();
+    return Err("unexpected character");
+  }
+
+  Status Object(int depth) {
+    CHRONICLE_RETURN_NOT_OK(Expect('{'));
+    SkipWs();
+    if (Peek('}')) {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      CHRONICLE_RETURN_NOT_OK(String());
+      SkipWs();
+      CHRONICLE_RETURN_NOT_OK(Expect(':'));
+      SkipWs();
+      CHRONICLE_RETURN_NOT_OK(Value(depth + 1));
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status Array(int depth) {
+    CHRONICLE_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Peek(']')) {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      CHRONICLE_RETURN_NOT_OK(Value(depth + 1));
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RenderText(const StatsSnapshot& snapshot) {
+  std::string out;
+  Appendf(&out, "appends processed: %" PRIu64 "\n", snapshot.appends_processed);
+  Appendf(&out, "live views:        %" PRIu64 "\n", snapshot.live_views);
+  Appendf(&out, "delta cache:       %" PRIu64 " hits / %" PRIu64 " misses\n",
+          snapshot.delta_cache_hits, snapshot.delta_cache_misses);
+  Appendf(&out, "trace ring:        %" PRIu64 " spans emitted (capacity %" PRIu64 ")\n",
+          snapshot.trace_emitted, snapshot.trace_capacity);
+  if (!snapshot.metrics.empty()) {
+    out += "\nmetrics:\n";
+    for (const MetricSample& m : snapshot.metrics) {
+      if (m.is_histogram) {
+        Appendf(&out, "  %-40s %s\n", m.name.c_str(),
+                m.histogram.ToString().c_str());
+      } else {
+        Appendf(&out, "  %-40s %" PRIu64 "\n", m.name.c_str(), m.value);
+      }
+    }
+  }
+  if (!snapshot.views.empty()) {
+    out += "\nviews:\n";
+    for (const ViewStatsSnapshot& v : snapshot.views) {
+      const ViewStats& s = v.stats;
+      Appendf(&out,
+              "  %-24s ticks=%" PRIu64 " updates=%" PRIu64 " rows=%" PRIu64
+              " compiled=%" PRIu64 "/%" PRIu64 " lookups=%" PRIu64 "\n",
+              v.name.c_str(), s.ticks, s.updates, s.delta_rows,
+              s.compiled_ticks, s.ticks, s.relation_lookups);
+      if (s.plan_slots > 0) {
+        Appendf(&out,
+                "  %-24s slots=%u arena_hwm=%" PRIu64
+                "B dedupe_load=%s max_rows=%" PRIu64 "\n",
+                "", s.plan_slots, s.arena_hwm_bytes,
+                Dbl(s.max_dedupe_load).c_str(), s.max_intermediate_rows);
+      }
+      if (v.profiled) {
+        Appendf(&out, "  %-24s latency %s\n", "", v.latency.ToString().c_str());
+      }
+    }
+  }
+  if (snapshot.wal.attached) {
+    const WalStatsSnapshot& w = snapshot.wal;
+    out += "\nwal:\n";
+    Appendf(&out,
+            "  records=%" PRIu64 " bytes=%" PRIu64 " syncs=%" PRIu64
+            " group_commits=%" PRIu64 " (%" PRIu64 " ticks)\n",
+            w.records_logged, w.bytes_logged, w.syncs, w.group_commits,
+            w.group_commit_ticks);
+    Appendf(&out,
+            "  segments=+%" PRIu64 "/-%" PRIu64 " checkpoints=%" PRIu64 "\n",
+            w.segments_created, w.segments_removed, w.checkpoints_written);
+    if (w.fsync_latency.count() > 0) {
+      Appendf(&out, "  fsync latency %s\n", w.fsync_latency.ToString().c_str());
+    }
+    if (w.recovered) {
+      Appendf(&out, "  recovery: %" PRIu64 " applied, %" PRIu64 " skipped\n",
+              w.recovery_records_applied, w.recovery_records_skipped);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const StatsSnapshot& snapshot) {
+  std::string out;
+  PromCounter(&out, "chronicle_appends_processed_total",
+              "Appends routed through view maintenance",
+              snapshot.appends_processed);
+  PromCounter(&out, "chronicle_live_views", "Currently registered views",
+              snapshot.live_views);
+  PromCounter(&out, "chronicle_delta_cache_hits_total",
+              "Delta memo cache hits", snapshot.delta_cache_hits);
+  PromCounter(&out, "chronicle_delta_cache_misses_total",
+              "Delta memo cache misses", snapshot.delta_cache_misses);
+  PromCounter(&out, "chronicle_trace_spans_emitted_total",
+              "Spans emitted into the trace ring", snapshot.trace_emitted);
+
+  for (const MetricSample& m : snapshot.metrics) {
+    const std::string name = "chronicle_" + m.name;
+    if (m.is_histogram) {
+      Appendf(&out, "# HELP %s %s\n# TYPE %s histogram\n", name.c_str(),
+              m.help.c_str(), name.c_str());
+      PromHistogram(&out, name, "", m.histogram);
+    } else {
+      PromCounter(&out, name, m.help, m.value);
+    }
+  }
+
+  if (!snapshot.views.empty()) {
+    struct Field {
+      const char* metric;
+      const char* help;
+      uint64_t (*get)(const ViewStats&);
+    };
+    static const Field kFields[] = {
+        {"chronicle_view_ticks_total", "Delta computations for the view",
+         [](const ViewStats& s) { return s.ticks; }},
+        {"chronicle_view_updates_total", "Ticks that changed the view",
+         [](const ViewStats& s) { return s.updates; }},
+        {"chronicle_view_delta_rows_total", "Delta rows folded into the view",
+         [](const ViewStats& s) { return s.delta_rows; }},
+        {"chronicle_view_compiled_ticks_total",
+         "Ticks served by the compiled plan",
+         [](const ViewStats& s) { return s.compiled_ticks; }},
+        {"chronicle_view_interpreted_ticks_total",
+         "Ticks served by the interpreter",
+         [](const ViewStats& s) { return s.interpreted_ticks; }},
+        {"chronicle_view_relation_lookups_total",
+         "Relation index probes during maintenance",
+         [](const ViewStats& s) { return s.relation_lookups; }},
+        {"chronicle_view_plan_slots", "Slots in the compiled delta plan",
+         [](const ViewStats& s) { return uint64_t{s.plan_slots}; }},
+        {"chronicle_view_arena_hwm_bytes", "Scratch arena high-water mark",
+         [](const ViewStats& s) { return s.arena_hwm_bytes; }},
+    };
+    for (const Field& f : kFields) {
+      Appendf(&out, "# HELP %s %s\n# TYPE %s counter\n", f.metric, f.help,
+              f.metric);
+      for (const ViewStatsSnapshot& v : snapshot.views) {
+        Appendf(&out, "%s{view=\"%s\"} %" PRIu64 "\n", f.metric,
+                Escape(v.name).c_str(), f.get(v.stats));
+      }
+    }
+  }
+
+  if (snapshot.wal.attached) {
+    const WalStatsSnapshot& w = snapshot.wal;
+    PromCounter(&out, "chronicle_wal_records_total", "WAL records logged",
+                w.records_logged);
+    PromCounter(&out, "chronicle_wal_bytes_total", "WAL bytes logged",
+                w.bytes_logged);
+    PromCounter(&out, "chronicle_wal_syncs_total", "WAL fsync calls", w.syncs);
+    PromCounter(&out, "chronicle_wal_group_commits_total",
+                "Group-commit batches written", w.group_commits);
+    PromCounter(&out, "chronicle_wal_group_commit_ticks_total",
+                "Ticks covered by group commits", w.group_commit_ticks);
+    Appendf(&out,
+            "# HELP chronicle_wal_fsync_latency_ns WAL fsync latency\n"
+            "# TYPE chronicle_wal_fsync_latency_ns histogram\n");
+    PromHistogram(&out, "chronicle_wal_fsync_latency_ns", "", w.fsync_latency);
+  }
+  return out;
+}
+
+std::string RenderJson(const StatsSnapshot& snapshot) {
+  std::string out;
+  out += "{";
+  Appendf(&out, "\"appends_processed\":%" PRIu64 ",", snapshot.appends_processed);
+  Appendf(&out, "\"live_views\":%" PRIu64 ",", snapshot.live_views);
+  Appendf(&out, "\"delta_cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64 "},",
+          snapshot.delta_cache_hits, snapshot.delta_cache_misses);
+  Appendf(&out, "\"trace\":{\"emitted\":%" PRIu64 ",\"capacity\":%" PRIu64 "},",
+          snapshot.trace_emitted, snapshot.trace_capacity);
+
+  out += "\"metrics\":{";
+  for (size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricSample& m = snapshot.metrics[i];
+    if (i > 0) out += ",";
+    Appendf(&out, "\"%s\":", Escape(m.name).c_str());
+    if (m.is_histogram) {
+      JsonHistogram(&out, m.histogram);
+    } else {
+      Appendf(&out, "%" PRIu64, m.value);
+    }
+  }
+  out += "},";
+
+  out += "\"views\":[";
+  for (size_t i = 0; i < snapshot.views.size(); ++i) {
+    const ViewStatsSnapshot& v = snapshot.views[i];
+    const ViewStats& s = v.stats;
+    if (i > 0) out += ",";
+    Appendf(&out,
+            "{\"name\":\"%s\",\"ticks\":%" PRIu64 ",\"updates\":%" PRIu64
+            ",\"delta_rows\":%" PRIu64 ",\"compiled_ticks\":%" PRIu64
+            ",\"interpreted_ticks\":%" PRIu64 ",\"relation_lookups\":%" PRIu64
+            ",\"max_intermediate_rows\":%" PRIu64 ",\"plan_slots\":%u"
+            ",\"arena_hwm_bytes\":%" PRIu64 ",\"max_dedupe_load\":%s",
+            Escape(v.name).c_str(), s.ticks, s.updates, s.delta_rows,
+            s.compiled_ticks, s.interpreted_ticks, s.relation_lookups,
+            s.max_intermediate_rows, s.plan_slots, s.arena_hwm_bytes,
+            Dbl(s.max_dedupe_load).c_str());
+    if (v.profiled) {
+      out += ",\"latency\":";
+      JsonHistogram(&out, v.latency);
+    }
+    out += "}";
+  }
+  out += "],";
+
+  out += "\"wal\":";
+  if (snapshot.wal.attached) {
+    const WalStatsSnapshot& w = snapshot.wal;
+    Appendf(&out,
+            "{\"records_logged\":%" PRIu64 ",\"bytes_logged\":%" PRIu64
+            ",\"syncs\":%" PRIu64 ",\"segments_created\":%" PRIu64
+            ",\"segments_removed\":%" PRIu64 ",\"checkpoints_written\":%" PRIu64
+            ",\"group_commits\":%" PRIu64 ",\"group_commit_ticks\":%" PRIu64
+            ",\"fsync_latency\":",
+            w.records_logged, w.bytes_logged, w.syncs, w.segments_created,
+            w.segments_removed, w.checkpoints_written, w.group_commits,
+            w.group_commit_ticks);
+    JsonHistogram(&out, w.fsync_latency);
+    if (w.recovered) {
+      Appendf(&out,
+              ",\"recovery\":{\"applied\":%" PRIu64 ",\"skipped\":%" PRIu64 "}",
+              w.recovery_records_applied, w.recovery_records_skipped);
+    }
+    out += "}";
+  } else {
+    out += "null";
+  }
+  out += "}";
+  return out;
+}
+
+std::string RenderTraceText(const std::vector<TraceSpan>& spans,
+                            uint64_t total_emitted, uint64_t capacity) {
+  std::string out;
+  Appendf(&out, "trace ring: %" PRIu64 " spans emitted, %zu retained (capacity %" PRIu64 ")\n",
+          total_emitted, spans.size(), capacity);
+  for (const TraceSpan& span : spans) {
+    Appendf(&out,
+            "  #%-6" PRIu64 " %-12s sn=%-6" PRIu64 " worker=%-2u t=%.3fms dur=%.3fus d0=%" PRIu64
+            " d1=%" PRIu64 "\n",
+            span.seq, SpanKindToString(span.kind), span.sn,
+            unsigned{span.worker}, span.start_ns / 1e6, span.duration_ns / 1e3,
+            span.detail0, span.detail1);
+  }
+  return out;
+}
+
+Status ValidateJson(const std::string& text) {
+  return JsonParser(text).Validate();
+}
+
+}  // namespace obs
+}  // namespace chronicle

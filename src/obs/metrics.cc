@@ -1,0 +1,60 @@
+#include "obs/metrics.h"
+
+namespace chronicle {
+namespace obs {
+
+MetricId MetricsRegistry::AddCounter(std::string name, std::string help) {
+  auto metric = std::make_unique<Metric>();
+  metric->name = std::move(name);
+  metric->help = std::move(help);
+  metric->is_histogram = false;
+  metrics_.push_back(std::move(metric));
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+MetricId MetricsRegistry::AddHistogram(std::string name, std::string help) {
+  auto metric = std::make_unique<Metric>();
+  metric->name = std::move(name);
+  metric->help = std::move(help);
+  metric->is_histogram = true;
+  metrics_.push_back(std::move(metric));
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+uint64_t MetricsRegistry::CounterValue(MetricId id) const {
+  const Metric& metric = *metrics_[id];
+  uint64_t total = 0;
+  for (const CounterShard& shard : metric.counters) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+LatencyHistogram MetricsRegistry::MergedHistogram(MetricId id) const {
+  const Metric& metric = *metrics_[id];
+  LatencyHistogram merged;
+  for (const LatencyHistogram& shard : metric.histograms) {
+    merged.Merge(shard);
+  }
+  return merged;
+}
+
+void MetricsRegistry::Snapshot(std::vector<MetricSample>* out) const {
+  out->reserve(out->size() + metrics_.size());
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    const Metric& metric = *metrics_[id];
+    MetricSample sample;
+    sample.name = metric.name;
+    sample.help = metric.help;
+    sample.is_histogram = metric.is_histogram;
+    if (metric.is_histogram) {
+      sample.histogram = MergedHistogram(id);
+    } else {
+      sample.value = CounterValue(id);
+    }
+    out->push_back(std::move(sample));
+  }
+}
+
+}  // namespace obs
+}  // namespace chronicle

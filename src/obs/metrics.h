@@ -1,0 +1,109 @@
+// MetricsRegistry: always-on, low-overhead named counters and log-bucketed
+// latency histograms for the maintenance path.
+//
+// The paper's complexity claim (Theorems 4.2/4.3) bounds per-append cost;
+// this registry is how a live database demonstrates it: tick latencies,
+// delta sizes, and arena pressure become observable without benches. The
+// design constraints, in order:
+//
+//   * ZERO contention on the hot path. Every metric is sharded per worker
+//     (kShards cache-line-padded slots); the parallel fan-out's task t
+//     writes shard t and the serial driver writes shard 0, so increments
+//     never bounce a cache line between threads. Counters are relaxed
+//     atomics (a racy read is still a defined read); histograms are plain
+//     per-shard state with a single writer each.
+//   * MERGED ON READ. CounterValue / MergedHistogram / Snapshot fold the
+//     shards. Reads are only performed by the driver thread between
+//     appends (ThreadPool::Wait establishes the happens-before), matching
+//     the single-writer discipline of the rest of the database.
+//   * REGISTRATION OFF THE HOT PATH. Metrics are registered once at
+//     database construction; the append path indexes a flat array by a
+//     pre-resolved MetricId and never hashes a name.
+//
+// The registry is deliberately unit-agnostic: histograms record any
+// non-negative int64 (nanoseconds, batch sizes, bytes); the metric name
+// carries the unit suffix (`_ns`, `_ticks`, `_bytes`) per Prometheus
+// convention — see docs/OBSERVABILITY.md for the catalog.
+
+#ifndef CHRONICLE_OBS_METRICS_H_
+#define CHRONICLE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace chronicle {
+namespace obs {
+
+// Index into the registry's metric table, resolved at registration time.
+using MetricId = uint32_t;
+
+// One merged metric, as read by the exporters (obs/export.h).
+struct MetricSample {
+  std::string name;
+  std::string help;
+  bool is_histogram = false;
+  uint64_t value = 0;           // counters
+  LatencyHistogram histogram;   // histograms
+};
+
+class MetricsRegistry {
+ public:
+  // Worker shards per metric. Worker indexes beyond this wrap (`& mask`),
+  // which only costs precision-free sharing of a slot, never correctness.
+  static constexpr size_t kShards = 16;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- registration (construction time only, single-threaded) ---
+
+  MetricId AddCounter(std::string name, std::string help);
+  MetricId AddHistogram(std::string name, std::string help);
+
+  // --- hot path (lock-free; `worker` is the fan-out task index) ---
+
+  void Count(MetricId id, uint64_t delta, size_t worker = 0) {
+    metrics_[id]->counters[worker & (kShards - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Observe(MetricId id, int64_t value, size_t worker = 0) {
+    metrics_[id]->histograms[worker & (kShards - 1)].Record(value);
+  }
+
+  // --- merged on read (driver thread, between appends) ---
+
+  uint64_t CounterValue(MetricId id) const;
+  LatencyHistogram MergedHistogram(MetricId id) const;
+  // Appends every metric, in registration order, to `out`.
+  void Snapshot(std::vector<MetricSample>* out) const;
+
+  size_t num_metrics() const { return metrics_.size(); }
+
+ private:
+  // One cache line per counter shard so concurrent workers never share.
+  struct alignas(64) CounterShard {
+    std::atomic<uint64_t> value{0};
+  };
+  struct Metric {
+    std::string name;
+    std::string help;
+    bool is_histogram = false;
+    CounterShard counters[kShards];
+    LatencyHistogram histograms[kShards];
+  };
+
+  // unique_ptr keeps Metric addresses stable across registration and makes
+  // the non-copyable atomics storable in a vector.
+  std::vector<std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace obs
+}  // namespace chronicle
+
+#endif  // CHRONICLE_OBS_METRICS_H_

@@ -1,0 +1,106 @@
+// Observability data model: per-view maintenance statistics, the WAL/
+// ingest statistics mirror, and the whole-database snapshot the exporters
+// (obs/export.h) render.
+//
+// Everything in this header is plain data. The structs are filled by the
+// components that own the live counters — ViewManager (per-view stats),
+// ChronicleDatabase (appends, metrics registry, trace), and the shell or
+// bench that owns a Wal (WAL stats are mirrored field-by-field so obs does
+// not depend on src/wal) — and the exporters only ever see the snapshot.
+
+#ifndef CHRONICLE_OBS_STATS_H_
+#define CHRONICLE_OBS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace chronicle {
+namespace obs {
+
+// Knobs for the observability layer, owned by DatabaseOptions. The layer
+// is designed to stay on in production (bench E13 bounds the overhead at
+// <= 5%); the flags exist for apples-to-apples baselines, not for normal
+// operation.
+struct ObservabilityOptions {
+  // Per-view ViewStats, the metrics registry, and MaintenanceReport batch
+  // timings. Off: the maintenance path takes no clocks and touches no
+  // counters beyond the seed's MaintenanceReport.
+  bool metrics = true;
+  // Span slots in the trace ring (rounded up to a power of two); 0
+  // disables tracing.
+  size_t trace_capacity = 256;
+  // Per-view latency histograms (two extra clock reads per view per
+  // tick). Equivalent to ViewManager::set_profiling(true) at open.
+  bool profile_view_latency = false;
+};
+
+// Per-view maintenance statistics, accumulated inside MaintainOne /
+// DeltaPlan execution. Single-writer: each view is touched by exactly one
+// fan-out task per tick, so these are plain counters (same discipline as
+// the per-view latency histogram).
+struct ViewStats {
+  uint64_t ticks = 0;              // deltas computed for this view
+  uint64_t updates = 0;            // ticks that produced >= 1 delta row
+  uint64_t delta_rows = 0;         // total rows folded into the view
+  uint64_t compiled_ticks = 0;     // ticks served by the compiled DeltaPlan
+  uint64_t interpreted_ticks = 0;  // ticks served by the interpreter
+  uint64_t relation_lookups = 0;   // index probes (the log|R|/O(1) term)
+  uint64_t max_intermediate_rows = 0;  // high-water across all ticks
+  // Compiled-execution pressure gauges (0 for interpreter-only views).
+  uint32_t plan_slots = 0;         // slots in the compiled program (static)
+  uint64_t arena_hwm_bytes = 0;    // per-tick arena high-water mark
+  double max_dedupe_load = 0.0;    // dedupe-set load factor high-water
+};
+
+// One view's row in the snapshot.
+struct ViewStatsSnapshot {
+  std::string name;
+  ViewStats stats;
+  bool profiled = false;       // latency histogram is populated
+  LatencyHistogram latency;    // empty unless profiling was on
+};
+
+// WAL/ingest statistics, mirrored from wal::Wal by whoever owns it (the
+// db does not — durability is an attachment). `attached` false means the
+// whole section is absent from exports.
+struct WalStatsSnapshot {
+  bool attached = false;
+  uint64_t records_logged = 0;
+  uint64_t bytes_logged = 0;
+  uint64_t syncs = 0;
+  uint64_t segments_created = 0;
+  uint64_t segments_removed = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t group_commits = 0;        // LogAppendGroup calls
+  uint64_t group_commit_ticks = 0;   // ticks covered by those calls
+  LatencyHistogram fsync_latency;
+  // Filled after a wal::Recover, from the RecoveryReport.
+  bool recovered = false;
+  uint64_t recovery_records_applied = 0;
+  uint64_t recovery_records_skipped = 0;
+};
+
+// The whole-database snapshot: everything the exporters render and the
+// benches assert against. Built by ChronicleDatabase::CollectStats();
+// the WAL section is merged in by the Wal's owner.
+struct StatsSnapshot {
+  uint64_t appends_processed = 0;
+  uint64_t live_views = 0;
+  uint64_t delta_cache_hits = 0;
+  uint64_t delta_cache_misses = 0;
+  std::vector<MetricSample> metrics;     // registry, registration order
+  std::vector<ViewStatsSnapshot> views;  // live views, registration order
+  WalStatsSnapshot wal;
+  uint64_t trace_emitted = 0;
+  uint64_t trace_capacity = 0;
+};
+
+}  // namespace obs
+}  // namespace chronicle
+
+#endif  // CHRONICLE_OBS_STATS_H_

@@ -1,0 +1,66 @@
+#include "obs/trace.h"
+
+namespace chronicle {
+namespace obs {
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAppendTick:
+      return "append_tick";
+    case SpanKind::kRouting:
+      return "routing";
+    case SpanKind::kWorkerBatch:
+      return "worker_batch";
+    case SpanKind::kMerge:
+      return "merge";
+    case SpanKind::kWalSync:
+      return "wal_sync";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(capacity == 0 ? 0 : RoundUpPow2(capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRing::Emit(SpanKind kind, uint16_t worker, uint64_t sn,
+                     int64_t start_ns, int64_t duration_ns, uint64_t detail0,
+                     uint64_t detail1) {
+  if (slots_.empty()) return;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan& slot = slots_[seq & (slots_.size() - 1)];
+  slot.kind = kind;
+  slot.worker = worker;
+  slot.sn = sn;
+  slot.start_ns = start_ns;
+  slot.duration_ns = duration_ns;
+  slot.detail0 = detail0;
+  slot.detail1 = detail1;
+  slot.seq = seq;
+}
+
+std::vector<TraceSpan> TraceRing::Snapshot() const {
+  std::vector<TraceSpan> out;
+  if (slots_.empty()) return out;
+  const uint64_t emitted = next_.load(std::memory_order_relaxed);
+  const uint64_t retained =
+      emitted < slots_.size() ? emitted : static_cast<uint64_t>(slots_.size());
+  out.reserve(retained);
+  for (uint64_t seq = emitted - retained; seq < emitted; ++seq) {
+    out.push_back(slots_[seq & (slots_.size() - 1)]);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace chronicle

@@ -1,0 +1,100 @@
+// TraceRing: a fixed-size ring of span records for the append tick.
+//
+// Each maintained append leaves a handful of spans — the tick itself, the
+// routing phase, one span per worker batch of the parallel fan-out, and
+// the batch-order merge — so a stall or an imbalance is visible after the
+// fact without a profiler attached. The ring is sized at construction and
+// NEVER allocates on the emission path: a span costs one relaxed
+// fetch_add to claim a slot plus a struct store. Old spans are overwritten
+// (it is a flight recorder, not a log); Snapshot() returns the retained
+// window oldest-first.
+//
+// Concurrency: emission is lock-free and safe from multiple workers —
+// each Emit claims a distinct slot. Snapshot is only called from the
+// driver thread between appends (the same discipline as MetricsRegistry
+// reads); a snapshot taken concurrently with emission could observe a
+// slot mid-overwrite, which the seq stamp makes detectable but which this
+// codebase never does.
+//
+// Timestamps are steady-clock nanoseconds relative to the ring's creation
+// (NowNanos), so spans from one process compare directly and no wall-clock
+// is involved.
+
+#ifndef CHRONICLE_OBS_TRACE_H_
+#define CHRONICLE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chronicle {
+namespace obs {
+
+// What a span measures. detail0/detail1 are kind-specific payloads.
+enum class SpanKind : uint8_t {
+  kAppendTick = 0,   // whole maintenance of one append; d0=views considered, d1=delta rows
+  kRouting = 1,      // candidate selection + guard filtering; d0=candidates, d1=work size
+  kWorkerBatch = 2,  // one fan-out task's batch; d0=views in batch, d1=delta rows
+  kMerge = 3,        // batch-order report merge; d0=batches, d1=0
+  kWalSync = 4,      // one fsync; d0=bytes since last sync, d1=0
+};
+
+// Human-readable name of a SpanKind, e.g. "append_tick".
+const char* SpanKindToString(SpanKind kind);
+
+struct TraceSpan {
+  uint64_t seq = 0;        // monotone emission number (global order)
+  SpanKind kind = SpanKind::kAppendTick;
+  uint16_t worker = 0;     // fan-out task index (0 outside the fan-out)
+  uint64_t sn = 0;         // sequence number of the tick the span belongs to
+  int64_t start_ns = 0;    // offset from ring creation (steady clock)
+  int64_t duration_ns = 0;
+  uint64_t detail0 = 0;
+  uint64_t detail1 = 0;
+};
+
+class TraceRing {
+ public:
+  // `capacity` is rounded up to a power of two; 0 disables the ring
+  // entirely (Emit returns immediately, Snapshot is empty).
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  bool enabled() const { return !slots_.empty(); }
+  size_t capacity() const { return slots_.size(); }
+
+  // Steady-clock nanoseconds since the ring was created; the timebase of
+  // every span's start_ns.
+  int64_t NowNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // Records one span. Lock-free; overwrites the oldest span when full.
+  void Emit(SpanKind kind, uint16_t worker, uint64_t sn, int64_t start_ns,
+            int64_t duration_ns, uint64_t detail0 = 0, uint64_t detail1 = 0);
+
+  // Spans still retained, oldest first. Driver thread only (see header
+  // comment).
+  std::vector<TraceSpan> Snapshot() const;
+
+  // Spans ever emitted; emitted - min(emitted, capacity) were overwritten.
+  uint64_t total_emitted() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<TraceSpan> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace obs
+}  // namespace chronicle
+
+#endif  // CHRONICLE_OBS_TRACE_H_

@@ -119,16 +119,19 @@ bool Relation::HasSecondaryIndex(size_t column) const {
   return secondary_.count(column) != 0;
 }
 
-Status Relation::LookupBySecondary(size_t column, const Value& value,
-                                   std::vector<const Tuple*>* out) const {
+Result<std::vector<const Tuple*>> Relation::LookupBySecondary(
+    size_t column, const Value& value) const {
   if (secondary_.count(column) == 0) {
     return Status::FailedPrecondition("no secondary index on column " +
                                       std::to_string(column));
   }
+  std::vector<const Tuple*> out;
   const std::vector<size_t>* slots = FindBySecondary(column, value);
-  if (slots == nullptr) return Status::OK();
-  for (size_t slot : *slots) out->push_back(&rows_[slot]);
-  return Status::OK();
+  if (slots != nullptr) {
+    out.reserve(slots->size());
+    for (size_t slot : *slots) out.push_back(&rows_[slot]);
+  }
+  return out;
 }
 
 const std::vector<size_t>* Relation::FindBySecondary(size_t column,

@@ -89,9 +89,10 @@ class Relation {
   // True iff a secondary index exists on that column.
   bool HasSecondaryIndex(size_t column) const;
   // Equality lookup through a secondary index; fails if no index on column.
-  // Appends matching rows to `out`.
-  Status LookupBySecondary(size_t column, const Value& value,
-                           std::vector<const Tuple*>* out) const;
+  // Returns the matching rows (possibly empty), borrowed from the relation
+  // and invalidated by the next mutation.
+  Result<std::vector<const Tuple*>> LookupBySecondary(size_t column,
+                                                      const Value& value) const;
 
   // Status-free secondary lookup: the row slots matching `value`, or
   // nullptr when there are no matches (or no index on `column` — callers

@@ -78,7 +78,10 @@ Result<ViewId> ViewManager::AddView(std::unique_ptr<PersistentView> view) {
   // simply stays interpreted, preserving the legacy error surface.
   Result<exec::DeltaPlanPtr> compiled =
       exec::CompileDeltaPlan(entry.view->plan());
-  if (compiled.ok()) entry.compiled = std::move(compiled).value();
+  if (compiled.ok()) {
+    entry.compiled = std::move(compiled).value();
+    entry.stats.plan_slots = static_cast<uint32_t>(entry.compiled->num_slots());
+  }
 
   // Eligible for the eq index iff the view reads exactly one chronicle
   // through exactly one scan, and that scan's guard has an eq conjunct:
@@ -150,6 +153,15 @@ Result<PersistentView*> ViewManager::FindView(const std::string& name) {
   return views_[it->second].view.get();
 }
 
+Result<const PersistentView*> ViewManager::FindView(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return static_cast<const PersistentView*>(views_[it->second].view.get());
+}
+
 Result<bool> ViewManager::GuardsPass(const ViewEntry& entry,
                                      const AppendEvent& event) const {
   // The view must be processed iff some inserted chronicle it depends on
@@ -179,6 +191,19 @@ Result<bool> ViewManager::GuardsPass(const ViewEntry& entry,
 Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
   MaintenanceReport report;
   cache_.Clear();  // node deltas memoized below are valid for this tick only
+
+  // Observability: with metrics detached, this tick takes zero clock reads
+  // beyond the seed's. With tracing on, all timestamps come from the
+  // ring's timebase so spans and histogram samples agree.
+  const bool obs_on = metrics_ != nullptr;
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  auto now_ns = [&]() -> int64_t {
+    if (tracing) return trace_->NowNanos();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  const int64_t tick_start = obs_on || tracing ? now_ns() : 0;
 
   // 1. Candidate selection.
   std::vector<ViewId> candidates;
@@ -238,6 +263,13 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
   }
   report.views_considered = work.size();
 
+  const int64_t routing_end = obs_on || tracing ? now_ns() : 0;
+  if (obs_on) metrics_->Observe(m_routing_ns_, routing_end - tick_start);
+  if (tracing) {
+    trace_->Emit(obs::SpanKind::kRouting, 0, event.sn, tick_start,
+                 routing_end - tick_start, candidates.size(), work.size());
+  }
+
   // 3. Delta maintenance: each view in `work` is independent (Thm 4.2), so
   // the fold can fan out across the pool once the list is long enough to
   // amortize dispatch.
@@ -246,26 +278,61 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
   if (!parallel) {
     // Serial path: one shared cache (interpreter) / one scratch (compiled).
     for (ViewId id : work) {
-      CHRONICLE_RETURN_NOT_OK(MaintainOne(id, event, &cache_, &scratch_,
+      CHRONICLE_RETURN_NOT_OK(MaintainOne(id, event, &cache_, &scratch_, 0,
                                           &report));
+    }
+    if (obs_on) {
+      const int64_t tick_end = now_ns();
+      // The serial path is one batch maintained by worker 0.
+      report.batches.push_back(
+          MaintenanceBatch{0, work.size(), tick_end - routing_end});
+      metrics_->Observe(m_batch_views_,
+                        static_cast<int64_t>(work.size()));
+      metrics_->Observe(m_worker_ns_, tick_end - routing_end);
+      metrics_->Observe(m_tick_ns_, tick_end - tick_start);
+      if (tracing) {
+        trace_->Emit(obs::SpanKind::kAppendTick, 0, event.sn, tick_start,
+                     tick_end - tick_start, work.size(),
+                     report.delta_rows_applied);
+      }
     }
     return report;
   }
+  if (obs_on) metrics_->Count(m_parallel_ticks_, 1);
   CHRONICLE_RETURN_NOT_OK(MaintainParallel(work, event, &report));
+  if (obs_on) {
+    const int64_t tick_end = now_ns();
+    metrics_->Observe(m_tick_ns_, tick_end - tick_start);
+    if (tracing) {
+      trace_->Emit(obs::SpanKind::kAppendTick, 0, event.sn, tick_start,
+                   tick_end - tick_start, work.size(),
+                   report.delta_rows_applied);
+    }
+  }
   return report;
 }
 
 Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
                                 DeltaCache* cache, exec::PlanScratch* scratch,
-                                MaintenanceReport* report) {
+                                size_t worker, MaintenanceReport* report) {
   ViewEntry& entry = views_[id];
   Stopwatch watch;
-  if (options_.use_compiled_plans && entry.compiled != nullptr) {
+  // With metrics attached, the engines fill a DeltaStats (the same hook the
+  // benches use) and the per-view ViewStats absorbs it below. entry.stats
+  // is single-writer: this view belongs to exactly `worker` this tick.
+  const bool obs_on = metrics_ != nullptr;
+  DeltaStats delta_stats;
+  DeltaStats* stats = obs_on ? &delta_stats : nullptr;
+  const bool compiled_path =
+      options_.use_compiled_plans && entry.compiled != nullptr;
+  size_t rows = 0;
+  if (compiled_path) {
     // Compiled fast path: delta lands in the scratch's retained row buffer
     // — no per-view allocation at steady state.
     CHRONICLE_ASSIGN_OR_RETURN(
         const std::vector<ChronicleRow>* delta,
-        entry.compiled->ExecuteToRows(event, scratch, nullptr));
+        entry.compiled->ExecuteToRows(event, scratch, stats));
+    rows = delta->size();
     if (!delta->empty()) {
       CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(*delta));
       ++report->views_updated;
@@ -274,12 +341,36 @@ Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
   } else {
     CHRONICLE_ASSIGN_OR_RETURN(
         std::vector<ChronicleRow> delta,
-        engine_.ComputeDelta(*entry.view->plan(), event, nullptr, cache));
+        engine_.ComputeDelta(*entry.view->plan(), event, stats, cache));
+    rows = delta.size();
     if (!delta.empty()) {
       CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(delta));
       ++report->views_updated;
       report->delta_rows_applied += delta.size();
     }
+  }
+  if (obs_on) {
+    obs::ViewStats& s = entry.stats;
+    ++s.ticks;
+    if (rows > 0) ++s.updates;
+    s.delta_rows += rows;
+    s.relation_lookups += delta_stats.relation_lookups;
+    if (delta_stats.max_intermediate_rows > s.max_intermediate_rows) {
+      s.max_intermediate_rows = delta_stats.max_intermediate_rows;
+    }
+    if (compiled_path) {
+      ++s.compiled_ticks;
+      if (scratch->arena_bytes_allocated() > s.arena_hwm_bytes) {
+        s.arena_hwm_bytes = scratch->arena_bytes_allocated();
+      }
+      const double load = scratch->dedupe_load_factor();
+      if (load > s.max_dedupe_load) s.max_dedupe_load = load;
+    } else {
+      ++s.interpreted_ticks;
+    }
+    metrics_->Count(m_view_ticks_, 1, worker);
+    metrics_->Count(m_view_delta_rows_, rows, worker);
+    report->views.push_back(MaintenanceViewOutcome{id, rows, compiled_path});
   }
   if (profiling_) entry.latency.Record(watch.ElapsedNanos());
   return Status::OK();
@@ -293,12 +384,16 @@ Status ViewManager::MaintainParallel(const std::vector<ViewId>& work,
   const size_t per_task = std::max<size_t>(1, options_.min_views_per_task);
   const size_t num_tasks =
       std::min(pool_->num_threads(), std::max<size_t>(1, work.size() / per_task));
+  const bool obs_on = metrics_ != nullptr;
+  const bool tracing = trace_ != nullptr && trace_->enabled();
   struct TaskState {
     Status status;
     MaintenanceReport partial;
     // Private per-worker memo: DAG sharing still happens within a batch,
     // without cross-thread writes to a shared cache.
     DeltaCache cache;
+    size_t batch_views = 0;  // batch size, fixed at dispatch
+    int64_t nanos = 0;       // batch wall time, measured by the worker
   };
   std::vector<TaskState> tasks(num_tasks);
   // Per-task compiled-execution scratch, created once and retained across
@@ -313,24 +408,53 @@ Status ViewManager::MaintainParallel(const std::vector<ViewId>& work,
   for (size_t t = 0; t < num_tasks; ++t) {
     const size_t end = begin + base + (t < extra ? 1 : 0);
     TaskState* state = &tasks[t];
+    state->batch_views = end - begin;
     exec::PlanScratch* scratch = worker_scratch_[t].get();
-    pool_->Submit([this, &work, &event, state, scratch, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        state->status = MaintainOne(work[i], event, &state->cache, scratch,
-                                    &state->partial);
-        if (!state->status.ok()) return;
-      }
-    });
+    pool_->Submit(
+        [this, &work, &event, state, scratch, t, begin, end, obs_on, tracing] {
+          const int64_t start = tracing ? trace_->NowNanos() : 0;
+          Stopwatch watch;
+          for (size_t i = begin; i < end; ++i) {
+            state->status = MaintainOne(work[i], event, &state->cache, scratch,
+                                        t, &state->partial);
+            if (!state->status.ok()) break;
+          }
+          if (obs_on) state->nanos = watch.ElapsedNanos();
+          if (tracing) {
+            trace_->Emit(obs::SpanKind::kWorkerBatch,
+                         static_cast<uint16_t>(t), event.sn, start,
+                         trace_->NowNanos() - start, end - begin,
+                         state->partial.delta_rows_applied);
+          }
+        });
     begin = end;
   }
   pool_->Wait();
+  const int64_t merge_start = tracing ? trace_->NowNanos() : 0;
   // Merge in batch order so counters (and the error returned, if several
-  // batches failed) never depend on worker scheduling.
-  for (const TaskState& task : tasks) {
+  // batches failed) never depend on worker scheduling. A batch entry is
+  // emitted for EVERY task — including one that maintained zero views —
+  // so batches[t] always describes worker t; dropping empty entries here
+  // would shift every later worker's timing onto the wrong index.
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const TaskState& task = tasks[t];
     CHRONICLE_RETURN_NOT_OK(task.status);
     report->views_updated += task.partial.views_updated;
     report->delta_rows_applied += task.partial.delta_rows_applied;
     cache_.MergeCounters(task.cache);
+    if (obs_on) {
+      report->batches.push_back(
+          MaintenanceBatch{t, task.batch_views, task.nanos});
+      metrics_->Observe(m_batch_views_,
+                        static_cast<int64_t>(task.batch_views), t);
+      metrics_->Observe(m_worker_ns_, task.nanos, t);
+      report->views.insert(report->views.end(), task.partial.views.begin(),
+                           task.partial.views.end());
+    }
+  }
+  if (tracing) {
+    trace_->Emit(obs::SpanKind::kMerge, 0, event.sn, merge_start,
+                 trace_->NowNanos() - merge_start, num_tasks, 0);
   }
   return Status::OK();
 }
@@ -341,6 +465,54 @@ void ViewManager::set_maintenance_options(const MaintenanceOptions& options) {
     pool_.reset();
   } else if (pool_ == nullptr || pool_->num_threads() != options_.num_threads) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+void ViewManager::set_observability(obs::MetricsRegistry* metrics,
+                                    obs::TraceRing* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ == nullptr) return;
+  // Resolve the manager's metric catalog once; the append path only ever
+  // indexes by these ids. Catalog documented in docs/OBSERVABILITY.md.
+  // Named maintenance_* so the Prometheus rendering cannot collide with
+  // the per-view chronicle_view_* label families (one HELP/TYPE block per
+  // metric name).
+  m_view_ticks_ = metrics_->AddCounter("maintenance_view_ticks_total",
+                                       "Per-view delta computations");
+  m_view_delta_rows_ = metrics_->AddCounter(
+      "maintenance_delta_rows_total", "Delta rows folded into views");
+  m_parallel_ticks_ = metrics_->AddCounter(
+      "maintenance_parallel_ticks_total", "Ticks that used the parallel fan-out");
+  m_tick_ns_ = metrics_->AddHistogram("maintenance_tick_ns",
+                                      "Whole-tick maintenance latency");
+  m_routing_ns_ = metrics_->AddHistogram(
+      "maintenance_routing_ns", "Candidate selection and guard filter latency");
+  m_batch_views_ = metrics_->AddHistogram("maintenance_batch_views",
+                                          "Views maintained per fan-out batch");
+  m_worker_ns_ = metrics_->AddHistogram("maintenance_worker_ns",
+                                        "Per-batch delta work latency");
+}
+
+Result<const obs::ViewStats*> ViewManager::GetViewStats(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &views_[it->second].stats;
+}
+
+void ViewManager::SnapshotViewStats(
+    std::vector<obs::ViewStatsSnapshot>* out) const {
+  for (const ViewEntry& entry : views_) {
+    if (entry.view == nullptr) continue;
+    obs::ViewStatsSnapshot snap;
+    snap.name = entry.view->name();
+    snap.stats = entry.stats;
+    snap.profiled = profiling_ && entry.latency.count() > 0;
+    if (snap.profiled) snap.latency = entry.latency;
+    out->push_back(std::move(snap));
   }
 }
 

@@ -33,6 +33,9 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/delta_plan.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "views/persistent_view.h"
 
 namespace chronicle {
@@ -71,12 +74,37 @@ struct MaintenanceOptions {
   bool use_compiled_plans = true;
 };
 
+// One view's contribution to a tick. Only populated when observability is
+// attached (set_observability); the exporter round-trip test reconstructs
+// every per-view counter from these.
+struct MaintenanceViewOutcome {
+  ViewId view = 0;
+  size_t delta_rows = 0;   // rows folded into the view this tick
+  bool compiled = false;   // served by the compiled DeltaPlan
+};
+
+// Timing of one fan-out batch. One entry is emitted PER TASK, in batch
+// order, even when the batch received zero views — an absent entry would
+// let the batch-order merge silently misalign worker timings against
+// worker indexes downstream (the bug this struct's discipline fixes).
+// The serial path emits a single batch with worker == 0.
+struct MaintenanceBatch {
+  size_t worker = 0;   // fan-out task index
+  size_t views = 0;    // views maintained by this batch
+  int64_t nanos = 0;   // wall time of the batch's delta work
+};
+
 // Outcome of maintaining all views for one append.
 struct MaintenanceReport {
   size_t views_considered = 0;     // views whose delta was computed
   size_t views_updated = 0;        // views that received >= 1 delta row
   size_t views_skipped = 0;        // views filtered out before delta work
   size_t delta_rows_applied = 0;   // total rows folded into views
+  // Per-view outcomes in deterministic work-list (batch-concatenation)
+  // order, and per-batch timings. Both empty unless observability is
+  // attached — the seed fields above are always maintained.
+  std::vector<MaintenanceViewOutcome> views;
+  std::vector<MaintenanceBatch> batches;
 };
 
 class ViewManager {
@@ -102,6 +130,7 @@ class ViewManager {
   Result<PersistentView*> GetView(ViewId id);
   Result<const PersistentView*> GetView(ViewId id) const;
   Result<PersistentView*> FindView(const std::string& name);
+  Result<const PersistentView*> FindView(const std::string& name) const;
 
   // Maintains every affected view for one append event. This is the
   // operation whose complexity the whole paper is about. With
@@ -133,6 +162,21 @@ class ViewManager {
   // and appends flow).
   Result<const LatencyHistogram*> GetViewLatency(const std::string& name) const;
 
+  // Attaches the observability sinks (owned by the database facade; both
+  // may be null to detach). Registers this manager's metric catalog into
+  // `metrics` — call once, after construction and before appends flow.
+  // With metrics attached, ProcessAppend additionally samples per-view
+  // ViewStats, fills MaintenanceReport::views / ::batches, and emits
+  // routing / worker / merge spans into `trace`.
+  void set_observability(obs::MetricsRegistry* metrics, obs::TraceRing* trace);
+  bool observability_enabled() const { return metrics_ != nullptr; }
+
+  // Accumulated statistics of one view (zeroed until observability is
+  // attached and appends flow).
+  Result<const obs::ViewStats*> GetViewStats(const std::string& name) const;
+  // Appends one ViewStatsSnapshot per live view, in registration order.
+  void SnapshotViewStats(std::vector<obs::ViewStatsSnapshot>* out) const;
+
  private:
   // One equality conjunct `column = literal` of a guard.
   struct EqConstraint {
@@ -158,6 +202,10 @@ class ViewManager {
     std::set<ChronicleId> chronicles;   // base chronicles the view reads
     bool eq_indexed = false;            // participates in the eq index
     LatencyHistogram latency;           // populated when profiling is on
+    // Accumulated maintenance statistics (observability). Single-writer:
+    // contiguous batch partitioning gives each view to exactly one worker
+    // per tick, and ThreadPool::Wait orders ticks.
+    obs::ViewStats stats;
   };
 
   // Extracts scan guards from a plan.
@@ -176,14 +224,28 @@ class ViewManager {
   // other views (serial path: all views; parallel path: one per worker) —
   // interpreter mode only. `scratch` is the reused-across-ticks compiled
   // execution state (serial path: the manager's; parallel path: one per
-  // worker) — compiled mode only.
+  // worker) — compiled mode only. `worker` is the fan-out task index (0 on
+  // the serial path), used to pick the metric shard.
   Status MaintainOne(ViewId id, const AppendEvent& event, DeltaCache* cache,
-                     exec::PlanScratch* scratch, MaintenanceReport* report);
+                     exec::PlanScratch* scratch, size_t worker,
+                     MaintenanceReport* report);
 
   // Runs MaintainOne over `work` on the pool, one contiguous batch per
   // worker, and merges the per-batch reports into `report`.
   Status MaintainParallel(const std::vector<ViewId>& work,
                           const AppendEvent& event, MaintenanceReport* report);
+
+  // Observability sinks (null = detached, zero overhead) plus the metric
+  // ids resolved at attach time — the append path never hashes a name.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  obs::MetricId m_view_ticks_ = 0;      // counter: deltas computed
+  obs::MetricId m_view_delta_rows_ = 0; // counter: rows folded into views
+  obs::MetricId m_parallel_ticks_ = 0;  // counter: ticks that fanned out
+  obs::MetricId m_tick_ns_ = 0;         // histogram: whole-tick latency
+  obs::MetricId m_routing_ns_ = 0;      // histogram: candidate+guard phase
+  obs::MetricId m_batch_views_ = 0;     // histogram: views per worker batch
+  obs::MetricId m_worker_ns_ = 0;       // histogram: per-batch latency
 
   RoutingMode mode_;
   bool profiling_ = false;

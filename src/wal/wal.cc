@@ -6,6 +6,7 @@
 
 #include "checkpoint/checkpoint.h"
 #include "common/crc32.h"
+#include "common/stopwatch.h"
 
 namespace chronicle {
 namespace wal {
@@ -347,6 +348,8 @@ Result<uint64_t> Wal::LogAppend(SeqNum sn, Chronon chronon,
 Result<uint64_t> Wal::LogAppendGroup(const std::vector<AppendTickRef>& ticks) {
   if (closed_) return Status::FailedPrecondition("wal is closed");
   if (ticks.empty()) return Status::InvalidArgument("empty append group");
+  ++stats_.group_commits;
+  stats_.group_commit_ticks += ticks.size();
   uint64_t last_lsn = 0;
   for (const AppendTickRef& tick : ticks) {
     CHRONICLE_ASSIGN_OR_RETURN(
@@ -403,7 +406,9 @@ Status Wal::ApplyFsyncPolicy() {
 
 Status Wal::Sync() {
   if (file_ == nullptr) return Status::OK();
+  Stopwatch watch;
   CHRONICLE_RETURN_NOT_OK(file_->Sync());
+  stats_.fsync_latency.Record(watch.ElapsedNanos());
   last_synced_lsn_ = next_lsn_ - 1;
   bytes_since_sync_ = 0;
   ++stats_.syncs;

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/status.h"
 #include "db/database.h"
 #include "wal/wal_file.h"
@@ -74,6 +75,11 @@ struct WalStats {
   uint64_t segments_created = 0;
   uint64_t segments_removed = 0;
   uint64_t checkpoints_written = 0;
+  uint64_t group_commits = 0;       // LogAppendGroup calls
+  uint64_t group_commit_ticks = 0;  // ticks covered by those calls
+  // Wall time of each fsync (the obs layer mirrors this into its WAL
+  // snapshot; see obs::WalStatsSnapshot).
+  LatencyHistogram fsync_latency;
 };
 
 // The log manager: owns the active segment, assigns LSNs, and runs the

@@ -137,12 +137,12 @@ TEST(RelationTest, SecondaryIndexLookup) {
   ASSERT_TRUE(rel.CreateSecondaryIndex("state").ok());
   EXPECT_TRUE(rel.HasSecondaryIndex(2));
 
-  std::vector<const Tuple*> rows;
-  ASSERT_TRUE(rel.LookupBySecondary(2, Value("NJ"), &rows).ok());
-  EXPECT_EQ(rows.size(), 2u);
-  rows.clear();
-  ASSERT_TRUE(rel.LookupBySecondary(2, Value("TX"), &rows).ok());
-  EXPECT_TRUE(rows.empty());
+  Result<std::vector<const Tuple*>> rows = rel.LookupBySecondary(2, Value("NJ"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  rows = rel.LookupBySecondary(2, Value("TX"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
 }
 
 TEST(RelationTest, SecondaryIndexTracksMutations) {
@@ -152,25 +152,25 @@ TEST(RelationTest, SecondaryIndexTracksMutations) {
   ASSERT_TRUE(rel.Insert(Cust(2, "bob", "NJ")).ok());
   ASSERT_TRUE(rel.DeleteByKey(Value(1)).ok());
 
-  std::vector<const Tuple*> rows;
-  ASSERT_TRUE(rel.LookupBySecondary(2, Value("NJ"), &rows).ok());
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ((*rows[0])[0], Value(2));
+  Result<std::vector<const Tuple*>> rows = rel.LookupBySecondary(2, Value("NJ"));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*(*rows)[0])[0], Value(2));
 
   // Update moves bob to NY.
   ASSERT_TRUE(rel.UpdateByKey(Value(2), Cust(2, "bob", "NY")).ok());
-  rows.clear();
-  ASSERT_TRUE(rel.LookupBySecondary(2, Value("NJ"), &rows).ok());
-  EXPECT_TRUE(rows.empty());
-  rows.clear();
-  ASSERT_TRUE(rel.LookupBySecondary(2, Value("NY"), &rows).ok());
-  EXPECT_EQ(rows.size(), 1u);
+  rows = rel.LookupBySecondary(2, Value("NJ"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  rows = rel.LookupBySecondary(2, Value("NY"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
 }
 
 TEST(RelationTest, LookupWithoutSecondaryIndexFails) {
   Relation rel = Relation::Make("cust", CustSchema(), "acct").value();
-  std::vector<const Tuple*> rows;
-  EXPECT_TRUE(rel.LookupBySecondary(2, Value("NJ"), &rows).IsFailedPrecondition());
+  EXPECT_TRUE(
+      rel.LookupBySecondary(2, Value("NJ")).status().IsFailedPrecondition());
 }
 
 TEST(RelationTest, ScanAllVisitsEveryRow) {

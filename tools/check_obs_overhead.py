@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gates the observability subsystem's overhead acceptance bound.
+
+Reads a google-benchmark JSON report containing the DbUnionFan pair from
+bench_e13_compiled_plans (obs:0 = instrumentation disabled, obs:1 = metrics
++ tracing on) and fails if the instrumented run is more than
+CHRONICLE_OBS_OVERHEAD_MAX (default 1.05, i.e. +5%) slower than the
+baseline.  Also round-trips the machine-readable stats dump the obs:1 run
+writes in smoke mode (STATS_E13.json) through json.load, proving the
+hand-rolled exporter in src/obs/export.cc emits standards-valid JSON.
+
+Usage:
+    check_obs_overhead.py [bench_report.json] [stats_dump.json]
+
+Defaults: BENCH_E13.json STATS_E13.json (the names the smoke run writes
+into the working directory).
+"""
+
+import json
+import os
+import sys
+
+
+def load_times(report_path):
+    """Returns {obs_arg: seconds_per_iteration} for the DbUnionFan pair.
+
+    Prefers median aggregates (present when the bench ran with
+    --benchmark_repetitions) over raw iteration entries.
+    """
+    with open(report_path) as f:
+        report = json.load(f)
+    picked = {}  # obs arg -> (priority, time_ns)
+    for entry in report.get("benchmarks", []):
+        name = entry.get("run_name") or entry.get("name", "")
+        if not name.startswith("DbUnionFan/"):
+            continue
+        try:
+            obs = int(name.split("obs:", 1)[1].split("/")[0])
+        except (IndexError, ValueError):
+            continue
+        run_type = entry.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if entry.get("aggregate_name") != "median":
+                continue
+            priority = 2
+        else:
+            priority = 1
+        time_ns = entry.get("real_time")
+        if time_ns is None:
+            continue
+        if obs not in picked or priority > picked[obs][0]:
+            picked[obs] = (priority, float(time_ns))
+    return {obs: t for obs, (_, t) in picked.items()}
+
+
+def main(argv):
+    report_path = argv[1] if len(argv) > 1 else "BENCH_E13.json"
+    stats_path = argv[2] if len(argv) > 2 else "STATS_E13.json"
+    max_ratio = float(os.environ.get("CHRONICLE_OBS_OVERHEAD_MAX", "1.05"))
+
+    times = load_times(report_path)
+    if 0 not in times or 1 not in times:
+        print(f"FAIL: {report_path} is missing the DbUnionFan obs:0/obs:1 "
+              f"pair (found args {sorted(times)})")
+        return 1
+    ratio = times[1] / times[0]
+    print(f"DbUnionFan obs off: {times[0]:.1f} ns/append")
+    print(f"DbUnionFan obs on:  {times[1]:.1f} ns/append")
+    print(f"overhead ratio:     {ratio:.4f} (bound {max_ratio})")
+    if ratio > max_ratio:
+        print(f"FAIL: instrumentation overhead {100 * (ratio - 1):.1f}% "
+              f"exceeds the {100 * (max_ratio - 1):.1f}% bound")
+        return 1
+
+    # The exporter's own ValidateJson already ran inside the bench; this is
+    # the independent check with a real JSON parser.
+    with open(stats_path) as f:
+        stats = json.load(f)
+    for key in ("metrics", "views", "appends_processed"):
+        if key not in stats:
+            print(f"FAIL: {stats_path} lacks required key '{key}'")
+            return 1
+    views = {v["name"] for v in stats["views"]}
+    if "fan" not in views:
+        print(f"FAIL: {stats_path} has no per-view stats for 'fan' "
+              f"(views: {sorted(views)})")
+        return 1
+    print(f"{stats_path}: valid JSON, {len(stats['metrics'])} metrics, "
+          f"{len(stats['views'])} view(s)")
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,6 +12,10 @@
 //   \checkpoint       checkpoint the database into the WAL directory
 //   \recover <dir>    rebuild state from <dir> (apply the DDL first!),
 //                     then resume logging there
+//   \stats            observability snapshot, human-readable
+//   \stats prom       ... in Prometheus text exposition format
+//   \stats json       ... as a machine-readable JSON dump
+//   \trace            recent maintenance spans from the trace ring
 //   \quit             exit
 // Errors are printed and the session continues (scripts abort on error).
 
@@ -27,6 +31,8 @@
 
 #include "cql/binder.h"
 #include "db/database.h"
+#include "obs/export.h"
+#include "obs/stats.h"
 #include "wal/recovery.h"
 #include "wal/wal.h"
 
@@ -41,6 +47,33 @@ struct Session {
   ChronicleDatabase db;
   std::unique_ptr<chronicle::wal::Wal> wal;
   std::unique_ptr<chronicle::wal::WalMutationLog> log;
+  // Last \recover outcome, surfaced in the stats snapshot's WAL section.
+  bool recovered = false;
+  uint64_t recovery_records_applied = 0;
+  uint64_t recovery_records_skipped = 0;
+
+  // Full observability snapshot: the database's own stats plus the WAL
+  // section, which only this session (the Wal's owner) can fill in.
+  chronicle::obs::StatsSnapshot CollectStats() const {
+    chronicle::obs::StatsSnapshot snap = db.CollectStats();
+    if (wal != nullptr) {
+      const chronicle::wal::WalStats& w = wal->stats();
+      snap.wal.attached = true;
+      snap.wal.records_logged = w.records_logged;
+      snap.wal.bytes_logged = w.bytes_logged;
+      snap.wal.syncs = w.syncs;
+      snap.wal.segments_created = w.segments_created;
+      snap.wal.segments_removed = w.segments_removed;
+      snap.wal.checkpoints_written = w.checkpoints_written;
+      snap.wal.group_commits = w.group_commits;
+      snap.wal.group_commit_ticks = w.group_commit_ticks;
+      snap.wal.fsync_latency = w.fsync_latency;
+    }
+    snap.wal.recovered = recovered;
+    snap.wal.recovery_records_applied = recovery_records_applied;
+    snap.wal.recovery_records_skipped = recovery_records_skipped;
+    return snap;
+  }
 
   // Opens a WAL in `dir` and routes every future mutation through it.
   bool AttachWal(const std::string& dir) {
@@ -147,6 +180,24 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
       std::printf("maintenance threads: %lu%s\n", n,
                   n == 1 ? " (serial)" : "");
     }
+  } else if (line == "\\stats" || line == "\\stats text") {
+    std::printf("%s", chronicle::obs::RenderText(session->CollectStats()).c_str());
+  } else if (line == "\\stats prom") {
+    std::printf("%s",
+                chronicle::obs::RenderPrometheus(session->CollectStats()).c_str());
+  } else if (line == "\\stats json") {
+    std::printf("%s\n",
+                chronicle::obs::RenderJson(session->CollectStats()).c_str());
+  } else if (line == "\\trace") {
+    const chronicle::obs::TraceRing* ring = db->trace();
+    if (ring == nullptr || !ring->enabled()) {
+      std::printf("tracing disabled\n");
+    } else {
+      std::printf("%s", chronicle::obs::RenderTraceText(
+                            ring->Snapshot(), ring->total_emitted(),
+                            ring->capacity())
+                            .c_str());
+    }
   } else if (line == "\\checkpoint") {
     if (session->wal == nullptr) {
       std::printf("no wal attached (use \\wal <dir> first)\n");
@@ -177,12 +228,16 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
                                       : "log replay from genesis",
           static_cast<unsigned long long>(report->replay.records_applied),
           report->replay.tail_truncated ? "; torn tail discarded" : "");
+      session->recovered = true;
+      session->recovery_records_applied = report->replay.records_applied;
+      session->recovery_records_skipped = report->replay.records_skipped;
       session->AttachWal(dir);
     }
   } else {
     std::printf(
         "unknown meta-command %s (try \\profile on|off, \\threads <n>, "
-        "\\wal <dir>|off, \\checkpoint, \\recover <dir>, \\quit)\n",
+        "\\wal <dir>|off, \\checkpoint, \\recover <dir>, \\stats [prom|json], "
+        "\\trace, \\quit)\n",
         line.c_str());
   }
   return true;
