@@ -15,11 +15,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -74,11 +76,9 @@ inline int64_t Scaled(int64_t full, int64_t smoke) {
   return SmokeMode() ? smoke : full;
 }
 
-// "BENCH_E<k>.json" derived from the binary name ("bench_e<k>_..."), or ""
-// when the name does not follow the experiment convention. Smoke runs dump
-// google-benchmark's JSON report (name, run params, ns/op, counters) there
-// so CI can archive every experiment's numbers as build artifacts.
-inline std::string SmokeReportFile(const char* argv0) {
+// "E<k>" derived from the binary name ("bench_e<k>_..."), or "" when the
+// name does not follow the experiment convention.
+inline std::string BenchTag(const char* argv0) {
   std::string base = argv0;
   const size_t slash = base.find_last_of('/');
   if (slash != std::string::npos) base = base.substr(slash + 1);
@@ -89,34 +89,161 @@ inline std::string SmokeReportFile(const char* argv0) {
     digits.push_back(base[i]);
   }
   if (digits.empty()) return "";
-  return "BENCH_E" + digits + ".json";
+  return "E" + digits;
 }
 
+// Directory smoke artifacts land in: CHRONICLE_BENCH_OUT_DIR when set,
+// else the repo root baked in at compile time (CHRONICLE_BENCH_ROOT), else
+// the CWD. Anchoring to the repo root means `build/bench/bench_e13_...
+// --smoke` writes the same BENCH_E13.json no matter where it is launched
+// from — CI and humans stop disagreeing about where the reports went.
+inline std::string SmokeReportDir() {
+  if (const char* dir = std::getenv("CHRONICLE_BENCH_OUT_DIR")) return dir;
+#ifdef CHRONICLE_BENCH_ROOT
+  return CHRONICLE_BENCH_ROOT;
+#else
+  return ".";
+#endif
+}
+
+// Full path of this bench's smoke report ("<dir>/BENCH_E<k>.json"), or ""
+// when the binary name carries no experiment tag.
+inline std::string SmokeReportFile(const char* argv0) {
+  const std::string tag = BenchTag(argv0);
+  if (tag.empty()) return "";
+  return SmokeReportDir() + "/BENCH_" + tag + ".json";
+}
+
+// Full path for an extra smoke artifact (e.g. STATS_E13.json), anchored
+// like the report itself.
+inline std::string SmokeArtifactFile(const std::string& name) {
+  return SmokeReportDir() + "/" + name;
+}
+
+// File reporter producing the standardized cross-bench schema
+//   {"bench":"E<k>","metrics":{"<run name>":{"real_time_ns":...,
+//    "cpu_time_ns":...,"iterations":N,"counters":{...}}}}
+// instead of google-benchmark's native report, whose layout drifts across
+// library versions and buries the numbers three levels deep. CI validates
+// exactly this shape for every experiment.
+class SmokeReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit SmokeReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::string entry = "{";
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "\"real_time_ns\":%s,\"cpu_time_ns\":%s,"
+                    "\"iterations\":%lld",
+                    Num(ToNs(run.GetAdjustedRealTime(), run.time_unit)).c_str(),
+                    Num(ToNs(run.GetAdjustedCPUTime(), run.time_unit)).c_str(),
+                    static_cast<long long>(run.iterations));
+      entry += buf;
+      entry += ",\"counters\":{";
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        if (!first) entry += ",";
+        first = false;
+        std::snprintf(buf, sizeof(buf), "\"%s\":%s", Escape(name).c_str(),
+                      Num(static_cast<double>(counter)).c_str());
+        entry += buf;
+      }
+      entry += "}}";
+      // Keyed by the full run name ("UnionFan/u:64/compiled:1", aggregates
+      // get a _mean/_median suffix). Repetition runs share a name; last one
+      // wins, which keeps the JSON free of duplicate keys — consumers that
+      // want stability read the _median entry.
+      entries_[run.benchmark_name()] = std::move(entry);
+    }
+  }
+
+  void Finalize() override {
+    std::string body;
+    for (const auto& [name, entry] : entries_) {
+      if (!body.empty()) body += ",";
+      body += "\"" + Escape(name) + "\":" + entry;
+    }
+    GetOutputStream() << "{\"bench\":\"" << Escape(bench_)
+                      << "\",\"metrics\":{" << body << "}}\n";
+  }
+
+ private:
+  // JSON number rendering; NaN/Inf (the cv aggregate divides by zero on
+  // constant counters) become null — JSON has no non-finite literals.
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static double ToNs(double v, benchmark::TimeUnit unit) {
+    switch (unit) {
+      case benchmark::kNanosecond:
+        return v;
+      case benchmark::kMicrosecond:
+        return v * 1e3;
+      case benchmark::kMillisecond:
+        return v * 1e6;
+      default:
+        return v * 1e9;  // kSecond
+    }
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::map<std::string, std::string> entries_;
+};
+
 // Entry point shared by all benches: strips `--smoke` (google-benchmark
-// rejects unknown flags), clamps min_time in smoke mode, then runs.
+// rejects unknown flags), clamps min_time in smoke mode, then runs. Smoke
+// runs write the standardized report to SmokeReportFile(argv[0]).
 inline int RunMain(int argc, char** argv) {
   std::vector<char*> args;
-  args.reserve(static_cast<size_t>(argc) + 4);
+  args.reserve(static_cast<size_t>(argc) + 2);
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) continue;
     args.push_back(argv[i]);
   }
   static char min_time[] = "--benchmark_min_time=0.01";
-  static char out_format[] = "--benchmark_out_format=json";
   std::string out_flag;  // must outlive Initialize
+  std::string report;
   if (SmokeMode()) {
     args.insert(args.begin() + 1, min_time);
-    const std::string report = SmokeReportFile(argv[0]);
-    if (!report.empty()) {
-      out_flag = "--benchmark_out=" + report;
-      args.insert(args.begin() + 2, out_flag.data());
-      args.insert(args.begin() + 3, out_format);
-    }
+    report = SmokeReportFile(argv[0]);
+  }
+  // Full-length runs can still request the standardized report (CI's
+  // overhead gate re-runs E13 with real iteration counts this way).
+  if (const char* path = std::getenv("CHRONICLE_BENCH_REPORT")) {
+    report = path;
+  }
+  if (!report.empty()) {
+    // The library opens the file and hands the reporter its stream.
+    out_flag = "--benchmark_out=" + report;
+    args.insert(args.begin() + 1, out_flag.data());
   }
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!report.empty()) {
+    SmokeReporter file_reporter(BenchTag(argv[0]));
+    benchmark::RunSpecifiedBenchmarks(nullptr, &file_reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   return 0;
 }

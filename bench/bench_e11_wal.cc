@@ -69,7 +69,7 @@ void RunAppends(benchmark::State& state, bool logged,
       options.fsync = policy;
       w = Unwrap(wal::Wal::Open(dir, options));
       log = std::make_unique<wal::WalMutationLog>(w.get(), &db);
-      db.set_durability({log.get()});
+      db.AttachMutationLog(log.get());
     }
     CallRecordOptions gen_options;
     gen_options.num_accounts = 4096;
@@ -130,7 +130,7 @@ void RecoveryCost(benchmark::State& state) {
     ChronicleDatabase db;
     ApplyDdl(&db);
     wal::WalMutationLog log(w.get(), &db);
-    db.set_durability({&log});
+    db.AttachMutationLog(&log);
     CallRecordOptions gen_options;
     gen_options.num_accounts = 4096;
     CallRecordGenerator gen(gen_options);

@@ -74,7 +74,7 @@ void ParallelMaintenance(benchmark::State& state) {
   Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
             .status());
   RegisterViews(&db, num_views);
-  db.set_maintenance_options({num_threads, /*min_views_per_task=*/4});
+  db.ReconfigureMaintenance({num_threads, /*min_views_per_task=*/4});
 
   Rng rng(7);
   Chronon chronon = 0;
@@ -107,7 +107,7 @@ void AppendManyBatching(benchmark::State& state) {
   Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
             .status());
   RegisterViews(&db, num_views);
-  db.set_maintenance_options({num_threads, /*min_views_per_task=*/4});
+  db.ReconfigureMaintenance({num_threads, /*min_views_per_task=*/4});
 
   Rng rng(7);
   for (auto _ : state) {

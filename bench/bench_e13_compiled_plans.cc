@@ -178,18 +178,21 @@ BENCHMARK(GroupedSummary)
 
 // --- DbUnionFan(obs): the acceptance shape driven through the full
 // ChronicleDatabase append path (routing, compiled execution, view fold),
-// once with observability disabled and once with metrics + tracing on.
-// The obs/ subsystem's acceptance bound is that the instrumented curve
-// stays within 5% of the uninstrumented one; tools/check_obs_overhead.py
-// asserts that ratio from this bench's smoke JSON report. The obs=1 run
-// also validates the JSON exporter against its own grammar checker and, in
-// smoke mode, dumps the snapshot to STATS_E13.json for CI to parse.
+// at three instrumentation levels: obs=0 none, obs=1 metrics + tracing,
+// obs=2 metrics + tracing + the per-slot plan profiler (sampled ticks pay
+// two clock reads per instruction). The obs/ subsystem's acceptance bound
+// is that each instrumented curve stays within 5% of the one below it;
+// tools/check_obs_overhead.py asserts both ratios from this bench's smoke
+// JSON report. The obs>=1 runs also validate the JSON exporter against its
+// own grammar checker and, in smoke mode, dump the snapshot to
+// STATS_E13.json for CI to parse.
 void DbUnionFan(benchmark::State& state) {
   const int64_t u = 64;
-  const bool obs = state.range(0) != 0;
+  const int64_t obs = state.range(0);
   ChronicleDatabase db(DatabaseOptions()
-                           .set_metrics(obs)
-                           .set_trace_capacity(obs ? 256 : 0));
+                           .set_metrics(obs != 0)
+                           .set_trace_capacity(obs != 0 ? 256 : 0)
+                           .set_profile_plan_slots(obs >= 2));
   Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
             .status());
   CaExprPtr scan = Unwrap(db.ScanChronicle("calls"));
@@ -218,18 +221,28 @@ void DbUnionFan(benchmark::State& state) {
   }
   state.counters["appends_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
-  state.counters["obs"] = obs ? 1.0 : 0.0;
+  state.counters["obs"] = static_cast<double>(obs);
 
-  if (obs) {
+  if (obs != 0) {
     const std::string json = obs::RenderJson(db.CollectStats());
     Check(obs::ValidateJson(json));
+    if (obs >= 2) {
+      // The profiler must actually have sampled: a silent no-op would make
+      // the overhead gate vacuous.
+      const std::string explain = Unwrap(db.ExplainViewJson("fan"));
+      Check(obs::ValidateJson(explain));
+      if (explain.find("\"sampled_ticks\":0") != std::string::npos) {
+        std::fprintf(stderr, "E13: profiler enabled but no sampled ticks\n");
+        std::abort();
+      }
+    }
     if (SmokeMode()) {
-      std::ofstream out("STATS_E13.json");
+      std::ofstream out(SmokeArtifactFile("STATS_E13.json"));
       out << json << "\n";
     }
   }
 }
-BENCHMARK(DbUnionFan)->ArgNames({"obs"})->Args({0})->Args({1});
+BENCHMARK(DbUnionFan)->ArgNames({"obs"})->Args({0})->Args({1})->Args({2});
 
 }  // namespace
 }  // namespace bench

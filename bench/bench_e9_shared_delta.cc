@@ -53,7 +53,7 @@ void RunSharing(benchmark::State& state, bool shared) {
   // (E13) share subexpressions within a plan instead of through the cache.
   MaintenanceOptions interpreted;
   interpreted.use_compiled_plans = false;
-  db.set_maintenance_options(interpreted);
+  db.ReconfigureMaintenance(interpreted);
   Check(db.CreateChronicle("calls", CallSchema(), RetentionPolicy::None())
             .status());
 

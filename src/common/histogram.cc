@@ -74,8 +74,9 @@ int64_t LatencyHistogram::PercentileNanos(double q) const {
   for (int bucket = 0; bucket < kBuckets; ++bucket) {
     seen += buckets_[static_cast<size_t>(bucket)];
     if (static_cast<double>(seen) >= target) {
-      // Upper bound of this bucket: 2^(bucket-1) .. for bucket 0 it is 1.
-      return bucket == 0 ? 1 : (int64_t{1} << bucket);
+      // The same bound the exporters publish as the `le` label; for the
+      // unbounded top bucket that is INT64_MAX, not a fake power of two.
+      return BucketUpperBound(bucket);
     }
   }
   return max_;

@@ -1,8 +1,13 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "baseline/naive_engine.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/history.h"
+#include "obs/http_server.h"
 
 namespace chronicle {
 
@@ -21,7 +26,20 @@ ChronicleDatabase::ChronicleDatabase(DatabaseOptions options)
   }
   views_.set_observability(metrics_.get(), trace_.get());
   if (options_.observability.profile_view_latency) views_.set_profiling(true);
+  if (options_.observability.profile_plan_slots) {
+    views_.set_plan_profiling(true, options_.observability.slot_sample_period);
+  }
+  // The flight recorder needs tick timings, which only exist with metrics.
+  if (options_.observability.metrics &&
+      options_.observability.slow_tick_budget_ns > 0) {
+    obs::FlightRecorderOptions rec;
+    rec.dir = options_.observability.flight_recorder_dir;
+    rec.max_dumps = options_.observability.flight_recorder_max_dumps;
+    recorder_ = std::make_unique<obs::FlightRecorder>(std::move(rec));
+  }
 }
+
+ChronicleDatabase::~ChronicleDatabase() { StopMonitoring(); }
 
 ChronicleDatabase::ChronicleDatabase(RoutingMode routing)
     : ChronicleDatabase(DatabaseOptions().set_routing(routing)) {}
@@ -70,6 +88,8 @@ Result<ViewId> ChronicleDatabase::CreateView(const std::string& name,
       PersistentView::Make(static_cast<ViewId>(views_.num_views()), name,
                            std::move(plan), std::move(spec),
                            std::move(computed), index_mode));
+  // Registry mutation is serialized against the monitoring readers.
+  std::lock_guard<std::mutex> lock(obs_mutex_);
   return views_.AddView(std::move(view));
 }
 
@@ -106,6 +126,7 @@ Status ChronicleDatabase::CreateSlidingView(const std::string& name,
 }
 
 Status ChronicleDatabase::DropView(const std::string& name) {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
   if (views_.FindView(name).ok()) return views_.DropView(name);
   auto periodic_it = periodic_by_name_.find(name);
   if (periodic_it != periodic_by_name_.end()) {
@@ -199,6 +220,10 @@ Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
   if (!event.ok()) return event.status();
   AppendResult result;
   result.event = std::move(event).value();
+  // The monitoring endpoint and the history sampler read stats from their
+  // own threads; holding the stats mutex across the fold makes every
+  // snapshot a between-ticks cut.
+  std::lock_guard<std::mutex> lock(obs_mutex_);
   // Delta workers read relations lock-free; proactive updates must never
   // overlap maintenance (enforced by the guard in the relation DML paths).
   ScopedFlag in_maintenance(&maintenance_in_progress_);
@@ -213,6 +238,10 @@ Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
     }
   }
   ++appends_processed_;
+  if (recorder_ != nullptr && result.maintenance.tick_ns >
+                                  options_.observability.slow_tick_budget_ns) {
+    RecordSlowTick(result);
+  }
   return result;
 }
 
@@ -326,6 +355,11 @@ Result<std::vector<AppendResult>> ChronicleDatabase::AppendMany(
 }
 
 obs::StatsSnapshot ChronicleDatabase::CollectStats() const {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  return CollectStatsLocked();
+}
+
+obs::StatsSnapshot ChronicleDatabase::CollectStatsLocked() const {
   obs::StatsSnapshot snap;
   snap.appends_processed = appends_processed_;
   snap.live_views = views_.num_live_views();
@@ -337,7 +371,190 @@ obs::StatsSnapshot ChronicleDatabase::CollectStats() const {
     snap.trace_emitted = trace_->total_emitted();
     snap.trace_capacity = trace_->capacity();
   }
+  if (stats_enricher_) stats_enricher_(&snap);
   return snap;
+}
+
+void ChronicleDatabase::set_stats_enricher(
+    std::function<void(obs::StatsSnapshot*)> enricher) {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  stats_enricher_ = std::move(enricher);
+}
+
+Status ChronicleDatabase::StartMonitoring(uint16_t port) {
+  if (http_ != nullptr) {
+    return Status::FailedPrecondition("monitoring endpoint already active");
+  }
+  if (options_.observability.history_capacity > 0 && history_ == nullptr) {
+    history_ = std::make_unique<obs::StatsHistory>(
+        options_.observability.history_capacity);
+  }
+  auto server = std::make_unique<obs::HttpServer>();
+  CHRONICLE_RETURN_NOT_OK(server->Start(
+      port,
+      [this](const obs::HttpRequest& req) { return HandleHttpRequest(req); }));
+  http_ = std::move(server);
+  if (history_ != nullptr) {
+    sampler_ = std::make_unique<obs::StatsSampler>(
+        history_.get(), [this] { return CollectStats(); },
+        options_.observability.history_interval_ms);
+  }
+  return Status::OK();
+}
+
+void ChronicleDatabase::StopMonitoring() {
+  http_.reset();     // joins the accept thread; no more handler callbacks
+  sampler_.reset();  // joins the sampler; history_ (the data) survives
+}
+
+bool ChronicleDatabase::monitoring_active() const {
+  return http_ != nullptr && http_->running();
+}
+
+uint16_t ChronicleDatabase::monitoring_port() const {
+  return http_ != nullptr ? http_->port() : 0;
+}
+
+void ChronicleDatabase::SampleStatsNow() {
+  if (history_ == nullptr) {
+    history_ = std::make_unique<obs::StatsHistory>(
+        options_.observability.history_capacity);
+  }
+  if (sampler_ != nullptr) {
+    sampler_->SampleNow();
+    return;
+  }
+  const int64_t t_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  history_->Push(t_ns, CollectStats());
+}
+
+Result<std::string> ChronicleDatabase::ExplainView(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  return views_.ExplainView(name);
+}
+
+Result<std::string> ChronicleDatabase::ExplainViewJson(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  return views_.ExplainViewJson(name);
+}
+
+void ChronicleDatabase::SetPlanProfiling(bool enabled) {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  options_.observability.profile_plan_slots = enabled;
+  views_.set_plan_profiling(enabled, options_.observability.slot_sample_period);
+}
+
+uint64_t ChronicleDatabase::flight_recorder_dumps() const {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  return recorder_ != nullptr ? recorder_->dumps_written() : 0;
+}
+
+void ChronicleDatabase::RecordSlowTick(const AppendResult& result) {
+  // Called under obs_mutex_. Best-effort: a dump failure must never fail
+  // the append that triggered it.
+  const std::string snapshot_json = obs::RenderJson(CollectStatsLocked());
+  std::string trace_json = "null";
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_json = obs::RenderTraceJson(trace_->Snapshot(),
+                                      trace_->total_emitted(),
+                                      trace_->capacity());
+  }
+  // The offending view: most delta rows this tick (a heuristic, but the
+  // dominant cost on the slow path is folding delta rows).
+  std::string explain_json = "null";
+  const MaintenanceViewOutcome* worst = nullptr;
+  for (const MaintenanceViewOutcome& outcome : result.maintenance.views) {
+    if (worst == nullptr || outcome.delta_rows > worst->delta_rows) {
+      worst = &outcome;
+    }
+  }
+  if (worst != nullptr) {
+    Result<const PersistentView*> view =
+        static_cast<const ViewManager&>(views_).GetView(worst->view);
+    if (view.ok()) {
+      Result<std::string> explain = views_.ExplainViewJson((*view)->name());
+      if (explain.ok()) explain_json = *std::move(explain);
+    }
+  }
+  Result<std::string> dumped = recorder_->RecordSlowTick(
+      result.event.sn, result.maintenance.tick_ns,
+      options_.observability.slow_tick_budget_ns, snapshot_json, trace_json,
+      explain_json);
+  (void)dumped;
+}
+
+obs::HttpResponse ChronicleDatabase::HandleHttpRequest(
+    const obs::HttpRequest& request) const {
+  obs::HttpResponse response;
+  if (request.path == "/metrics") {
+    // Prometheus scrapers want the version-suffixed content type.
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::RenderPrometheus(CollectStats());
+    return response;
+  }
+  if (request.path == "/stats.json") {
+    response.content_type = "application/json";
+    response.body = obs::RenderJson(CollectStats());
+    return response;
+  }
+  if (request.path == "/trace.json") {
+    response.content_type = "application/json";
+    if (trace_ != nullptr && trace_->enabled()) {
+      response.body = obs::RenderTraceJson(
+          trace_->Snapshot(), trace_->total_emitted(), trace_->capacity());
+    } else {
+      response.body = "{\"emitted\":0,\"capacity\":0,\"spans\":[]}";
+    }
+    return response;
+  }
+  if (request.path == "/history.json") {
+    response.content_type = "application/json";
+    if (history_ != nullptr) {
+      response.body = obs::RenderHistoryJson(
+          history_->Windows(), history_->total_samples(), history_->capacity());
+    } else {
+      response.body = "{\"samples\":0,\"capacity\":0,\"windows\":[]}";
+    }
+    return response;
+  }
+  if (request.path == "/healthz") {
+    const obs::StatsSnapshot snap = CollectStats();
+    response.content_type = "application/json";
+    response.body =
+        "{\"status\":\"ok\",\"appends_processed\":" +
+        std::to_string(snap.appends_processed) +
+        ",\"live_views\":" + std::to_string(snap.live_views) +
+        ",\"wal_attached\":" + (snap.wal.attached ? "true" : "false") + "}";
+    return response;
+  }
+  // /views/<name>/explain.json
+  const std::string prefix = "/views/";
+  const std::string suffix = "/explain.json";
+  if (request.path.size() > prefix.size() + suffix.size() &&
+      request.path.compare(0, prefix.size(), prefix) == 0 &&
+      request.path.compare(request.path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+    const std::string name = request.path.substr(
+        prefix.size(), request.path.size() - prefix.size() - suffix.size());
+    Result<std::string> explain = ExplainViewJson(name);
+    if (!explain.ok()) {
+      response.status = 404;
+      response.content_type = "application/json";
+      response.body = "{\"error\":\"" +
+                      obs::JsonEscape(explain.status().message()) + "\"}";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = *std::move(explain);
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found: " + request.path + "\n";
+  return response;
 }
 
 Status ChronicleDatabase::InsertInto(const std::string& relation, Tuple row) {

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,18 @@
 #include "views/view_manager.h"
 
 namespace chronicle {
+
+namespace obs {
+// Monitoring machinery (obs/http_server.h, obs/history.h,
+// obs/flight_recorder.h), forward-declared so the facade header stays
+// light; the out-of-line destructor below keeps unique_ptr happy.
+class HttpServer;
+class StatsHistory;
+class StatsSampler;
+class FlightRecorder;
+struct HttpRequest;
+struct HttpResponse;
+}  // namespace obs
 
 class ChronicleDatabase;
 
@@ -161,6 +174,28 @@ struct DatabaseOptions {
     observability.profile_view_latency = on;
     return *this;
   }
+  DatabaseOptions& set_profile_plan_slots(bool on) {
+    observability.profile_plan_slots = on;
+    return *this;
+  }
+  DatabaseOptions& set_slot_sample_period(size_t period) {
+    observability.slot_sample_period = period;
+    return *this;
+  }
+  DatabaseOptions& set_history(size_t capacity, int64_t interval_ms) {
+    observability.history_capacity = capacity;
+    observability.history_interval_ms = interval_ms;
+    return *this;
+  }
+  DatabaseOptions& set_slow_tick_budget_ns(int64_t budget_ns) {
+    observability.slow_tick_budget_ns = budget_ns;
+    return *this;
+  }
+  DatabaseOptions& set_flight_recorder(std::string dir, size_t max_dumps) {
+    observability.flight_recorder_dir = std::move(dir);
+    observability.flight_recorder_max_dumps = max_dumps;
+    return *this;
+  }
 };
 
 class ChronicleDatabase {
@@ -181,6 +216,10 @@ class ChronicleDatabase {
 
   ChronicleDatabase(const ChronicleDatabase&) = delete;
   ChronicleDatabase& operator=(const ChronicleDatabase&) = delete;
+
+  // Out-of-line: stops the monitoring endpoint and sampler (their threads
+  // call back into this object) before any member is destroyed.
+  ~ChronicleDatabase();
 
   // --- DDL ---
 
@@ -306,16 +345,72 @@ class ChronicleDatabase {
   const obs::TraceRing* trace() const { return trace_.get(); }
 
   // Assembles the full statistics snapshot (metrics, per-view stats, trace
-  // accounting). The WAL section is left detached — the Wal's owner merges
-  // it (see obs::WalStatsSnapshot). Driver thread only, between appends.
+  // accounting, the attached enricher's sections). Thread-safe: serialized
+  // against appends by the stats mutex, so the monitoring endpoint and the
+  // history sampler may call it while appends flow.
   obs::StatsSnapshot CollectStats() const;
 
-  // DEPRECATED: prefer DatabaseOptions::maintenance at construction.
-  // Retained as a thin forwarder for existing call sites; takes effect
-  // from the next append and must not be called during one.
-  void set_maintenance_options(const MaintenanceOptions& options) {
+  // Merges owner-side sections into every snapshot CollectStats assembles
+  // (the shell uses this to mirror its Wal into obs::WalStatsSnapshot).
+  // Swapped under the stats mutex: after this returns, no in-flight
+  // snapshot still runs the previous enricher. Pass nullptr to clear.
+  void set_stats_enricher(std::function<void(obs::StatsSnapshot*)> enricher);
+
+  // --- live monitoring (tentpole of docs/OBSERVABILITY.md) ---
+
+  // Starts the HTTP/1.1 monitoring endpoint on 127.0.0.1:`port` (0 picks
+  // an ephemeral port — read it back with monitoring_port()) and, when
+  // options().observability.history_capacity > 0, the periodic stats
+  // sampler behind /history.json. Routes: /metrics (Prometheus),
+  // /stats.json, /trace.json, /history.json, /healthz,
+  // /views/<name>/explain.json. Fails if already active.
+  Status StartMonitoring(uint16_t port);
+  // Joins the endpoint and sampler threads. The history ring survives so
+  // a later StartMonitoring resumes the time-series. Idempotent.
+  void StopMonitoring();
+  bool monitoring_active() const;
+  // The bound port (0 when not active).
+  uint16_t monitoring_port() const;
+
+  // The stats-history ring, or nullptr before the first StartMonitoring.
+  const obs::StatsHistory* history() const { return history_.get(); }
+  // Takes one off-schedule history sample (shell `\history`, tests);
+  // creates the ring if monitoring was never started.
+  void SampleStatsNow();
+
+  // Plan EXPLAIN for one persistent view: the compiled program annotated
+  // with sampled per-slot time shares (see ObservabilityOptions::
+  // profile_plan_slots). Thread-safe.
+  Result<std::string> ExplainView(const std::string& name) const;
+  Result<std::string> ExplainViewJson(const std::string& name) const;
+  // Toggles per-slot sampling at runtime (shell `\profile plan on|off`).
+  void SetPlanProfiling(bool enabled);
+
+  // Slow-tick dumps written so far (0 when the recorder is disabled).
+  uint64_t flight_recorder_dumps() const;
+
+  // --- runtime reconfiguration ---
+
+  // Reconfigures the maintenance path between appends: the blessed
+  // runtime counterpart of DatabaseOptions::maintenance (shell \threads).
+  void ReconfigureMaintenance(const MaintenanceOptions& options) {
     options_.maintenance = options;
     views_.set_maintenance_options(options);
+  }
+  // Attaches/detaches the write-ahead hook between appends: the runtime
+  // counterpart of DatabaseOptions::durability (shell \wal).
+  void AttachMutationLog(MutationLog* log) {
+    options_.durability.mutation_log = log;
+    durability_.mutation_log = log;
+  }
+  void DetachMutationLog() { AttachMutationLog(nullptr); }
+
+  [[deprecated(
+      "configure DatabaseOptions::maintenance at construction, or call "
+      "ReconfigureMaintenance for runtime changes; this forwarder will be "
+      "removed")]]
+  void set_maintenance_options(const MaintenanceOptions& options) {
+    ReconfigureMaintenance(options);
   }
   const MaintenanceOptions& maintenance_options() const {
     return views_.maintenance_options();
@@ -333,13 +428,12 @@ class ChronicleDatabase {
 
   // --- durability ---
 
-  // DEPRECATED: prefer DatabaseOptions::durability at construction.
-  // Retained as a thin forwarder: attaches (or detaches, with a
-  // default-constructed options) the write-ahead hook. Must not be set
-  // while recovery is replaying the log.
+  [[deprecated(
+      "configure DatabaseOptions::durability at construction, or call "
+      "AttachMutationLog/DetachMutationLog for runtime changes; this "
+      "forwarder will be removed")]]
   void set_durability(const DurabilityOptions& options) {
-    options_.durability = options;
-    durability_ = options;
+    AttachMutationLog(options.mutation_log);
   }
   const DurabilityOptions& durability() const { return durability_; }
 
@@ -363,6 +457,14 @@ class ChronicleDatabase {
 
   Result<AppendResult> Maintain(Result<AppendEvent> event);
 
+  // CollectStats body without taking obs_mutex_ (callers hold it).
+  obs::StatsSnapshot CollectStatsLocked() const;
+  // Routes one monitoring request (runs on the HTTP server's thread).
+  obs::HttpResponse HandleHttpRequest(const obs::HttpRequest& request) const;
+  // Dumps trace + snapshot + the offending view's EXPLAIN for a tick that
+  // blew the slow-tick budget. Called under obs_mutex_; best-effort.
+  void RecordSlowTick(const AppendResult& result);
+
   // Declared before views_: the constructor initializes views_ from
   // options_.routing.
   DatabaseOptions options_;
@@ -383,6 +485,18 @@ class ChronicleDatabase {
   std::unordered_map<std::string, size_t> sliding_by_name_;
   uint64_t appends_processed_ = 0;
   DurabilityOptions durability_;
+  // Serializes the maintenance fold against the monitoring readers (the
+  // HTTP thread and the history sampler call CollectStats while appends
+  // flow). Appends themselves stay single-driver; this mutex only makes
+  // the snapshot a consistent cut.
+  mutable std::mutex obs_mutex_;
+  std::function<void(obs::StatsSnapshot*)> stats_enricher_;
+  // Monitoring machinery (null until StartMonitoring / first slow tick;
+  // the history ring outlives StopMonitoring so the series continues).
+  std::unique_ptr<obs::StatsHistory> history_;
+  std::unique_ptr<obs::StatsSampler> sampler_;
+  std::unique_ptr<obs::HttpServer> http_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   // True while Maintain is folding deltas into views. Relations are
   // updated proactively — never during an append (§2.3) — and the parallel
   // maintenance path depends on that: workers read relations lock-free.

@@ -1,5 +1,9 @@
 #include "exec/delta_plan.h"
 
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
 #include <limits>
 #include <string>
 
@@ -9,6 +13,12 @@ namespace chronicle {
 namespace exec {
 
 namespace {
+
+int64_t ProfileNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 void Record(DeltaStats* stats, size_t rows) {
   if (stats == nullptr) return;
@@ -80,6 +90,10 @@ void PlanScratch::Prepare(size_t num_slots) {
   if (slots_.size() < num_slots) slots_.resize(num_slots);
   // clear() keeps each slot's capacity: steady-state ticks reuse it.
   for (size_t i = 0; i < num_slots; ++i) slots_[i].clear();
+  if (profile_slots_) {
+    slot_ns_.assign(num_slots, 0);
+    slot_rows_.assign(num_slots, 0);
+  }
   arena_.Reset();
 }
 
@@ -87,7 +101,12 @@ Result<const std::vector<Tuple>*> DeltaPlan::Execute(const AppendEvent& event,
                                                      PlanScratch* scratch,
                                                      DeltaStats* stats) const {
   scratch->Prepare(num_slots());
+  // The profiling branch is a single well-predicted test per instruction
+  // when off; the clock reads only happen on sampled ticks.
+  const bool profile = scratch->profile_slots_;
+  int64_t instr_start_ns = 0;
   for (const PlanInstr& instr : instrs_) {
+    if (profile) instr_start_ns = ProfileNowNanos();
     std::vector<Tuple>& out = scratch->slots_[instr.out];
     const CaExpr& node = *instr.node;
     switch (instr.op) {
@@ -272,6 +291,11 @@ Result<const std::vector<Tuple>*> DeltaPlan::Execute(const AppendEvent& event,
       }
     }
     Record(stats, out.size());
+    if (profile) {
+      scratch->slot_ns_[instr.out] +=
+          static_cast<uint64_t>(ProfileNowNanos() - instr_start_ns);
+      scratch->slot_rows_[instr.out] += out.size();
+    }
   }
   return &scratch->slots_[root_slot_];
 }
@@ -290,6 +314,43 @@ Result<const std::vector<ChronicleRow>*> DeltaPlan::ExecuteToRows(
   return &scratch->rows_;
 }
 
+namespace {
+
+// printf-append helper for the EXPLAIN renderers.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void ExplainAppendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+// Minimal JSON string escaping (view names). exec does not depend on the
+// obs layer, so it cannot share obs::JsonEscape.
+std::string ExplainEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string DeltaPlan::ToString() const {
   std::string out;
   for (const PlanInstr& instr : instrs_) {
@@ -302,6 +363,133 @@ std::string DeltaPlan::ToString() const {
     out += ")\n";
   }
   out += "root: s" + std::to_string(root_slot_) + "\n";
+  return out;
+}
+
+std::string DeltaPlan::Explain(const std::vector<SlotProfile>* profile) const {
+  const bool profiled =
+      profile != nullptr && profile->size() == instrs_.size() &&
+      !instrs_.empty() && (*profile)[root_slot_].samples > 0;
+
+  uint64_t total_ns = 0;
+  std::vector<uint64_t> cum_ns(instrs_.size(), 0);
+  if (profiled) {
+    for (const SlotProfile& slot : *profile) total_ns += slot.ns;
+    // Instructions are post-order, so every input slot index is smaller
+    // than its consumer's: one forward pass yields subtree-cumulative
+    // time. A shared subexpression contributes its full subtree to EACH
+    // consumer (the interpreter would have recomputed it there), so the
+    // root's cumulative share can exceed 100%; self shares always sum to
+    // exactly 100%.
+    for (size_t i = 0; i < instrs_.size(); ++i) {
+      const PlanInstr& instr = instrs_[i];
+      cum_ns[i] = (*profile)[i].ns;
+      const size_t arity = instr.node->num_children();
+      if (arity >= 1) cum_ns[i] += cum_ns[instr.in0];
+      if (arity >= 2) cum_ns[i] += cum_ns[instr.in1];
+    }
+  }
+  const double denom = total_ns > 0 ? static_cast<double>(total_ns) : 1.0;
+
+  std::string out;
+  ExplainAppendf(&out, "plan: %zu slots, root s%u, %zu shared subexpressions\n",
+                 instrs_.size(), root_slot_, shared_subexpressions_);
+  if (profiled) {
+    ExplainAppendf(&out, "profile: %" PRIu64 " sampled ticks, %" PRIu64
+                         " ns total self time\n",
+                   (*profile)[root_slot_].samples, total_ns);
+  } else {
+    out += "profile: no samples (enable profile_plan_slots and append)\n";
+  }
+
+  // Depth-first from the root; a slot consumed by several parents is
+  // rendered in full under its first parent and as a one-line back
+  // reference afterwards.
+  std::vector<bool> rendered(instrs_.size(), false);
+  struct Frame {
+    uint32_t slot;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{root_slot_, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const PlanInstr& instr = instrs_[frame.slot];
+    for (size_t d = 0; d < frame.depth; ++d) out += "  ";
+    ExplainAppendf(&out, "s%u %s", frame.slot, CaOpToString(instr.node->op()));
+    if (rendered[frame.slot]) {
+      out += "  (shared, see above)\n";
+      continue;
+    }
+    rendered[frame.slot] = true;
+    if (profiled) {
+      const SlotProfile& slot = (*profile)[frame.slot];
+      ExplainAppendf(&out,
+                     "  self %5.1f%%  cum %5.1f%%  rows %" PRIu64
+                     "  (%" PRIu64 " ns)",
+                     100.0 * static_cast<double>(slot.ns) / denom,
+                     100.0 * static_cast<double>(cum_ns[frame.slot]) / denom,
+                     slot.rows, slot.ns);
+    }
+    out += "\n";
+    // Push in reverse so in0 renders first.
+    const size_t arity = instr.node->num_children();
+    if (arity >= 2) stack.push_back({instr.in1, frame.depth + 1});
+    if (arity >= 1) stack.push_back({instr.in0, frame.depth + 1});
+  }
+  return out;
+}
+
+std::string DeltaPlan::ExplainJson(
+    const std::string& view_name,
+    const std::vector<SlotProfile>* profile) const {
+  const bool profiled =
+      profile != nullptr && profile->size() == instrs_.size() &&
+      !instrs_.empty() && (*profile)[root_slot_].samples > 0;
+
+  uint64_t total_ns = 0;
+  std::vector<uint64_t> cum_ns(instrs_.size(), 0);
+  if (profiled) {
+    for (const SlotProfile& slot : *profile) total_ns += slot.ns;
+    for (size_t i = 0; i < instrs_.size(); ++i) {
+      const PlanInstr& instr = instrs_[i];
+      cum_ns[i] = (*profile)[i].ns;
+      const size_t arity = instr.node->num_children();
+      if (arity >= 1) cum_ns[i] += cum_ns[instr.in0];
+      if (arity >= 2) cum_ns[i] += cum_ns[instr.in1];
+    }
+  }
+  const double denom = total_ns > 0 ? static_cast<double>(total_ns) : 1.0;
+
+  std::string out;
+  ExplainAppendf(&out,
+                 "{\"view\":\"%s\",\"slots\":%zu,\"root\":%u,"
+                 "\"shared_subexpressions\":%zu,\"sampled_ticks\":%" PRIu64
+                 ",\"total_self_ns\":%" PRIu64 ",\"plan\":[",
+                 ExplainEscape(view_name).c_str(), instrs_.size(), root_slot_,
+                 shared_subexpressions_,
+                 profiled ? (*profile)[root_slot_].samples : uint64_t{0},
+                 total_ns);
+  for (size_t i = 0; i < instrs_.size(); ++i) {
+    const PlanInstr& instr = instrs_[i];
+    if (i > 0) out += ",";
+    ExplainAppendf(&out, "{\"slot\":%zu,\"op\":\"%s\",\"inputs\":[", i,
+                   CaOpToString(instr.node->op()));
+    const size_t arity = instr.node->num_children();
+    if (arity >= 1) ExplainAppendf(&out, "%u", instr.in0);
+    if (arity >= 2) ExplainAppendf(&out, ",%u", instr.in1);
+    out += "]";
+    if (profiled) {
+      const SlotProfile& slot = (*profile)[i];
+      ExplainAppendf(&out,
+                     ",\"self_ns\":%" PRIu64 ",\"self_share\":%.4f"
+                     ",\"cum_share\":%.4f,\"rows\":%" PRIu64,
+                     slot.ns, static_cast<double>(slot.ns) / denom,
+                     static_cast<double>(cum_ns[i]) / denom, slot.rows);
+    }
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 

@@ -73,6 +73,15 @@ struct PlanInstr {
   const CaExpr* node = nullptr;
 };
 
+// Accumulated profile of one plan slot across sampled executions, the
+// data behind DeltaPlan::Explain. `ns`/`rows` are sums over `samples`
+// profiled ticks; shares are derived at render time.
+struct SlotProfile {
+  uint64_t ns = 0;       // self time (this instruction only)
+  uint64_t rows = 0;     // rows the instruction produced
+  uint64_t samples = 0;  // profiled ticks folded in
+};
+
 // Open-addressing set of tuples referenced by pointer, used for the
 // executor's dedupe and difference membership tests. Keys live in the
 // operand slots (or the append event) for the duration of one
@@ -143,6 +152,16 @@ class PlanScratch {
                : static_cast<double>(seen_.size()) / seen_.capacity();
   }
 
+  // Per-slot profiling for the NEXT execution. When on, Execute reads the
+  // clock around every instruction and records self-time and rows into
+  // slot_ns()/slot_rows() (indexed by slot, valid until the next Prepare).
+  // The caller samples (every Nth tick), folds the arrays into its own
+  // SlotProfile accumulator, and turns the flag back off.
+  void set_profile_slots(bool on) { profile_slots_ = on; }
+  bool profile_slots() const { return profile_slots_; }
+  const std::vector<uint64_t>& slot_ns() const { return slot_ns_; }
+  const std::vector<uint64_t>& slot_rows() const { return slot_rows_; }
+
  private:
   friend class DeltaPlan;
 
@@ -160,6 +179,9 @@ class PlanScratch {
   Tuple key_;          // reused group-key probe (capacity survives clear())
   Arena arena_;        // tick-scoped transients (group output order)
   std::vector<ChronicleRow> rows_;  // retained final-output buffer
+  bool profile_slots_ = false;      // time the next execution's slots
+  std::vector<uint64_t> slot_ns_;   // self ns per slot (profiled ticks)
+  std::vector<uint64_t> slot_rows_;  // rows per slot (profiled ticks)
 };
 
 class DeltaPlan {
@@ -191,6 +213,19 @@ class DeltaPlan {
 
   // One instruction per line: "s3 = Union(s1, s2)".
   std::string ToString() const;
+
+  // EXPLAIN tree, rendered from the root slot down. `profile` (one entry
+  // per slot, from the sampled per-slot timings) may be null or empty, in
+  // which case only the plan structure is shown; otherwise every line
+  // carries the slot's self-time share (all self shares sum to 100%),
+  // cumulative share (self + subtree), and rows per sampled tick.
+  std::string Explain(const std::vector<SlotProfile>* profile) const;
+
+  // Same data as a flat JSON document for /views/<name>/explain.json:
+  // {"view":…,"slots":N,"root":N,"sampled_ticks":N,"plan":[{…}]}.
+  // Guaranteed to pass obs::ValidateJson.
+  std::string ExplainJson(const std::string& view_name,
+                          const std::vector<SlotProfile>* profile) const;
 
  private:
   friend class PlanCompiler;

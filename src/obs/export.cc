@@ -27,6 +27,7 @@ void Appendf(std::string* out, const char* fmt, ...) {
 // Escapes a string for a JSON string literal or a Prometheus label value
 // (both use backslash escapes for `"` and `\`; JSON additionally needs
 // control characters escaped, which is harmless in label values too).
+// The public name is JsonEscape (bottom of file).
 std::string Escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -500,6 +501,29 @@ std::string RenderTraceText(const std::vector<TraceSpan>& spans,
   }
   return out;
 }
+
+std::string RenderTraceJson(const std::vector<TraceSpan>& spans,
+                            uint64_t total_emitted, uint64_t capacity) {
+  std::string out;
+  Appendf(&out, "{\"emitted\":%" PRIu64 ",\"capacity\":%" PRIu64
+                ",\"spans\":[",
+          total_emitted, capacity);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) out += ",";
+    Appendf(&out,
+            "{\"seq\":%" PRIu64 ",\"kind\":\"%s\",\"worker\":%u,\"sn\":%" PRIu64
+            ",\"start_ns\":%" PRId64 ",\"duration_ns\":%" PRId64
+            ",\"detail0\":%" PRIu64 ",\"detail1\":%" PRIu64 "}",
+            span.seq, SpanKindToString(span.kind), unsigned{span.worker},
+            span.sn, span.start_ns, span.duration_ns, span.detail0,
+            span.detail1);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) { return Escape(s); }
 
 Status ValidateJson(const std::string& text) {
   return JsonParser(text).Validate();

@@ -40,6 +40,17 @@ std::string RenderJson(const StatsSnapshot& snapshot);
 std::string RenderTraceText(const std::vector<TraceSpan>& spans,
                             uint64_t total_emitted, uint64_t capacity);
 
+// JSON span listing for the monitoring endpoint (/trace.json) and the
+// flight recorder: {"emitted":N,"capacity":N,"spans":[{...}]}. Guaranteed
+// to pass ValidateJson.
+std::string RenderTraceJson(const std::vector<TraceSpan>& spans,
+                            uint64_t total_emitted, uint64_t capacity);
+
+// Escapes `s` for use inside a JSON string literal (also valid as a
+// Prometheus label value). Exposed so other JSON emitters (plan EXPLAIN,
+// the HTTP error bodies) share one escaping implementation.
+std::string JsonEscape(const std::string& s);
+
 // Minimal recursive-descent JSON syntax checker: accepts exactly the
 // RFC 8259 grammar (objects, arrays, strings with escapes, numbers,
 // true/false/null). Returns OK iff `text` is one complete JSON value.

@@ -1,0 +1,99 @@
+#include "obs/flight_recorder.h"
+
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace chronicle {
+namespace obs {
+
+namespace {
+
+// mkdir -p: creates every missing component of `dir`.
+Status MakeDirs(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty flight-recorder dir");
+  std::string path;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    const size_t slash = dir.find('/', pos);
+    path = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (path.empty()) continue;  // leading '/'
+    if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir " + path + ": " + strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_dumps == 0) options_.max_dumps = 1;
+}
+
+Result<std::string> FlightRecorder::RecordSlowTick(
+    uint64_t sn, int64_t tick_ns, int64_t budget_ns,
+    const std::string& snapshot_json, const std::string& trace_json,
+    const std::string& explain_json) {
+  CHRONICLE_RETURN_NOT_OK(MakeDirs(options_.dir));
+
+  // Wall-clock stamp (ms) so files sort chronologically in a listing; the
+  // dump counter disambiguates two slow ticks inside one millisecond.
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  const int64_t wall_ms =
+      static_cast<int64_t>(tv.tv_sec) * 1000 + tv.tv_usec / 1000;
+  char name[128];
+  snprintf(name, sizeof(name), "slow-tick-%" PRId64 "-%" PRIu64 "-sn%" PRIu64
+                               ".json",
+           wall_ms, dumps_written_, sn);
+  const std::string path = options_.dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+
+  std::string body;
+  body.reserve(snapshot_json.size() + trace_json.size() +
+               explain_json.size() + 256);
+  char head[256];
+  snprintf(head, sizeof(head),
+           "{\"sn\":%" PRIu64 ",\"tick_ns\":%" PRId64 ",\"budget_ns\":%" PRId64
+           ",\"wall_ms\":%" PRId64 ",",
+           sn, tick_ns, budget_ns, wall_ms);
+  body += head;
+  body += "\"snapshot\":" + snapshot_json + ",";
+  body += "\"trace\":" + trace_json + ",";
+  body += "\"explain\":" + explain_json + "}\n";
+
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("open " + tmp + ": " + strerror(errno));
+  }
+  const size_t n = fwrite(body.data(), 1, body.size(), f);
+  if (fclose(f) != 0 || n != body.size()) {
+    unlink(tmp.c_str());
+    return Status::Internal("write " + tmp + " failed");
+  }
+  // rename(2) is atomic within a filesystem: a reader never sees a
+  // half-written dump.
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = strerror(errno);
+    unlink(tmp.c_str());
+    return Status::Internal("rename " + tmp + ": " + err);
+  }
+  ++dumps_written_;
+  written_.push_back(path);
+  while (written_.size() > options_.max_dumps) {
+    unlink(written_.front().c_str());
+    written_.pop_front();
+  }
+  return path;
+}
+
+}  // namespace obs
+}  // namespace chronicle

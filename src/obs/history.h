@@ -1,0 +1,125 @@
+// StatsHistory + StatsSampler: short-term time-series over the stats
+// snapshot, the piece a single CollectStats cannot give you — a snapshot
+// reports counts since start, not rates, and a histogram merged since
+// start buries the last second's p99 under an hour of samples.
+//
+// StatsHistory is a fixed-capacity ring of distilled samples (counter
+// values + the cumulative tick-latency histogram) pushed periodically by
+// a StatsSampler thread; Windows() derives, on read, the per-interval
+// rates (appends/s, delta-rows/s) and percentiles (p50/p99 tick latency
+// from the bucket-wise histogram difference of adjacent samples). Nothing
+// here touches the maintenance hot path: the sampler calls the same
+// CollectStats the shell does, at a human cadence.
+//
+// Thread safety: StatsHistory is internally mutexed (pushed by the
+// sampler thread, read by the HTTP handler, the shell, and the flight
+// recorder). StatsSampler owns its thread; Stop() (or destruction) joins.
+
+#ifndef CHRONICLE_OBS_HISTORY_H_
+#define CHRONICLE_OBS_HISTORY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/stats.h"
+
+namespace chronicle {
+namespace obs {
+
+// One periodic sample, distilled from a StatsSnapshot at push time so the
+// ring holds a few hundred bytes per entry, not whole snapshots.
+struct HistorySample {
+  int64_t t_ns = 0;            // sampler clock, ns since the history epoch
+  uint64_t appends = 0;        // appends_processed
+  uint64_t delta_rows = 0;     // maintenance_delta_rows_total
+  uint64_t view_ticks = 0;     // maintenance_view_ticks_total
+  LatencyHistogram tick_latency;  // cumulative maintenance_tick_ns
+};
+
+// One derived window between two adjacent samples.
+struct HistoryWindow {
+  int64_t t_ns = 0;        // window end, ns since the history epoch
+  double seconds = 0.0;    // window length
+  double appends_per_sec = 0.0;
+  double delta_rows_per_sec = 0.0;
+  uint64_t view_ticks = 0;     // ticks inside the window
+  int64_t tick_p50_ns = 0;     // percentile of the window's OWN samples
+  int64_t tick_p99_ns = 0;     // (bucket-wise histogram difference)
+};
+
+class StatsHistory {
+ public:
+  // `capacity` samples are retained; older ones are overwritten.
+  explicit StatsHistory(size_t capacity);
+
+  // Distills `snapshot` into a sample stamped `t_ns` and appends it.
+  void Push(int64_t t_ns, const StatsSnapshot& snapshot);
+
+  // Retained samples, oldest first.
+  std::vector<HistorySample> Samples() const;
+  // Derived windows between adjacent retained samples, oldest first
+  // (empty until two samples exist).
+  std::vector<HistoryWindow> Windows() const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t total_samples() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<HistorySample> ring_;
+  uint64_t next_ = 0;  // samples ever pushed
+};
+
+// JSON rendering of the derived windows ({"samples":…,"capacity":…,
+// "windows":[…]}); guaranteed to pass ValidateJson.
+std::string RenderHistoryJson(const std::vector<HistoryWindow>& windows,
+                              uint64_t total_samples, uint64_t capacity);
+
+// Sparkline rendering for the shell's `\history`.
+std::string RenderHistoryText(const std::vector<HistoryWindow>& windows);
+
+// Periodically pushes provider() into a StatsHistory from its own thread.
+// The first sample is taken immediately at construction, so one interval
+// after startup the history already yields a window.
+class StatsSampler {
+ public:
+  using SnapshotProvider = std::function<StatsSnapshot()>;
+
+  // `history` must outlive the sampler. `interval_ms` is clamped to >= 1.
+  StatsSampler(StatsHistory* history, SnapshotProvider provider,
+               int64_t interval_ms);
+  ~StatsSampler();  // Stop()
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  // Takes one sample now, off-schedule (shell `\history`, tests).
+  void SampleNow();
+
+  // Joins the sampler thread. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+  int64_t NowNanos() const;
+
+  StatsHistory* history_;
+  SnapshotProvider provider_;
+  const int64_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace chronicle
+
+#endif  // CHRONICLE_OBS_HISTORY_H_

@@ -1,0 +1,197 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace chronicle {
+namespace obs {
+
+namespace {
+
+// Requests larger than this are rejected with 400 — every legitimate
+// request here is one short GET line plus a few headers.
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+// Writes the whole buffer, retrying on EINTR / short writes. MSG_NOSIGNAL
+// keeps a client that hung up from killing the process with SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client gone; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+// Reads until the end-of-headers marker, the size cap, or EOF. Bodies are
+// never read: no route accepts one.
+bool ReadRequestHead(int fd, std::string* out) {
+  char buf[1024];
+  while (out->size() < kMaxRequestBytes) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF before end of headers
+    out->append(buf, static_cast<size_t>(n));
+    if (out->find("\r\n\r\n") != std::string::npos ||
+        out->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses "METHOD /path HTTP/1.x" from the first request line.
+bool ParseRequestLine(const std::string& head, HttpRequest* req) {
+  const size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  req->path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req->method.empty() || req->path.empty() || req->path[0] != '/') {
+    return false;
+  }
+  // Query strings are accepted but ignored by every route.
+  const size_t query = req->path.find('?');
+  if (query != std::string::npos) req->path.resize(query);
+  return line.compare(sp2 + 1, 5, "HTTP/") == 0;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port, HttpHandler handler) {
+  if (running_) {
+    return Status::FailedPrecondition("http server already running on port " +
+                                      std::to_string(port_));
+  }
+  if (handler == nullptr) {
+    return Status::InvalidArgument("http server needs a handler");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local scrapes only
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::Internal("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                            err);
+  }
+  if (listen(fd, 16) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::Internal("listen: " + err);
+  }
+  // Recover the actual port when the caller asked for an ephemeral one.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::Internal("getsockname: " + err);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  handler_ = std::move(handler);
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Wakes the blocked accept(2) with an error; no self-pipe needed since
+  // the listener is never reused.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+  handler_ = nullptr;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() from Stop(), or the socket is dead
+    }
+    // A stalled client must not wedge the exporter: bound both directions.
+    timeval timeout{5, 0};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string head;
+  HttpRequest req;
+  HttpResponse resp;
+  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &req)) {
+    resp.status = 400;
+    resp.body = "bad request\n";
+  } else if (req.method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+  } else {
+    resp = handler_(req);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  SendAll(fd, out);
+}
+
+}  // namespace obs
+}  // namespace chronicle

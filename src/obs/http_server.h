@@ -1,0 +1,90 @@
+// HttpServer: a dependency-free HTTP/1.1 endpoint for the observability
+// exporters (the toolchain has no HTTP library and we do not add one).
+//
+// Production systems are scraped over the network; this server is the
+// smallest thing that satisfies a Prometheus scraper and `curl`: one
+// blocking accept loop on its own thread, GET only, one request per
+// connection (`Connection: close`), loopback bind. Routing is the
+// caller's: Start takes a handler that maps an HttpRequest to an
+// HttpResponse (ChronicleDatabase::StartMonitoring installs the /metrics,
+// /stats.json, ... catalog documented in docs/OBSERVABILITY.md).
+//
+// Shutdown: Stop() flips a flag and shutdown(2)s the listening socket,
+// which wakes the blocked accept with an error; the accept thread then
+// exits and is joined. No self-pipe is needed because the listener is
+// never re-armed after shutdown.
+//
+// Concurrency: the handler runs on the accept thread, concurrently with
+// the database's append path — the handler is responsible for its own
+// synchronization (the database serializes snapshot reads against ticks
+// with its stats mutex).
+
+#ifndef CHRONICLE_OBS_HTTP_SERVER_H_
+#define CHRONICLE_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace chronicle {
+namespace obs {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ... (upper-case, as sent)
+  std::string path;    // "/metrics", "/views/fan/explain.json", ...
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();  // calls Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  // starts the accept thread. Fails if already running or the bind/listen
+  // fails. `handler` is invoked on the accept thread for every parsed
+  // request; malformed requests get a 400 and non-GET methods a 405
+  // without reaching it.
+  Status Start(uint16_t port, HttpHandler handler);
+
+  // Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+  // The bound port (the ephemeral one when Start was given 0).
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  HttpHandler handler_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace obs
+}  // namespace chronicle
+
+#endif  // CHRONICLE_OBS_HTTP_SERVER_H_

@@ -37,6 +37,28 @@ struct ObservabilityOptions {
   // Per-view latency histograms (two extra clock reads per view per
   // tick). Equivalent to ViewManager::set_profiling(true) at open.
   bool profile_view_latency = false;
+  // Per-slot plan profiling for EXPLAIN (\explain, /views/<name>/
+  // explain.json). When on, every slot_sample_period-th tick of each
+  // compiled view is executed with per-instruction clocks; the samples
+  // are folded into a per-view slot profile. Bounded by the same <= 5%
+  // E13 overhead gate as the rest of the layer.
+  bool profile_plan_slots = false;
+  // Sample every Nth tick when profile_plan_slots is on (clamped >= 1).
+  // 1 profiles every tick (tests); 16 keeps the amortized cost low.
+  size_t slot_sample_period = 16;
+  // Samples retained by the stats history ring (0 disables history even
+  // when monitoring is started).
+  size_t history_capacity = 128;
+  // Sampler cadence for the history ring while monitoring is active.
+  int64_t history_interval_ms = 1000;
+  // Flight recorder: a maintenance tick slower than this budget dumps
+  // trace + snapshot + the offending view's EXPLAIN to a JSON file.
+  // 0 disables the recorder.
+  int64_t slow_tick_budget_ns = 0;
+  // Where slow-tick dumps land (created on first dump) and how many are
+  // retained (oldest deleted beyond the cap).
+  std::string flight_recorder_dir = "flight-recorder";
+  size_t flight_recorder_max_dumps = 8;
 };
 
 // Per-view maintenance statistics, accumulated inside MaintainOne /

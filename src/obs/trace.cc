@@ -38,26 +38,58 @@ void TraceRing::Emit(SpanKind kind, uint16_t worker, uint64_t sn,
                      uint64_t detail1) {
   if (slots_.empty()) return;
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
-  TraceSpan& slot = slots_[seq & (slots_.size() - 1)];
-  slot.kind = kind;
-  slot.worker = worker;
-  slot.sn = sn;
-  slot.start_ns = start_ns;
-  slot.duration_ns = duration_ns;
-  slot.detail0 = detail0;
-  slot.detail1 = detail1;
-  slot.seq = seq;
+  Slot& slot = slots_[seq & (slots_.size() - 1)];
+  // Seqlock write: odd version in, fields, even version out. The payload
+  // stores are relaxed (they are ordered by the release stores on
+  // version); two writers can only collide on one slot after the ring
+  // wraps within a single tick, in which case the slot ends even and
+  // holds one of the two spans — still coherent.
+  const uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  slot.worker.store(worker, std::memory_order_relaxed);
+  slot.sn.store(sn, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.detail0.store(detail0, std::memory_order_relaxed);
+  slot.detail1.store(detail1, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+bool TraceRing::ReadSlot(const Slot& slot, TraceSpan* out) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // writer inside
+    out->seq = slot.seq.load(std::memory_order_relaxed);
+    out->kind = static_cast<SpanKind>(slot.kind.load(std::memory_order_relaxed));
+    out->worker = slot.worker.load(std::memory_order_relaxed);
+    out->sn = slot.sn.load(std::memory_order_relaxed);
+    out->start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    out->duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    out->detail0 = slot.detail0.load(std::memory_order_relaxed);
+    out->detail1 = slot.detail1.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) == v1) return true;
+  }
+  return false;  // continuously overwritten; drop the span
 }
 
 std::vector<TraceSpan> TraceRing::Snapshot() const {
   std::vector<TraceSpan> out;
   if (slots_.empty()) return out;
-  const uint64_t emitted = next_.load(std::memory_order_relaxed);
+  const uint64_t emitted = next_.load(std::memory_order_acquire);
   const uint64_t retained =
       emitted < slots_.size() ? emitted : static_cast<uint64_t>(slots_.size());
   out.reserve(retained);
   for (uint64_t seq = emitted - retained; seq < emitted; ++seq) {
-    out.push_back(slots_[seq & (slots_.size() - 1)]);
+    TraceSpan span;
+    if (!ReadSlot(slots_[seq & (slots_.size() - 1)], &span)) continue;
+    // A slot overwritten since `emitted` was sampled carries a newer span;
+    // keep it (it is a real span) — order stays oldest-first because newer
+    // seqs only ever land in later ring positions within one pass.
+    out.push_back(span);
   }
   return out;
 }

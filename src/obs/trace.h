@@ -5,16 +5,17 @@
 // the batch-order merge — so a stall or an imbalance is visible after the
 // fact without a profiler attached. The ring is sized at construction and
 // NEVER allocates on the emission path: a span costs one relaxed
-// fetch_add to claim a slot plus a struct store. Old spans are overwritten
-// (it is a flight recorder, not a log); Snapshot() returns the retained
-// window oldest-first.
+// fetch_add to claim a slot plus a handful of relaxed stores. Old spans
+// are overwritten (it is a flight recorder, not a log); Snapshot() returns
+// the retained window oldest-first.
 //
 // Concurrency: emission is lock-free and safe from multiple workers —
-// each Emit claims a distinct slot. Snapshot is only called from the
-// driver thread between appends (the same discipline as MetricsRegistry
-// reads); a snapshot taken concurrently with emission could observe a
-// slot mid-overwrite, which the seq stamp makes detectable but which this
-// codebase never does.
+// each Emit claims a distinct slot. Snapshot may now run CONCURRENTLY with
+// emission (the live monitoring endpoint and the flight recorder read the
+// ring from other threads): every slot is a seqlock — an atomic version
+// that is odd while a writer is inside plus atomic fields — so a reader
+// that races an overwrite detects the torn slot (version odd, or changed
+// across the read) and drops that span instead of returning garbage.
 //
 // Timestamps are steady-clock nanoseconds relative to the ring's creation
 // (NowNanos), so spans from one process compare directly and no wall-clock
@@ -79,8 +80,10 @@ class TraceRing {
   void Emit(SpanKind kind, uint16_t worker, uint64_t sn, int64_t start_ns,
             int64_t duration_ns, uint64_t detail0 = 0, uint64_t detail1 = 0);
 
-  // Spans still retained, oldest first. Driver thread only (see header
-  // comment).
+  // Spans still retained, oldest first. Safe to call from any thread;
+  // slots caught mid-overwrite are skipped (see header comment), so a
+  // snapshot racing heavy emission may return slightly fewer spans than
+  // the retained window.
   std::vector<TraceSpan> Snapshot() const;
 
   // Spans ever emitted; emitted - min(emitted, capacity) were overwritten.
@@ -89,7 +92,25 @@ class TraceRing {
   }
 
  private:
-  std::vector<TraceSpan> slots_;
+  // One ring slot: a per-slot seqlock. `version` is odd while a writer is
+  // inside; the payload fields are relaxed atomics so a racing read is a
+  // defined read (the version check decides whether it is also coherent).
+  struct Slot {
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<uint16_t> worker{0};
+    std::atomic<uint64_t> sn{0};
+    std::atomic<int64_t> start_ns{0};
+    std::atomic<int64_t> duration_ns{0};
+    std::atomic<uint64_t> detail0{0};
+    std::atomic<uint64_t> detail1{0};
+  };
+
+  // Reads `slot` coherently into `out`; false if a writer raced every try.
+  static bool ReadSlot(const Slot& slot, TraceSpan* out);
+
+  std::vector<Slot> slots_;
   std::atomic<uint64_t> next_{0};
   std::chrono::steady_clock::time_point epoch_;
 };

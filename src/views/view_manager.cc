@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "exec/plan_compiler.h"
+#include "obs/export.h"
 
 namespace chronicle {
 
@@ -283,6 +284,7 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
     }
     if (obs_on) {
       const int64_t tick_end = now_ns();
+      report.tick_ns = tick_end - tick_start;
       // The serial path is one batch maintained by worker 0.
       report.batches.push_back(
           MaintenanceBatch{0, work.size(), tick_end - routing_end});
@@ -302,6 +304,7 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
   CHRONICLE_RETURN_NOT_OK(MaintainParallel(work, event, &report));
   if (obs_on) {
     const int64_t tick_end = now_ns();
+    report.tick_ns = tick_end - tick_start;
     metrics_->Observe(m_tick_ns_, tick_end - tick_start);
     if (tracing) {
       trace_->Emit(obs::SpanKind::kAppendTick, 0, event.sn, tick_start,
@@ -325,14 +328,37 @@ Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
   DeltaStats* stats = obs_on ? &delta_stats : nullptr;
   const bool compiled_path =
       options_.use_compiled_plans && entry.compiled != nullptr;
+  // EXPLAIN sampling: every plan_sample_period_-th tick of this view runs
+  // with per-instruction clocks. profile_clock is single-writer, same
+  // discipline as entry.stats.
+  const bool profile_tick =
+      plan_profiling_ && compiled_path &&
+      entry.profile_clock++ % plan_sample_period_ == 0;
   size_t rows = 0;
   if (compiled_path) {
+    scratch->set_profile_slots(profile_tick);
     // Compiled fast path: delta lands in the scratch's retained row buffer
     // — no per-view allocation at steady state.
     CHRONICLE_ASSIGN_OR_RETURN(
         const std::vector<ChronicleRow>* delta,
         entry.compiled->ExecuteToRows(event, scratch, stats));
     rows = delta->size();
+    if (profile_tick) {
+      // Fold the sampled per-slot timings into the view's accumulator
+      // (single-writer, like entry.stats) and disarm the scratch.
+      std::vector<exec::SlotProfile>& prof = entry.slot_profile;
+      if (prof.size() != entry.compiled->num_slots()) {
+        prof.assign(entry.compiled->num_slots(), exec::SlotProfile{});
+      }
+      const std::vector<uint64_t>& ns = scratch->slot_ns();
+      const std::vector<uint64_t>& slot_rows = scratch->slot_rows();
+      for (size_t i = 0; i < prof.size(); ++i) {
+        prof[i].ns += ns[i];
+        prof[i].rows += slot_rows[i];
+        ++prof[i].samples;
+      }
+      scratch->set_profile_slots(false);
+    }
     if (!delta->empty()) {
       CHRONICLE_RETURN_NOT_OK(entry.view->ApplyDelta(*delta));
       ++report->views_updated;
@@ -514,6 +540,46 @@ void ViewManager::SnapshotViewStats(
     if (snap.profiled) snap.latency = entry.latency;
     out->push_back(std::move(snap));
   }
+}
+
+void ViewManager::set_plan_profiling(bool enabled, size_t sample_period) {
+  plan_profiling_ = enabled;
+  plan_sample_period_ = sample_period == 0 ? 1 : sample_period;
+}
+
+Result<std::string> ViewManager::ExplainView(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  const ViewEntry& entry = views_[it->second];
+  if (entry.compiled == nullptr) {
+    return std::string("view '") + name +
+           "': interpreted (plan outside CA, no compiled program)\n";
+  }
+  return "view '" + name + "'\n" + entry.compiled->Explain(&entry.slot_profile);
+}
+
+Result<std::string> ViewManager::ExplainViewJson(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  const ViewEntry& entry = views_[it->second];
+  if (entry.compiled == nullptr) {
+    return "{\"view\":\"" + obs::JsonEscape(name) + "\",\"compiled\":false}";
+  }
+  return entry.compiled->ExplainJson(name, &entry.slot_profile);
+}
+
+Result<const std::vector<exec::SlotProfile>*> ViewManager::GetViewSlotProfile(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &views_[it->second].slot_profile;
 }
 
 Result<const LatencyHistogram*> ViewManager::GetViewLatency(

@@ -100,6 +100,9 @@ struct MaintenanceReport {
   size_t views_updated = 0;        // views that received >= 1 delta row
   size_t views_skipped = 0;        // views filtered out before delta work
   size_t delta_rows_applied = 0;   // total rows folded into views
+  // Whole-tick wall time (routing + delta work). 0 unless observability is
+  // attached; the database's slow-tick flight recorder keys off it.
+  int64_t tick_ns = 0;
   // Per-view outcomes in deterministic work-list (batch-concatenation)
   // order, and per-batch timings. Both empty unless observability is
   // attached — the seed fields above are always maintained.
@@ -177,6 +180,24 @@ class ViewManager {
   // Appends one ViewStatsSnapshot per live view, in registration order.
   void SnapshotViewStats(std::vector<obs::ViewStatsSnapshot>* out) const;
 
+  // Per-slot plan profiling behind EXPLAIN: every `sample_period`-th tick
+  // of each compiled view runs with per-instruction clocks, folded into a
+  // per-view SlotProfile accumulator. Independent of set_profiling (that
+  // one times whole views; this times slots inside one view's plan).
+  void set_plan_profiling(bool enabled, size_t sample_period);
+  bool plan_profiling() const { return plan_profiling_; }
+
+  // EXPLAIN for one view: the compiled plan tree annotated with the
+  // sampled per-slot time shares and row counts (structure only until
+  // samples exist). An interpreted-only view yields a one-line note (text)
+  // / {"compiled":false} (JSON).
+  Result<std::string> ExplainView(const std::string& name) const;
+  Result<std::string> ExplainViewJson(const std::string& name) const;
+  // The raw accumulator (empty until a profiled tick ran); exposed for the
+  // database's flight recorder and tests.
+  Result<const std::vector<exec::SlotProfile>*> GetViewSlotProfile(
+      const std::string& name) const;
+
  private:
   // One equality conjunct `column = literal` of a guard.
   struct EqConstraint {
@@ -206,6 +227,10 @@ class ViewManager {
     // contiguous batch partitioning gives each view to exactly one worker
     // per tick, and ThreadPool::Wait orders ticks.
     obs::ViewStats stats;
+    // EXPLAIN profile: per-slot self-time/rows folded from sampled ticks.
+    // Same single-writer discipline as `stats`.
+    std::vector<exec::SlotProfile> slot_profile;
+    uint64_t profile_clock = 0;  // ticks seen while plan profiling was on
   };
 
   // Extracts scan guards from a plan.
@@ -249,6 +274,8 @@ class ViewManager {
 
   RoutingMode mode_;
   bool profiling_ = false;
+  bool plan_profiling_ = false;     // per-slot EXPLAIN sampling
+  size_t plan_sample_period_ = 16;  // profile every Nth tick per view
   size_t live_views_ = 0;
   DeltaEngine engine_;
   DeltaCache cache_;  // reset at the start of every ProcessAppend

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "views/view_manager.h"
 
 namespace chronicle {
@@ -76,6 +79,90 @@ TEST(HistogramTest, ToStringMentionsStats) {
   std::string repr = h.ToString();
   EXPECT_NE(repr.find("n=1"), std::string::npos);
   EXPECT_NE(repr.find("p99"), std::string::npos);
+}
+
+// --- Merge edge cases ---
+
+TEST(HistogramMergeTest, EmptyIntoEmptyStaysEmpty) {
+  LatencyHistogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.SumNanos(), 0.0);
+  EXPECT_EQ(a.MinNanos(), 0);
+  EXPECT_EQ(a.MaxNanos(), 0);
+  EXPECT_EQ(a.PercentileNanos(0.99), 0);
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), 0u) << "bucket " << i;
+  }
+}
+
+TEST(HistogramMergeTest, EmptyIntoPopulatedIsIdentity) {
+  LatencyHistogram a, empty;
+  for (int64_t v : {100, 2000, 30000}) a.Record(v);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.SumNanos(), 32100.0);
+  EXPECT_EQ(a.MinNanos(), 100);
+  EXPECT_EQ(a.MaxNanos(), 30000);
+  // And the reverse: merging into a fresh histogram copies min/max even
+  // though the destination never Record()ed (its min must not stick at 0).
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_EQ(empty.MinNanos(), 100);
+  EXPECT_EQ(empty.MaxNanos(), 30000);
+}
+
+TEST(HistogramMergeTest, SaturatedTopBucketSurvivesMerge) {
+  // INT64_MAX-scale samples land in the unbounded top bucket; the merge
+  // must fold those counts without overflow or bucket drift.
+  const int top = LatencyHistogram::kBuckets - 1;
+  LatencyHistogram a, b;
+  constexpr int64_t kHuge = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < 3; ++i) a.Record(kHuge);
+  for (int i = 0; i < 5; ++i) b.Record(kHuge - 1);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_EQ(a.bucket(top), 8u);
+  EXPECT_EQ(a.MaxNanos(), kHuge);
+  EXPECT_EQ(a.PercentileNanos(0.5), LatencyHistogram::BucketUpperBound(top));
+  EXPECT_EQ(a.PercentileNanos(0.5), kHuge);  // top bound IS INT64_MAX
+}
+
+TEST(HistogramMergeTest, MergeAfterMergeMatchesDirectRecording) {
+  // ((a ⊕ b) ⊕ c) must equal recording every sample into one histogram —
+  // the obs registry merges per-worker shards in whatever order the reader
+  // encounters them, so the fold has to be associative in all stats.
+  Rng rng(77);
+  std::vector<int64_t> samples[3];
+  LatencyHistogram parts[3], all;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 50; ++i) {
+      const int64_t v = static_cast<int64_t>(rng.Uniform(1u << 20));
+      parts[p].Record(v);
+      all.Record(v);
+    }
+  }
+  LatencyHistogram left;  // (empty ⊕ a) ⊕ b ⊕ c
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  LatencyHistogram right;  // empty ⊕ (b ⊕ c ⊕ a), a different association
+  LatencyHistogram bc;
+  bc.Merge(parts[1]);
+  bc.Merge(parts[2]);
+  bc.Merge(parts[0]);
+  right.Merge(bc);
+  for (const LatencyHistogram& h : {left, right}) {
+    EXPECT_EQ(h.count(), all.count());
+    EXPECT_DOUBLE_EQ(h.SumNanos(), all.SumNanos());
+    EXPECT_EQ(h.MinNanos(), all.MinNanos());
+    EXPECT_EQ(h.MaxNanos(), all.MaxNanos());
+    EXPECT_EQ(h.PercentileNanos(0.5), all.PercentileNanos(0.5));
+    EXPECT_EQ(h.PercentileNanos(0.99), all.PercentileNanos(0.99));
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      EXPECT_EQ(h.bucket(i), all.bucket(i)) << "bucket " << i;
+    }
+  }
 }
 
 TEST(ViewProfilingTest, HistogramPopulatedWhenEnabled) {

@@ -1,0 +1,417 @@
+// End-to-end tests for the live monitoring surface: the embedded HTTP
+// server's routes (/metrics /stats.json /trace.json /history.json /healthz
+// /views/<name>/explain.json), the stats time-series sampler, the plan
+// EXPLAIN profiler, and the slow-tick flight recorder. Requests go through
+// a real socket against an ephemeral port (StartMonitoring(0)), so the
+// whole chain — accept thread, request parse, obs_mutex_ consistency cut,
+// exporters — is exercised exactly as a curl would.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/scalar_expr.h"
+#include "db/database.h"
+#include "obs/export.h"
+#include "obs/history.h"
+
+namespace chronicle {
+namespace {
+
+namespace fs = std::filesystem;
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+Tuple Call(int64_t caller, const std::string& region, int64_t minutes) {
+  return Tuple{Value(caller), Value(region), Value(minutes)};
+}
+
+struct HttpReply {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+// Sends `raw` to 127.0.0.1:port and parses the reply into `*reply`. The
+// server closes after one response (Connection: close), so read-to-EOF is
+// the framing. Void so gtest ASSERTs can abort the helper.
+void RawRequest(uint16_t port, const std::string& raw, HttpReply* reply) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0) << strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << strerror(errno);
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      FAIL() << "send: " << strerror(errno);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  ASSERT_EQ(response.rfind("HTTP/1.1 ", 0), 0u) << response.substr(0, 80);
+  reply->status = std::atoi(response.c_str() + strlen("HTTP/1.1 "));
+  const size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string headers = response.substr(0, header_end);
+  const size_t ct = headers.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    const size_t eol = headers.find("\r\n", ct);
+    reply->content_type =
+        headers.substr(ct + strlen("Content-Type: "),
+                       eol - ct - strlen("Content-Type: "));
+  }
+  reply->body = response.substr(header_end + 4);
+}
+
+HttpReply Raw(uint16_t port, const std::string& raw) {
+  HttpReply reply;
+  RawRequest(port, raw, &reply);
+  return reply;
+}
+
+HttpReply Get(uint16_t port, const std::string& path) {
+  return Raw(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+// Minimal Prometheus text-format parse: every line is a comment, blank, or
+// `name[{labels}] value`. Returns false (with the offending line) on
+// anything else.
+bool PrometheusParses(const std::string& text, std::string* bad_line) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      *bad_line = line;
+      return false;
+    }
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    if (end == nullptr || *end != '\0') {
+      *bad_line = line;
+      return false;
+    }
+    const std::string name_part = line.substr(0, space);
+    if (name_part.empty() ||
+        (!std::isalpha(static_cast<unsigned char>(name_part[0])) &&
+         name_part[0] != '_')) {
+      *bad_line = line;
+      return false;
+    }
+  }
+  return true;
+}
+
+// Value of an unlabelled counter line, or -1 when absent.
+double MetricValue(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::strtod(line.c_str() + name.size() + 1, nullptr);
+    }
+  }
+  return -1.0;
+}
+
+// Sum of every `"key":<number>` occurrence in a JSON string. Dependency-
+// free extraction is fine here: the exporters never emit nested keys with
+// the same name.
+double SumJsonField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  double sum = 0.0;
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    sum += std::strtod(json.c_str() + pos, nullptr);
+  }
+  return sum;
+}
+
+// A database with the E13 UnionFan acceptance view (u guarded selections
+// over one shared scan, unioned, grouped) so EXPLAIN has a real multi-slot
+// plan with shared subexpressions to report on.
+void BuildUnionFan(ChronicleDatabase* db, int64_t u = 8) {
+  ASSERT_TRUE(db->CreateChronicle("calls", CallSchema()).ok());
+  CaExprPtr scan = db->ScanChronicle("calls").value();
+  CaExprPtr plan =
+      CaExpr::Select(scan, Eq(Col("region"), Lit(Value("NJ")))).value();
+  for (int64_t i = 1; i < u; ++i) {
+    CaExprPtr branch =
+        CaExpr::Select(scan, Gt(Col("minutes"), Lit(Value(i % 90)))).value();
+    plan = CaExpr::Union(plan, branch).value();
+  }
+  SummarySpec spec = SummarySpec::GroupBy(plan->schema(), {"caller"},
+                                          {AggSpec::Sum("minutes", "m")})
+                         .value();
+  ASSERT_TRUE(db->CreateView("fan", plan, spec).ok());
+}
+
+void AppendTicks(ChronicleDatabase* db, int ticks) {
+  for (int i = 0; i < ticks; ++i) {
+    ASSERT_TRUE(db->Append("calls", {Call(i % 16, "NJ", (i * 7) % 100),
+                                     Call(i % 16, "NJ", (i * 13) % 100)})
+                    .ok());
+  }
+}
+
+TEST(ObsHttpTest, MonitoringLifecycle) {
+  ChronicleDatabase db;
+  EXPECT_FALSE(db.monitoring_active());
+  EXPECT_EQ(db.monitoring_port(), 0u);
+  ASSERT_TRUE(db.StartMonitoring(0).ok());  // 0 = ephemeral port
+  EXPECT_TRUE(db.monitoring_active());
+  EXPECT_NE(db.monitoring_port(), 0u);
+  // A second server on the same database is a caller bug.
+  EXPECT_TRUE(db.StartMonitoring(0).IsFailedPrecondition());
+  db.StopMonitoring();
+  EXPECT_FALSE(db.monitoring_active());
+  db.StopMonitoring();  // idempotent
+  // Restartable after a stop.
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  EXPECT_TRUE(db.monitoring_active());
+}
+
+TEST(ObsHttpTest, HealthzAndErrorRoutes) {
+  ChronicleDatabase db;
+  BuildUnionFan(&db);
+  AppendTicks(&db, 3);
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  const uint16_t port = db.monitoring_port();
+
+  HttpReply health = Get(port, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.content_type.rfind("application/json", 0), 0u);
+  EXPECT_TRUE(obs::ValidateJson(health.body).ok()) << health.body;
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"appends_processed\":3"), std::string::npos);
+
+  EXPECT_EQ(Get(port, "/no/such/route").status, 404);
+  EXPECT_EQ(Raw(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").status,
+            405);
+  EXPECT_EQ(Raw(port, "garbage\r\n\r\n").status, 400);
+}
+
+TEST(ObsHttpTest, PrometheusParsesAndCountersAreMonotone) {
+  ChronicleDatabase db;
+  BuildUnionFan(&db);
+  AppendTicks(&db, 5);
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  const uint16_t port = db.monitoring_port();
+
+  HttpReply first = Get(port, "/metrics");
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.content_type.rfind("text/plain", 0), 0u);
+  std::string bad;
+  EXPECT_TRUE(PrometheusParses(first.body, &bad)) << "bad line: " << bad;
+  for (const char* family :
+       {"chronicle_appends_processed_total", "chronicle_live_views",
+        "chronicle_view_ticks_total", "chronicle_maintenance_tick_ns",
+        "chronicle_trace_spans_emitted_total"}) {
+    EXPECT_NE(first.body.find(family), std::string::npos)
+        << "family missing: " << family;
+    EXPECT_NE(first.body.find(std::string("# HELP ") + family),
+              std::string::npos)
+        << "HELP missing: " << family;
+  }
+
+  AppendTicks(&db, 5);
+  HttpReply second = Get(port, "/metrics");
+  EXPECT_TRUE(PrometheusParses(second.body, &bad)) << "bad line: " << bad;
+  const double before =
+      MetricValue(first.body, "chronicle_appends_processed_total");
+  const double after =
+      MetricValue(second.body, "chronicle_appends_processed_total");
+  EXPECT_EQ(before, 5.0);
+  EXPECT_EQ(after, 10.0);
+  EXPECT_LT(before, after);  // the point: counters are monotone
+}
+
+TEST(ObsHttpTest, JsonRoutesAreValidJson) {
+  ChronicleDatabase db(DatabaseOptions().set_history(16, 1000));
+  BuildUnionFan(&db);
+  AppendTicks(&db, 4);
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  const uint16_t port = db.monitoring_port();
+  // Two off-schedule samples bracket one tick so /history.json has a
+  // window without waiting out the sampler interval.
+  AppendTicks(&db, 4);
+  db.SampleStatsNow();
+
+  for (const char* path : {"/stats.json", "/trace.json", "/history.json"}) {
+    HttpReply reply = Get(port, path);
+    EXPECT_EQ(reply.status, 200) << path;
+    EXPECT_EQ(reply.content_type.rfind("application/json", 0), 0u) << path;
+    EXPECT_TRUE(obs::ValidateJson(reply.body).ok())
+        << path << ": " << reply.body.substr(0, 200);
+  }
+  HttpReply stats = Get(port, "/stats.json");
+  EXPECT_NE(stats.body.find("\"appends_processed\":8"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"fan\""), std::string::npos);
+  HttpReply history = Get(port, "/history.json");
+  EXPECT_NE(history.body.find("\"windows\":["), std::string::npos);
+}
+
+TEST(ObsHttpTest, HistorySamplerProducesWindows) {
+  // The sampler takes its first sample at StartMonitoring; SampleStatsNow
+  // then closes a window deterministically (no interval sleeping).
+  ChronicleDatabase db(DatabaseOptions().set_history(8, 10000));
+  BuildUnionFan(&db);
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  ASSERT_NE(db.history(), nullptr);
+  AppendTicks(&db, 6);
+  db.SampleStatsNow();
+  std::vector<obs::HistoryWindow> windows = db.history()->Windows();
+  ASSERT_GE(windows.size(), 1u);
+  const obs::HistoryWindow& last = windows.back();
+  EXPECT_GT(last.view_ticks, 0u);
+  EXPECT_GT(last.appends_per_sec, 0.0);
+  const std::string json = obs::RenderHistoryJson(
+      windows, db.history()->total_samples(), db.history()->capacity());
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json.substr(0, 200);
+  EXPECT_FALSE(obs::RenderHistoryText(windows).empty());
+}
+
+TEST(ObsHttpTest, ExplainReportsPerSlotSharesSummingToOne) {
+  ChronicleDatabase db(DatabaseOptions()
+                           .set_profile_plan_slots(true)
+                           .set_slot_sample_period(1));
+  BuildUnionFan(&db);
+  AppendTicks(&db, 8);
+
+  Result<std::string> text = db.ExplainView("fan");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("shared subexpressions"), std::string::npos) << *text;
+  EXPECT_NE(text->find("sampled ticks"), std::string::npos) << *text;
+  EXPECT_NE(text->find("self"), std::string::npos);
+
+  Result<std::string> json = db.ExplainViewJson("fan");
+  ASSERT_TRUE(json.ok());
+  ASSERT_TRUE(obs::ValidateJson(*json).ok()) << *json;
+  EXPECT_NE(json->find("\"view\":\"fan\""), std::string::npos);
+  EXPECT_EQ(json->find("\"sampled_ticks\":0"), std::string::npos)
+      << "profiler sampled nothing: " << *json;
+  // Self shares partition total self time: they must sum to ~1 (each share
+  // is rounded to 4 decimals, so allow slack proportional to slot count).
+  const double share_sum = SumJsonField(*json, "self_share");
+  EXPECT_NEAR(share_sum, 1.0, 0.01) << *json;
+  EXPECT_GT(SumJsonField(*json, "rows"), 0.0);
+
+  // Unknown views are NotFound through both the API and the HTTP route.
+  EXPECT_TRUE(db.ExplainView("nope").status().IsNotFound());
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  HttpReply ok_reply = Get(db.monitoring_port(), "/views/fan/explain.json");
+  EXPECT_EQ(ok_reply.status, 200);
+  EXPECT_TRUE(obs::ValidateJson(ok_reply.body).ok());
+  HttpReply missing = Get(db.monitoring_port(), "/views/nope/explain.json");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_TRUE(obs::ValidateJson(missing.body).ok()) << missing.body;
+}
+
+TEST(ObsHttpTest, ProfilingTogglesAtRuntime) {
+  ChronicleDatabase db;
+  BuildUnionFan(&db);
+  AppendTicks(&db, 2);
+  // Off by default: EXPLAIN renders the plan but has no samples.
+  Result<std::string> cold = db.ExplainViewJson("fan");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->find("\"self_share\""), std::string::npos) << *cold;
+  db.SetPlanProfiling(true);
+  AppendTicks(&db, 4);
+  Result<std::string> warm = db.ExplainViewJson("fan");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->find("\"self_share\""), std::string::npos) << *warm;
+}
+
+TEST(ObsHttpTest, FlightRecorderDumpsSlowTicks) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("chronicle_flight_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  {
+    // A 1 ns budget makes every maintained tick "slow"; 3 dumps retained.
+    ChronicleDatabase db(DatabaseOptions()
+                             .set_slow_tick_budget_ns(1)
+                             .set_flight_recorder(dir, 3));
+    BuildUnionFan(&db);
+    AppendTicks(&db, 8);
+    EXPECT_GE(db.flight_recorder_dumps(), 8u);
+  }
+  size_t files = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    ++files;
+    std::ifstream in(entry.path());
+    std::string dump((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_TRUE(obs::ValidateJson(dump).ok()) << entry.path();
+    EXPECT_NE(dump.find("\"sn\":"), std::string::npos);
+    EXPECT_NE(dump.find("\"budget_ns\":1"), std::string::npos);
+    EXPECT_NE(dump.find("\"snapshot\":"), std::string::npos);
+    EXPECT_NE(dump.find("\"explain\":"), std::string::npos);
+  }
+  // Bounded: oldest dumps were deleted to keep at most max_dumps files.
+  EXPECT_LE(files, 3u);
+  EXPECT_GE(files, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ObsHttpTest, ConcurrentScrapesDuringAppends) {
+  // The monitoring endpoint is read while the main thread appends: the
+  // obs_mutex_ consistency cut must keep every response well-formed. Under
+  // TSan (CI regex includes this test) this is also the race proof for
+  // the handler/sampler/maintenance triangle.
+  ChronicleDatabase db(DatabaseOptions().set_history(32, 1));
+  BuildUnionFan(&db);
+  ASSERT_TRUE(db.StartMonitoring(0).ok());
+  const uint16_t port = db.monitoring_port();
+  std::thread scraper([port] {
+    for (int i = 0; i < 20; ++i) {
+      HttpReply stats = Get(port, "/stats.json");
+      EXPECT_EQ(stats.status, 200);
+      EXPECT_TRUE(obs::ValidateJson(stats.body).ok());
+      HttpReply metrics = Get(port, "/metrics");
+      EXPECT_EQ(metrics.status, 200);
+    }
+  });
+  AppendTicks(&db, 200);
+  scraper.join();
+  db.StopMonitoring();
+}
+
+}  // namespace
+}  // namespace chronicle

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <thread>
@@ -123,6 +124,53 @@ TEST(TraceRingTest, ZeroCapacityDisables) {
   EXPECT_EQ(ring.total_emitted(), 0u);
 }
 
+TEST(TraceRingTest, SnapshotRacesEmissionWithoutTearing) {
+  // The monitoring endpoint snapshots the ring while appends keep emitting;
+  // the per-slot seqlock must hand the reader only coherent spans. Writers
+  // stamp every payload field of span i with i, so any cross-slot or
+  // mid-overwrite mix is detectable. Run under TSan via the obs_test CI
+  // regex, this is also the data-race proof for the seqlock itself.
+  obs::TraceRing ring(16);  // small ring = constant overwriting
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const obs::TraceSpan& span : ring.Snapshot()) {
+        const uint64_t i = span.sn;
+        if (span.detail0 != i || span.detail1 != i ||
+            span.start_ns != static_cast<int64_t>(i) ||
+            span.duration_ns != static_cast<int64_t>(i)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        ring.Emit(obs::SpanKind::kAppendTick, static_cast<uint16_t>(w),
+                  /*sn=*/i, /*start_ns=*/static_cast<int64_t>(i),
+                  /*duration_ns=*/static_cast<int64_t>(i),
+                  /*detail0=*/i, /*detail1=*/i);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(ring.total_emitted(), kWriters * kPerWriter);
+  // Quiescent snapshot: full window, globally ordered oldest-first.
+  std::vector<obs::TraceSpan> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), ring.capacity());
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].seq, spans[i].seq);
+  }
+}
+
 // --- DatabaseOptions facade ---
 
 TEST(DatabaseOptionsTest, BuilderChainsAndAggregateAccessAgree) {
@@ -166,10 +214,16 @@ TEST(DatabaseOptionsTest, LegacyRoutingCtorAndSettersForward) {
   EXPECT_EQ(db.options().routing, RoutingMode::kCheckAll);
   MaintenanceOptions m;
   m.num_threads = 2;
+  // This test exists to keep the deprecated forwarders honest until they
+  // are removed; every other caller has migrated to ReconfigureMaintenance
+  // / AttachMutationLog.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   db.set_maintenance_options(m);  // deprecated forwarder must sync options()
   EXPECT_EQ(db.options().maintenance.num_threads, 2u);
   EXPECT_EQ(db.maintenance_options().num_threads, 2u);
   db.set_durability({});
+#pragma GCC diagnostic pop
   EXPECT_EQ(db.options().durability.mutation_log, nullptr);
 }
 

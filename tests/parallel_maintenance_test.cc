@@ -150,7 +150,7 @@ TEST(ParallelMaintenanceTest, TwoHundredViewsIdenticalAcrossThreadCounts) {
   for (size_t threads : {2u, 8u}) {
     ChronicleDatabase parallel_db;
     ApplyDdl(&parallel_db);
-    parallel_db.set_maintenance_options({threads, /*min_views_per_task=*/1});
+    parallel_db.ReconfigureMaintenance({threads, /*min_views_per_task=*/1});
     RunResult parallel = DriveWorkload(&parallel_db, 40);
     ExpectIdentical(serial, parallel, threads);
   }
@@ -165,7 +165,7 @@ TEST(ParallelMaintenanceTest, RoutingModesAgreeUnderParallelism) {
        {RoutingMode::kCheckAll, RoutingMode::kGuards, RoutingMode::kEqIndex}) {
     ChronicleDatabase db(mode);
     ApplyDdl(&db);
-    db.set_maintenance_options({4, /*min_views_per_task=*/1});
+    db.ReconfigureMaintenance({4, /*min_views_per_task=*/1});
     contents.push_back(DriveWorkload(&db, 15).views);
   }
   EXPECT_EQ(contents[0], contents[1]);
@@ -177,7 +177,7 @@ TEST(ParallelMaintenanceTest, AppendManyMatchesAppendLoop) {
   ApplyDdl(&loop_db);
   ChronicleDatabase batch_db;
   ApplyDdl(&batch_db);
-  batch_db.set_maintenance_options({4, /*min_views_per_task=*/1});
+  batch_db.ReconfigureMaintenance({4, /*min_views_per_task=*/1});
 
   Rng loop_rng(99);
   Chronon chronon = 0;
@@ -215,7 +215,7 @@ TEST(ParallelMaintenanceTest, AppendManyRejectsInvalidTickBeforeLoggingAny) {
   fs::remove_all(dir);
   auto wal = wal::Wal::Open(dir).value();
   wal::WalMutationLog log(wal.get(), &db);
-  db.set_durability({&log});
+  db.AttachMutationLog(&log);
 
   Rng rng(7);
   std::vector<std::vector<Tuple>> batches;
@@ -226,7 +226,7 @@ TEST(ParallelMaintenanceTest, AppendManyRejectsInvalidTickBeforeLoggingAny) {
   // Write-ahead is batch-wide: NOTHING was logged and NOTHING applied.
   EXPECT_EQ(wal->next_lsn(), lsn_before);
   EXPECT_EQ(db.group().last_sn(), 0u);
-  db.set_durability({});
+  db.DetachMutationLog();
   ASSERT_TRUE(wal->Close().ok());
   fs::remove_all(dir);
 }
@@ -240,12 +240,12 @@ TEST(ParallelMaintenanceTest, AppendManyGroupCommitRecoversExactly) {
   {
     ChronicleDatabase db;
     ApplyDdl(&db);
-    db.set_maintenance_options({4, /*min_views_per_task=*/1});
+    db.ReconfigureMaintenance({4, /*min_views_per_task=*/1});
     wal::WalOptions options;
     options.fsync = wal::FsyncPolicy::kEveryRecord;
     auto wal = wal::Wal::Open(dir, options).value();
     wal::WalMutationLog log(wal.get(), &db);
-    db.set_durability({&log});
+    db.AttachMutationLog(&log);
     Rng rng(123);
     std::vector<std::vector<Tuple>> batches;
     for (int t = 0; t < 10; ++t) batches.push_back(MakeTick(&rng, 4));
@@ -253,7 +253,7 @@ TEST(ParallelMaintenanceTest, AppendManyGroupCommitRecoversExactly) {
     // Group commit: 10 ticks, ONE sync for the whole batch (plus the syncs
     // Open/Close issue themselves).
     EXPECT_EQ(wal->stats().records_logged, 10u);
-    db.set_durability({});
+    db.DetachMutationLog();
     ASSERT_TRUE(wal->Close().ok());
     // The db is dropped here: recovery below must rebuild it from the log.
   }
@@ -284,7 +284,7 @@ TEST(ParallelMaintenanceTest, SmallTicksBypassThePool) {
   // with a pool configured; results must (of course) still match.
   ChronicleDatabase db;
   ApplyDdl(&db);
-  db.set_maintenance_options({8, /*min_views_per_task=*/1000});
+  db.ReconfigureMaintenance({8, /*min_views_per_task=*/1000});
   ChronicleDatabase serial_db;
   ApplyDdl(&serial_db);
   RunResult parallel = DriveWorkload(&db, 10);

@@ -390,7 +390,7 @@ TEST(PlanEquivalenceFuzzTest, DatabaseAgreesAcrossModesThreadsAndEngines) {
     MaintenanceOptions interpreted;
     interpreted.num_threads = 1;
     interpreted.use_compiled_plans = false;
-    reference_db.set_maintenance_options(interpreted);
+    reference_db.ReconfigureMaintenance(interpreted);
     RunResult reference = DriveWorkload(&reference_db, seed);
 
     for (size_t threads : {1u, 2u, 8u}) {
@@ -405,7 +405,7 @@ TEST(PlanEquivalenceFuzzTest, DatabaseAgreesAcrossModesThreadsAndEngines) {
         options.num_threads = threads;
         options.min_views_per_task = 1;
         options.use_compiled_plans = compiled;
-        db.set_maintenance_options(options);
+        db.ReconfigureMaintenance(options);
         RunResult run = DriveWorkload(&db, seed);
 
         // Within a mode, the routing decisions — and so every report

@@ -106,7 +106,7 @@ void RunAndCrash(const std::string& dir, int steps, int checkpoint_after,
   ChronicleDatabase db;
   ApplyDdl(&db);
   WalMutationLog log(wal->get(), &db);
-  db.set_durability({&log});
+  db.AttachMutationLog(&log);
   CallRecordGenerator gen;
   for (int step = 0; step < steps; ++step) {
     ApplyStep(&db, &gen, step);
@@ -218,7 +218,7 @@ TEST(RecoveryTest, ResumeLoggingAfterRecoveryAndRecoverAgain) {
     auto wal = Wal::Open(dir.path);
     ASSERT_TRUE(wal.ok());
     WalMutationLog log(wal->get(), &db);
-    db.set_durability({&log});
+    db.AttachMutationLog(&log);
     // Re-sync the generator past the batches the first run consumed (only
     // append steps draw from it).
     CallRecordGenerator gen;
@@ -255,7 +255,7 @@ TEST(RecoveryTest, RefusesUnpreparedDatabases) {
     ChronicleDatabase db;
     ApplyDdl(&db);
     WalMutationLog log(wal->get(), &db);
-    db.set_durability({&log});
+    db.AttachMutationLog(&log);
     EXPECT_TRUE(Recover(dir.path, &db).status().IsFailedPrecondition());
     ASSERT_TRUE((*wal)->Close().ok());
   }

@@ -213,7 +213,7 @@ TEST(WalTest, CheckpointTruncatesObsoleteSegments) {
   ChronicleDatabase db;
   ApplyDdl(&db);
   WalMutationLog log(wal->get(), &db);
-  db.set_durability({&log});
+  db.AttachMutationLog(&log);
 
   CallRecordGenerator gen;
   for (int i = 0; i < 40; ++i) {

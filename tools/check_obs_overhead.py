@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Gates the observability subsystem's overhead acceptance bound.
+"""Gates the observability subsystem's overhead acceptance bounds.
 
-Reads a google-benchmark JSON report containing the DbUnionFan pair from
-bench_e13_compiled_plans (obs:0 = instrumentation disabled, obs:1 = metrics
-+ tracing on) and fails if the instrumented run is more than
-CHRONICLE_OBS_OVERHEAD_MAX (default 1.05, i.e. +5%) slower than the
-baseline.  Also round-trips the machine-readable stats dump the obs:1 run
-writes in smoke mode (STATS_E13.json) through json.load, proving the
-hand-rolled exporter in src/obs/export.cc emits standards-valid JSON.
+Reads the standardized smoke report written by bench_e13_compiled_plans
+({"bench":"E13","metrics":{...}}) containing the DbUnionFan triple:
+
+    obs:0  instrumentation disabled
+    obs:1  metrics + tracing on
+    obs:2  metrics + tracing + the per-slot plan profiler
+
+and fails if either instrumentation step costs more than
+CHRONICLE_OBS_OVERHEAD_MAX (default 1.05, i.e. +5%) over the level below
+it: obs:1 vs obs:0 gates the always-on counters/trace ring, obs:2 vs obs:1
+gates the sampled per-slot profiler.  Prints a per-metric table for every
+DbUnionFan run so regressions are diagnosable from the CI log alone.
+
+Also round-trips the machine-readable stats dump the obs>=1 runs write in
+smoke mode (STATS_E13.json) through json.load, proving the hand-rolled
+exporter in src/obs/export.cc emits standards-valid JSON.
 
 Usage:
     check_obs_overhead.py [bench_report.json] [stats_dump.json]
 
 Defaults: BENCH_E13.json STATS_E13.json (the names the smoke run writes
-into the working directory).
+into the repo root).
 """
 
 import json
@@ -21,36 +30,72 @@ import os
 import sys
 
 
-def load_times(report_path):
-    """Returns {obs_arg: seconds_per_iteration} for the DbUnionFan pair.
+def load_runs(report_path):
+    """Returns {obs_arg: metrics_dict} for the DbUnionFan runs.
 
-    Prefers median aggregates (present when the bench ran with
-    --benchmark_repetitions) over raw iteration entries.
+    Accepts the standardized schema ({"bench":..., "metrics":{name: {...}}});
+    aggregate entries (name suffixed _mean/_median/...) are skipped in
+    favor of the plain run when both exist.
     """
     with open(report_path) as f:
         report = json.load(f)
-    picked = {}  # obs arg -> (priority, time_ns)
-    for entry in report.get("benchmarks", []):
-        name = entry.get("run_name") or entry.get("name", "")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(
+            f"FAIL: {report_path} lacks the standardized 'metrics' object "
+            f"(top-level keys: {sorted(report)})")
+    runs = {}
+    for name, entry in metrics.items():
         if not name.startswith("DbUnionFan/"):
             continue
+        tail = name.split("obs:", 1)[1] if "obs:" in name else ""
         try:
-            obs = int(name.split("obs:", 1)[1].split("/")[0])
+            obs = int(tail.split("/")[0].split("_")[0])
         except (IndexError, ValueError):
             continue
-        run_type = entry.get("run_type", "iteration")
-        if run_type == "aggregate":
-            if entry.get("aggregate_name") != "median":
-                continue
+        # Median aggregate (from --benchmark_repetitions) beats the raw
+        # run; other aggregates (mean/stddev/cv) lose to both.
+        if name.endswith("_median"):
             priority = 2
-        else:
+        elif "_" not in tail:
             priority = 1
-        time_ns = entry.get("real_time")
-        if time_ns is None:
-            continue
-        if obs not in picked or priority > picked[obs][0]:
-            picked[obs] = (priority, float(time_ns))
-    return {obs: t for obs, (_, t) in picked.items()}
+        else:
+            priority = 0
+        if obs not in runs or priority > runs[obs][0]:
+            runs[obs] = (priority, name, entry)
+    return {obs: (name, entry) for obs, (_, name, entry) in runs.items()}
+
+
+def print_table(runs):
+    keys = ["real_time_ns", "cpu_time_ns", "iterations"]
+    counter_keys = sorted(
+        {k for _, entry in runs.values() for k in entry.get("counters", {})})
+    header = ["run"] + keys + counter_keys
+    rows = [header]
+    for obs in sorted(runs):
+        name, entry = runs[obs]
+        row = [name]
+        for k in keys:
+            v = entry.get(k)
+            row.append("-" if v is None else f"{v:.1f}")
+        for k in counter_keys:
+            v = entry.get("counters", {}).get(k)
+            row.append("-" if v is None else f"{v:.4g}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    for r in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def gate(label, slow, fast, max_ratio):
+    ratio = slow / fast
+    print(f"{label}: {fast:.1f} -> {slow:.1f} ns/append, "
+          f"ratio {ratio:.4f} (bound {max_ratio})")
+    if ratio > max_ratio:
+        print(f"FAIL: {label} overhead {100 * (ratio - 1):.1f}% exceeds "
+              f"the {100 * (max_ratio - 1):.1f}% bound")
+        return False
+    return True
 
 
 def main(argv):
@@ -58,18 +103,21 @@ def main(argv):
     stats_path = argv[2] if len(argv) > 2 else "STATS_E13.json"
     max_ratio = float(os.environ.get("CHRONICLE_OBS_OVERHEAD_MAX", "1.05"))
 
-    times = load_times(report_path)
-    if 0 not in times or 1 not in times:
-        print(f"FAIL: {report_path} is missing the DbUnionFan obs:0/obs:1 "
-              f"pair (found args {sorted(times)})")
+    runs = load_runs(report_path)
+    missing = [obs for obs in (0, 1, 2) if obs not in runs]
+    if missing:
+        print(f"FAIL: {report_path} is missing DbUnionFan obs args "
+              f"{missing} (found {sorted(runs)})")
         return 1
-    ratio = times[1] / times[0]
-    print(f"DbUnionFan obs off: {times[0]:.1f} ns/append")
-    print(f"DbUnionFan obs on:  {times[1]:.1f} ns/append")
-    print(f"overhead ratio:     {ratio:.4f} (bound {max_ratio})")
-    if ratio > max_ratio:
-        print(f"FAIL: instrumentation overhead {100 * (ratio - 1):.1f}% "
-              f"exceeds the {100 * (max_ratio - 1):.1f}% bound")
+
+    print(f"{report_path}: DbUnionFan per-metric table")
+    print_table(runs)
+
+    times = {obs: float(runs[obs][1]["real_time_ns"]) for obs in runs}
+    ok = gate("metrics+trace (obs:1 vs obs:0)", times[1], times[0], max_ratio)
+    ok = gate("plan profiler (obs:2 vs obs:1)", times[2], times[1],
+              max_ratio) and ok
+    if not ok:
         return 1
 
     # The exporter's own ValidateJson already ran inside the bench; this is

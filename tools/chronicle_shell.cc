@@ -6,6 +6,7 @@
 //
 // Statements end with ';' and may span lines. Meta-commands:
 //   \profile on|off   toggle per-view maintenance profiling
+//   \profile plan on|off  toggle per-slot plan profiling (feeds \explain)
 //   \threads <n>      maintain views on n worker threads (1 = serial)
 //   \wal <dir>        log every mutation to a write-ahead log in <dir>
 //   \wal off          sync and detach the write-ahead log
@@ -16,6 +17,10 @@
 //   \stats prom       ... in Prometheus text exposition format
 //   \stats json       ... as a machine-readable JSON dump
 //   \trace            recent maintenance spans from the trace ring
+//   \serve <port>     start the HTTP monitoring endpoint (0 = ephemeral)
+//   \serve off        stop it
+//   \history          stats time-series sparklines (takes a sample)
+//   \explain <view>   compiled plan of <view> with sampled time shares
 //   \quit             exit
 // Errors are printed and the session continues (scripts abort on error).
 
@@ -32,6 +37,7 @@
 #include "cql/binder.h"
 #include "db/database.h"
 #include "obs/export.h"
+#include "obs/history.h"
 #include "obs/stats.h"
 #include "wal/recovery.h"
 #include "wal/wal.h"
@@ -52,27 +58,36 @@ struct Session {
   uint64_t recovery_records_applied = 0;
   uint64_t recovery_records_skipped = 0;
 
-  // Full observability snapshot: the database's own stats plus the WAL
-  // section, which only this session (the Wal's owner) can fill in.
+  // Only this session (the Wal's owner) can fill the WAL section of the
+  // stats snapshot, so it registers an enricher with the database: every
+  // snapshot — \stats, the HTTP endpoint, the history sampler — gets the
+  // same merge, on whatever thread collects it (the database runs the
+  // enricher under its stats mutex).
+  Session() { InstallEnricher(); }
+
+  void InstallEnricher() {
+    db.set_stats_enricher([this](chronicle::obs::StatsSnapshot* snap) {
+      if (wal != nullptr) {
+        const chronicle::wal::WalStats& w = wal->stats();
+        snap->wal.attached = true;
+        snap->wal.records_logged = w.records_logged;
+        snap->wal.bytes_logged = w.bytes_logged;
+        snap->wal.syncs = w.syncs;
+        snap->wal.segments_created = w.segments_created;
+        snap->wal.segments_removed = w.segments_removed;
+        snap->wal.checkpoints_written = w.checkpoints_written;
+        snap->wal.group_commits = w.group_commits;
+        snap->wal.group_commit_ticks = w.group_commit_ticks;
+        snap->wal.fsync_latency = w.fsync_latency;
+      }
+      snap->wal.recovered = recovered;
+      snap->wal.recovery_records_applied = recovery_records_applied;
+      snap->wal.recovery_records_skipped = recovery_records_skipped;
+    });
+  }
+
   chronicle::obs::StatsSnapshot CollectStats() const {
-    chronicle::obs::StatsSnapshot snap = db.CollectStats();
-    if (wal != nullptr) {
-      const chronicle::wal::WalStats& w = wal->stats();
-      snap.wal.attached = true;
-      snap.wal.records_logged = w.records_logged;
-      snap.wal.bytes_logged = w.bytes_logged;
-      snap.wal.syncs = w.syncs;
-      snap.wal.segments_created = w.segments_created;
-      snap.wal.segments_removed = w.segments_removed;
-      snap.wal.checkpoints_written = w.checkpoints_written;
-      snap.wal.group_commits = w.group_commits;
-      snap.wal.group_commit_ticks = w.group_commit_ticks;
-      snap.wal.fsync_latency = w.fsync_latency;
-    }
-    snap.wal.recovered = recovered;
-    snap.wal.recovery_records_applied = recovery_records_applied;
-    snap.wal.recovery_records_skipped = recovery_records_skipped;
-    return snap;
+    return db.CollectStats();
   }
 
   // Opens a WAL in `dir` and routes every future mutation through it.
@@ -84,18 +99,22 @@ struct Session {
     }
     wal = std::move(opened).value();
     log = std::make_unique<chronicle::wal::WalMutationLog>(wal.get(), &db);
-    db.set_durability({log.get()});
+    db.AttachMutationLog(log.get());
     return true;
   }
 
   void DetachWal() {
-    db.set_durability({});
+    db.DetachMutationLog();
+    // Clearing the enricher waits out any in-flight snapshot, so no other
+    // thread can still be reading the Wal we are about to close.
+    db.set_stats_enricher(nullptr);
     if (wal != nullptr) {
       chronicle::Status st = wal->Close();
       if (!st.ok()) std::printf("ERROR: %s\n", st.ToString().c_str());
     }
     log.reset();
     wal.reset();
+    InstallEnricher();
   }
 };
 
@@ -152,12 +171,51 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
   ChronicleDatabase* db = &session->db;
   if (line == "\\quit" || line == "\\q") {
     *done = true;
+  } else if (line == "\\profile plan on") {
+    db->SetPlanProfiling(true);
+    std::printf("plan profiling on (feeds \\explain)\n");
+  } else if (line == "\\profile plan off") {
+    db->SetPlanProfiling(false);
+    std::printf("plan profiling off\n");
   } else if (line == "\\profile on") {
     db->view_manager().set_profiling(true);
     std::printf("profiling on\n");
   } else if (line == "\\profile off") {
     db->view_manager().set_profiling(false);
     std::printf("profiling off\n");
+  } else if (line == "\\serve off") {
+    db->StopMonitoring();
+    std::printf("monitoring endpoint stopped\n");
+  } else if (line.rfind("\\serve ", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(line.c_str() + 7, &end, 10);
+    if (end == nullptr || *end != '\0' || port > 65535) {
+      std::printf("usage: \\serve <port>   (0 = ephemeral) | \\serve off\n");
+    } else {
+      chronicle::Status st =
+          db->StartMonitoring(static_cast<uint16_t>(port));
+      if (!st.ok()) {
+        std::printf("ERROR: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("serving http://127.0.0.1:%u/ (/metrics /stats.json "
+                    "/trace.json /history.json /healthz "
+                    "/views/<name>/explain.json)\n",
+                    unsigned{db->monitoring_port()});
+      }
+    }
+  } else if (line == "\\history") {
+    db->SampleStatsNow();
+    std::printf("%s", chronicle::obs::RenderHistoryText(
+                          db->history()->Windows())
+                          .c_str());
+  } else if (line.rfind("\\explain ", 0) == 0) {
+    const std::string name = line.substr(9);
+    chronicle::Result<std::string> explain = db->ExplainView(name);
+    if (!explain.ok()) {
+      std::printf("ERROR: %s\n", explain.status().ToString().c_str());
+    } else {
+      std::printf("%s", explain->c_str());
+    }
   } else if (line == "\\wal off") {
     session->DetachWal();
     std::printf("wal detached\n");
@@ -176,7 +234,7 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
     } else {
       chronicle::MaintenanceOptions options = db->maintenance_options();
       options.num_threads = static_cast<size_t>(n);
-      db->set_maintenance_options(options);
+      db->ReconfigureMaintenance(options);
       std::printf("maintenance threads: %lu%s\n", n,
                   n == 1 ? " (serial)" : "");
     }
@@ -235,9 +293,9 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
     }
   } else {
     std::printf(
-        "unknown meta-command %s (try \\profile on|off, \\threads <n>, "
+        "unknown meta-command %s (try \\profile [plan] on|off, \\threads <n>, "
         "\\wal <dir>|off, \\checkpoint, \\recover <dir>, \\stats [prom|json], "
-        "\\trace, \\quit)\n",
+        "\\trace, \\serve <port>|off, \\history, \\explain <view>, \\quit)\n",
         line.c_str());
   }
   return true;
@@ -297,6 +355,9 @@ int main(int argc, char** argv) {
       pending.clear();
     }
   }
+  // Join the monitoring threads while the session (whose enricher they
+  // call) is still fully alive, then close the WAL.
+  session.db.StopMonitoring();
   session.DetachWal();
   return 0;
 }

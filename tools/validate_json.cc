@@ -1,0 +1,57 @@
+// validate_json: reads stdin (or each file argument), runs the in-repo
+// dependency-free JSON checker (obs::ValidateJson), and exits non-zero on
+// the first syntax error. CI pipes the monitoring endpoint's responses
+// through this so the exporters are validated by the same grammar the unit
+// and fuzz suites enforce — no external JSON tooling involved.
+//
+// Usage:
+//   curl -s localhost:9464/stats.json | validate_json
+//   validate_json stats.json history.json
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+
+#include "obs/export.h"
+
+namespace {
+
+int Check(const std::string& label, const std::string& text) {
+  if (text.empty()) {
+    std::fprintf(stderr, "validate_json: %s: empty input\n", label.c_str());
+    return 1;
+  }
+  chronicle::Status status = chronicle::obs::ValidateJson(text);
+  if (!status.ok()) {
+    std::fprintf(stderr, "validate_json: %s: %s\n", label.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON (%zu bytes)\n", label.c_str(), text.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::string text((std::istreambuf_iterator<char>(std::cin)),
+                     std::istreambuf_iterator<char>());
+    return Check("<stdin>", text);
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "validate_json: %s: cannot open\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    rc |= Check(argv[i], text);
+  }
+  return rc;
+}
