@@ -102,14 +102,19 @@ Result<std::vector<ChronicleRow>> NaiveEngine::Evaluate(
       CHRONICLE_ASSIGN_OR_RETURN(const Chronicle* chron,
                                  group_->GetChronicle(expr.chronicle_id()));
       if (scope_ == ScanScope::kFullChronicle &&
-          chron->total_appended() != chron->retained().size()) {
+          chron->total_appended() != chron->num_retained()) {
         return Status::FailedPrecondition(
             "chronicle '" + chron->name() +
             "' has discarded rows; the relational baseline requires the "
-            "entire chronicle to be stored (retention = All)");
+            "entire chronicle to be stored (retention = All or Tiered "
+            "within budget)");
       }
-      std::vector<ChronicleRow> out(chron->retained().begin(),
-                                    chron->retained().end());
+      // Templated visitor scan: warm-tier segment rows stream through the
+      // same lambda as the hot deque, with no per-row std::function hop.
+      std::vector<ChronicleRow> out;
+      out.reserve(chron->num_retained());
+      CHRONICLE_RETURN_NOT_OK(chron->ScanRetained(
+          [&out](const ChronicleRow& row) { out.push_back(row); }));
       DedupeRows(&out);
       return out;
     }

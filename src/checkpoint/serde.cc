@@ -61,8 +61,16 @@ void Writer::WriteTuple(const Tuple& t) {
   for (const Value& v : t) WriteValue(v);
 }
 
+void Writer::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(v));
+}
+
 Status Reader::Need(size_t bytes) const {
-  if (pos_ + bytes > buffer_.size()) {
+  if (pos_ + bytes > data_.size()) {
     return Status::ParseError("checkpoint truncated: need " +
                               std::to_string(bytes) + " bytes at offset " +
                               std::to_string(pos_));
@@ -72,13 +80,13 @@ Status Reader::Need(size_t bytes) const {
 
 Result<uint8_t> Reader::ReadU8() {
   CHRONICLE_RETURN_NOT_OK(Need(1));
-  return static_cast<uint8_t>(buffer_[pos_++]);
+  return static_cast<uint8_t>(data_[pos_++]);
 }
 
 Result<uint32_t> Reader::ReadU32() {
   CHRONICLE_RETURN_NOT_OK(Need(4));
   uint32_t v;
-  std::memcpy(&v, buffer_.data() + pos_, 4);
+  std::memcpy(&v, data_.data() + pos_, 4);
   pos_ += 4;
   return v;
 }
@@ -86,7 +94,7 @@ Result<uint32_t> Reader::ReadU32() {
 Result<uint64_t> Reader::ReadU64() {
   CHRONICLE_RETURN_NOT_OK(Need(8));
   uint64_t v;
-  std::memcpy(&v, buffer_.data() + pos_, 8);
+  std::memcpy(&v, data_.data() + pos_, 8);
   pos_ += 8;
   return v;
 }
@@ -99,7 +107,7 @@ Result<int64_t> Reader::ReadI64() {
 Result<double> Reader::ReadDouble() {
   CHRONICLE_RETURN_NOT_OK(Need(8));
   double v;
-  std::memcpy(&v, buffer_.data() + pos_, 8);
+  std::memcpy(&v, data_.data() + pos_, 8);
   pos_ += 8;
   return v;
 }
@@ -107,7 +115,7 @@ Result<double> Reader::ReadDouble() {
 Result<std::string> Reader::ReadString() {
   CHRONICLE_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
   CHRONICLE_RETURN_NOT_OK(Need(size));
-  std::string s = buffer_.substr(pos_, size);
+  std::string s(data_.substr(pos_, size));
   pos_ += size;
   return s;
 }
@@ -133,6 +141,17 @@ Result<Value> Reader::ReadValue() {
       return Status::ParseError("bad value tag " + std::to_string(tag) +
                                 " in checkpoint");
   }
+}
+
+Result<uint64_t> Reader::ReadVarint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    CHRONICLE_ASSIGN_OR_RETURN(uint8_t byte, ReadU8());
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::ParseError("varint longer than 10 bytes at offset " +
+                            std::to_string(pos_));
 }
 
 Result<Tuple> Reader::ReadTuple() {

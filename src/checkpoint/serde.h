@@ -1,14 +1,17 @@
-// Minimal bounds-checked binary serialization for checkpoints.
+// Minimal bounds-checked binary serialization for checkpoints and the
+// tiered segment store.
 //
 // Little-endian fixed-width integers, IEEE-754 doubles, length-prefixed
-// strings. Values carry a one-byte type tag. Not a wire format for
-// interchange — a crash-recovery image read back by the same build.
+// strings, LEB128 varints. Values carry a one-byte type tag. Not a wire
+// format for interchange — a crash-recovery image read back by the same
+// build.
 
 #ifndef CHRONICLE_CHECKPOINT_SERDE_H_
 #define CHRONICLE_CHECKPOINT_SERDE_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "types/tuple.h"
@@ -34,6 +37,9 @@ class Writer {
   void WriteString(const std::string& s);
   void WriteValue(const Value& v);
   void WriteTuple(const Tuple& t);
+  // Unsigned LEB128: 1 byte for values < 128, ~2x smaller than WriteU64 on
+  // delta-encoded sequence numbers (the segment store's row headers).
+  void WriteVarint(uint64_t v);
 
  private:
   std::string buffer_;
@@ -43,10 +49,21 @@ class Writer {
 // ParseError on truncation or a bad tag.
 class Reader {
  public:
-  explicit Reader(std::string buffer) : buffer_(std::move(buffer)) {}
+  explicit Reader(std::string buffer)
+      : owned_(std::move(buffer)), data_(owned_) {}
 
-  bool AtEnd() const { return pos_ >= buffer_.size(); }
-  size_t remaining() const { return buffer_.size() - pos_; }
+  // A reader over bytes the caller keeps alive (e.g. an mmap'd segment
+  // payload); nothing is copied.
+  static Reader Borrowed(std::string_view data) { return Reader(data); }
+
+  // `data_` may view `owned_`; moving would dangle. Construct in place
+  // (prvalues returned by Borrowed are elided, not moved).
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
 
   Result<uint8_t> ReadU8();
   Result<uint32_t> ReadU32();
@@ -56,11 +73,15 @@ class Reader {
   Result<std::string> ReadString();
   Result<Value> ReadValue();
   Result<Tuple> ReadTuple();
+  Result<uint64_t> ReadVarint();
 
  private:
+  explicit Reader(std::string_view data) : data_(data) {}
+
   Status Need(size_t bytes) const;
 
-  std::string buffer_;
+  std::string owned_;
+  std::string_view data_;
   size_t pos_ = 0;
 };
 

@@ -165,8 +165,16 @@ class Parser {
         }
         stmt.retention =
             RetentionPolicy::Window(static_cast<size_t>(Advance().int_value));
+      } else if (ConsumeKeyword("HOT")) {
+        // Tiered: the newest n rows stay in memory, older rows seal into
+        // on-disk segments (needs a database opened with a data_dir).
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected a row count after RETAIN HOT");
+        }
+        stmt.retention =
+            RetentionPolicy::Tiered(static_cast<size_t>(Advance().int_value));
       } else {
-        return Error("expected ALL, NONE, or LAST after RETAIN");
+        return Error("expected ALL, NONE, LAST, or HOT after RETAIN");
       }
     }
     return Statement(std::move(stmt));

@@ -1,6 +1,7 @@
 // CQL grammar and recursive-descent parser.
 //
-//   CREATE CHRONICLE name (col TYPE, ...) [RETAIN {ALL | NONE | LAST n}]
+//   CREATE CHRONICLE name (col TYPE, ...)
+//     [RETAIN {ALL | NONE | LAST n | HOT n}]
 //   CREATE RELATION  name (col TYPE, ...) [KEY col]
 //   CREATE VIEW name AS
 //     SELECT item [, item ...]

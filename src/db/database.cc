@@ -19,6 +19,11 @@ ChronicleDatabase::ChronicleDatabase(DatabaseOptions options)
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     m_append_batch_ticks_ = metrics_->AddHistogram(
         "append_batch_ticks", "Ticks per AppendMany batch");
+    // Storage counters are registered up front even though the store is
+    // created lazily: the registry only accepts registrations before
+    // sampling starts, and the counters just sit at zero until a kTiered
+    // chronicle attaches.
+    store_metric_ids_ = store::TieredStore::RegisterMetrics(metrics_.get());
   }
   if (options_.observability.trace_capacity > 0) {
     trace_ = std::make_unique<obs::TraceRing>(
@@ -59,7 +64,50 @@ Result<ChronicleId> ChronicleDatabase::CreateChronicle(
   if (relations_by_name_.count(name) != 0) {
     return Status::AlreadyExists("'" + name + "' already names a relation");
   }
-  return group_.CreateChronicle(name, std::move(schema), retention);
+  if (retention.kind == RetentionPolicy::Kind::kTiered &&
+      retention.window_rows == 0) {
+    retention.window_rows = options_.storage.hot_rows;
+  }
+  CHRONICLE_ASSIGN_OR_RETURN(
+      ChronicleId id, group_.CreateChronicle(name, std::move(schema),
+                                             retention));
+  if (retention.kind == RetentionPolicy::Kind::kTiered) {
+    CHRONICLE_RETURN_NOT_OK(
+        AttachTieredChronicle(id, name, retention.window_rows));
+  }
+  return id;
+}
+
+Status ChronicleDatabase::AttachTieredChronicle(ChronicleId id,
+                                                const std::string& name,
+                                                size_t hot_rows) {
+  (void)hot_rows;
+  if (store_ == nullptr) {
+    if (options_.storage.data_dir.empty()) {
+      return Status::InvalidArgument(
+          "chronicle '" + name +
+          "' wants tiered retention but DatabaseOptions::storage.data_dir "
+          "is empty");
+    }
+    CHRONICLE_ASSIGN_OR_RETURN(store_,
+                               store::TieredStore::Open(options_.storage));
+    if (metrics_ != nullptr) {
+      store_->AttachMetrics(metrics_.get(), store_metric_ids_);
+    }
+    // Write-ahead barrier: a seal may not outrun the durable log, or a
+    // crash would recover warm rows the replayed WAL (and every view)
+    // never saw. Reads the log through `this` so WAL attach/detach at
+    // runtime is picked up.
+    store_->SetPreSealBarrier([this]() {
+      MutationLog* log = durability_.mutation_log;
+      return log != nullptr ? log->Sync() : Status::OK();
+    });
+  }
+  // Attach adopts any segments a previous run sealed (recovery).
+  CHRONICLE_RETURN_NOT_OK(store_->AttachChronicle(id, name));
+  CHRONICLE_ASSIGN_OR_RETURN(Chronicle * chron, group_.GetChronicle(id));
+  chron->AttachTierSink(store_.get(), options_.storage.segment_rows);
+  return Status::OK();
 }
 
 Result<RelationId> ChronicleDatabase::CreateRelation(
@@ -91,6 +139,131 @@ Result<ViewId> ChronicleDatabase::CreateView(const std::string& name,
   // Registry mutation is serialized against the monitoring readers.
   std::lock_guard<std::mutex> lock(obs_mutex_);
   return views_.AddView(std::move(view));
+}
+
+namespace {
+
+// RAII flag flip for the relations-frozen-during-maintenance invariant.
+class ScopedFlag {
+ public:
+  explicit ScopedFlag(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~ScopedFlag() { *flag_ = false; }
+  ScopedFlag(const ScopedFlag&) = delete;
+  ScopedFlag& operator=(const ScopedFlag&) = delete;
+
+ private:
+  bool* flag_;
+};
+
+// One chronicle's retained row stream for the backfill merge: warm
+// segments first (pull cursor over mmap'd files), then the hot deque.
+struct BackfillStream {
+  ChronicleId id = 0;
+  store::TieredStore::WarmCursor warm;
+  bool warm_done = true;
+  ChronicleRow warm_row;
+  const std::deque<ChronicleRow>* hot = nullptr;
+  size_t hot_pos = 0;
+
+  Status Init(const store::TieredStore* store, const Chronicle* chron) {
+    id = chron->id();
+    hot = &chron->retained();
+    if (store != nullptr && chron->tier_sink() != nullptr) {
+      warm = store->OpenWarmCursor(id);
+      CHRONICLE_ASSIGN_OR_RETURN(bool more, warm.Next(&warm_row));
+      warm_done = !more;
+    }
+    return Status::OK();
+  }
+  bool done() const { return warm_done && hot_pos >= hot->size(); }
+  SeqNum peek_sn() const {
+    return !warm_done ? warm_row.sn : (*hot)[hot_pos].sn;
+  }
+  Status Pop(ChronicleRow* out) {
+    if (!warm_done) {
+      *out = std::move(warm_row);
+      CHRONICLE_ASSIGN_OR_RETURN(bool more, warm.Next(&warm_row));
+      warm_done = !more;
+      return Status::OK();
+    }
+    *out = (*hot)[hot_pos++];  // copy; the chronicle keeps its rows
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<BackfillReport> ChronicleDatabase::RegisterViewWithBackfill(
+    const std::string& name, CaExprPtr plan, SummarySpec spec,
+    std::vector<ComputedColumn> computed, IndexMode index_mode) {
+  CHRONICLE_ASSIGN_OR_RETURN(
+      ViewId id, CreateView(name, std::move(plan), std::move(spec),
+                            std::move(computed), index_mode));
+  BackfillReport report;
+  report.view = id;
+
+  // The replay holds the stats mutex end to end: monitoring snapshots see
+  // either the pre-backfill or the converged view, never a torn middle.
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  ScopedFlag in_maintenance(&maintenance_in_progress_);
+
+  CHRONICLE_ASSIGN_OR_RETURN(const std::set<ChronicleId>* bases,
+                             views_.ViewChronicles(id));
+  std::vector<BackfillStream> streams;
+  streams.reserve(bases->size());
+  for (ChronicleId cid : *bases) {
+    CHRONICLE_ASSIGN_OR_RETURN(const Chronicle* chron,
+                               group_.GetChronicle(cid));
+    if (chron->total_appended() != chron->num_retained()) {
+      return Status::FailedPrecondition(
+          "cannot backfill '" + name + "': chronicle '" + chron->name() +
+          "' retains " + std::to_string(chron->num_retained()) + " of " +
+          std::to_string(chron->total_appended()) +
+          " appended rows; the view stays registered and is maintained "
+          "from now on");
+    }
+    BackfillStream stream;
+    CHRONICLE_RETURN_NOT_OK(stream.Init(store_.get(), chron));
+    streams.push_back(std::move(stream));
+  }
+
+  // K-way merge by SN: rows sharing one sequence number — across
+  // chronicles — are replayed as ONE event, exactly as they were appended
+  // (the SN-equijoin depends on it). Chronons are not persisted with
+  // retained rows, so replayed events carry chronon == sn.
+  MaintenanceReport mreport;
+  while (true) {
+    SeqNum sn = 0;
+    bool any = false;
+    for (const BackfillStream& s : streams) {
+      if (s.done()) continue;
+      if (!any || s.peek_sn() < sn) sn = s.peek_sn();
+      any = true;
+    }
+    if (!any) break;
+    AppendEvent event;
+    event.sn = sn;
+    event.chronon = static_cast<Chronon>(sn);
+    for (BackfillStream& s : streams) {
+      if (s.done() || s.peek_sn() != sn) continue;
+      std::vector<Tuple> tuples;
+      ChronicleRow row;
+      while (!s.done() && s.peek_sn() == sn) {
+        CHRONICLE_RETURN_NOT_OK(s.Pop(&row));
+        tuples.push_back(std::move(row.values));
+      }
+      report.rows_replayed += tuples.size();
+      event.inserts.emplace_back(s.id, std::move(tuples));
+    }
+    mreport.views.clear();  // per-event outcomes would grow unbounded
+    mreport.batches.clear();
+    CHRONICLE_RETURN_NOT_OK(views_.BackfillView(id, event, &mreport));
+    ++report.events_replayed;
+  }
+  report.delta_rows_applied = mreport.delta_rows_applied;
+  ++backfill_views_;
+  backfill_rows_ += report.rows_replayed;
+  return report;
 }
 
 Status ChronicleDatabase::CreatePeriodicView(
@@ -199,22 +372,6 @@ Result<const Relation*> ChronicleDatabase::GetRelation(
   }
   return static_cast<const Relation*>(relations_[it->second].get());
 }
-
-namespace {
-
-// RAII flag flip for the relations-frozen-during-maintenance invariant.
-class ScopedFlag {
- public:
-  explicit ScopedFlag(bool* flag) : flag_(flag) { *flag_ = true; }
-  ~ScopedFlag() { *flag_ = false; }
-  ScopedFlag(const ScopedFlag&) = delete;
-  ScopedFlag& operator=(const ScopedFlag&) = delete;
-
- private:
-  bool* flag_;
-};
-
-}  // namespace
 
 Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
   if (!event.ok()) return event.status();
@@ -370,6 +527,35 @@ obs::StatsSnapshot ChronicleDatabase::CollectStatsLocked() const {
   if (trace_ != nullptr) {
     snap.trace_emitted = trace_->total_emitted();
     snap.trace_capacity = trace_->capacity();
+  }
+  if (store_ != nullptr) {
+    snap.storage.attached = true;
+    snap.storage.data_dir = store_->options().data_dir;
+    const store::StoreCounters counters = store_->counters();
+    snap.storage.segments_sealed = counters.segments_sealed;
+    snap.storage.segments_evicted = counters.segments_evicted;
+    snap.storage.segments_quarantined = counters.segments_quarantined;
+    snap.storage.rows_sealed = counters.rows_sealed;
+    snap.storage.rows_evicted = counters.rows_evicted;
+    snap.storage.bytes_written = counters.bytes_written;
+    snap.storage.seal_failures = counters.seal_failures;
+    snap.storage.backfill_views = backfill_views_;
+    snap.storage.backfill_rows = backfill_rows_;
+    for (ChronicleId id = 0; id < group_.num_chronicles(); ++id) {
+      const Chronicle* chron = group_.GetChronicle(id).value();
+      if (chron->tier_sink() == nullptr) continue;
+      const store::WarmTierInfo warm = store_->TierOf(id);
+      obs::ChronicleTierSnapshot tier;
+      tier.name = chron->name();
+      tier.hot_rows = chron->retained().size();
+      tier.hot_bytes = chron->MemoryFootprint();
+      tier.warm_segments = warm.segments;
+      tier.warm_rows = warm.rows;
+      tier.warm_bytes = warm.bytes;
+      tier.warm_raw_bytes = warm.raw_bytes;
+      tier.last_sealed_sn = warm.last_sealed_sn;
+      snap.storage.chronicles.push_back(std::move(tier));
+    }
   }
   if (stats_enricher_) stats_enricher_(&snap);
   return snap;

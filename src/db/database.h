@@ -31,6 +31,7 @@
 #include "periodic/sliding_window.h"
 #include "storage/chronicle_group.h"
 #include "storage/relation.h"
+#include "store/tiered_store.h"
 #include "views/view_manager.h"
 
 namespace chronicle {
@@ -97,6 +98,11 @@ class MutationLog {
     }
     return Status::OK();
   }
+  // Forces everything logged so far to stable storage. The tiered store
+  // calls this (through the database's pre-seal barrier) before writing a
+  // segment, upholding the write-ahead rule: rows never become durable in
+  // the store before their log records are. Default: nothing to sync.
+  virtual Status Sync() { return Status::OK(); }
   virtual Status LogRelationInsert(const std::string& relation,
                                    const Tuple& row) = 0;
   virtual Status LogRelationUpdate(const std::string& relation,
@@ -133,6 +139,11 @@ struct DatabaseOptions {
   // policy.
   RetentionPolicy default_retention = RetentionPolicy::All();
   obs::ObservabilityOptions observability;
+  // Tiered storage (src/store): chronicles created with kTiered retention
+  // spill rows past their hot window into segment files under
+  // storage.data_dir. An empty data_dir leaves the store detached and
+  // makes kTiered chronicles an error.
+  store::StorageOptions storage;
 
   DatabaseOptions& set_routing(RoutingMode mode) {
     routing = mode;
@@ -196,6 +207,22 @@ struct DatabaseOptions {
     observability.flight_recorder_max_dumps = max_dumps;
     return *this;
   }
+  DatabaseOptions& set_storage(const store::StorageOptions& s) {
+    storage = s;
+    return *this;
+  }
+  DatabaseOptions& set_data_dir(std::string dir) {
+    storage.data_dir = std::move(dir);
+    return *this;
+  }
+};
+
+// What RegisterViewWithBackfill replayed to bring the late view current.
+struct BackfillReport {
+  ViewId view = 0;
+  uint64_t events_replayed = 0;      // synthetic ticks fed to the view
+  uint64_t rows_replayed = 0;        // chronicle rows streamed (warm + hot)
+  uint64_t delta_rows_applied = 0;   // rows folded into the view
 };
 
 class ChronicleDatabase {
@@ -239,6 +266,21 @@ class ChronicleDatabase {
                             SummarySpec spec,
                             std::vector<ComputedColumn> computed = {},
                             IndexMode index_mode = IndexMode::kHash);
+
+  // Late view registration with replayable backfill (docs/STORAGE.md):
+  // registers the view exactly like CreateView, then rebuilds its state by
+  // streaming every retained row of its base chronicles — warm segments
+  // first, then the hot window — through the normal maintenance path, so
+  // the result is byte-identical to a view registered at SN 0. Requires
+  // every base chronicle to have retained its full history (kAll, or
+  // kTiered with no evictions); fails with FailedPrecondition otherwise,
+  // leaving the view registered but only maintained from now on. Replayed
+  // events carry chronon == sn (retained rows do not persist chronons), so
+  // plans must not select on chronons — persistent CA views never do.
+  Result<BackfillReport> RegisterViewWithBackfill(
+      const std::string& name, CaExprPtr plan, SummarySpec spec,
+      std::vector<ComputedColumn> computed = {},
+      IndexMode index_mode = IndexMode::kHash);
 
   // Registers a periodic view set V<D> (§5.1).
   Status CreatePeriodicView(const std::string& name, CaExprPtr plan,
@@ -330,6 +372,11 @@ class ChronicleDatabase {
   ViewManager& view_manager() { return views_; }
   const ViewManager& view_manager() const { return views_; }
   uint64_t appends_processed() const { return appends_processed_; }
+
+  // The tiered segment store, or nullptr until the first kTiered chronicle
+  // is created. Borrowed; owned by the database.
+  store::TieredStore* tiered_store() { return store_.get(); }
+  const store::TieredStore* tiered_store() const { return store_.get(); }
 
   // The options this database was opened with (durability/maintenance kept
   // in sync by the deprecated setters below).
@@ -457,6 +504,11 @@ class ChronicleDatabase {
 
   Result<AppendResult> Maintain(Result<AppendEvent> event);
 
+  // Lazily opens the tiered store (first kTiered chronicle) and attaches
+  // chronicle `id` to it.
+  Status AttachTieredChronicle(ChronicleId id, const std::string& name,
+                               size_t hot_rows);
+
   // CollectStats body without taking obs_mutex_ (callers hold it).
   obs::StatsSnapshot CollectStatsLocked() const;
   // Routes one monitoring request (runs on the HTTP server's thread).
@@ -475,6 +527,13 @@ class ChronicleDatabase {
   obs::MetricId m_append_batch_ticks_ = 0;  // histogram: AppendMany sizes
 
   ChronicleGroup group_;
+  // The warm tier (segment files). Created lazily by the first kTiered
+  // CreateChronicle; metric ids are pre-registered at construction so the
+  // registry is never mutated after sampling may have started.
+  std::unique_ptr<store::TieredStore> store_;
+  store::StoreMetricIds store_metric_ids_;
+  uint64_t backfill_views_ = 0;
+  uint64_t backfill_rows_ = 0;
   mutable std::unordered_map<ChronicleId, CaExprPtr> scan_cache_;
   std::vector<std::unique_ptr<Relation>> relations_;
   std::unordered_map<std::string, RelationId> relations_by_name_;

@@ -330,6 +330,33 @@ std::string RenderText(const StatsSnapshot& snapshot) {
               w.recovery_records_applied, w.recovery_records_skipped);
     }
   }
+  if (snapshot.storage.attached) {
+    const StorageStatsSnapshot& s = snapshot.storage;
+    out += "\nstorage:\n";
+    Appendf(&out, "  data dir: %s\n", s.data_dir.c_str());
+    Appendf(&out,
+            "  segments=+%" PRIu64 "/-%" PRIu64 " quarantined=%" PRIu64
+            " seal_failures=%" PRIu64 "\n",
+            s.segments_sealed, s.segments_evicted, s.segments_quarantined,
+            s.seal_failures);
+    Appendf(&out,
+            "  rows sealed=%" PRIu64 " evicted=%" PRIu64
+            " bytes_written=%" PRIu64 "\n",
+            s.rows_sealed, s.rows_evicted, s.bytes_written);
+    if (s.backfill_views > 0) {
+      Appendf(&out, "  backfill: %" PRIu64 " views, %" PRIu64 " rows\n",
+              s.backfill_views, s.backfill_rows);
+    }
+    for (const ChronicleTierSnapshot& c : s.chronicles) {
+      Appendf(&out,
+              "  %-24s hot=%" PRIu64 " rows (%" PRIu64 "B) warm=%" PRIu64
+              " rows in %" PRIu64 " segs (%" PRIu64 "B disk / %" PRIu64
+              "B raw) sealed_sn=%" PRIu64 "\n",
+              c.name.c_str(), c.hot_rows, c.hot_bytes, c.warm_rows,
+              c.warm_segments, c.warm_bytes, c.warm_raw_bytes,
+              c.last_sealed_sn);
+    }
+  }
   return out;
 }
 
@@ -411,6 +438,54 @@ std::string RenderPrometheus(const StatsSnapshot& snapshot) {
             "# TYPE chronicle_wal_fsync_latency_ns histogram\n");
     PromHistogram(&out, "chronicle_wal_fsync_latency_ns", "", w.fsync_latency);
   }
+
+  if (snapshot.storage.attached) {
+    const StorageStatsSnapshot& s = snapshot.storage;
+    // Aggregate counters (storage_*_total) come from the metrics registry
+    // above; only the section-local aggregates and per-chronicle tier
+    // gauges are rendered here, under distinct names.
+    PromCounter(&out, "chronicle_storage_segments_quarantined_total",
+                "Segments quarantined as corrupt at attach",
+                s.segments_quarantined);
+    PromCounter(&out, "chronicle_storage_backfill_views_total",
+                "Views registered with historical backfill", s.backfill_views);
+    PromCounter(&out, "chronicle_storage_backfill_rows_total",
+                "Rows replayed into late-registered views", s.backfill_rows);
+    if (!s.chronicles.empty()) {
+      struct Field {
+        const char* metric;
+        const char* help;
+        uint64_t (*get)(const ChronicleTierSnapshot&);
+      };
+      static const Field kFields[] = {
+          {"chronicle_storage_hot_rows", "Rows in the hot in-memory window",
+           [](const ChronicleTierSnapshot& c) { return c.hot_rows; }},
+          {"chronicle_storage_hot_bytes",
+           "Approximate in-memory bytes of the hot window",
+           [](const ChronicleTierSnapshot& c) { return c.hot_bytes; }},
+          {"chronicle_storage_warm_rows", "Rows in sealed warm segments",
+           [](const ChronicleTierSnapshot& c) { return c.warm_rows; }},
+          {"chronicle_storage_warm_segments", "Sealed warm segment files",
+           [](const ChronicleTierSnapshot& c) { return c.warm_segments; }},
+          {"chronicle_storage_warm_bytes", "On-disk bytes of warm segments",
+           [](const ChronicleTierSnapshot& c) { return c.warm_bytes; }},
+          {"chronicle_storage_warm_raw_bytes",
+           "In-memory-equivalent bytes of the warm rows",
+           [](const ChronicleTierSnapshot& c) { return c.warm_raw_bytes; }},
+          {"chronicle_storage_last_sealed_sn",
+           "Highest SN covered by a sealed segment",
+           [](const ChronicleTierSnapshot& c) { return c.last_sealed_sn; }},
+      };
+      for (const Field& f : kFields) {
+        Appendf(&out, "# HELP %s %s\n# TYPE %s gauge\n", f.metric, f.help,
+                f.metric);
+        for (const ChronicleTierSnapshot& c : s.chronicles) {
+          Appendf(&out, "%s{chronicle=\"%s\"} %" PRIu64 "\n", f.metric,
+                  Escape(c.name).c_str(), f.get(c));
+        }
+      }
+    }
+  }
   return out;
 }
 
@@ -479,6 +554,36 @@ std::string RenderJson(const StatsSnapshot& snapshot) {
               w.recovery_records_applied, w.recovery_records_skipped);
     }
     out += "}";
+  } else {
+    out += "null";
+  }
+
+  out += ",\"storage\":";
+  if (snapshot.storage.attached) {
+    const StorageStatsSnapshot& s = snapshot.storage;
+    Appendf(&out,
+            "{\"data_dir\":\"%s\",\"segments_sealed\":%" PRIu64
+            ",\"segments_evicted\":%" PRIu64
+            ",\"segments_quarantined\":%" PRIu64 ",\"rows_sealed\":%" PRIu64
+            ",\"rows_evicted\":%" PRIu64 ",\"bytes_written\":%" PRIu64
+            ",\"seal_failures\":%" PRIu64 ",\"backfill_views\":%" PRIu64
+            ",\"backfill_rows\":%" PRIu64 ",\"chronicles\":[",
+            Escape(s.data_dir).c_str(), s.segments_sealed, s.segments_evicted,
+            s.segments_quarantined, s.rows_sealed, s.rows_evicted,
+            s.bytes_written, s.seal_failures, s.backfill_views,
+            s.backfill_rows);
+    for (size_t i = 0; i < s.chronicles.size(); ++i) {
+      const ChronicleTierSnapshot& c = s.chronicles[i];
+      if (i > 0) out += ",";
+      Appendf(&out,
+              "{\"name\":\"%s\",\"hot_rows\":%" PRIu64 ",\"hot_bytes\":%" PRIu64
+              ",\"warm_segments\":%" PRIu64 ",\"warm_rows\":%" PRIu64
+              ",\"warm_bytes\":%" PRIu64 ",\"warm_raw_bytes\":%" PRIu64
+              ",\"last_sealed_sn\":%" PRIu64 "}",
+              Escape(c.name).c_str(), c.hot_rows, c.hot_bytes, c.warm_segments,
+              c.warm_rows, c.warm_bytes, c.warm_raw_bytes, c.last_sealed_sn);
+    }
+    out += "]}";
   } else {
     out += "null";
   }

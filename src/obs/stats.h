@@ -107,6 +107,38 @@ struct WalStatsSnapshot {
   uint64_t recovery_records_skipped = 0;
 };
 
+// One chronicle's hot/warm tier breakdown in the storage section.
+struct ChronicleTierSnapshot {
+  std::string name;
+  uint64_t hot_rows = 0;
+  uint64_t hot_bytes = 0;        // ApproxTupleBytes footprint of the deque
+  uint64_t warm_segments = 0;
+  uint64_t warm_rows = 0;
+  uint64_t warm_bytes = 0;       // on-disk encoded bytes
+  uint64_t warm_raw_bytes = 0;   // in-memory-equivalent of the warm rows
+  uint64_t last_sealed_sn = 0;
+};
+
+// Tiered-store statistics, mirrored from store::TieredStore by the
+// database (obs does not depend on src/store). `attached` false means the
+// section renders as absent/null.
+struct StorageStatsSnapshot {
+  bool attached = false;
+  std::string data_dir;
+  uint64_t segments_sealed = 0;
+  uint64_t segments_evicted = 0;
+  uint64_t segments_quarantined = 0;
+  uint64_t rows_sealed = 0;
+  uint64_t rows_evicted = 0;
+  uint64_t bytes_written = 0;
+  uint64_t seal_failures = 0;
+  // Late-view backfill totals (db-level; the per-event metrics live in the
+  // registry as backfill_events_total / backfill_rows_total).
+  uint64_t backfill_views = 0;
+  uint64_t backfill_rows = 0;
+  std::vector<ChronicleTierSnapshot> chronicles;  // tiered chronicles only
+};
+
 // The whole-database snapshot: everything the exporters render and the
 // benches assert against. Built by ChronicleDatabase::CollectStats();
 // the WAL section is merged in by the Wal's owner.
@@ -118,6 +150,7 @@ struct StatsSnapshot {
   std::vector<MetricSample> metrics;     // registry, registration order
   std::vector<ViewStatsSnapshot> views;  // live views, registration order
   WalStatsSnapshot wal;
+  StorageStatsSnapshot storage;
   uint64_t trace_emitted = 0;
   uint64_t trace_capacity = 0;
 };

@@ -9,9 +9,19 @@ Chronicle::Chronicle(ChronicleId id, std::string name, Schema schema,
       schema_(std::move(schema)),
       retention_(retention) {}
 
-void Chronicle::ScanRetained(
+Status Chronicle::ScanRetained(
     const std::function<void(const ChronicleRow&)>& fn) const {
-  for (const ChronicleRow& row : rows_) fn(row);
+  return ScanRetained([&fn](const ChronicleRow& row) { fn(row); });
+}
+
+Status Chronicle::ScanWarmTier(
+    const std::function<void(const ChronicleRow&)>& fn) const {
+  return sink_->ScanWarm(id_, fn);
+}
+
+void Chronicle::AttachTierSink(TierSink* sink, size_t seal_batch_rows) {
+  sink_ = sink;
+  seal_batch_rows_ = seal_batch_rows == 0 ? 1 : seal_batch_rows;
 }
 
 size_t Chronicle::ApproxTupleBytes(const Tuple& t) {
@@ -26,12 +36,39 @@ void Chronicle::AppendValidated(SeqNum sn, std::vector<Tuple> tuples) {
   total_appended_ += tuples.size();
   last_sn_ = sn;
   if (retention_.kind == RetentionPolicy::Kind::kNone) return;
+  if (retention_.kind == RetentionPolicy::Kind::kTiered && sink_ != nullptr &&
+      sn <= sink_->last_sealed_sn(id_)) {
+    // Recovery replay (checkpoint restore or WAL tail) of rows the warm
+    // tier already holds durably; counters were advanced above.
+    return;
+  }
   for (Tuple& t : tuples) {
     meter_.Add(ApproxTupleBytes(t));
     rows_.push_back(ChronicleRow{sn, std::move(t)});
   }
   if (retention_.kind == RetentionPolicy::Kind::kWindow) {
     while (rows_.size() > retention_.window_rows) {
+      meter_.Sub(ApproxTupleBytes(rows_.front().values));
+      rows_.pop_front();
+    }
+  } else if (retention_.kind == RetentionPolicy::Kind::kTiered) {
+    MaybeSealTier();
+  }
+}
+
+void Chronicle::MaybeSealTier() {
+  if (sink_ == nullptr) return;
+  while (rows_.size() >= retention_.window_rows + seal_batch_rows_) {
+    size_t count = seal_batch_rows_;
+    // Never split one sequence number across the warm/hot boundary: the
+    // recovery dedup guard (`sn <= last_sealed_sn`) must be able to treat
+    // a sealed SN as fully sealed.
+    while (count < rows_.size() && rows_[count - 1].sn == rows_[count].sn) {
+      ++count;
+    }
+    std::vector<ChronicleRow> batch(rows_.begin(), rows_.begin() + count);
+    if (!sink_->SealRows(id_, batch).ok()) return;
+    for (size_t i = 0; i < count; ++i) {
       meter_.Sub(ApproxTupleBytes(rows_.front().values));
       rows_.pop_front();
     }

@@ -35,6 +35,8 @@ struct RetentionPolicy {
     kNone,    // store nothing (pure stream; maintenance-only)
     kWindow,  // keep the most recent `window_rows` rows
     kAll,     // keep everything (needed by the naive baseline)
+    kTiered,  // keep `window_rows` rows hot in memory, spill the rest to an
+              // attached TierSink (the on-disk segment store)
   };
 
   Kind kind = Kind::kAll;
@@ -43,6 +45,33 @@ struct RetentionPolicy {
   static RetentionPolicy None() { return {Kind::kNone, 0}; }
   static RetentionPolicy Window(size_t rows) { return {Kind::kWindow, rows}; }
   static RetentionPolicy All() { return {Kind::kAll, 0}; }
+  static RetentionPolicy Tiered(size_t hot_rows) {
+    return {Kind::kTiered, hot_rows};
+  }
+};
+
+// Where a tiered chronicle spills rows that age out of the hot window.
+// Implemented by store::TieredStore; declared here so the storage layer
+// never depends on the store library.
+class TierSink {
+ public:
+  virtual ~TierSink() = default;
+
+  // Durably persists `rows` (a contiguous, oldest-first slice of the
+  // chronicle; never splits a sequence number). On OK the rows may be
+  // dropped from memory; on error the caller must keep them hot.
+  virtual Status SealRows(ChronicleId id,
+                          const std::vector<ChronicleRow>& rows) = 0;
+  // Highest sequence number durably sealed for `id`; 0 if none. Appends at
+  // or below this SN are already in the warm tier (recovery replay).
+  virtual SeqNum last_sealed_sn(ChronicleId id) const = 0;
+  // Rows currently retained in the warm tier for `id`.
+  virtual uint64_t WarmRows(ChronicleId id) const = 0;
+  // Applies `fn` to every warm row of `id`, oldest first. Fails closed if a
+  // segment cannot be decoded.
+  virtual Status ScanWarm(
+      ChronicleId id,
+      const std::function<void(const ChronicleRow&)>& fn) const = 0;
 };
 
 class Chronicle {
@@ -65,20 +94,54 @@ class Chronicle {
   // Sequence number of the most recent append; 0 if never appended.
   SeqNum last_sn() const { return last_sn_; }
 
-  // The retained suffix, oldest first.
+  // The hot (in-memory) retained suffix, oldest first. Under kTiered this
+  // is only the hot window; use ScanRetained / num_retained for the full
+  // retained prefix including warm segments.
   const std::deque<ChronicleRow>& retained() const { return rows_; }
 
-  // Applies `fn` to every retained row, oldest first.
-  void ScanRetained(const std::function<void(const ChronicleRow&)>& fn) const;
+  // Total rows retained across warm (on-disk) and hot tiers.
+  uint64_t num_retained() const {
+    return (sink_ != nullptr ? sink_->WarmRows(id_) : 0) + rows_.size();
+  }
 
-  // Approximate bytes held by retained rows.
+  // Applies `fn` to every retained row, oldest first: warm segments (if a
+  // tier sink is attached) then the hot deque. The templated overload is
+  // the hot path — `fn` is invoked directly with no per-row indirect call.
+  // Returns non-OK only if a warm segment cannot be decoded.
+  template <typename Visitor>
+  Status ScanRetained(Visitor&& fn) const {
+    if (sink_ != nullptr) {
+      CHRONICLE_RETURN_NOT_OK(ScanWarmTier(fn));
+    }
+    for (const ChronicleRow& row : rows_) fn(row);
+    return Status::OK();
+  }
+  // Thin wrapper for callers that already hold a std::function.
+  Status ScanRetained(const std::function<void(const ChronicleRow&)>& fn) const;
+
+  // Approximate bytes held by hot retained rows.
   size_t MemoryFootprint() const { return meter_.current(); }
+
+  // Attaches the warm-tier sink for a kTiered chronicle. `seal_batch_rows`
+  // rows are handed to the sink per seal (extended so one SN never spans
+  // the hot/warm boundary). Must be attached before the first append.
+  void AttachTierSink(TierSink* sink, size_t seal_batch_rows);
+
+  const TierSink* tier_sink() const { return sink_; }
 
  private:
   friend class ChronicleGroup;  // appends are group-mediated
 
   // Called by ChronicleGroup after SN validation and schema validation.
   void AppendValidated(SeqNum sn, std::vector<Tuple> tuples);
+
+  // Spills hot rows past the window to the tier sink, oldest first. A sink
+  // failure leaves the rows hot (retention degrades; nothing is lost).
+  void MaybeSealTier();
+
+  // Out-of-line bridge so the templated ScanRetained stays header-only
+  // without instantiating the sink call per visitor type.
+  Status ScanWarmTier(const std::function<void(const ChronicleRow&)>& fn) const;
 
   static size_t ApproxTupleBytes(const Tuple& t);
 
@@ -90,6 +153,8 @@ class Chronicle {
   uint64_t total_appended_ = 0;
   SeqNum last_sn_ = 0;
   MemoryMeter meter_;
+  TierSink* sink_ = nullptr;  // not owned; null unless kTiered and attached
+  size_t seal_batch_rows_ = 0;
 };
 
 }  // namespace chronicle

@@ -315,6 +315,34 @@ Result<MaintenanceReport> ViewManager::ProcessAppend(const AppendEvent& event) {
   return report;
 }
 
+Status ViewManager::BackfillView(ViewId id, const AppendEvent& event,
+                                 MaintenanceReport* report) {
+  if (id >= views_.size() || views_[id].view == nullptr) {
+    return Status::NotFound("no view with id " + std::to_string(id));
+  }
+  cache_.Clear();  // node deltas memoized below are valid for this event only
+  CHRONICLE_RETURN_NOT_OK(
+      MaintainOne(id, event, &cache_, &scratch_, 0, report));
+  if (metrics_ != nullptr) {
+    size_t rows = 0;
+    for (const auto& [chron, tuples] : event.inserts) {
+      (void)chron;
+      rows += tuples.size();
+    }
+    metrics_->Count(m_backfill_events_, 1);
+    metrics_->Count(m_backfill_rows_, rows);
+  }
+  return Status::OK();
+}
+
+Result<const std::set<ChronicleId>*> ViewManager::ViewChronicles(
+    ViewId id) const {
+  if (id >= views_.size() || views_[id].view == nullptr) {
+    return Status::NotFound("no view with id " + std::to_string(id));
+  }
+  return &views_[id].chronicles;
+}
+
 Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
                                 DeltaCache* cache, exec::PlanScratch* scratch,
                                 size_t worker, MaintenanceReport* report) {
@@ -518,6 +546,10 @@ void ViewManager::set_observability(obs::MetricsRegistry* metrics,
                                           "Views maintained per fan-out batch");
   m_worker_ns_ = metrics_->AddHistogram("maintenance_worker_ns",
                                         "Per-batch delta work latency");
+  m_backfill_events_ = metrics_->AddCounter(
+      "backfill_events_total", "Historical events replayed into late views");
+  m_backfill_rows_ = metrics_->AddCounter(
+      "backfill_rows_total", "Chronicle rows replayed by view backfill");
 }
 
 Result<const obs::ViewStats*> ViewManager::GetViewStats(

@@ -141,6 +141,18 @@ class ViewManager {
   // run on the pool; the report is identical either way.
   Result<MaintenanceReport> ProcessAppend(const AppendEvent& event);
 
+  // Replays one historical event into a SINGLE view (the tiered store's
+  // backfill path): routing is bypassed — the caller owns event order and
+  // coverage — and the delta goes through the same MaintainOne primitive
+  // as live maintenance, so a backfilled view converges to the exact state
+  // it would have reached had it been registered at SN 0. Serial-path
+  // state; must not run concurrently with ProcessAppend.
+  Status BackfillView(ViewId id, const AppendEvent& event,
+                      MaintenanceReport* report);
+
+  // Base chronicles of one view's plan (what backfill must stream).
+  Result<const std::set<ChronicleId>*> ViewChronicles(ViewId id) const;
+
   // Reconfigures the parallel maintenance path. Creating/destroying the
   // pool happens here, never on the append path. Must not be called while
   // an append is in flight.
@@ -271,6 +283,8 @@ class ViewManager {
   obs::MetricId m_routing_ns_ = 0;      // histogram: candidate+guard phase
   obs::MetricId m_batch_views_ = 0;     // histogram: views per worker batch
   obs::MetricId m_worker_ns_ = 0;       // histogram: per-batch latency
+  obs::MetricId m_backfill_events_ = 0; // counter: events replayed
+  obs::MetricId m_backfill_rows_ = 0;   // counter: chronicle rows replayed
 
   RoutingMode mode_;
   bool profiling_ = false;

@@ -180,6 +180,8 @@ class WalMutationLog : public MutationLog {
                    const std::vector<std::pair<ChronicleId, std::vector<Tuple>>>&
                        inserts) override;
   Status LogAppendMany(const std::vector<PendingAppend>& ticks) override;
+  // Pre-seal write-ahead barrier for the tiered store.
+  Status Sync() override { return wal_->Sync(); }
   Status LogRelationInsert(const std::string& relation,
                            const Tuple& row) override;
   Status LogRelationUpdate(const std::string& relation, const Value& key,

@@ -3,6 +3,10 @@
 //   $ ./chronicle_shell               # interactive REPL on stdin
 //   $ ./chronicle_shell script.cql    # execute a ';'-separated script
 //   $ echo "SHOW VIEWS;" | ./chronicle_shell
+//   $ ./chronicle_shell --data-dir <dir>   # tiered chronicles spill here
+//
+// With --data-dir, chronicles created with tiered retention seal aged rows
+// into segment files under <dir>, and \stats shows the per-tier breakdown.
 //
 // Statements end with ';' and may span lines. Meta-commands:
 //   \profile on|off   toggle per-view maintenance profiling
@@ -63,7 +67,10 @@ struct Session {
   // snapshot — \stats, the HTTP endpoint, the history sampler — gets the
   // same merge, on whatever thread collects it (the database runs the
   // enricher under its stats mutex).
-  Session() { InstallEnricher(); }
+  explicit Session(chronicle::DatabaseOptions options = {})
+      : db(std::move(options)) {
+    InstallEnricher();
+  }
 
   void InstallEnricher() {
     db.set_stats_enricher([this](chronicle::obs::StatsSnapshot* snap) {
@@ -323,8 +330,24 @@ int RunScriptFile(ChronicleDatabase* db, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Session session;
-  if (argc > 1) return RunScriptFile(&session.db, argv[1]);
+  chronicle::DatabaseOptions options;
+  const char* script = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--data-dir" && i + 1 < argc) {
+      options.storage.data_dir = argv[++i];
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      options.storage.data_dir = arg.substr(11);
+    } else if (script == nullptr && !arg.empty() && arg[0] != '-') {
+      script = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: chronicle_shell [--data-dir <dir>] [script.cql]\n");
+      return 1;
+    }
+  }
+  Session session(std::move(options));
+  if (script != nullptr) return RunScriptFile(&session.db, script);
 
   const bool interactive = isatty(0);
   if (interactive) {
