@@ -1,0 +1,145 @@
+// Experiment E15 — sharded multi-core ingest (src/shard).
+//
+// One question: does hash-partitioning the chronicle across N shard
+// engines — each with its own SPSC lane, append path, and maintenance
+// worker — actually buy multi-core ingest throughput? ShardedIngest
+// drives the async pipeline (EnqueueAppend + Flush) at shards in
+// {1, 2, 4} over a CDR workload with a per-tick GroupBy view, reporting
+// appends/sec end to end (split + enqueue + per-shard apply + view
+// maintenance).
+//
+// Acceptance (CI shard-scaling gate, tools/check_shard_scaling.py): on a
+// >= 4-core runner, 4-shard throughput >= 2x 1-shard. The `cores` counter
+// records std::thread::hardware_concurrency() so the gate can derate on
+// smaller machines instead of failing on hardware the bench cannot use.
+//
+// Smoke runs write BENCH_E15.json; the gate re-runs the bench with
+// repetitions and reads the _median entries.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "shard/sharded_db.h"
+#include "workload/call_records.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+using shard::ShardedDatabase;
+
+constexpr size_t kBatchRows = 256;
+
+std::unique_ptr<ShardedDatabase> OpenSharded(size_t num_shards) {
+  DatabaseOptions options;
+  options.sharding.num_shards = num_shards;
+  options.sharding.queue_capacity = 1024;
+  options.observability.metrics = false;  // measure ingest, not obs
+  auto db = Unwrap(ShardedDatabase::Open(std::move(options)));
+  Check(db->CreateChronicle("calls", CallRecordGenerator::RecordSchema())
+            .status());
+  // A per-append GroupBy view so every tick pays realistic maintenance;
+  // keyed on the partition column, so per-shard state never overlaps.
+  Check(db->CreateView(
+              "by_caller",
+              [](ChronicleDatabase& e) { return e.ScanChronicle("calls"); },
+              Unwrap(SummarySpec::GroupBy(
+                  CallRecordGenerator::RecordSchema(), {"caller"},
+                  {AggSpec::Sum("minutes", "m"), AggSpec::Count("n")})))
+            .status());
+  return db;
+}
+
+// --- ShardedIngest: the async pipeline, one producer feeding N shard
+// workers. Each iteration enqueues a fixed slab of pre-generated batches
+// and drains it with Flush, so the measured region covers the full path:
+// partition split, SPSC handoff, per-shard append, view maintenance.
+void ShardedIngest(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  auto db = OpenSharded(shards);
+
+  // Pre-generate the workload outside timing; enqueue copies per pass so
+  // every iteration routes identical rows.
+  CallRecordGenerator gen;
+  const int64_t batches_per_iter = Scaled(64, 8);
+  std::vector<std::vector<Tuple>> pool;
+  pool.reserve(static_cast<size_t>(batches_per_iter));
+  for (int64_t b = 0; b < batches_per_iter; ++b) {
+    pool.push_back(gen.NextBatch(kBatchRows));
+  }
+
+  Check(db->StartIngest(/*num_producers=*/1));
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    for (const std::vector<Tuple>& batch : pool) {
+      Check(db->EnqueueAppend(0, "calls", batch));
+    }
+    Check(db->Flush());
+    rows += static_cast<uint64_t>(batches_per_iter) * kBatchRows;
+  }
+  Check(db->StopIngest());
+
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["batch_rows"] = static_cast<double>(kBatchRows);
+}
+BENCHMARK(ShardedIngest)
+    ->ArgNames({"shards"})
+    ->Args({1})
+    ->Args({2})
+    ->Args({4})
+    ->UseRealTime();
+
+// --- SyncRoutedAppend: the deterministic synchronous path (the
+// equivalence-fuzz path) for reference — split cost plus serial per-shard
+// applies on the caller's thread. No parallelism: the gap between this
+// and ShardedIngest at the same shard count is what the workers buy.
+void SyncRoutedAppend(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  auto db = OpenSharded(shards);
+  CallRecordGenerator gen;
+  std::vector<Tuple> batch = gen.NextBatch(kBatchRows);
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    Check(db->Append("calls", batch).status());
+    rows += kBatchRows;
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(SyncRoutedAppend)->ArgNames({"shards"})->Args({1})->Args({4});
+
+// --- MergedScan: cross-shard summary read cost — VisitGroups over every
+// shard, AggSpec::Merge, finalize through the scratch view.
+void MergedScan(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  auto db = OpenSharded(shards);
+  CallRecordGenerator gen;
+  const int64_t setup_batches = Scaled(256, 16);
+  for (int64_t b = 0; b < setup_batches; ++b) {
+    Check(db->Append("calls", gen.NextBatch(kBatchRows)).status());
+  }
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    std::vector<Tuple> out = Unwrap(db->ScanView("by_caller"));
+    benchmark::DoNotOptimize(out.data());
+    rows += out.size();
+  }
+  state.counters["groups_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(MergedScan)->ArgNames({"shards"})->Args({1})->Args({4});
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+CHRONICLE_BENCH_MAIN();

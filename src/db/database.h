@@ -117,6 +117,28 @@ struct DurabilityOptions {
   MutationLog* mutation_log = nullptr;
 };
 
+// Horizontal partitioning (src/shard/sharded_db.h). ChronicleDatabase
+// itself ignores this block — it always runs a single engine.
+// shard::ShardedDatabase::Open consumes it to decide how many per-shard
+// engines to spin up and which column routes each row. num_shards == 1 is
+// the equivalence oracle: the router forwards every call verbatim to one
+// engine, so results are bit-identical to an unsharded database.
+struct ShardingOptions {
+  // Number of shards (per-shard engines). 1 = unsharded passthrough.
+  size_t num_shards = 1;
+  // Column that routes rows to shards. Every chronicle must have a column
+  // with this name. Empty = each chronicle's first column.
+  std::string partition_key;
+  // Capacity (rounded up to a power of two) of each producer->shard SPSC
+  // ring used by the async ingest pipeline.
+  size_t queue_capacity = 1024;
+  // When non-empty, ShardedDatabase owns one WAL per shard under
+  // <wal_dir>/shard-<k> and recovery replays each shard independently.
+  // Empty = no router-owned durability (callers may still attach their
+  // own per-engine logs).
+  std::string wal_dir;
+};
+
 // The single configuration entry point for a ChronicleDatabase. Every knob
 // that used to be scattered across the constructor (routing), post-hoc
 // setters (set_maintenance_options, set_durability), and per-call default
@@ -144,6 +166,9 @@ struct DatabaseOptions {
   // storage.data_dir. An empty data_dir leaves the store detached and
   // makes kTiered chronicles an error.
   store::StorageOptions storage;
+  // Horizontal partitioning, consumed by shard::ShardedDatabase::Open
+  // (ignored by a directly-constructed ChronicleDatabase).
+  ShardingOptions sharding;
 
   DatabaseOptions& set_routing(RoutingMode mode) {
     routing = mode;
@@ -213,6 +238,18 @@ struct DatabaseOptions {
   }
   DatabaseOptions& set_data_dir(std::string dir) {
     storage.data_dir = std::move(dir);
+    return *this;
+  }
+  DatabaseOptions& set_sharding(const ShardingOptions& s) {
+    sharding = s;
+    return *this;
+  }
+  DatabaseOptions& set_num_shards(size_t n) {
+    sharding.num_shards = n;
+    return *this;
+  }
+  DatabaseOptions& set_partition_key(std::string column) {
+    sharding.partition_key = std::move(column);
     return *this;
   }
 };

@@ -357,6 +357,23 @@ std::string RenderText(const StatsSnapshot& snapshot) {
               c.last_sealed_sn);
     }
   }
+  if (snapshot.sharding.attached) {
+    const ShardingStatsSnapshot& sh = snapshot.sharding;
+    out += "\nsharding:\n";
+    Appendf(&out, "  shards=%zu partition_key=%s\n", sh.num_shards,
+            sh.partition_key.empty() ? "<mixed>" : sh.partition_key.c_str());
+    for (const ShardStatsSnapshot& s : sh.shards) {
+      Appendf(&out,
+              "  shard %-3zu appends=%" PRIu64 " queue_depth=%" PRIu64
+              " batches=%" PRIu64 " rows=%" PRIu64 "\n",
+              s.shard, s.appends_processed, s.queue_depth, s.enqueued_batches,
+              s.routed_rows);
+      if (s.tick_latency_populated && s.tick_latency.count() > 0) {
+        Appendf(&out, "  %-9s tick latency %s\n", "",
+                s.tick_latency.ToString().c_str());
+      }
+    }
+  }
   return out;
 }
 
@@ -486,6 +503,52 @@ std::string RenderPrometheus(const StatsSnapshot& snapshot) {
       }
     }
   }
+
+  if (snapshot.sharding.attached) {
+    const ShardingStatsSnapshot& sh = snapshot.sharding;
+    Appendf(&out,
+            "# HELP chronicle_sharding_num_shards Shards in the router\n"
+            "# TYPE chronicle_sharding_num_shards gauge\n"
+            "chronicle_sharding_num_shards %zu\n",
+            sh.num_shards);
+    struct Field {
+      const char* metric;
+      const char* help;
+      const char* type;
+      uint64_t (*get)(const ShardStatsSnapshot&);
+    };
+    static const Field kFields[] = {
+        {"chronicle_shard_appends_processed_total",
+         "Ticks applied by the shard's engine", "counter",
+         [](const ShardStatsSnapshot& s) { return s.appends_processed; }},
+        {"chronicle_shard_queue_depth",
+         "Rows waiting in the shard's ingest lanes", "gauge",
+         [](const ShardStatsSnapshot& s) { return s.queue_depth; }},
+        {"chronicle_shard_enqueued_batches_total",
+         "Batches routed to the shard", "counter",
+         [](const ShardStatsSnapshot& s) { return s.enqueued_batches; }},
+        {"chronicle_shard_routed_rows_total", "Rows routed to the shard",
+         "counter",
+         [](const ShardStatsSnapshot& s) { return s.routed_rows; }},
+    };
+    for (const Field& f : kFields) {
+      Appendf(&out, "# HELP %s %s\n# TYPE %s %s\n", f.metric, f.help, f.metric,
+              f.type);
+      for (const ShardStatsSnapshot& s : sh.shards) {
+        Appendf(&out, "%s{shard=\"%zu\"} %" PRIu64 "\n", f.metric, s.shard,
+                f.get(s));
+      }
+    }
+    Appendf(&out,
+            "# HELP chronicle_shard_tick_ns Per-shard maintenance tick "
+            "latency\n# TYPE chronicle_shard_tick_ns histogram\n");
+    for (const ShardStatsSnapshot& s : sh.shards) {
+      if (!s.tick_latency_populated) continue;
+      PromHistogram(&out, "chronicle_shard_tick_ns",
+                    "shard=\"" + std::to_string(s.shard) + "\"",
+                    s.tick_latency);
+    }
+  }
   return out;
 }
 
@@ -582,6 +645,31 @@ std::string RenderJson(const StatsSnapshot& snapshot) {
               ",\"last_sealed_sn\":%" PRIu64 "}",
               Escape(c.name).c_str(), c.hot_rows, c.hot_bytes, c.warm_segments,
               c.warm_rows, c.warm_bytes, c.warm_raw_bytes, c.last_sealed_sn);
+    }
+    out += "]}";
+  } else {
+    out += "null";
+  }
+
+  out += ",\"sharding\":";
+  if (snapshot.sharding.attached) {
+    const ShardingStatsSnapshot& sh = snapshot.sharding;
+    Appendf(&out, "{\"num_shards\":%zu,\"partition_key\":\"%s\",\"shards\":[",
+            sh.num_shards, Escape(sh.partition_key).c_str());
+    for (size_t i = 0; i < sh.shards.size(); ++i) {
+      const ShardStatsSnapshot& s = sh.shards[i];
+      if (i > 0) out += ",";
+      Appendf(&out,
+              "{\"shard\":%zu,\"appends_processed\":%" PRIu64
+              ",\"queue_depth\":%" PRIu64 ",\"enqueued_batches\":%" PRIu64
+              ",\"routed_rows\":%" PRIu64,
+              s.shard, s.appends_processed, s.queue_depth, s.enqueued_batches,
+              s.routed_rows);
+      if (s.tick_latency_populated) {
+        out += ",\"tick_latency\":";
+        JsonHistogram(&out, s.tick_latency);
+      }
+      out += "}";
     }
     out += "]}";
   } else {

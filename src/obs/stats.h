@@ -139,6 +139,28 @@ struct StorageStatsSnapshot {
   std::vector<ChronicleTierSnapshot> chronicles;  // tiered chronicles only
 };
 
+// One shard's row in the sharding section: the router-side queue gauges
+// plus the shard engine's own append/tick accounting.
+struct ShardStatsSnapshot {
+  size_t shard = 0;
+  uint64_t appends_processed = 0;   // ticks applied by this shard's engine
+  uint64_t queue_depth = 0;         // rows of all this shard's SPSC lanes
+  uint64_t enqueued_batches = 0;    // batches handed to this shard so far
+  uint64_t routed_rows = 0;         // rows routed to this shard so far
+  bool tick_latency_populated = false;
+  LatencyHistogram tick_latency;    // this shard's maintenance_tick_ns
+};
+
+// Sharding statistics, filled by shard::ShardedDatabase::CollectStats
+// (obs does not depend on src/shard). `attached` false (a plain
+// ChronicleDatabase) renders the section as absent/null.
+struct ShardingStatsSnapshot {
+  bool attached = false;
+  size_t num_shards = 1;
+  std::string partition_key;        // effective routing column ("" = mixed)
+  std::vector<ShardStatsSnapshot> shards;
+};
+
 // The whole-database snapshot: everything the exporters render and the
 // benches assert against. Built by ChronicleDatabase::CollectStats();
 // the WAL section is merged in by the Wal's owner.
@@ -151,6 +173,7 @@ struct StatsSnapshot {
   std::vector<ViewStatsSnapshot> views;  // live views, registration order
   WalStatsSnapshot wal;
   StorageStatsSnapshot storage;
+  ShardingStatsSnapshot sharding;
   uint64_t trace_emitted = 0;
   uint64_t trace_capacity = 0;
 };

@@ -1,0 +1,85 @@
+#include "shard/partitioner.h"
+
+#include <cstring>
+#include <utility>
+
+namespace chronicle {
+namespace shard {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and fixed for all time.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t StableValueHash(const Value& value) {
+  if (value.is_null()) return Mix64(0x6e756c6cull);  // "null"
+  if (value.is_int64()) {
+    return Mix64(static_cast<uint64_t>(value.int64()));
+  }
+  if (value.is_double()) {
+    // Value equality is cross-type for numerics (5 == 5.0), so integral
+    // doubles must hash like their int64 twins or equal keys could route
+    // to different shards. -0.0 folds onto +0.0 the same way.
+    const double d = value.dbl();
+    const auto as_int = static_cast<int64_t>(d);
+    if (static_cast<double>(as_int) == d) {
+      return Mix64(static_cast<uint64_t>(as_int));
+    }
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d), "double is 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    return Mix64(bits);
+  }
+  const std::string& s = value.str();
+  return Mix64(Fnv1a(s.data(), s.size()));
+}
+
+Result<Partitioner> Partitioner::Make(const Schema& schema,
+                                      const std::string& partition_key,
+                                      size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("cannot partition an empty schema");
+  }
+  size_t column = 0;
+  std::string name = schema.field(0).name;
+  if (!partition_key.empty()) {
+    CHRONICLE_ASSIGN_OR_RETURN(column, schema.IndexOf(partition_key));
+    name = partition_key;
+  }
+  return Partitioner(column, std::move(name), num_shards);
+}
+
+std::vector<std::vector<Tuple>> Partitioner::Split(
+    std::vector<Tuple> rows) const {
+  std::vector<std::vector<Tuple>> out(num_shards_);
+  if (num_shards_ == 1) {
+    out[0] = std::move(rows);
+    return out;
+  }
+  for (Tuple& row : rows) {
+    out[ShardOf(row)].push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace shard
+}  // namespace chronicle

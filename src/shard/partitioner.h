@@ -1,0 +1,79 @@
+// Partitioner: hash-routes chronicle rows to shards by a key column.
+//
+// The partition spec of a chronicle is resolved ONCE, at CreateChronicle —
+// the shard-aware analogue of binding a compiled plan: the hot append path
+// never looks a column name up again, it just reads tuple[key_column] and
+// hashes. The hash is our own stable mix (FNV-1a over string bytes,
+// splitmix64 over int64/double bit patterns) rather than std::hash, so a
+// workload routes identically across standard libraries and across runs —
+// which is what lets the recovery test replay a per-shard WAL set into a
+// fresh router and converge on the same assignment.
+//
+// Rows with equal key values land on the same shard. That single property
+// carries the engine's per-tick set semantics across the split: duplicate
+// tuples within a tick are (trivially) key-equal, so they meet in one
+// shard and dedupe exactly as the unsharded engine would. See
+// docs/SHARDING.md for the operators this makes shard-equivalent.
+
+#ifndef CHRONICLE_SHARD_PARTITIONER_H_
+#define CHRONICLE_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace chronicle {
+namespace shard {
+
+// Stable 64-bit hash of a routing value (platform- and run-independent).
+uint64_t StableValueHash(const Value& value);
+
+// The per-chronicle routing plan: which column routes, over how many
+// shards.
+class Partitioner {
+ public:
+  // Resolves `partition_key` (empty = first column) against `schema`.
+  static Result<Partitioner> Make(const Schema& schema,
+                                  const std::string& partition_key,
+                                  size_t num_shards);
+
+  size_t key_column() const { return key_column_; }
+  const std::string& key_name() const { return key_name_; }
+  size_t num_shards() const { return num_shards_; }
+
+  // Shard owning one row.
+  size_t ShardOf(const Tuple& row) const {
+    return static_cast<size_t>(StableValueHash(row[key_column_]) %
+                               num_shards_);
+  }
+  // Shard owning one key value (the point-lookup fast path for views whose
+  // group key IS the partition column).
+  size_t ShardOfKey(const Value& key) const {
+    return static_cast<size_t>(StableValueHash(key) % num_shards_);
+  }
+
+  // Splits a batch into per-shard sub-batches (size num_shards; empty
+  // entries for shards that receive no rows). Preserves row order within
+  // each shard — per-shard order is exactly the unsharded order filtered
+  // to that shard, which the equivalence fuzz relies on.
+  std::vector<std::vector<Tuple>> Split(std::vector<Tuple> rows) const;
+
+ private:
+  Partitioner(size_t key_column, std::string key_name, size_t num_shards)
+      : key_column_(key_column),
+        key_name_(std::move(key_name)),
+        num_shards_(num_shards) {}
+
+  size_t key_column_ = 0;
+  std::string key_name_;
+  size_t num_shards_ = 1;
+};
+
+}  // namespace shard
+}  // namespace chronicle
+
+#endif  // CHRONICLE_SHARD_PARTITIONER_H_

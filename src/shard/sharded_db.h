@@ -1,0 +1,243 @@
+// ShardedDatabase: hash-partitioned multi-core ingest over N per-shard
+// ChronicleDatabase engines (ROADMAP item 1, docs/SHARDING.md).
+//
+// The router owns N fully independent engines. Each shard has its own
+// append path, maintenance state (ViewManager + compiled plans), tiered
+// store directory (<data_dir>/shard-<k>), and — when ShardingOptions::
+// wal_dir is set — its own WAL segment stream. Rows route by a stable
+// hash of one key column (shard/partitioner.h), resolved per chronicle at
+// CreateChronicle time so the hot path never re-binds names.
+//
+// Two ingest modes:
+//
+//   * Synchronous Append/AppendMulti/AppendMany: the caller's thread
+//     splits the batch and drives each receiving shard in shard order
+//     under one router-level chronon. Deterministic — the equivalence
+//     fuzz drives this path — and with num_shards == 1 every call
+//     forwards verbatim to a single engine, which is the bit-identical
+//     oracle against the unsharded ChronicleDatabase.
+//
+//   * Async pipeline (StartIngest/EnqueueAppend/Flush): P producer
+//     threads push pre-split sub-batches onto per-(producer, shard) SPSC
+//     rings; one worker thread per shard drains its lanes and applies
+//     them. This is the multi-core path bench_e15 measures. Shard-local
+//     chronons advance independently, so cross-shard tick alignment is
+//     traded for throughput (summaries stay exact — see the merge layer).
+//
+// Reads: ScanView/QueryView merge per-shard raw aggregate states
+// (AggSpec::Merge over PersistentView::VisitGroups) and finalize through
+// a scratch PersistentView, so SUM/COUNT/MIN/MAX/AVG and computed columns
+// come out byte-identical to the unsharded engine. Views whose first
+// group column is the partition key are "aligned": their groups live on
+// exactly one shard and QueryView routes the lookup there directly.
+
+#ifndef CHRONICLE_SHARD_SHARDED_DB_H_
+#define CHRONICLE_SHARD_SHARDED_DB_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "shard/partitioner.h"
+#include "shard/spsc_queue.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
+
+namespace chronicle {
+namespace shard {
+
+// Result of one routed synchronous append.
+struct ShardAppendResult {
+  uint64_t rows = 0;            // rows routed (all shards)
+  size_t shards_touched = 0;    // shards that received >= 1 row this tick
+  Chronon chronon = 0;          // router-level chronon of the tick
+};
+
+class ShardedDatabase {
+ public:
+  // Plans bind engine-local objects (scan nodes, relation pointers), so a
+  // view definition is a factory invoked once per shard, not a single
+  // CaExprPtr. The factory must build the same logical plan each time.
+  using PlanFactory =
+      std::function<Result<CaExprPtr>(ChronicleDatabase& engine)>;
+  using ComputedFactory =
+      std::function<std::vector<ComputedColumn>(ChronicleDatabase& engine)>;
+
+  // Opens options.sharding.num_shards engines. Per-shard DatabaseOptions
+  // are derived from `options`: storage.data_dir becomes
+  // <data_dir>/shard-<k>; everything else is shared. When
+  // options.sharding.wal_dir is non-empty, a per-shard WAL is opened under
+  // <wal_dir>/shard-<k> and attached AFTER construction — call
+  // RecoverFromWal() first if the directories may hold history.
+  static Result<std::unique_ptr<ShardedDatabase>> Open(DatabaseOptions options);
+
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+  ~ShardedDatabase();
+
+  size_t num_shards() const { return engines_.size(); }
+  ChronicleDatabase& engine(size_t shard) { return *engines_[shard]; }
+  const ChronicleDatabase& engine(size_t shard) const {
+    return *engines_[shard];
+  }
+  const DatabaseOptions& options() const { return options_; }
+  // The effective routing column, or "" when chronicles disagree on their
+  // first column's name (then no view can use the aligned fast path).
+  const std::string& partition_column() const { return partition_column_; }
+
+  // --- DDL (broadcast to every shard) ---
+
+  Result<ChronicleId> CreateChronicle(const std::string& name, Schema schema);
+  Result<ChronicleId> CreateChronicle(const std::string& name, Schema schema,
+                                      RetentionPolicy retention);
+  Result<RelationId> CreateRelation(const std::string& name, Schema schema,
+                                    const std::string& key_column = "",
+                                    IndexMode index_mode = IndexMode::kHash);
+  Result<ViewId> CreateView(const std::string& name, const PlanFactory& plan,
+                            SummarySpec spec,
+                            const ComputedFactory& computed = nullptr,
+                            IndexMode index_mode = IndexMode::kHash);
+
+  // --- relation DML (broadcast; relations are replicated on every shard
+  // so per-shard plans can join them locally) ---
+
+  Status InsertInto(const std::string& relation, Tuple row);
+  Status UpdateRelation(const std::string& relation, const Value& key,
+                        Tuple new_row);
+  Status DeleteFrom(const std::string& relation, const Value& key);
+
+  // --- synchronous routed ingest ---
+
+  // One logical tick: split `tuples` by the chronicle's partitioner and
+  // drive each receiving shard (in shard order) under one router chronon.
+  // Shards receiving no rows are skipped — their SNs do not advance.
+  Result<ShardAppendResult> Append(const std::string& chronicle,
+                                   std::vector<Tuple> tuples);
+  Result<ShardAppendResult> Append(const std::string& chronicle,
+                                   std::vector<Tuple> tuples, Chronon chronon);
+  // Multi-chronicle tick: each shard receiving rows gets ONE AppendMulti
+  // carrying its slice of every chronicle, so same-shard rows of one
+  // logical tick share a per-shard SN.
+  Result<ShardAppendResult> AppendMulti(
+      std::vector<std::pair<std::string, std::vector<Tuple>>> inserts,
+      Chronon chronon);
+  // Batched ingest: each batch is one tick (chronon advancing by 1).
+  Result<std::vector<ShardAppendResult>> AppendMany(
+      const std::string& chronicle, std::vector<std::vector<Tuple>> batches);
+
+  // --- async multi-core pipeline ---
+
+  // Spawns one worker thread per shard and P*N SPSC lanes. Fails if
+  // already running.
+  Status StartIngest(size_t num_producers);
+  // Called by producer thread `producer` (0 <= producer < num_producers;
+  // each producer index must be used by one thread only). Splits the batch
+  // and pushes per-shard items, spinning with yield when a lane is full
+  // (bounded-queue backpressure). Each enqueued sub-batch becomes its own
+  // shard-local tick.
+  Status EnqueueAppend(size_t producer, const std::string& chronicle,
+                       std::vector<Tuple> tuples);
+  // Blocks until every lane is empty and every worker is idle, then
+  // reports the first per-shard error (if any). Workers keep running.
+  Status Flush();
+  // Flush + join workers. Idempotent.
+  Status StopIngest();
+  bool ingest_active() const { return !workers_.empty(); }
+
+  // --- merged reads ---
+
+  Result<std::vector<Tuple>> ScanView(const std::string& view) const;
+  Result<Tuple> QueryView(const std::string& view, const Tuple& key) const;
+
+  // --- durability (per-shard WAL, ShardingOptions::wal_dir) ---
+
+  // Replays each shard's WAL into its engine (wal::Recover per shard,
+  // BEFORE the logs are attached). Call after DDL, before AttachWals.
+  Result<std::vector<wal::RecoveryReport>> RecoverFromWal();
+  // Opens <wal_dir>/shard-<k> and attaches a WalMutationLog to each
+  // engine. No-op when wal_dir is empty.
+  Status AttachWals();
+  // Detaches and closes the per-shard WALs (after StopIngest).
+  Status CloseWals();
+
+  // --- observability ---
+
+  // Merged snapshot: counters summed, metrics/views merged by name,
+  // histograms merged, plus the per-shard sharding section (queue depth,
+  // appends, tick latency) every exporter renders.
+  obs::StatsSnapshot CollectStats() const;
+
+  uint64_t rows_routed() const {
+    return rows_routed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ViewMeta {
+    std::string name;
+    PlanFactory plan_factory;
+    ComputedFactory computed_factory;
+    // Optional only because SummarySpec has no default construction; always
+    // engaged once the meta is registered.
+    std::optional<SummarySpec> spec;
+    IndexMode index_mode = IndexMode::kHash;
+    bool aligned = false;  // first group column == partition_column_
+  };
+
+  struct IngestItem {
+    ChronicleId chronicle = 0;
+    std::vector<Tuple> tuples;
+  };
+
+  struct ShardLane;   // one SPSC ring + padding
+  struct ShardState;  // per-shard worker bookkeeping
+
+  explicit ShardedDatabase(DatabaseOptions options);
+
+  Result<const Partitioner*> PartitionerFor(const std::string& chronicle) const;
+  Result<ShardAppendResult> AppendRouted(
+      const std::string& chronicle, std::vector<Tuple> tuples,
+      Chronon chronon);
+  void WorkerLoop(size_t shard);
+  // Builds the merged groups of `meta` across all shards and finalizes
+  // them through a scratch view; `key` non-null restricts to one group.
+  Result<std::vector<Tuple>> MergeView(const ViewMeta& meta,
+                                       const Tuple* key) const;
+
+  DatabaseOptions options_;
+  std::vector<std::unique_ptr<ChronicleDatabase>> engines_;
+  std::string partition_column_;  // effective; "" once chronicles disagree
+  bool partition_column_fixed_ = false;
+
+  // Routing state, mutated only by DDL (single-threaded by contract).
+  std::vector<Partitioner> partitioners_;           // by ChronicleId
+  std::vector<std::string> chronicle_names_;        // by ChronicleId
+  std::unordered_map<std::string, ChronicleId> chronicles_by_name_;
+  std::vector<ViewMeta> views_;
+  std::unordered_map<std::string, size_t> views_by_name_;
+
+  // Synchronous-path chronon (async ticks advance shard-locally instead).
+  Chronon last_chronon_ = 0;
+
+  // Async pipeline. lanes_[producer * num_shards + shard].
+  std::vector<std::unique_ptr<ShardLane>> lanes_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<std::thread> workers_;
+  size_t num_producers_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> rows_routed_{0};
+
+  // Per-shard WALs (ShardingOptions::wal_dir).
+  std::vector<std::unique_ptr<wal::Wal>> wals_;
+  std::vector<std::unique_ptr<wal::WalMutationLog>> wal_logs_;
+};
+
+}  // namespace shard
+}  // namespace chronicle
+
+#endif  // CHRONICLE_SHARD_SHARDED_DB_H_

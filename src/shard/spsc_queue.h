@@ -1,0 +1,80 @@
+// Single-producer/single-consumer lock-free ring: the ingest-thread ->
+// shard-worker handoff lane of the sharded pipeline (docs/SHARDING.md).
+//
+// One ring is owned by exactly one producer thread (TryPush) and one
+// consumer thread (TryPop). The usual two-index scheme: `head_` is only
+// written by the consumer, `tail_` only by the producer; each side reads
+// the other's index with acquire ordering and publishes its own with
+// release ordering, so the slot contents it guards are visible before the
+// index move is. Capacity is rounded up to a power of two so the wrap is
+// a mask, and the two indexes live on their own cache lines to keep the
+// producer and consumer from false-sharing.
+
+#ifndef CHRONICLE_SHARD_SPSC_QUEUE_H_
+#define CHRONICLE_SHARD_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace chronicle {
+namespace shard {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) {
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side. False = ring full (caller backs off; that IS the
+  // pipeline's backpressure).
+  bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False = ring empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy by nature (either index may move underfoot); good enough for the
+  // queue-depth gauge in /stats.json and for Flush()'s drain loop.
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<size_t> tail_{0};  // producer-owned
+};
+
+}  // namespace shard
+}  // namespace chronicle
+
+#endif  // CHRONICLE_SHARD_SPSC_QUEUE_H_

@@ -1,0 +1,435 @@
+// Unit coverage for src/shard/: the stable partitioner, the SPSC handoff
+// ring (including a two-thread stress the TSan job leans on), synchronous
+// routed ingest, the cross-shard merge read layer, the async pipeline, and
+// the sharded CollectStats rollup. The deeper randomized sharded-vs-
+// unsharded equivalence lives in sharded_equivalence_fuzz_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "obs/export.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_db.h"
+#include "shard/spsc_queue.h"
+
+namespace chronicle {
+namespace {
+
+using shard::Partitioner;
+using shard::ShardedDatabase;
+using shard::SpscQueue;
+using shard::StableValueHash;
+
+Schema CallSchema() {
+  return Schema({{"caller", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"minutes", DataType::kInt64}});
+}
+
+// --- partitioner ---
+
+TEST(PartitionerTest, StableHashIsDeterministicAndSpreads) {
+  // Same value, same hash — across calls and Value copies.
+  EXPECT_EQ(StableValueHash(Value(int64_t{42})),
+            StableValueHash(Value(int64_t{42})));
+  EXPECT_EQ(StableValueHash(Value("NJ")), StableValueHash(Value("NJ")));
+  EXPECT_NE(StableValueHash(Value(int64_t{1})),
+            StableValueHash(Value(int64_t{2})));
+  // Cross-type numeric equality (Value(5) == Value(5.0)) must hash equal,
+  // or equal keys could route to different shards.
+  EXPECT_EQ(StableValueHash(Value(int64_t{5})), StableValueHash(Value(5.0)));
+  EXPECT_EQ(StableValueHash(Value(0.0)), StableValueHash(Value(-0.0)));
+  // 1000 consecutive keys over 4 shards: every shard gets a decent share.
+  size_t counts[4] = {0, 0, 0, 0};
+  for (int64_t k = 0; k < 1000; ++k) {
+    counts[StableValueHash(Value(k)) % 4]++;
+  }
+  for (size_t c : counts) {
+    EXPECT_GT(c, 150u);
+  }
+}
+
+TEST(PartitionerTest, ResolvesKeyColumnAtMake) {
+  // Default: first column.
+  Partitioner by_first = Partitioner::Make(CallSchema(), "", 4).value();
+  EXPECT_EQ(by_first.key_column(), 0u);
+  EXPECT_EQ(by_first.key_name(), "caller");
+  // Named column.
+  Partitioner by_region = Partitioner::Make(CallSchema(), "region", 4).value();
+  EXPECT_EQ(by_region.key_column(), 1u);
+  // Unknown column: refused at DDL time, not at append time.
+  EXPECT_FALSE(Partitioner::Make(CallSchema(), "nope", 4).ok());
+  EXPECT_FALSE(Partitioner::Make(CallSchema(), "", 0).ok());
+}
+
+TEST(PartitionerTest, SplitPreservesPerShardOrder) {
+  Partitioner p = Partitioner::Make(CallSchema(), "", 3).value();
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 60; ++i) {
+    rows.push_back(Tuple{Value(i % 7), Value("NJ"), Value(i)});
+  }
+  std::vector<std::vector<Tuple>> split = p.Split(rows);
+  ASSERT_EQ(split.size(), 3u);
+  size_t total = 0;
+  for (size_t k = 0; k < split.size(); ++k) {
+    int64_t last_minutes = -1;
+    for (const Tuple& row : split[k]) {
+      EXPECT_EQ(p.ShardOf(row), k);
+      // "minutes" is the original position: order within a shard is the
+      // original order filtered to that shard.
+      EXPECT_GT(row[2].int64(), last_minutes);
+      last_minutes = row[2].int64();
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, rows.size());
+}
+
+// --- SPSC ring ---
+
+TEST(SpscQueueTest, FifoAndCapacity) {
+  SpscQueue<int> q(3);  // rounds up to 4
+  EXPECT_EQ(q.capacity(), 4u);
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.TryPush(std::move(i)));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.TryPush(std::move(overflow)));  // full: backpressure
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(&out));
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+TEST(SpscQueueTest, TwoThreadStressKeepsOrderAndLosesNothing) {
+  // The TSan job runs this: one producer, one consumer, a ring small
+  // enough to wrap thousands of times.
+  constexpr int kItems = 50000;
+  SpscQueue<int> q(64);
+  std::thread consumer([&q] {
+    int expected = 0;
+    int item = 0;
+    while (expected < kItems) {
+      if (q.TryPop(&item)) {
+        ASSERT_EQ(item, expected);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    int v = i;
+    while (!q.TryPush(std::move(v))) {
+      v = i;
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+// --- sharded database ---
+
+Status ApplyDdl(ShardedDatabase* db) {
+  CHRONICLE_RETURN_NOT_OK(
+      db->CreateChronicle("calls", CallSchema()).status());
+  CHRONICLE_ASSIGN_OR_RETURN(
+      SummarySpec by_caller,
+      SummarySpec::GroupBy(CallSchema(), {"caller"},
+                           {AggSpec::Sum("minutes", "m"), AggSpec::Count("n"),
+                            AggSpec::Avg("minutes", "avg_m")}));
+  CHRONICLE_RETURN_NOT_OK(
+      db->CreateView("by_caller",
+                     [](ChronicleDatabase& e) { return e.ScanChronicle("calls"); },
+                     std::move(by_caller))
+          .status());
+  // Non-aligned grouping: groups span shards, so reads MUST merge.
+  CHRONICLE_ASSIGN_OR_RETURN(
+      SummarySpec by_region,
+      SummarySpec::GroupBy(CallSchema(), {"region"},
+                           {AggSpec::Sum("minutes", "m"), AggSpec::Count("n"),
+                            AggSpec::Min("minutes", "lo"),
+                            AggSpec::Max("minutes", "hi")}));
+  CHRONICLE_RETURN_NOT_OK(
+      db->CreateView("by_region",
+                     [](ChronicleDatabase& e) { return e.ScanChronicle("calls"); },
+                     std::move(by_region))
+          .status());
+  return Status::OK();
+}
+
+Status ApplyDdl(ChronicleDatabase* db) {
+  CHRONICLE_RETURN_NOT_OK(db->CreateChronicle("calls", CallSchema()).status());
+  CHRONICLE_ASSIGN_OR_RETURN(CaExprPtr scan, db->ScanChronicle("calls"));
+  CHRONICLE_ASSIGN_OR_RETURN(
+      SummarySpec by_caller,
+      SummarySpec::GroupBy(CallSchema(), {"caller"},
+                           {AggSpec::Sum("minutes", "m"), AggSpec::Count("n"),
+                            AggSpec::Avg("minutes", "avg_m")}));
+  CHRONICLE_RETURN_NOT_OK(
+      db->CreateView("by_caller", scan, std::move(by_caller)).status());
+  CHRONICLE_ASSIGN_OR_RETURN(
+      SummarySpec by_region,
+      SummarySpec::GroupBy(CallSchema(), {"region"},
+                           {AggSpec::Sum("minutes", "m"), AggSpec::Count("n"),
+                            AggSpec::Min("minutes", "lo"),
+                            AggSpec::Max("minutes", "hi")}));
+  return db->CreateView("by_region", scan, std::move(by_region)).status();
+}
+
+std::vector<std::vector<Tuple>> WorkloadBatches() {
+  const char* const kRegions[] = {"NJ", "NY", "CA", "TX"};
+  std::vector<std::vector<Tuple>> batches;
+  for (int64_t tick = 0; tick < 40; ++tick) {
+    std::vector<Tuple> batch;
+    for (int64_t i = 0; i <= tick % 5; ++i) {
+      batch.push_back(Tuple{Value((tick * 3 + i * 7) % 11),
+                            Value(kRegions[(tick + i) % 4]),
+                            Value((tick + i) % 9)});
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+TEST(ShardedDatabaseTest, OpenValidatesOptions) {
+  DatabaseOptions zero;
+  zero.sharding.num_shards = 0;
+  EXPECT_FALSE(ShardedDatabase::Open(zero).ok());
+}
+
+TEST(ShardedDatabaseTest, RoutedAppendsMatchUnshardedReference) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 4;
+  auto sharded = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(ApplyDdl(sharded.get()).ok());
+  ChronicleDatabase reference;
+  ApplyDdl(&reference);
+
+  uint64_t rows_fed = 0;
+  for (auto& batch : WorkloadBatches()) {
+    rows_fed += batch.size();
+    auto ref = reference.Append("calls", batch);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    auto routed = sharded->Append("calls", std::move(batch));
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  }
+  EXPECT_EQ(sharded->rows_routed(), rows_fed);
+
+  for (const char* view : {"by_caller", "by_region"}) {
+    SCOPED_TRACE(view);
+    std::vector<Tuple> merged = sharded->ScanView(view).value();
+    std::vector<Tuple> expected = reference.ScanView(view).value();
+    EXPECT_EQ(merged, expected);
+    // Point lookups: aligned (by_caller routes to one shard) and merged
+    // (by_region folds partial states) paths both match.
+    for (const Tuple& row : expected) {
+      Tuple key{row[0]};
+      EXPECT_EQ(sharded->QueryView(view, key).value(), row);
+    }
+  }
+  EXPECT_FALSE(
+      sharded->QueryView("by_caller", Tuple{Value(int64_t{999})}).ok());
+  EXPECT_FALSE(sharded->Append("ghosts", {Tuple{Value(1)}}).ok());
+}
+
+TEST(ShardedDatabaseTest, SingleShardIsVerbatimPassthrough) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 1;
+  auto sharded = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(ApplyDdl(sharded.get()).ok());
+  ChronicleDatabase reference;
+  ApplyDdl(&reference);
+  for (auto& batch : WorkloadBatches()) {
+    ASSERT_TRUE(reference.Append("calls", batch).ok());
+    ASSERT_TRUE(sharded->Append("calls", std::move(batch)).ok());
+  }
+  // Same engine, same calls: every observable matches, not just views.
+  EXPECT_EQ(sharded->engine(0).appends_processed(),
+            reference.appends_processed());
+  EXPECT_EQ(sharded->engine(0).group().last_sn(), reference.group().last_sn());
+  for (const char* view : {"by_caller", "by_region"}) {
+    EXPECT_EQ(sharded->ScanView(view).value(),
+              reference.ScanView(view).value());
+  }
+}
+
+TEST(ShardedDatabaseTest, RelationDmlBroadcastsToEveryShard) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 3;
+  auto db = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(db->CreateChronicle("calls", CallSchema()).ok());
+  Schema cust({{"acct", DataType::kInt64}, {"tier", DataType::kString}});
+  ASSERT_TRUE(db->CreateRelation("cust", cust, "acct").ok());
+  ASSERT_TRUE(db->InsertInto("cust", Tuple{Value(1), Value("gold")}).ok());
+  ASSERT_TRUE(
+      db->UpdateRelation("cust", Value(1), Tuple{Value(1), Value("silver")})
+          .ok());
+  for (size_t k = 0; k < db->num_shards(); ++k) {
+    const Relation* rel = db->engine(k).GetRelation("cust").value();
+    EXPECT_EQ(rel->size(), 1u);
+  }
+  ASSERT_TRUE(db->DeleteFrom("cust", Value(1)).ok());
+  for (size_t k = 0; k < db->num_shards(); ++k) {
+    EXPECT_EQ(db->engine(k).GetRelation("cust").value()->size(), 0u);
+  }
+}
+
+TEST(ShardedDatabaseTest, AppendMultiKeepsShardSlicesInOneTick) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 4;
+  auto sharded = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(ApplyDdl(sharded.get()).ok());
+  ChronicleDatabase reference;
+  ApplyDdl(&reference);
+
+  for (Chronon c = 1; c <= 12; ++c) {
+    std::vector<Tuple> rows;
+    for (int64_t i = 0; i < 6; ++i) {
+      rows.push_back(Tuple{Value((c * 5 + i) % 9), Value("NJ"), Value(i)});
+    }
+    ASSERT_TRUE(reference
+                    .AppendMulti({{std::string("calls"), rows}}, c)
+                    .ok());
+    auto routed = sharded->AppendMulti({{std::string("calls"), rows}}, c);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  }
+  EXPECT_EQ(sharded->ScanView("by_caller").value(),
+            reference.ScanView("by_caller").value());
+  EXPECT_EQ(sharded->ScanView("by_region").value(),
+            reference.ScanView("by_region").value());
+}
+
+TEST(ShardedDatabaseTest, AsyncPipelineMatchesSyncIngest) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 4;
+  options.sharding.queue_capacity = 8;  // force wrap + backpressure
+  auto async_db = ShardedDatabase::Open(options).value();
+  auto sync_db = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(ApplyDdl(async_db.get()).ok());
+  ASSERT_TRUE(ApplyDdl(sync_db.get()).ok());
+
+  ASSERT_TRUE(async_db->StartIngest(1).ok());
+  EXPECT_FALSE(async_db->Append("calls", {Tuple{Value(1), Value("NJ"),
+                                                Value(2)}})
+                   .ok());  // sync path refused while the pipeline runs
+  for (auto& batch : WorkloadBatches()) {
+    ASSERT_TRUE(sync_db->Append("calls", batch).ok());
+    ASSERT_TRUE(async_db->EnqueueAppend(0, "calls", std::move(batch)).ok());
+  }
+  ASSERT_TRUE(async_db->Flush().ok());
+  ASSERT_TRUE(async_db->StopIngest().ok());
+
+  // Same per-shard sub-batch sequence => same per-shard ticks => identical
+  // merged summaries, even though the async path let chronons drift.
+  for (const char* view : {"by_caller", "by_region"}) {
+    EXPECT_EQ(async_db->ScanView(view).value(),
+              sync_db->ScanView(view).value());
+  }
+  EXPECT_EQ(async_db->rows_routed(), sync_db->rows_routed());
+}
+
+TEST(ShardedDatabaseTest, MultiProducerAsyncIngestDistributesRows) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 2;
+  options.sharding.queue_capacity = 16;
+  auto db = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(ApplyDdl(db.get()).ok());
+  constexpr size_t kProducers = 3;
+  constexpr int64_t kBatchesPerProducer = 200;
+  ASSERT_TRUE(db->StartIngest(kProducers).ok());
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&db, p] {
+      for (int64_t b = 0; b < kBatchesPerProducer; ++b) {
+        std::vector<Tuple> batch{
+            Tuple{Value(static_cast<int64_t>(p * 1000 + b)), Value("NJ"),
+                  Value(int64_t{1})}};
+        ASSERT_TRUE(db->EnqueueAppend(p, "calls", std::move(batch)).ok());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ASSERT_TRUE(db->StopIngest().ok());
+  EXPECT_EQ(db->rows_routed(), kProducers * kBatchesPerProducer);
+  // Every row landed exactly once: the COUNT over all groups says so.
+  std::vector<Tuple> rows = db->ScanView("by_caller").value();
+  uint64_t total = 0;
+  for (const Tuple& row : rows) total += row[2].int64();
+  EXPECT_EQ(total, kProducers * kBatchesPerProducer);
+}
+
+TEST(ShardedDatabaseTest, CollectStatsRollsUpPerShardSections) {
+  DatabaseOptions options;
+  options.sharding.num_shards = 4;
+  auto db = ShardedDatabase::Open(options).value();
+  ASSERT_TRUE(ApplyDdl(db.get()).ok());
+  uint64_t rows_fed = 0;
+  uint64_t ticks = 0;
+  for (auto& batch : WorkloadBatches()) {
+    rows_fed += batch.size();
+    auto r = db->Append("calls", std::move(batch)).value();
+    ticks += r.shards_touched;
+  }
+  obs::StatsSnapshot snap = db->CollectStats();
+  EXPECT_EQ(snap.appends_processed, ticks);
+  EXPECT_EQ(snap.live_views, 2u);
+  ASSERT_TRUE(snap.sharding.attached);
+  EXPECT_EQ(snap.sharding.num_shards, 4u);
+  EXPECT_EQ(snap.sharding.partition_key, "caller");
+  ASSERT_EQ(snap.sharding.shards.size(), 4u);
+  uint64_t routed = 0;
+  uint64_t appends = 0;
+  for (const obs::ShardStatsSnapshot& s : snap.sharding.shards) {
+    routed += s.routed_rows;
+    appends += s.appends_processed;
+    EXPECT_EQ(s.queue_depth, 0u);  // quiesced
+    EXPECT_TRUE(s.tick_latency_populated);
+  }
+  EXPECT_EQ(routed, rows_fed);
+  EXPECT_EQ(appends, ticks);
+  // Metrics merged by name: the tick counter equals the sum of shard ticks.
+  bool found = false;
+  for (const obs::MetricSample& m : snap.metrics) {
+    if (m.name == "maintenance_view_ticks_total") {
+      found = true;
+      EXPECT_EQ(m.value, ticks * 2);  // two views per tick
+    }
+  }
+  EXPECT_TRUE(found);
+  // Per-view stats merged by name.
+  ASSERT_EQ(snap.views.size(), 2u);
+  uint64_t view_ticks = 0;
+  for (const obs::ViewStatsSnapshot& v : snap.views) view_ticks += v.stats.ticks;
+  EXPECT_EQ(view_ticks, ticks * 2);
+
+  // All three exporters render the section and the JSON stays valid.
+  const std::string text = obs::RenderText(snap);
+  EXPECT_NE(text.find("sharding:"), std::string::npos);
+  const std::string prom = obs::RenderPrometheus(snap);
+  EXPECT_NE(prom.find("chronicle_shard_appends_processed_total{shard=\"3\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("chronicle_sharding_num_shards 4"), std::string::npos);
+  const std::string json = obs::RenderJson(snap);
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"sharding\":{\"num_shards\":4"), std::string::npos);
+
+  // A plain engine's snapshot renders the section as absent/null.
+  obs::StatsSnapshot plain = db->engine(0).CollectStats();
+  EXPECT_FALSE(plain.sharding.attached);
+  EXPECT_NE(obs::RenderJson(plain).find("\"sharding\":null"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronicle
