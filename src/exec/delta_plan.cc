@@ -88,13 +88,38 @@ void TupleRefSet::Grow() {
 
 void PlanScratch::Prepare(size_t num_slots) {
   if (slots_.size() < num_slots) slots_.resize(num_slots);
+  if (col_slots_.size() < num_slots) col_slots_.resize(num_slots);
+  if (slot_form_.size() < num_slots) slot_form_.resize(num_slots);
   // clear() keeps each slot's capacity: steady-state ticks reuse it.
-  for (size_t i = 0; i < num_slots; ++i) slots_[i].clear();
+  for (size_t i = 0; i < num_slots; ++i) {
+    slots_[i].clear();
+    col_slots_[i].Clear();
+    slot_form_[i] = 0;
+  }
   if (profile_slots_) {
     slot_ns_.assign(num_slots, 0);
     slot_rows_.assign(num_slots, 0);
+    slot_vec_.assign(num_slots, 0);
   }
   arena_.Reset();
+}
+
+void PlanScratch::EnsureRowForm(uint32_t slot) {
+  if (slot_form_[slot] & kRowsValid) return;
+  MaterializeRows(col_slots_[slot], &slots_[slot]);
+  slot_form_[slot] |= kRowsValid;
+}
+
+bool PlanScratch::EnsureColForm(uint32_t slot, const Schema& schema) {
+  const uint8_t form = slot_form_[slot];
+  if (form & kColsValid) return true;
+  if (form & kColsFailed) return false;
+  if (TransposeRows(slots_[slot], schema, &arena_, &col_slots_[slot])) {
+    slot_form_[slot] = form | kColsValid;
+    return true;
+  }
+  slot_form_[slot] = form | kColsFailed;
+  return false;
 }
 
 Result<const std::vector<Tuple>*> DeltaPlan::Execute(const AppendEvent& event,
@@ -104,11 +129,30 @@ Result<const std::vector<Tuple>*> DeltaPlan::Execute(const AppendEvent& event,
   // The profiling branch is a single well-predicted test per instruction
   // when off; the clock reads only happen on sampled ticks.
   const bool profile = scratch->profile_slots_;
+  const bool vec_on = scratch->columnar_enabled_;
   int64_t instr_start_ns = 0;
-  for (const PlanInstr& instr : instrs_) {
+  for (size_t idx = 0; idx < instrs_.size(); ++idx) {
+    const PlanInstr& instr = instrs_[idx];
     if (profile) instr_start_ns = ProfileNowNanos();
-    std::vector<Tuple>& out = scratch->slots_[instr.out];
     const CaExpr& node = *instr.node;
+    // Engine dispatch: instructions the compiler marked columnar try the
+    // vector kernel first; a per-tick kernel refusal (transposition type
+    // check, relation cell mismatch, cross-product overflow) falls through
+    // to the unchanged row arm below, so a tick always completes.
+    size_t produced = 0;
+    const bool vec_done = vec_on && instr.columnar &&
+                          ExecuteVector(idx, event, scratch, stats);
+    if (vec_done) {
+      scratch->slot_form_[instr.out] = PlanScratch::kColsValid;
+      produced = scratch->col_slots_[instr.out].size();
+    } else {
+    // Row arms consume row slots; materialize any columnar inputs first.
+    {
+      const size_t arity = node.num_children();
+      if (arity >= 1) scratch->EnsureRowForm(instr.in0);
+      if (arity >= 2) scratch->EnsureRowForm(instr.in1);
+    }
+    std::vector<Tuple>& out = scratch->slots_[instr.out];
     switch (instr.op) {
       case PlanOp::kScan: {
         // Set semantics: identical tuples appended under one SN are one
@@ -290,14 +334,119 @@ Result<const std::vector<Tuple>*> DeltaPlan::Execute(const AppendEvent& event,
         break;
       }
     }
-    Record(stats, out.size());
+    scratch->slot_form_[instr.out] |= PlanScratch::kRowsValid;
+    produced = out.size();
+    }
+    Record(stats, produced);
     if (profile) {
       scratch->slot_ns_[instr.out] +=
           static_cast<uint64_t>(ProfileNowNanos() - instr_start_ns);
-      scratch->slot_rows_[instr.out] += out.size();
+      scratch->slot_rows_[instr.out] += produced;
+      scratch->slot_vec_[instr.out] = vec_done ? 1 : 0;
     }
   }
+  scratch->EnsureRowForm(root_slot_);
   return &scratch->slots_[root_slot_];
+}
+
+bool DeltaPlan::ExecuteVector(size_t idx, const AppendEvent& event,
+                              PlanScratch* scratch, DeltaStats* stats) const {
+  const PlanInstr& instr = instrs_[idx];
+  const CaExpr& node = *instr.node;
+  const VecInstrInfo& info = *vec_infos_[idx];
+  ColumnBatch& out = scratch->col_slots_[instr.out];
+  Arena* arena = &scratch->arena_;
+  switch (instr.op) {
+    case PlanOp::kScan: {
+      // Same first-seen dedupe as the row arm, then a straight transpose of
+      // the survivors. A schema-mismatched cell (possible only for rows
+      // that predate a schema check, i.e. never via ValidateTuple) rejects
+      // the whole tick to the row engine.
+      scratch->seen_.Clear();
+      ArenaVector<const Tuple*> survivors{ArenaAllocator<const Tuple*>(arena)};
+      for (const auto& [id, tuples] : event.inserts) {
+        if (id != node.chronicle_id()) continue;
+        for (const Tuple& t : tuples) {
+          if (scratch->seen_.Insert(&t)) survivors.push_back(&t);
+        }
+      }
+      const Schema& schema = node.schema();
+      const size_t ncols = schema.num_fields();
+      AllocateColumns(schema, survivors.size(), arena, &out);
+      for (size_t r = 0; r < survivors.size(); ++r) {
+        const Tuple& t = *survivors[r];
+        if (t.size() != ncols) return false;
+        for (size_t c = 0; c < ncols; ++c) {
+          if (!WriteCell(&out.cols[c], r, t[c])) return false;
+        }
+      }
+      return true;
+    }
+
+    case PlanOp::kSelect: {
+      if (!scratch->EnsureColForm(instr.in0, node.child(0)->schema())) {
+        return false;
+      }
+      VecSelect(*info.pred, scratch->col_slots_[instr.in0], event.sn,
+                event.chronon, arena, &out);
+      return true;
+    }
+
+    case PlanOp::kProject: {
+      if (!scratch->EnsureColForm(instr.in0, node.child(0)->schema())) {
+        return false;
+      }
+      VecProject(scratch->col_slots_[instr.in0], node.projection(),
+                 &scratch->vec_, arena, &out);
+      return true;
+    }
+
+    case PlanOp::kSeqJoin: {
+      if (!scratch->EnsureColForm(instr.in0, node.child(0)->schema()) ||
+          !scratch->EnsureColForm(instr.in1, node.child(1)->schema())) {
+        return false;
+      }
+      return VecSeqJoin(scratch->col_slots_[instr.in0],
+                        scratch->col_slots_[instr.in1], arena, &out);
+    }
+
+    case PlanOp::kUnion: {
+      if (!scratch->EnsureColForm(instr.in0, node.child(0)->schema()) ||
+          !scratch->EnsureColForm(instr.in1, node.child(1)->schema())) {
+        return false;
+      }
+      VecUnion(scratch->col_slots_[instr.in0], scratch->col_slots_[instr.in1],
+               &scratch->vec_, arena, &out);
+      return true;
+    }
+
+    case PlanOp::kGroupBySeq: {
+      if (!scratch->EnsureColForm(instr.in0, node.child(0)->schema())) {
+        return false;
+      }
+      VecGroupBy(scratch->col_slots_[instr.in0], node.group_columns(),
+                 info.aggs, node.aggregates(), node.schema(), &scratch->vec_,
+                 arena, &out);
+      return true;
+    }
+
+    case PlanOp::kRelKeyJoin: {
+      if (!scratch->EnsureColForm(instr.in0, node.child(0)->schema())) {
+        return false;
+      }
+      const ColumnBatch& in = scratch->col_slots_[instr.in0];
+      if (!VecRelKeyJoin(in, node.relation(), node.join_column(),
+                         node.schema(), arena, &out)) {
+        // Fallback reruns the row arm, which owns the stats in that case.
+        return false;
+      }
+      if (stats != nullptr) stats->relation_lookups += in.size();
+      return true;
+    }
+
+    default:
+      return false;
+  }
 }
 
 Result<const std::vector<ChronicleRow>*> DeltaPlan::ExecuteToRows(
@@ -417,6 +566,7 @@ std::string DeltaPlan::Explain(const std::vector<SlotProfile>* profile) const {
     const PlanInstr& instr = instrs_[frame.slot];
     for (size_t d = 0; d < frame.depth; ++d) out += "  ";
     ExplainAppendf(&out, "s%u %s", frame.slot, CaOpToString(instr.node->op()));
+    if (instr.columnar) out += " [columnar]";
     if (rendered[frame.slot]) {
       out += "  (shared, see above)\n";
       continue;
@@ -430,6 +580,16 @@ std::string DeltaPlan::Explain(const std::vector<SlotProfile>* profile) const {
                      100.0 * static_cast<double>(slot.ns) / denom,
                      100.0 * static_cast<double>(cum_ns[frame.slot]) / denom,
                      slot.rows, slot.ns);
+      if (slot.samples > 0) {
+        ExplainAppendf(&out, "  %.1f rows/tick",
+                       static_cast<double>(slot.rows) /
+                           static_cast<double>(slot.samples));
+      }
+      if (instr.columnar) {
+        // How often the columnar kernel actually ran (vs row fallback).
+        ExplainAppendf(&out, "  vec %" PRIu64 "/%" PRIu64, slot.vec_samples,
+                       slot.samples);
+      }
     }
     out += "\n";
     // Push in reverse so in0 renders first.
@@ -479,6 +639,8 @@ std::string DeltaPlan::ExplainJson(
     if (arity >= 1) ExplainAppendf(&out, "%u", instr.in0);
     if (arity >= 2) ExplainAppendf(&out, ",%u", instr.in1);
     out += "]";
+    ExplainAppendf(&out, ",\"engine\":\"%s\"",
+                   instr.columnar ? "columnar" : "row");
     if (profiled) {
       const SlotProfile& slot = (*profile)[i];
       ExplainAppendf(&out,
@@ -486,6 +648,12 @@ std::string DeltaPlan::ExplainJson(
                      ",\"cum_share\":%.4f,\"rows\":%" PRIu64,
                      slot.ns, static_cast<double>(slot.ns) / denom,
                      static_cast<double>(cum_ns[i]) / denom, slot.rows);
+      ExplainAppendf(&out, ",\"vec_samples\":%" PRIu64, slot.vec_samples);
+      if (slot.samples > 0) {
+        ExplainAppendf(&out, ",\"rows_per_tick\":%.1f",
+                       static_cast<double>(slot.rows) /
+                           static_cast<double>(slot.samples));
+      }
     }
     out += "}";
   }

@@ -34,6 +34,7 @@
 #define CHRONICLE_EXEC_DELTA_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,8 @@
 #include "algebra/delta_engine.h"
 #include "common/arena.h"
 #include "common/status.h"
+#include "exec/column_batch.h"
+#include "exec/vector_kernels.h"
 #include "storage/chronicle_group.h"
 
 namespace chronicle {
@@ -71,6 +74,11 @@ struct PlanInstr {
   uint32_t in0 = 0;  // first input slot (unary/binary ops)
   uint32_t in1 = 0;  // second input slot (binary ops)
   const CaExpr* node = nullptr;
+  // Compile-time engine decision (exec/vector_kernels.h PlanVectorInstr):
+  // true when this instruction has a vector kernel and its shape
+  // qualifies. Execution still falls back to the row arm per-tick when the
+  // scratch disables columnar mode or a transposition type-check fails.
+  bool columnar = false;
 };
 
 // Accumulated profile of one plan slot across sampled executions, the
@@ -80,6 +88,10 @@ struct SlotProfile {
   uint64_t ns = 0;       // self time (this instruction only)
   uint64_t rows = 0;     // rows the instruction produced
   uint64_t samples = 0;  // profiled ticks folded in
+  // Profiled ticks this slot actually executed on the vector engine (can
+  // trail `samples` on compile-time columnar slots: runtime toggle off, or
+  // a per-tick transposition fallback).
+  uint64_t vec_samples = 0;
 };
 
 // Open-addressing set of tuples referenced by pointer, used for the
@@ -161,6 +173,16 @@ class PlanScratch {
   bool profile_slots() const { return profile_slots_; }
   const std::vector<uint64_t>& slot_ns() const { return slot_ns_; }
   const std::vector<uint64_t>& slot_rows() const { return slot_rows_; }
+  // 1 per slot that executed on the vector engine in the last profiled
+  // execution (0 = row engine). Folded into SlotProfile::vec_samples.
+  const std::vector<uint8_t>& slot_vec() const { return slot_vec_; }
+
+  // Runtime toggle for instructions compiled with a vector kernel
+  // (MaintenanceOptions::use_columnar_kernels / shell \engine). Pure
+  // executor state: flipping it never requires recompiling plans, and the
+  // two modes are byte-identical by construction.
+  void set_columnar_enabled(bool on) { columnar_enabled_ = on; }
+  bool columnar_enabled() const { return columnar_enabled_; }
 
  private:
   friend class DeltaPlan;
@@ -172,16 +194,41 @@ class PlanScratch {
   // the arena, growing the slot array if this plan is the largest yet.
   void Prepare(size_t num_slots);
 
+  // Engine-boundary conversions (executor only). EnsureRowForm
+  // materializes a columnar slot into its row buffer; EnsureColForm
+  // transposes a row slot into columns, returning false (and latching
+  // kColsFailed) when a cell fails the schema type check. Both are no-ops
+  // when the requested form is already valid, so a slot shared by several
+  // consumers converts at most once per tick.
+  void EnsureRowForm(uint32_t slot);
+  bool EnsureColForm(uint32_t slot, const Schema& schema);
+
+  // Which representations of a slot are valid this tick. A slot can hold
+  // both (transposed or materialized on demand at an engine boundary);
+  // kColsFailed latches a transposition type-check failure so shared
+  // consumers do not retry it.
+  enum SlotForm : uint8_t {
+    kRowsValid = 1,
+    kColsValid = 2,
+    kColsFailed = 4,
+  };
+
   std::vector<std::vector<Tuple>> slots_;
+  std::vector<ColumnBatch> col_slots_;  // columnar twin of slots_
+  std::vector<uint8_t> slot_form_;      // SlotForm bits per slot
   TupleRefSet seen_;     // dedupe scratch (table retained across ticks)
   TupleRefSet removed_;  // difference scratch
   GroupMap groups_;    // group-by scratch
   Tuple key_;          // reused group-key probe (capacity survives clear())
-  Arena arena_;        // tick-scoped transients (group output order)
+  VecScratch vec_;     // vectorized dedupe/group tables (retained)
+  Arena arena_;        // tick-scoped transients (group output order,
+                       // column storage)
   std::vector<ChronicleRow> rows_;  // retained final-output buffer
+  bool columnar_enabled_ = true;    // run compiled-columnar instructions
   bool profile_slots_ = false;      // time the next execution's slots
   std::vector<uint64_t> slot_ns_;   // self ns per slot (profiled ticks)
   std::vector<uint64_t> slot_rows_;  // rows per slot (profiled ticks)
+  std::vector<uint8_t> slot_vec_;    // vector-engine flag per slot
 };
 
 class DeltaPlan {
@@ -210,6 +257,12 @@ class DeltaPlan {
   // a whole subtree the interpreter would have re-memoized every tick.
   size_t shared_subexpressions() const { return shared_subexpressions_; }
   const CaExprPtr& root() const { return root_; }
+  // Instructions the compiler routed to the vector engine.
+  size_t vectorized_instructions() const {
+    size_t n = 0;
+    for (const PlanInstr& instr : instrs_) n += instr.columnar ? 1 : 0;
+    return n;
+  }
 
   // One instruction per line: "s3 = Union(s1, s2)".
   std::string ToString() const;
@@ -231,8 +284,17 @@ class DeltaPlan {
   friend class PlanCompiler;
   DeltaPlan() = default;
 
+  // Runs instruction `idx` on the vector engine. False = fall back to the
+  // row arm for this tick (transposition type-check failed, or the seq
+  // join product overflowed).
+  bool ExecuteVector(size_t idx, const AppendEvent& event,
+                     PlanScratch* scratch, DeltaStats* stats) const;
+
   CaExprPtr root_;  // keeps every node (and its payloads) alive
   std::vector<PlanInstr> instrs_;
+  // Parallel to instrs_: the vector-engine payload of columnar
+  // instructions (nullptr for row instructions).
+  std::vector<std::unique_ptr<VecInstrInfo>> vec_infos_;
   uint32_t root_slot_ = 0;
   size_t shared_subexpressions_ = 0;
 };

@@ -85,6 +85,14 @@ Result<DeltaPlanPtr> PlanCompiler::Compile(CaExprPtr root) {
       plan->root_slot_,
       Lower(*plan->root_, &slots, &plan->instrs_,
             &plan->shared_subexpressions_));
+  // Engine decision pass: each instruction that has a vector kernel and
+  // whose shape qualifies (see exec/vector_kernels.h) gets its columnar
+  // payload compiled once here; the rest stay on the row engine.
+  plan->vec_infos_.resize(plan->instrs_.size());
+  for (size_t i = 0; i < plan->instrs_.size(); ++i) {
+    plan->vec_infos_[i] = PlanVectorInstr(*plan->instrs_[i].node);
+    plan->instrs_[i].columnar = plan->vec_infos_[i] != nullptr;
+  }
   return DeltaPlanPtr(plan);
 }
 

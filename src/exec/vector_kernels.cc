@@ -1,0 +1,808 @@
+#include "exec/vector_kernels.h"
+
+#include <cstring>
+#include <limits>
+
+#include "storage/relation.h"
+
+namespace chronicle {
+namespace exec {
+
+namespace {
+
+template <typename T>
+T* ZeroedArray(Arena* arena, size_t n) {
+  if (n == 0) return nullptr;
+  T* a = arena->AllocateArray<T>(n);
+  std::memset(a, 0, n * sizeof(T));
+  return a;
+}
+
+// Allocates dense output columns typed like `templ` (used where the output
+// schema is the operand schema or a concatenation of operand schemas, so
+// no Schema object is at hand).
+void AllocateColumnsLike(const std::vector<const ColumnData*>& templ,
+                         size_t rows, Arena* arena, ColumnBatch* out) {
+  out->Clear();
+  out->num_rows = rows;
+  out->cols.resize(templ.size());
+  for (size_t i = 0; i < templ.size(); ++i) {
+    ColumnData& c = out->cols[i];
+    c.type = templ[i]->type;
+    c.i64 = nullptr;
+    c.f64 = nullptr;
+    c.str = nullptr;
+    c.nulls = rows ? arena->AllocateArray<uint8_t>(rows) : nullptr;
+    if (rows == 0) continue;
+    switch (c.type) {
+      case DataType::kInt64:
+        c.i64 = arena->AllocateArray<int64_t>(rows);
+        break;
+      case DataType::kDouble:
+        c.f64 = arena->AllocateArray<double>(rows);
+        break;
+      case DataType::kString:
+        c.str = arena->AllocateArray<const std::string*>(rows);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Predicate compilation
+// ---------------------------------------------------------------------------
+
+// Classifies one comparison operand. Returns false for unsupported kinds;
+// a NULL literal sets *is_null_literal instead (the comparison is then a
+// constant false, exactly like the row engine's NULL-comparison rule).
+bool ClassifyOperand(const ScalarExpr& e, const Schema& schema,
+                     VecPred::Operand* out, bool* is_null_literal) {
+  switch (e.kind()) {
+    case ExprKind::kColumn:
+      if (!e.bound()) return false;
+      out->src = VecPred::Src::kCol;
+      out->col = e.bound_index();
+      out->type = schema.field(out->col).type;
+      return true;
+    case ExprKind::kSeqNum:
+      out->src = VecPred::Src::kSn;
+      out->type = DataType::kInt64;
+      return true;
+    case ExprKind::kChronon:
+      out->src = VecPred::Src::kChronon;
+      out->type = DataType::kInt64;
+      return true;
+    case ExprKind::kLiteral: {
+      const Value& v = e.literal();
+      if (v.is_null()) {
+        *is_null_literal = true;
+        return true;
+      }
+      out->src = VecPred::Src::kLit;
+      out->type = v.type();
+      switch (out->type) {
+        case DataType::kInt64:
+          out->i64 = v.int64();
+          break;
+        case DataType::kDouble:
+          out->f64 = v.dbl();
+          break;
+        case DataType::kString:
+          out->str = v.str();
+          break;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<VecPred> CompileVecPred(const ScalarExpr& e,
+                                        const Schema& schema) {
+  switch (e.kind()) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      auto a = CompileVecPred(e.child(0), schema);
+      auto b = CompileVecPred(e.child(1), schema);
+      if (a == nullptr || b == nullptr) return nullptr;
+      auto node = std::make_unique<VecPred>();
+      node->kind = e.kind() == ExprKind::kAnd ? VecPred::Kind::kAnd
+                                              : VecPred::Kind::kOr;
+      node->a = std::move(a);
+      node->b = std::move(b);
+      return node;
+    }
+    case ExprKind::kNot: {
+      auto a = CompileVecPred(e.child(0), schema);
+      if (a == nullptr) return nullptr;
+      auto node = std::make_unique<VecPred>();
+      node->kind = VecPred::Kind::kNot;
+      node->a = std::move(a);
+      return node;
+    }
+    case ExprKind::kCompare: {
+      auto node = std::make_unique<VecPred>();
+      bool null_lit = false;
+      if (!ClassifyOperand(e.child(0), schema, &node->lhs, &null_lit) ||
+          !ClassifyOperand(e.child(1), schema, &node->rhs, &null_lit)) {
+        return nullptr;
+      }
+      if (null_lit) {
+        node->kind = VecPred::Kind::kConstFalse;
+        return node;
+      }
+      // Mixed string/numeric comparisons fall back to the row engine (the
+      // type-tag ordering arm of Value::Compare); same-class pairs are the
+      // monomorphic loops this engine exists for.
+      const bool lstr = node->lhs.type == DataType::kString;
+      const bool rstr = node->rhs.type == DataType::kString;
+      if (lstr != rstr) return nullptr;
+      node->kind = VecPred::Kind::kCmp;
+      node->op = e.compare_op();
+      return node;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Predicate evaluation
+// ---------------------------------------------------------------------------
+
+// A CompareOp as a 3-bit acceptance mask indexed by the three-way compare
+// outcome c in {less=0, equal=1, greater=2}: keep iff (mask >> c) & 1.
+// Turning the operator into data keeps every comparison loop branch-free.
+uint32_t OpMask(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return 0b010;
+    case CompareOp::kNe:
+      return 0b101;
+    case CompareOp::kLt:
+      return 0b001;
+    case CompareOp::kLe:
+      return 0b011;
+    case CompareOp::kGt:
+      return 0b100;
+    case CompareOp::kGe:
+      return 0b110;
+  }
+  return 0;
+}
+
+// Mirror for operand swap: a OP b == b mirror(OP) a.
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+// The column widened to double (identity for double columns). Null slots
+// hold 0 and are masked by the caller's null check.
+const double* WidenColumn(const ColumnData& c, size_t n, Arena* arena) {
+  if (c.type == DataType::kDouble) return c.f64;
+  if (n == 0) return nullptr;
+  double* d = arena->AllocateArray<double>(n);
+  const int64_t* src = c.i64;
+  for (size_t r = 0; r < n; ++r) d[r] = static_cast<double>(src[r]);
+  return d;
+}
+
+// Constant operand payload (literal, or the tick's $sn/$chronon).
+struct ConstOperand {
+  bool is_string = false;
+  bool is_int = false;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  const std::string* str = nullptr;
+};
+
+ConstOperand ResolveConst(const VecPred::Operand& o, SeqNum sn,
+                          int64_t chronon) {
+  ConstOperand c;
+  switch (o.src) {
+    case VecPred::Src::kSn:
+      c.is_int = true;
+      c.i64 = static_cast<int64_t>(sn);
+      break;
+    case VecPred::Src::kChronon:
+      c.is_int = true;
+      c.i64 = chronon;
+      break;
+    case VecPred::Src::kLit:
+      switch (o.type) {
+        case DataType::kInt64:
+          c.is_int = true;
+          c.i64 = o.i64;
+          break;
+        case DataType::kDouble:
+          c.f64 = o.f64;
+          break;
+        case DataType::kString:
+          c.is_string = true;
+          c.str = &o.str;
+          break;
+      }
+      break;
+    case VecPred::Src::kCol:
+      break;  // not a constant; unreachable by construction
+  }
+  if (c.is_int) c.f64 = static_cast<double>(c.i64);
+  return c;
+}
+
+void EvalPred(const VecPred& p, const ColumnBatch& in, SeqNum sn,
+              int64_t chronon, uint8_t* flags, Arena* arena);
+
+void EvalCmp(const VecPred& p, const ColumnBatch& in, SeqNum sn,
+             int64_t chronon, uint8_t* flags, Arena* arena) {
+  const size_t n = in.num_rows;
+  const bool lcol = p.lhs.src == VecPred::Src::kCol;
+  const bool rcol = p.rhs.src == VecPred::Src::kCol;
+
+  if (lcol && rcol) {
+    const ColumnData& a = in.cols[p.lhs.col];
+    const ColumnData& b = in.cols[p.rhs.col];
+    const uint32_t mask = OpMask(p.op);
+    if (a.type == DataType::kString) {
+      for (size_t r = 0; r < n; ++r) {
+        if (a.nulls[r] | b.nulls[r]) {
+          flags[r] = 0;
+          continue;
+        }
+        const int cmp = a.str[r]->compare(*b.str[r]);
+        const unsigned c = cmp < 0 ? 0u : (cmp == 0 ? 1u : 2u);
+        flags[r] = static_cast<uint8_t>((mask >> c) & 1u);
+      }
+    } else if (a.type == DataType::kInt64 && b.type == DataType::kInt64) {
+      const int64_t* x = a.i64;
+      const int64_t* y = b.i64;
+      for (size_t r = 0; r < n; ++r) {
+        const unsigned c = x[r] < y[r] ? 0u : (x[r] > y[r] ? 2u : 1u);
+        flags[r] =
+            static_cast<uint8_t>(((mask >> c) & 1u) & (a.nulls[r] | b.nulls[r] ? 0u : 1u));
+      }
+    } else {
+      const double* x = WidenColumn(a, n, arena);
+      const double* y = WidenColumn(b, n, arena);
+      for (size_t r = 0; r < n; ++r) {
+        const unsigned c = x[r] < y[r] ? 0u : (x[r] > y[r] ? 2u : 1u);
+        flags[r] =
+            static_cast<uint8_t>(((mask >> c) & 1u) & (a.nulls[r] | b.nulls[r] ? 0u : 1u));
+      }
+    }
+    return;
+  }
+
+  if (lcol || rcol) {
+    // Canonicalize to column-vs-constant (mirroring the operator when the
+    // constant was on the left).
+    const VecPred::Operand& colop = lcol ? p.lhs : p.rhs;
+    const VecPred::Operand& constop = lcol ? p.rhs : p.lhs;
+    const CompareOp op = lcol ? p.op : MirrorOp(p.op);
+    const uint32_t mask = OpMask(op);
+    const ColumnData& a = in.cols[colop.col];
+    const ConstOperand k = ResolveConst(constop, sn, chronon);
+    if (a.type == DataType::kString) {
+      const std::string& ks = *k.str;
+      for (size_t r = 0; r < n; ++r) {
+        if (a.nulls[r]) {
+          flags[r] = 0;
+          continue;
+        }
+        const int cmp = a.str[r]->compare(ks);
+        const unsigned c = cmp < 0 ? 0u : (cmp == 0 ? 1u : 2u);
+        flags[r] = static_cast<uint8_t>((mask >> c) & 1u);
+      }
+    } else if (a.type == DataType::kInt64 && k.is_int) {
+      const int64_t* x = a.i64;
+      const int64_t y = k.i64;
+      for (size_t r = 0; r < n; ++r) {
+        const unsigned c = x[r] < y ? 0u : (x[r] > y ? 2u : 1u);
+        flags[r] =
+            static_cast<uint8_t>(((mask >> c) & 1u) & (a.nulls[r] ? 0u : 1u));
+      }
+    } else {
+      const double* x = WidenColumn(a, n, arena);
+      const double y = k.f64;
+      for (size_t r = 0; r < n; ++r) {
+        const unsigned c = x[r] < y ? 0u : (x[r] > y ? 2u : 1u);
+        flags[r] =
+            static_cast<uint8_t>(((mask >> c) & 1u) & (a.nulls[r] ? 0u : 1u));
+      }
+    }
+    return;
+  }
+
+  // Constant vs constant: one three-way compare fills the whole batch.
+  const ConstOperand l = ResolveConst(p.lhs, sn, chronon);
+  const ConstOperand r = ResolveConst(p.rhs, sn, chronon);
+  unsigned c;
+  if (l.is_string) {
+    const int cmp = l.str->compare(*r.str);
+    c = cmp < 0 ? 0u : (cmp == 0 ? 1u : 2u);
+  } else if (l.is_int && r.is_int) {
+    c = l.i64 < r.i64 ? 0u : (l.i64 > r.i64 ? 2u : 1u);
+  } else {
+    c = l.f64 < r.f64 ? 0u : (l.f64 > r.f64 ? 2u : 1u);
+  }
+  const uint8_t keep = static_cast<uint8_t>((OpMask(p.op) >> c) & 1u);
+  std::memset(flags, keep, n);
+}
+
+void EvalPred(const VecPred& p, const ColumnBatch& in, SeqNum sn,
+              int64_t chronon, uint8_t* flags, Arena* arena) {
+  const size_t n = in.num_rows;
+  switch (p.kind) {
+    case VecPred::Kind::kConstFalse:
+      std::memset(flags, 0, n);
+      return;
+    case VecPred::Kind::kCmp:
+      EvalCmp(p, in, sn, chronon, flags, arena);
+      return;
+    case VecPred::Kind::kNot:
+      EvalPred(*p.a, in, sn, chronon, flags, arena);
+      for (size_t r = 0; r < n; ++r) flags[r] ^= 1;
+      return;
+    case VecPred::Kind::kAnd:
+    case VecPred::Kind::kOr: {
+      // Every supported node yields 0/1 and cannot error, so the row
+      // engine's short-circuit evaluation reduces to elementwise bit math.
+      EvalPred(*p.a, in, sn, chronon, flags, arena);
+      uint8_t* tmp = n ? arena->AllocateArray<uint8_t>(n) : nullptr;
+      EvalPred(*p.b, in, sn, chronon, tmp, arena);
+      if (p.kind == VecPred::Kind::kAnd) {
+        for (size_t r = 0; r < n; ++r) flags[r] &= tmp[r];
+      } else {
+        for (size_t r = 0; r < n; ++r) flags[r] |= tmp[r];
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine decision
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<VecInstrInfo> PlanVectorInstr(const CaExpr& node) {
+  switch (node.op()) {
+    case CaOp::kScan:
+    case CaOp::kProject:
+    case CaOp::kSeqJoin:
+    case CaOp::kUnion:
+      return std::make_unique<VecInstrInfo>();
+    case CaOp::kSelect: {
+      auto pred = CompileVecPred(*node.predicate(), node.child(0)->schema());
+      if (pred == nullptr) return nullptr;
+      auto info = std::make_unique<VecInstrInfo>();
+      info->pred = std::move(pred);
+      return info;
+    }
+    case CaOp::kGroupBySeq: {
+      const Schema& in_schema = node.child(0)->schema();
+      std::vector<VecAgg> aggs;
+      aggs.reserve(node.aggregates().size());
+      for (const AggSpec& spec : node.aggregates()) {
+        switch (spec.kind()) {
+          case AggKind::kCount:
+          case AggKind::kSum:
+          case AggKind::kMin:
+          case AggKind::kMax:
+            break;
+          default:
+            // AVG/TIERED/FIRST/LAST/CUSTOM keep the whole group-by on the
+            // row engine (one row path per instruction, never mixed).
+            return nullptr;
+        }
+        VecAgg a;
+        a.kind = spec.kind();
+        if (spec.kind() != AggKind::kCount) {
+          a.input = spec.bound_input();
+          a.input_type = in_schema.field(a.input).type;
+        }
+        aggs.push_back(a);
+      }
+      auto info = std::make_unique<VecInstrInfo>();
+      info->aggs = std::move(aggs);
+      return info;
+    }
+    case CaOp::kRelKeyJoin:
+      // String probes would build a heap Value per row; numeric probes are
+      // allocation-free.
+      if (node.child(0)->schema().field(node.join_column()).type ==
+          DataType::kString) {
+        return nullptr;
+      }
+      return std::make_unique<VecInstrInfo>();
+    default:
+      return nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+void VecScratch::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.generation != generation_) continue;
+    size_t i = s.hash & mask;
+    while (slots_[i].generation == generation_) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+void VecSelect(const VecPred& pred, const ColumnBatch& in, SeqNum sn,
+               int64_t chronon, Arena* arena, ColumnBatch* out) {
+  const size_t phys = in.num_rows;
+  uint8_t* flags = phys ? arena->AllocateArray<uint8_t>(phys) : nullptr;
+  EvalPred(pred, in, sn, chronon, flags, arena);
+
+  // Allocated even for an empty input: sel == nullptr means IDENTITY
+  // selection, so an empty result must still carry a non-null (zero-length)
+  // selection vector.
+  const size_t n = in.size();
+  uint32_t* sel = arena->AllocateArray<uint32_t>(n > 0 ? n : 1);
+  size_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = in.RowAt(i);
+    sel[m] = r;
+    m += flags[r];
+  }
+  out->cols = in.cols;
+  out->num_rows = in.num_rows;
+  out->sel = sel;
+  out->sel_size = m;
+}
+
+void VecProject(const ColumnBatch& in, const std::vector<size_t>& projection,
+                VecScratch* vs, Arena* arena, ColumnBatch* out) {
+  out->cols.resize(projection.size());
+  for (size_t k = 0; k < projection.size(); ++k) {
+    out->cols[k] = in.cols[projection[k]];
+  }
+  out->num_rows = in.num_rows;
+
+  // Projection can merge rows that differed only on dropped columns:
+  // first-seen dedupe over the projected columns, payload = surviving
+  // physical row.
+  const size_t n = in.size();
+  const size_t* pcols = projection.data();
+  const size_t np = projection.size();
+  // Non-null even when empty — sel == nullptr would mean identity.
+  uint32_t* sel = arena->AllocateArray<uint32_t>(n > 0 ? n : 1);
+  size_t m = 0;
+  vs->Clear();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = in.RowAt(i);
+    const size_t h = HashRowCols(in, pcols, np, r);
+    const uint32_t found = vs->FindOrInsert(h, r, [&](uint32_t cand) {
+      return RowColsEqual(in, r, in, cand, pcols, pcols, np);
+    });
+    if (found == VecScratch::kNotFound) sel[m++] = r;
+  }
+  out->sel = sel;
+  out->sel_size = m;
+}
+
+void VecUnion(const ColumnBatch& left, const ColumnBatch& right,
+              VecScratch* vs, Arena* arena, ColumnBatch* out) {
+  const size_t ncols = left.cols.size();
+  std::vector<const ColumnData*> templ(ncols);
+  for (size_t c = 0; c < ncols; ++c) templ[c] = &left.cols[c];
+  AllocateColumnsLike(templ, left.size() + right.size(), arena, out);
+
+  size_t* idcols = ncols ? arena->AllocateArray<size_t>(ncols) : nullptr;
+  for (size_t c = 0; c < ncols; ++c) idcols[c] = c;
+
+  vs->Clear();
+  size_t n = 0;
+  auto add_side = [&](const ColumnBatch& src) {
+    const size_t rows = src.size();
+    for (size_t i = 0; i < rows; ++i) {
+      const uint32_t r = src.RowAt(i);
+      const size_t h = HashRowCols(src, idcols, ncols, r);
+      const uint32_t found =
+          vs->FindOrInsert(h, static_cast<uint32_t>(n), [&](uint32_t cand) {
+            return RowColsEqual(src, r, *out, cand, idcols, idcols, ncols);
+          });
+      if (found != VecScratch::kNotFound) continue;
+      for (size_t c = 0; c < ncols; ++c) {
+        CopyCell(src.cols[c], r, &out->cols[c], n);
+      }
+      ++n;
+    }
+  };
+  add_side(left);
+  add_side(right);
+  out->num_rows = n;
+}
+
+bool VecSeqJoin(const ColumnBatch& left, const ColumnBatch& right,
+                Arena* arena, ColumnBatch* out) {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  if (nr != 0 && nl > std::numeric_limits<size_t>::max() / nr) return false;
+  const size_t total = nl * nr;
+
+  const size_t lcols = left.cols.size();
+  const size_t rcols = right.cols.size();
+  std::vector<const ColumnData*> templ(lcols + rcols);
+  for (size_t c = 0; c < lcols; ++c) templ[c] = &left.cols[c];
+  for (size_t c = 0; c < rcols; ++c) templ[lcols + c] = &right.cols[c];
+  AllocateColumnsLike(templ, total, arena, out);
+
+  // Left columns repeat each value nr times; right columns tile. Same
+  // left-major order as the row engine's nested loops.
+  for (size_t c = 0; c < lcols; ++c) {
+    const ColumnData& src = left.cols[c];
+    ColumnData* dst = &out->cols[c];
+    size_t p = 0;
+    for (size_t i = 0; i < nl; ++i) {
+      const uint32_t r = left.RowAt(i);
+      for (size_t k = 0; k < nr; ++k, ++p) CopyCell(src, r, dst, p);
+    }
+  }
+  for (size_t c = 0; c < rcols; ++c) {
+    const ColumnData& src = right.cols[c];
+    ColumnData* dst = &out->cols[lcols + c];
+    size_t p = 0;
+    for (size_t i = 0; i < nl; ++i) {
+      for (size_t k = 0; k < nr; ++k, ++p) CopyCell(src, right.RowAt(k), dst, p);
+    }
+  }
+  return true;
+}
+
+void VecGroupBy(const ColumnBatch& in, const std::vector<size_t>& group_cols,
+                const std::vector<VecAgg>& aggs,
+                const std::vector<AggSpec>& specs, const Schema& out_schema,
+                VecScratch* vs, Arena* arena, ColumnBatch* out) {
+  const size_t n = in.size();
+  const size_t nkeys = group_cols.size();
+  const size_t* kcols = group_cols.data();
+
+  // Pass 1: assign each row its group ordinal (first-seen discovery order,
+  // matching the row engine's group_order).
+  uint32_t* group_of = n ? arena->AllocateArray<uint32_t>(n) : nullptr;
+  ArenaVector<uint32_t> rep{ArenaAllocator<uint32_t>(arena)};  // physical rows
+  vs->Clear();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = in.RowAt(i);
+    const size_t h = HashRowCols(in, kcols, nkeys, r);
+    uint32_t g = vs->FindOrInsert(
+        h, static_cast<uint32_t>(rep.size()), [&](uint32_t cand) {
+          return RowColsEqual(in, r, in, rep[cand], kcols, kcols, nkeys);
+        });
+    if (g == VecScratch::kNotFound) {
+      g = static_cast<uint32_t>(rep.size());
+      rep.push_back(r);
+    }
+    group_of[i] = g;
+  }
+  const size_t ngroups = rep.size();
+
+  AllocateColumns(out_schema, ngroups, arena, out);
+
+  // Key columns: gather from each group's representative row.
+  for (size_t k = 0; k < nkeys; ++k) {
+    const ColumnData& src = in.cols[kcols[k]];
+    ColumnData* dst = &out->cols[k];
+    for (size_t g = 0; g < ngroups; ++g) CopyCell(src, rep[g], dst, g);
+  }
+
+  // Pass 2: one monomorphic update loop per aggregate, walking rows in
+  // input order so per-group double accumulation folds in exactly the row
+  // engine's order (bit-identical sums).
+  for (size_t j = 0; j < aggs.size(); ++j) {
+    const VecAgg& agg = aggs[j];
+    ColumnData* dst = &out->cols[nkeys + j];
+    switch (agg.kind) {
+      case AggKind::kCount: {
+        int64_t* cnt = ZeroedArray<int64_t>(arena, ngroups);
+        for (size_t i = 0; i < n; ++i) ++cnt[group_of[i]];
+        for (size_t g = 0; g < ngroups; ++g) {
+          dst->nulls[g] = 0;
+          dst->i64[g] = cnt[g];
+        }
+        break;
+      }
+      case AggKind::kSum: {
+        const ColumnData& c = in.cols[agg.input];
+        int64_t* cnt = ZeroedArray<int64_t>(arena, ngroups);
+        if (agg.input_type == DataType::kInt64) {
+          int64_t* sum = ZeroedArray<int64_t>(arena, ngroups);
+          for (size_t i = 0; i < n; ++i) {
+            const uint32_t r = in.RowAt(i);
+            if (c.nulls[r]) continue;
+            const uint32_t g = group_of[i];
+            sum[g] += c.i64[r];
+            ++cnt[g];
+          }
+          for (size_t g = 0; g < ngroups; ++g) {
+            if (cnt[g] == 0) {
+              WriteNull(dst, g);  // SQL: SUM of empty is NULL
+            } else {
+              dst->nulls[g] = 0;
+              dst->i64[g] = sum[g];
+            }
+          }
+        } else {
+          double* sum = ZeroedArray<double>(arena, ngroups);
+          for (size_t i = 0; i < n; ++i) {
+            const uint32_t r = in.RowAt(i);
+            if (c.nulls[r]) continue;
+            const uint32_t g = group_of[i];
+            sum[g] += c.f64[r];
+            ++cnt[g];
+          }
+          for (size_t g = 0; g < ngroups; ++g) {
+            if (cnt[g] == 0) {
+              WriteNull(dst, g);
+            } else {
+              dst->nulls[g] = 0;
+              dst->f64[g] = sum[g];
+            }
+          }
+        }
+        break;
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        const ColumnData& c = in.cols[agg.input];
+        const bool is_min = agg.kind == AggKind::kMin;
+        uint8_t* has = ZeroedArray<uint8_t>(arena, ngroups);
+        // Strict-inequality updates keep the FIRST extremum on ties, same
+        // as AggSpec::UpdateValue.
+        switch (agg.input_type) {
+          case DataType::kInt64: {
+            int64_t* best = ZeroedArray<int64_t>(arena, ngroups);
+            for (size_t i = 0; i < n; ++i) {
+              const uint32_t r = in.RowAt(i);
+              if (c.nulls[r]) continue;
+              const uint32_t g = group_of[i];
+              const int64_t v = c.i64[r];
+              if (!has[g] || (is_min ? v < best[g] : v > best[g])) {
+                best[g] = v;
+                has[g] = 1;
+              }
+            }
+            for (size_t g = 0; g < ngroups; ++g) {
+              if (!has[g]) {
+                WriteNull(dst, g);
+              } else {
+                dst->nulls[g] = 0;
+                dst->i64[g] = best[g];
+              }
+            }
+            break;
+          }
+          case DataType::kDouble: {
+            double* best = ZeroedArray<double>(arena, ngroups);
+            for (size_t i = 0; i < n; ++i) {
+              const uint32_t r = in.RowAt(i);
+              if (c.nulls[r]) continue;
+              const uint32_t g = group_of[i];
+              const double v = c.f64[r];
+              if (!has[g] || (is_min ? v < best[g] : v > best[g])) {
+                best[g] = v;
+                has[g] = 1;
+              }
+            }
+            for (size_t g = 0; g < ngroups; ++g) {
+              if (!has[g]) {
+                WriteNull(dst, g);
+              } else {
+                dst->nulls[g] = 0;
+                dst->f64[g] = best[g];
+              }
+            }
+            break;
+          }
+          case DataType::kString: {
+            const std::string** best =
+                ngroups ? arena->AllocateArray<const std::string*>(ngroups)
+                        : nullptr;
+            for (size_t i = 0; i < n; ++i) {
+              const uint32_t r = in.RowAt(i);
+              if (c.nulls[r]) continue;
+              const uint32_t g = group_of[i];
+              const std::string* v = c.str[r];
+              if (!has[g] || (is_min ? *v < *best[g] : *best[g] < *v)) {
+                best[g] = v;
+                has[g] = 1;
+              }
+            }
+            for (size_t g = 0; g < ngroups; ++g) {
+              if (!has[g]) {
+                WriteNull(dst, g);
+              } else {
+                dst->nulls[g] = 0;
+                dst->str[g] = best[g];
+              }
+            }
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        // PlanVectorInstr admits only the kinds above.
+        break;
+    }
+    (void)specs;
+  }
+}
+
+bool VecRelKeyJoin(const ColumnBatch& in, const Relation* rel,
+                   size_t join_column, const Schema& out_schema, Arena* arena,
+                   ColumnBatch* out) {
+  const size_t n = in.size();
+  const ColumnData& key = in.cols[join_column];
+
+  // Phase 1: probe (allocation-free numeric probes through a reused
+  // Value). Stats stay with the caller so a phase-2 fallback cannot
+  // double-count lookups.
+  uint32_t* src = n ? arena->AllocateArray<uint32_t>(n) : nullptr;
+  const Tuple** match = n ? arena->AllocateArray<const Tuple*>(n) : nullptr;
+  size_t m = 0;
+  Value probe;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = in.RowAt(i);
+    if (key.nulls[r]) {
+      probe = Value();
+    } else if (key.type == DataType::kInt64) {
+      probe = Value(key.i64[r]);
+    } else {
+      probe = Value(key.f64[r]);
+    }
+    const Tuple* t = rel->FindByKey(probe);
+    if (t == nullptr) continue;  // inner join: misses drop out
+    src[m] = r;
+    match[m] = t;
+    ++m;
+  }
+
+  // Phase 2: dense materialization — left columns gathered, relation
+  // columns extracted with the schema type check.
+  AllocateColumns(out_schema, m, arena, out);
+  const size_t lcols = in.cols.size();
+  const size_t rcols = out_schema.num_fields() - lcols;
+  for (size_t c = 0; c < lcols; ++c) {
+    const ColumnData& s = in.cols[c];
+    ColumnData* dst = &out->cols[c];
+    for (size_t j = 0; j < m; ++j) CopyCell(s, src[j], dst, j);
+  }
+  for (size_t c = 0; c < rcols; ++c) {
+    ColumnData* dst = &out->cols[lcols + c];
+    for (size_t j = 0; j < m; ++j) {
+      const Tuple& t = *match[j];
+      if (t.size() != rcols || !WriteCell(dst, j, t[c])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace exec
+}  // namespace chronicle

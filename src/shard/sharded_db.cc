@@ -1,7 +1,6 @@
 #include "shard/sharded_db.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
 #include "views/persistent_view.h"
@@ -475,13 +474,56 @@ Result<Tuple> ShardedDatabase::QueryView(const std::string& view,
 
 Result<std::vector<Tuple>> ShardedDatabase::MergeView(const ViewMeta& meta,
                                                       const Tuple* key) const {
+  // The scratch (finalizer view + merge table) is retained per view name:
+  // building the plan and PersistentView per read dominated merged-scan
+  // cost, and clearing the hash table keeps its buckets warm. The final
+  // sort makes the unordered merge table safe — output stays byte-
+  // identical to the unsharded engine's.
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  MergeScratch& scratch = merge_scratch_[meta.name];
+  if (scratch.view == nullptr) {
+    CHRONICLE_ASSIGN_OR_RETURN(CaExprPtr plan,
+                               meta.plan_factory(*engines_[0]));
+    std::vector<ComputedColumn> computed;
+    if (meta.computed_factory) computed = meta.computed_factory(*engines_[0]);
+    CHRONICLE_ASSIGN_OR_RETURN(
+        scratch.view,
+        PersistentView::Make(0, meta.name, std::move(plan), *meta.spec,
+                             std::move(computed), meta.index_mode));
+  }
+  // Aligned views partition their groups: every row of a group lives on
+  // the shard its key hashes to, so each shard's raw states are already
+  // complete and the merge table can be skipped outright.
+  if (meta.aligned) {
+    std::vector<Tuple> rows;
+    Status status;
+    for (size_t k = 0; k < engines_.size(); ++k) {
+      CHRONICLE_ASSIGN_OR_RETURN(const PersistentView* shard_view,
+                                 engines_[k]->GetView(meta.name));
+      shard_view->VisitGroups([&](const Tuple& group_key,
+                                  const std::vector<AggState>& states,
+                                  int64_t) {
+        if (!status.ok()) return;
+        if (key != nullptr && TupleCompare(group_key, *key) != 0) return;
+        Result<Tuple> row =
+            scratch.view->FinalizeGroupStates(group_key, states);
+        if (!row.ok()) {
+          status = row.status();
+          return;
+        }
+        rows.push_back(std::move(*row));
+      });
+      CHRONICLE_RETURN_NOT_OK(status);
+    }
+    std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+      return TupleCompare(a, b) < 0;
+    });
+    return rows;
+  }
   // 1. Merge raw per-shard group states (decomposability: AggSpec::Merge
   //    is exact for every built-in aggregate).
-  struct MergedGroup {
-    std::vector<AggState> states;
-    int64_t multiplicity = 0;
-  };
-  std::map<Tuple, MergedGroup, TupleLess> merged;
+  auto& merged = scratch.groups;
+  merged.clear();
   const std::vector<AggSpec>& aggs = meta.spec->aggregates();
   for (size_t k = 0; k < engines_.size(); ++k) {
     CHRONICLE_ASSIGN_OR_RETURN(const PersistentView* shard_view,
@@ -502,23 +544,17 @@ Result<std::vector<Tuple>> ShardedDatabase::MergeView(const ViewMeta& meta,
       it->second.multiplicity += multiplicity;
     });
   }
-  // 2. Finalize through a scratch PersistentView so output rows (including
-  //    computed columns and key ordering) are byte-identical to the
-  //    unsharded engine's.
-  CHRONICLE_ASSIGN_OR_RETURN(CaExprPtr plan, meta.plan_factory(*engines_[0]));
-  std::vector<ComputedColumn> computed;
-  if (meta.computed_factory) computed = meta.computed_factory(*engines_[0]);
-  CHRONICLE_ASSIGN_OR_RETURN(
-      std::unique_ptr<PersistentView> scratch,
-      PersistentView::Make(0, meta.name, std::move(plan), *meta.spec,
-                           std::move(computed), meta.index_mode));
-  for (auto& [group_key, group] : merged) {
-    CHRONICLE_RETURN_NOT_OK(scratch->RestoreGroup(
-        group_key, std::move(group.states), group.multiplicity));
-  }
+  // 2. Finalize each merged group through the scratch PersistentView's
+  //    finalizer (aggregate Finalize + computed columns) so output rows
+  //    are byte-identical to the unsharded engine's, without paying a
+  //    second materialization into the scratch view's table.
   std::vector<Tuple> rows;
-  CHRONICLE_RETURN_NOT_OK(
-      scratch->Scan([&](const Tuple& row) { rows.push_back(row); }));
+  rows.reserve(merged.size());
+  for (auto& [group_key, group] : merged) {
+    CHRONICLE_ASSIGN_OR_RETURN(
+        Tuple row, scratch.view->FinalizeGroupStates(group_key, group.states));
+    rows.push_back(std::move(row));
+  }
   std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
     return TupleCompare(a, b) < 0;
   });

@@ -37,12 +37,14 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "aggregates/aggregate.h"
 #include "db/database.h"
 #include "shard/partitioner.h"
 #include "shard/spsc_queue.h"
@@ -50,6 +52,9 @@
 #include "wal/wal.h"
 
 namespace chronicle {
+
+class PersistentView;
+
 namespace shard {
 
 // Result of one routed synchronous append.
@@ -197,6 +202,19 @@ class ShardedDatabase {
   struct ShardLane;   // one SPSC ring + padding
   struct ShardState;  // per-shard worker bookkeeping
 
+  // One shard's contribution to a group, merged across shards.
+  struct MergedGroup {
+    std::vector<AggState> states;
+    int64_t multiplicity = 0;
+  };
+  // Per-view scratch retained across merged reads so each ScanView/
+  // QueryView reuses the finalizer view (plan + computed columns) and the
+  // merge table's buckets instead of rebuilding them per call.
+  struct MergeScratch {
+    std::unique_ptr<PersistentView> view;
+    std::unordered_map<Tuple, MergedGroup, TupleHash, TupleEq> groups;
+  };
+
   explicit ShardedDatabase(DatabaseOptions options);
 
   Result<const Partitioner*> PartitionerFor(const std::string& chronicle) const;
@@ -220,6 +238,11 @@ class ShardedDatabase {
   std::unordered_map<std::string, ChronicleId> chronicles_by_name_;
   std::vector<ViewMeta> views_;
   std::unordered_map<std::string, size_t> views_by_name_;
+
+  // Merged-read scratch (mutable: reads are logically const). merge_mu_
+  // serializes concurrent ScanView/QueryView over the shared scratch.
+  mutable std::mutex merge_mu_;
+  mutable std::unordered_map<std::string, MergeScratch> merge_scratch_;
 
   // Synchronous-path chronon (async ticks advance shard-locally instead).
   Chronon last_chronon_ = 0;

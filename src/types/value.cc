@@ -55,13 +55,9 @@ int Value::Compare(const Value& other) const {
 }
 
 size_t Value::Hash() const {
-  if (is_null()) return 0x9e3779b9;
-  if (is_string()) return std::hash<std::string>()(str());
-  // Hash numerics through double so 2 (int64) and 2.0 (double) collide, as
-  // required by cross-type equality. Integers up to 2^53 round-trip exactly.
-  double d = is_int64() ? static_cast<double>(int64()) : dbl();
-  if (d == 0.0) d = 0.0;  // normalize -0.0
-  return std::hash<double>()(d);
+  if (is_null()) return HashNullValue();
+  if (is_string()) return HashStringValue(str());
+  return is_int64() ? HashInt64Value(int64()) : HashDoubleValue(dbl());
 }
 
 std::string Value::ToString() const {

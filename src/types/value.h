@@ -9,6 +9,7 @@
 #define CHRONICLE_TYPES_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -79,6 +80,24 @@ class Value {
 struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
+
+// Monomorphic per-type hashes. Value::Hash dispatches to these, and the
+// columnar executor (src/exec/column_batch.h) calls them directly from its
+// typed column loops: both sides MUST hash equal values identically or the
+// vectorized dedupe/group tables would diverge from the row engine's.
+inline size_t HashNullValue() { return 0x9e3779b9; }
+inline size_t HashDoubleValue(double d) {
+  if (d == 0.0) d = 0.0;  // normalize -0.0 so it collides with +0.0
+  return std::hash<double>()(d);
+}
+// Integers hash through double so 2 (int64) and 2.0 (double) collide, as
+// required by cross-type equality. Integers up to 2^53 round-trip exactly.
+inline size_t HashInt64Value(int64_t v) {
+  return HashDoubleValue(static_cast<double>(v));
+}
+inline size_t HashStringValue(const std::string& s) {
+  return std::hash<std::string>()(s);
+}
 
 // Combines two hash values (boost::hash_combine formula).
 inline size_t HashCombine(size_t seed, size_t h) {

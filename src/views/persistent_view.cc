@@ -70,10 +70,22 @@ Status PersistentView::ApplyDelta(const std::vector<ChronicleRow>& delta) {
 
 Result<Tuple> PersistentView::FinalizeRow(const Tuple& key,
                                           const Group& group) const {
+  return FinalizeGroupStates(key, group.states);
+}
+
+Result<Tuple> PersistentView::FinalizeGroupStates(
+    const Tuple& key, const std::vector<AggState>& states) const {
+  if (spec_.kind() == SummarySpec::Kind::kGroupBy &&
+      states.size() != spec_.aggregates().size()) {
+    return Status::InvalidArgument(
+        "group has " + std::to_string(states.size()) +
+        " aggregate states, view '" + name_ + "' expects " +
+        std::to_string(spec_.aggregates().size()));
+  }
   Tuple row = key;
   if (spec_.kind() == SummarySpec::Kind::kGroupBy) {
     for (size_t i = 0; i < spec_.aggregates().size(); ++i) {
-      row.push_back(spec_.aggregates()[i].Finalize(group.states[i]));
+      row.push_back(spec_.aggregates()[i].Finalize(states[i]));
     }
   }
   for (const ComputedColumn& cc : computed_) {

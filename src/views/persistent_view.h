@@ -92,6 +92,11 @@ class PersistentView {
     ticks_applied_ = ticks_applied;
     delta_rows_applied_ = delta_rows_applied;
   }
+  // Finalizes externally merged raw states into the row Scan would emit
+  // had the group lived in this view (key + aggregates + computed). Used
+  // by the sharded merge layer to finalize without materializing here.
+  Result<Tuple> FinalizeGroupStates(const Tuple& key,
+                                    const std::vector<AggState>& states) const;
 
  private:
   struct Group {

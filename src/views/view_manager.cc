@@ -380,10 +380,12 @@ Status ViewManager::MaintainOne(ViewId id, const AppendEvent& event,
       }
       const std::vector<uint64_t>& ns = scratch->slot_ns();
       const std::vector<uint64_t>& slot_rows = scratch->slot_rows();
+      const std::vector<uint8_t>& slot_vec = scratch->slot_vec();
       for (size_t i = 0; i < prof.size(); ++i) {
         prof[i].ns += ns[i];
         prof[i].rows += slot_rows[i];
         ++prof[i].samples;
+        prof[i].vec_samples += slot_vec[i];
       }
       scratch->set_profile_slots(false);
     }
@@ -455,6 +457,8 @@ Status ViewManager::MaintainParallel(const std::vector<ViewId>& work,
   // uses worker_scratch_[t], so no two live closures ever share one.
   while (worker_scratch_.size() < num_tasks) {
     worker_scratch_.push_back(std::make_unique<exec::PlanScratch>());
+    worker_scratch_.back()->set_columnar_enabled(
+        options_.use_columnar_kernels);
   }
   const size_t base = work.size() / num_tasks;
   const size_t extra = work.size() % num_tasks;
@@ -519,6 +523,12 @@ void ViewManager::set_maintenance_options(const MaintenanceOptions& options) {
     pool_.reset();
   } else if (pool_ == nullptr || pool_->num_threads() != options_.num_threads) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  // Runtime engine toggle: retained scratches (and any already-created
+  // worker scratches) flip in place; compiled plans are untouched.
+  scratch_.set_columnar_enabled(options_.use_columnar_kernels);
+  for (auto& ws : worker_scratch_) {
+    ws->set_columnar_enabled(options_.use_columnar_kernels);
   }
 }
 

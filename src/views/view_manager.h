@@ -72,6 +72,13 @@ struct MaintenanceOptions {
   // cross-view DeltaCache sharing does not apply to compiled execution —
   // sharing there is within-plan, by slot construction.
   bool use_compiled_plans = true;
+  // Within compiled execution, run instructions the compiler marked
+  // columnar on the vectorized column kernels (exec/vector_kernels.h).
+  // false pins every instruction to the row engine. A pure runtime toggle
+  // on PlanScratch — flipping it never recompiles a plan — and byte-for-
+  // byte output equivalence is fuzzed three ways alongside the
+  // interpreter. No effect when use_compiled_plans is false.
+  bool use_columnar_kernels = true;
 };
 
 // One view's contribution to a tick. Only populated when observability is

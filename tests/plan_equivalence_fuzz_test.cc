@@ -247,14 +247,19 @@ TEST(PlanEquivalenceFuzzTest, RandomExpressionsMatchInterpreterTickByTick) {
   ExprGen gen(&rng, &rel);
 
   DeltaEngine engine;
-  // ONE scratch across all expressions and ticks: this is exactly the
-  // reuse pattern ViewManager relies on, so stale state in any retained
-  // buffer would surface here as a cross-expression mismatch.
-  exec::PlanScratch scratch;
+  // ONE scratch per engine across all expressions and ticks: this is
+  // exactly the reuse pattern ViewManager relies on, so stale state in any
+  // retained buffer would surface here as a cross-expression mismatch.
+  // Triangulation: interpreter vs row-compiled vs columnar — the scratch
+  // toggle is the only difference between the two compiled legs.
+  exec::PlanScratch scratch;  // columnar (the default)
+  exec::PlanScratch row_scratch;
+  row_scratch.set_columnar_enabled(false);
 
   for (int round = 0; round < 48; ++round) {
     SCOPED_TRACE(testing::Message() << "round=" << round);
     CaExprPtr expr = gen.Random(1 + static_cast<int>(rng.Uniform(4)));
+    SCOPED_TRACE(testing::Message() << "expr=\n" << expr->ToString());
     Result<exec::DeltaPlanPtr> plan = exec::CompileDeltaPlan(expr);
     ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 
@@ -270,23 +275,39 @@ TEST(PlanEquivalenceFuzzTest, RandomExpressionsMatchInterpreterTickByTick) {
 
       Result<std::vector<ChronicleRow>> interpreted =
           engine.ComputeDelta(*expr, event, nullptr, nullptr);
+      // Row-compiled leg first (it shares nothing with the columnar
+      // scratch), then the columnar leg; its rows stay valid until that
+      // scratch's next execution.
+      Result<const std::vector<ChronicleRow>*> row_compiled =
+          plan.value()->ExecuteToRows(event, &row_scratch, nullptr);
       Result<const std::vector<ChronicleRow>*> compiled =
           plan.value()->ExecuteToRows(event, &scratch, nullptr);
       ASSERT_EQ(interpreted.ok(), compiled.ok())
           << (interpreted.ok() ? compiled.status().ToString()
                                : interpreted.status().ToString());
+      ASSERT_EQ(interpreted.ok(), row_compiled.ok())
+          << (interpreted.ok() ? row_compiled.status().ToString()
+                               : interpreted.status().ToString());
       if (!interpreted.ok()) {
         EXPECT_EQ(interpreted.status().message(),
                   compiled.status().message());
+        EXPECT_EQ(interpreted.status().message(),
+                  row_compiled.status().message());
         continue;
       }
       const std::vector<ChronicleRow>& rows = *compiled.value();
+      const std::vector<ChronicleRow>& row_rows = *row_compiled.value();
       ASSERT_EQ(interpreted.value().size(), rows.size());
+      ASSERT_EQ(interpreted.value().size(), row_rows.size());
       for (size_t i = 0; i < rows.size(); ++i) {
         EXPECT_EQ(interpreted.value()[i], rows[i])
             << "row " << i << ": interpreter "
-            << ChronicleRowToString(interpreted.value()[i]) << " vs compiled "
+            << ChronicleRowToString(interpreted.value()[i]) << " vs columnar "
             << ChronicleRowToString(rows[i]);
+        EXPECT_EQ(interpreted.value()[i], row_rows[i])
+            << "row " << i << ": interpreter "
+            << ChronicleRowToString(interpreted.value()[i])
+            << " vs row-compiled " << ChronicleRowToString(row_rows[i]);
       }
     }
   }
@@ -394,17 +415,19 @@ TEST(PlanEquivalenceFuzzTest, DatabaseAgreesAcrossModesThreadsAndEngines) {
     RunResult reference = DriveWorkload(&reference_db, seed);
 
     for (size_t threads : {1u, 2u, 8u}) {
-      for (bool compiled : {false, true}) {
-        if (threads == 1 && !compiled) continue;  // that IS the reference
+      // 0 = interpreter, 1 = row-compiled, 2 = columnar.
+      for (int eng : {0, 1, 2}) {
+        if (threads == 1 && eng == 0) continue;  // that IS the reference
         SCOPED_TRACE(testing::Message()
                      << "mode=" << static_cast<int>(mode)
-                     << " threads=" << threads << " compiled=" << compiled);
+                     << " threads=" << threads << " engine=" << eng);
         ChronicleDatabase db(mode);
         ApplyDdl(&db);
         MaintenanceOptions options;
         options.num_threads = threads;
         options.min_views_per_task = 1;
-        options.use_compiled_plans = compiled;
+        options.use_compiled_plans = eng != 0;
+        options.use_columnar_kernels = eng == 2;
         db.ReconfigureMaintenance(options);
         RunResult run = DriveWorkload(&db, seed);
 

@@ -12,6 +12,7 @@
 //   \profile on|off   toggle per-view maintenance profiling
 //   \profile plan on|off  toggle per-slot plan profiling (feeds \explain)
 //   \threads <n>      maintain views on n worker threads (1 = serial)
+//   \engine <e>       delta engine: interp | compiled | columnar
 //   \wal <dir>        log every mutation to a write-ahead log in <dir>
 //   \wal off          sync and detach the write-ahead log
 //   \checkpoint       checkpoint the database into the WAL directory
@@ -245,6 +246,23 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
       std::printf("maintenance threads: %lu%s\n", n,
                   n == 1 ? " (serial)" : "");
     }
+  } else if (line.rfind("\\engine ", 0) == 0) {
+    const std::string which = line.substr(8);
+    chronicle::MaintenanceOptions options = db->maintenance_options();
+    if (which == "interp") {
+      options.use_compiled_plans = false;
+    } else if (which == "compiled") {
+      options.use_compiled_plans = true;
+      options.use_columnar_kernels = false;
+    } else if (which == "columnar") {
+      options.use_compiled_plans = true;
+      options.use_columnar_kernels = true;
+    } else {
+      std::printf("usage: \\engine interp|compiled|columnar\n");
+      return true;
+    }
+    db->ReconfigureMaintenance(options);
+    std::printf("delta engine: %s\n", which.c_str());
   } else if (line == "\\stats" || line == "\\stats text") {
     std::printf("%s", chronicle::obs::RenderText(session->CollectStats()).c_str());
   } else if (line == "\\stats prom") {
@@ -301,8 +319,9 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
   } else {
     std::printf(
         "unknown meta-command %s (try \\profile [plan] on|off, \\threads <n>, "
-        "\\wal <dir>|off, \\checkpoint, \\recover <dir>, \\stats [prom|json], "
-        "\\trace, \\serve <port>|off, \\history, \\explain <view>, \\quit)\n",
+        "\\engine interp|compiled|columnar, \\wal <dir>|off, \\checkpoint, "
+        "\\recover <dir>, \\stats [prom|json], \\trace, \\serve <port>|off, "
+        "\\history, \\explain <view>, \\quit)\n",
         line.c_str());
   }
   return true;
