@@ -1,0 +1,230 @@
+// Experiment E16 — network ingest front-end (src/net).
+//
+// One question: what does the wire cost? NetworkedAppend drives the full
+// loopback path — HTTP/1.1 keep-alive framing, TSV decode, the bounded
+// session queue, the ingest worker's AppendMany, view maintenance —
+// against LocalAppendMany, the same slab applied through
+// cql::Session::AppendRows with no network in the way. Both pay identical
+// maintenance (the by_caller GroupBy view), so the gap is purely the
+// front-end.
+//
+// Acceptance (CI network-ingest gate, tools/check_network_ingest.py): at
+// batch_rows >= 256 on loopback, networked ingest sustains at least 0.5x
+// the local AppendMany rate. The `cores` counter records
+// std::thread::hardware_concurrency() so the gate can derate on
+// single-core runners (the server's connection thread, the ingest worker,
+// and the client all want their own core).
+//
+// Smoke runs write BENCH_E16.json; the gate re-runs the bench with
+// repetitions and reads the _median entries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "cql/session.h"
+#include "net/http_client.h"
+#include "net/wire_service.h"
+#include "workload/call_records.h"
+
+namespace chronicle {
+namespace bench {
+namespace {
+
+constexpr char kDdl[] =
+    "CREATE CHRONICLE calls (caller INT64, region STRING, minutes INT64, "
+    "charge DOUBLE) RETAIN LAST 8;"
+    "CREATE VIEW by_caller AS "
+    "SELECT caller, SUM(minutes) AS m, COUNT(*) AS n "
+    "FROM calls GROUP BY caller;";
+
+std::unique_ptr<cql::Session> OpenSession() {
+  DatabaseOptions options;
+  options.observability.metrics = false;  // measure ingest, not obs
+  auto session = Unwrap(cql::Session::Open(std::move(options)));
+  Check(session->ExecuteScript(kDdl).status());
+  return session;
+}
+
+// One tick as the /v1/append TSV body (row per line, schema order).
+std::string EncodeTick(const std::vector<Tuple>& rows) {
+  std::string body;
+  for (const Tuple& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) body += "\t";
+      const Value& v = row[c];
+      if (v.is_int64()) {
+        body += std::to_string(v.int64());
+      } else if (v.is_double()) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), "%.17g", v.dbl());
+        body += buf;
+      } else if (v.is_string()) {
+        body += v.str();
+      } else {
+        body += "\\N";
+      }
+    }
+    body += "\n";
+  }
+  return body;
+}
+
+// --- LocalAppendMany: the oracle rate — the same ticks through
+// cql::Session::AppendRows on the caller's thread, no network.
+void LocalAppendMany(benchmark::State& state) {
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  auto session = OpenSession();
+
+  CallRecordGenerator gen;
+  const int64_t batches_per_iter = Scaled(64, 8);
+  std::vector<std::vector<Tuple>> pool;
+  pool.reserve(static_cast<size_t>(batches_per_iter));
+  for (int64_t b = 0; b < batches_per_iter; ++b) {
+    pool.push_back(gen.NextBatch(batch_rows));
+  }
+
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    for (const std::vector<Tuple>& batch : pool) {
+      Check(session->AppendRows("calls", {batch}).status());
+    }
+    rows += static_cast<uint64_t>(batches_per_iter) * batch_rows;
+  }
+
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(LocalAppendMany)
+    ->ArgNames({"batch_rows"})
+    ->Args({256})
+    ->Args({1024})
+    ->UseRealTime();
+
+// --- NetworkedAppend: the same slab over the wire. Bodies are encoded
+// outside timing (the client's serialization cost is not the server's
+// ingest cost); each iteration POSTs every body on one keep-alive
+// connection and then drains, so the measured region covers accept,
+// decode, queue, apply, and maintenance end to end.
+void NetworkedAppend(benchmark::State& state) {
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  auto session = OpenSession();
+
+  net::NetOptions net;
+  // The bench measures throughput, not backpressure: the queue must never
+  // reject (the worker drains concurrently with the client's next POST).
+  net.session_queue_rows = 1u << 22;
+  net::WireService service(session.get(), net);
+  Check(service.Start(0));
+  net::HttpClient client(service.port());
+
+  auto open = Unwrap(client.Post("/v1/session", ""));
+  const std::string marker = "\"session\":\"";
+  const size_t at = open.body.find(marker);
+  if (at == std::string::npos) {
+    state.SkipWithError("session open failed");
+    return;
+  }
+  const size_t start = at + marker.size();
+  const std::string sid =
+      open.body.substr(start, open.body.find('"', start) - start);
+  const std::vector<std::pair<std::string, std::string>> headers = {
+      {"X-Chronicle-Session", sid}};
+
+  CallRecordGenerator gen;
+  const int64_t batches_per_iter = Scaled(64, 8);
+  std::vector<std::string> bodies;
+  bodies.reserve(static_cast<size_t>(batches_per_iter));
+  for (int64_t b = 0; b < batches_per_iter; ++b) {
+    bodies.push_back(EncodeTick(gen.NextBatch(batch_rows)));
+  }
+
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    for (const std::string& body : bodies) {
+      auto resp =
+          Unwrap(client.Post("/v1/append?chronicle=calls", body, headers));
+      if (resp.status != 202) {
+        state.SkipWithError("append rejected");
+        break;
+      }
+    }
+    auto drained = Unwrap(client.Post("/v1/drain", "", headers));
+    if (drained.status != 200) {
+      state.SkipWithError("drain failed");
+      break;
+    }
+    rows += static_cast<uint64_t>(batches_per_iter) * batch_rows;
+  }
+  service.Stop();
+
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(NetworkedAppend)
+    ->ArgNames({"batch_rows"})
+    ->Args({256})
+    ->Args({1024})
+    ->UseRealTime();
+
+// --- NetworkedSql: statement round-trip latency over the wire — a small
+// SELECT against a warm view, statements/sec on one keep-alive
+// connection. Bounds the per-request overhead (framing + dispatch +
+// JSON render) separately from bulk ingest.
+void NetworkedSql(benchmark::State& state) {
+  auto session = OpenSession();
+  net::WireService service(session.get(), net::NetOptions{});
+  Check(service.Start(0));
+  net::HttpClient client(service.port());
+
+  auto open = Unwrap(client.Post("/v1/session", ""));
+  const std::string marker = "\"session\":\"";
+  const size_t at = open.body.find(marker);
+  if (at == std::string::npos) {
+    state.SkipWithError("session open failed");
+    return;
+  }
+  const size_t start = at + marker.size();
+  const std::string sid =
+      open.body.substr(start, open.body.find('"', start) - start);
+  const std::vector<std::pair<std::string, std::string>> headers = {
+      {"X-Chronicle-Session", sid}};
+
+  CallRecordGenerator gen;
+  Check(session->AppendRows("calls", {gen.NextBatch(256)}).status());
+
+  uint64_t statements = 0;
+  for (auto _ : state) {
+    auto resp = Unwrap(
+        client.Post("/v1/sql", "SELECT * FROM by_caller;", headers));
+    if (resp.status != 200) {
+      state.SkipWithError("sql failed");
+      break;
+    }
+    benchmark::DoNotOptimize(resp.body.data());
+    ++statements;
+  }
+  service.Stop();
+
+  state.counters["statements_per_sec"] = benchmark::Counter(
+      static_cast<double>(statements), benchmark::Counter::kIsRate);
+}
+BENCHMARK(NetworkedSql)->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace chronicle
+
+CHRONICLE_BENCH_MAIN();

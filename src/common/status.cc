@@ -33,6 +33,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnauthenticated:
+      return "Unauthenticated";
   }
   return "Unknown";
 }

@@ -30,6 +30,8 @@ enum class StatusCode : uint8_t {
   kPlanError,          // CQL semantic / binding error
   kInternal,           // invariant breach inside the library (a bug)
   kDataLoss,           // on-disk corruption / torn write detected (src/wal)
+  kResourceExhausted,  // quota spent or bounded queue full (src/net -> 429)
+  kUnauthenticated,    // missing/invalid auth token or session (src/net -> 401)
 };
 
 // Human-readable name of a StatusCode, e.g. "InvalidArgument".
@@ -78,6 +80,12 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -97,6 +105,12 @@ class Status {
   bool IsPlanError() const { return code() == StatusCode::kPlanError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnauthenticated() const {
+    return code() == StatusCode::kUnauthenticated;
+  }
 
  private:
   struct Rep {

@@ -80,122 +80,13 @@ Result<ExecResult> ExecCreateRelation(ChronicleDatabase* db,
 
 Result<ExecResult> ExecCreateView(ChronicleDatabase* db,
                                   const CreateViewStmt& stmt) {
-  const SelectQuery& query = stmt.query;
-  CHRONICLE_ASSIGN_OR_RETURN(CaExprPtr plan, db->ScanChronicle(query.from));
-  const Schema chronicle_schema = plan->schema();
+  CHRONICLE_ASSIGN_OR_RETURN(BoundView bound, BindViewQuery(db, stmt.query));
+  CaExprPtr plan = std::move(bound.plan);
+  std::optional<SummarySpec> spec = std::move(bound.spec);
+  std::vector<ComputedColumn> computed = std::move(bound.computed);
+  const std::string classification = std::move(bound.classification);
 
-  // Push the WHERE below the join when it only touches chronicle columns —
-  // this is what lets the ViewManager use it as a routing guard (§5.2).
-  ScalarExprPtr where_above_join;
-  if (query.where != nullptr) {
-    std::unordered_set<std::string> referenced;
-    CollectColumnNames(*query.where, &referenced);
-    bool chronicle_only = true;
-    for (const std::string& name : referenced) {
-      if (!chronicle_schema.Contains(name)) {
-        chronicle_only = false;
-        break;
-      }
-    }
-    if (chronicle_only) {
-      CHRONICLE_ASSIGN_OR_RETURN(plan,
-                                 CaExpr::Select(plan, query.where->Clone()));
-    } else {
-      where_above_join = query.where->Clone();
-    }
-  }
-
-  if (query.join.kind == JoinClause::Kind::kKey) {
-    CHRONICLE_ASSIGN_OR_RETURN(Relation * rel,
-                               db->GetRelation(query.join.relation));
-    if (!rel->has_key() ||
-        rel->schema().field(rel->key_index()).name != query.join.right_column) {
-      return Status::PlanError(
-          "JOIN must be on the key of relation '" + query.join.relation +
-          "': the chronicle model admits only joins with at most one "
-          "matching relation tuple per chronicle tuple (Definition 4.2, "
-          "CA_join); '" + query.join.right_column + "' is not its key");
-    }
-    CHRONICLE_ASSIGN_OR_RETURN(
-        plan, CaExpr::RelKeyJoin(plan, rel, query.join.left_column));
-  } else if (query.join.kind == JoinClause::Kind::kCross) {
-    CHRONICLE_ASSIGN_OR_RETURN(Relation * rel,
-                               db->GetRelation(query.join.relation));
-    CHRONICLE_ASSIGN_OR_RETURN(plan, CaExpr::RelCross(plan, rel));
-  }
-
-  if (where_above_join != nullptr) {
-    CHRONICLE_ASSIGN_OR_RETURN(plan,
-                               CaExpr::Select(plan, std::move(where_above_join)));
-  }
-
-  // Summarization.
-  bool has_aggregate = false;
-  for (const SelectItem& item : query.items) {
-    if (item.is_aggregate) has_aggregate = true;
-  }
-  if (query.select_star) {
-    return Status::PlanError(
-        "CREATE VIEW requires an explicit select list (views summarize away "
-        "the sequencing attribute; '*' would keep it)");
-  }
-
-  // Computed items become finalizer columns over the summarized output row
-  // (e.g. premier status from a miles total); they never affect
-  // maintenance.
-  std::vector<ComputedColumn> computed;
-  std::optional<SummarySpec> spec;
-  if (has_aggregate) {
-    std::vector<std::string> keys = query.group_by;
-    std::vector<AggSpec> aggs;
-    for (const SelectItem& item : query.items) {
-      if (item.is_aggregate) {
-        CHRONICLE_ASSIGN_OR_RETURN(AggSpec agg, MakeAggSpec(item));
-        aggs.push_back(std::move(agg));
-      } else if (item.expr != nullptr) {
-        computed.push_back(ComputedColumn{item.alias, item.expr->Clone()});
-      } else {
-        bool in_group = false;
-        for (const std::string& g : query.group_by) {
-          if (g == item.column) in_group = true;
-        }
-        if (!in_group) {
-          return Status::PlanError("column '" + item.column +
-                                   "' must appear in GROUP BY or be aggregated");
-        }
-      }
-    }
-    CHRONICLE_ASSIGN_OR_RETURN(
-        SummarySpec group_spec,
-        SummarySpec::GroupBy(plan->schema(), std::move(keys), std::move(aggs)));
-    spec.emplace(std::move(group_spec));
-  } else {
-    if (!query.group_by.empty()) {
-      return Status::PlanError("GROUP BY without aggregates; add an aggregate "
-                               "or drop the GROUP BY");
-    }
-    std::vector<std::string> columns;
-    for (const SelectItem& item : query.items) {
-      if (item.expr != nullptr) {
-        computed.push_back(ComputedColumn{item.alias, item.expr->Clone()});
-      } else {
-        columns.push_back(item.column);
-      }
-    }
-    if (columns.empty()) {
-      return Status::PlanError(
-          "a view needs at least one plain column or aggregate");
-    }
-    CHRONICLE_ASSIGN_OR_RETURN(
-        SummarySpec proj_spec,
-        SummarySpec::DistinctProjection(plan->schema(), columns));
-    spec.emplace(std::move(proj_spec));
-  }
-
-  ComplexityReport report = AnalyzeComplexity(*plan);
   ExecResult result;
-  const std::string classification = std::string(CaClassToString(report.ca_class)) +
-                                     " / " + ImClassToString(report.im_class);
   switch (stmt.target.kind) {
     case ViewTarget::Kind::kPersistent:
       CHRONICLE_RETURN_NOT_OK(
@@ -494,6 +385,133 @@ Result<ExecResult> ExecSelect(ChronicleDatabase* db, const SelectStmt& stmt) {
     rows = rel->rows();
   }
 
+  return ProjectSelect(query, source_schema, std::move(rows), where_applied);
+}
+
+}  // namespace
+
+Result<BoundView> BindViewQuery(ChronicleDatabase* db,
+                                const SelectQuery& query) {
+  CHRONICLE_ASSIGN_OR_RETURN(CaExprPtr plan, db->ScanChronicle(query.from));
+  const Schema chronicle_schema = plan->schema();
+
+  // Push the WHERE below the join when it only touches chronicle columns —
+  // this is what lets the ViewManager use it as a routing guard (§5.2).
+  ScalarExprPtr where_above_join;
+  if (query.where != nullptr) {
+    std::unordered_set<std::string> referenced;
+    CollectColumnNames(*query.where, &referenced);
+    bool chronicle_only = true;
+    for (const std::string& name : referenced) {
+      if (!chronicle_schema.Contains(name)) {
+        chronicle_only = false;
+        break;
+      }
+    }
+    if (chronicle_only) {
+      CHRONICLE_ASSIGN_OR_RETURN(plan,
+                                 CaExpr::Select(plan, query.where->Clone()));
+    } else {
+      where_above_join = query.where->Clone();
+    }
+  }
+
+  if (query.join.kind == JoinClause::Kind::kKey) {
+    CHRONICLE_ASSIGN_OR_RETURN(Relation * rel,
+                               db->GetRelation(query.join.relation));
+    if (!rel->has_key() ||
+        rel->schema().field(rel->key_index()).name != query.join.right_column) {
+      return Status::PlanError(
+          "JOIN must be on the key of relation '" + query.join.relation +
+          "': the chronicle model admits only joins with at most one "
+          "matching relation tuple per chronicle tuple (Definition 4.2, "
+          "CA_join); '" + query.join.right_column + "' is not its key");
+    }
+    CHRONICLE_ASSIGN_OR_RETURN(
+        plan, CaExpr::RelKeyJoin(plan, rel, query.join.left_column));
+  } else if (query.join.kind == JoinClause::Kind::kCross) {
+    CHRONICLE_ASSIGN_OR_RETURN(Relation * rel,
+                               db->GetRelation(query.join.relation));
+    CHRONICLE_ASSIGN_OR_RETURN(plan, CaExpr::RelCross(plan, rel));
+  }
+
+  if (where_above_join != nullptr) {
+    CHRONICLE_ASSIGN_OR_RETURN(plan,
+                               CaExpr::Select(plan, std::move(where_above_join)));
+  }
+
+  // Summarization.
+  bool has_aggregate = false;
+  for (const SelectItem& item : query.items) {
+    if (item.is_aggregate) has_aggregate = true;
+  }
+  if (query.select_star) {
+    return Status::PlanError(
+        "CREATE VIEW requires an explicit select list (views summarize away "
+        "the sequencing attribute; '*' would keep it)");
+  }
+
+  // Computed items become finalizer columns over the summarized output row
+  // (e.g. premier status from a miles total); they never affect
+  // maintenance.
+  BoundView bound;
+  if (has_aggregate) {
+    std::vector<std::string> keys = query.group_by;
+    std::vector<AggSpec> aggs;
+    for (const SelectItem& item : query.items) {
+      if (item.is_aggregate) {
+        CHRONICLE_ASSIGN_OR_RETURN(AggSpec agg, MakeAggSpec(item));
+        aggs.push_back(std::move(agg));
+      } else if (item.expr != nullptr) {
+        bound.computed.push_back(ComputedColumn{item.alias, item.expr->Clone()});
+      } else {
+        bool in_group = false;
+        for (const std::string& g : query.group_by) {
+          if (g == item.column) in_group = true;
+        }
+        if (!in_group) {
+          return Status::PlanError("column '" + item.column +
+                                   "' must appear in GROUP BY or be aggregated");
+        }
+      }
+    }
+    CHRONICLE_ASSIGN_OR_RETURN(
+        SummarySpec group_spec,
+        SummarySpec::GroupBy(plan->schema(), std::move(keys), std::move(aggs)));
+    bound.spec.emplace(std::move(group_spec));
+  } else {
+    if (!query.group_by.empty()) {
+      return Status::PlanError("GROUP BY without aggregates; add an aggregate "
+                               "or drop the GROUP BY");
+    }
+    std::vector<std::string> columns;
+    for (const SelectItem& item : query.items) {
+      if (item.expr != nullptr) {
+        bound.computed.push_back(ComputedColumn{item.alias, item.expr->Clone()});
+      } else {
+        columns.push_back(item.column);
+      }
+    }
+    if (columns.empty()) {
+      return Status::PlanError(
+          "a view needs at least one plain column or aggregate");
+    }
+    CHRONICLE_ASSIGN_OR_RETURN(
+        SummarySpec proj_spec,
+        SummarySpec::DistinctProjection(plan->schema(), columns));
+    bound.spec.emplace(std::move(proj_spec));
+  }
+
+  const ComplexityReport report = AnalyzeComplexity(*plan);
+  bound.classification = std::string(CaClassToString(report.ca_class)) + " / " +
+                         ImClassToString(report.im_class);
+  bound.plan = std::move(plan);
+  return bound;
+}
+
+Result<ExecResult> ProjectSelect(const SelectQuery& query,
+                                 const Schema& source_schema,
+                                 std::vector<Tuple> rows, bool where_applied) {
   // WHERE.
   if (where_applied) {
     // already evaluated inside the window plan
@@ -559,8 +577,6 @@ Result<ExecResult> ExecSelect(ChronicleDatabase* db, const SelectStmt& stmt) {
   result.message = std::to_string(result.rows.size()) + " row(s)";
   return result;
 }
-
-}  // namespace
 
 Result<ExecResult> Execute(ChronicleDatabase* db, const Statement& statement) {
   if (db == nullptr) return Status::InvalidArgument("null database");

@@ -10,6 +10,7 @@
 #ifndef CHRONICLE_CQL_BINDER_H_
 #define CHRONICLE_CQL_BINDER_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,33 @@ struct ExecResult {
   Schema schema;
   std::vector<Tuple> rows;
 };
+
+// A CREATE VIEW query bound against one engine: the CA plan, the
+// summarization, the finalizer columns, and the complexity label. Plans
+// bind engine-local objects (scan nodes, relation pointers), so a sharded
+// session calls BindViewQuery once per shard engine with the same query.
+struct BoundView {
+  CaExprPtr plan;
+  // Optional only because SummarySpec has no default construction; always
+  // engaged on a successful bind.
+  std::optional<SummarySpec> spec;
+  std::vector<ComputedColumn> computed;
+  std::string classification;  // e.g. "CA_join / IM-log(R)"
+};
+
+// Binds the SELECT body of a CREATE VIEW: WHERE pushdown below the join
+// (§5.2 guard extraction), the Definition 4.2 key-join admission check,
+// and the GroupBy / DistinctProjection summarization.
+Result<BoundView> BindViewQuery(ChronicleDatabase* db,
+                                const SelectQuery& query);
+
+// Applies an interactive SELECT's WHERE (unless `where_applied` says the
+// plan already evaluated it) and select-list projection over materialized
+// rows. Shared by the unsharded executor and the sharded session's
+// merged-read path.
+Result<ExecResult> ProjectSelect(const SelectQuery& query,
+                                 const Schema& source_schema,
+                                 std::vector<Tuple> rows, bool where_applied);
 
 // Executes one parsed statement against `db`.
 Result<ExecResult> Execute(ChronicleDatabase* db, const Statement& statement);

@@ -1,0 +1,178 @@
+// cql::Session: the ONE statement-execution layer.
+//
+// Before this layer existed, statement dispatch lived in the shell
+// (tools/chronicle_shell.cc) and nowhere else: the shell owned the
+// database, the WAL attachment, and the stats-enricher wiring, so no other
+// front-end could execute CQL without re-implementing all three. Session
+// extracts that state into a library type the shell, the wire service
+// (src/net), and tests all drive — one code path, one error surface.
+//
+// A session owns either
+//   * an unsharded ChronicleDatabase, or
+//   * a shard::ShardedDatabase (DatabaseOptions::sharding.num_shards > 1),
+// and dispatches every statement to the right engine. On a sharded session
+// the DDL broadcasts (CreateView re-binds the same parsed query per shard
+// engine via BindViewQuery), DML routes through the router, and SELECT
+// reads the merged view layer — so `\shards N` in the shell and the wire
+// service get sharded execution with no statement-level special cases.
+//
+// Error surface: every failure is a Status whose StatusCode is the single
+// error enum. The shell renders it as "ERROR: Code: message"
+// (Status::ToString), HTTP surfaces render ErrorJson() —
+// {"error":{"code":"...","message":"..."}} — and map the code to an HTTP
+// status (src/net/wire_service.h). No surface invents its own strings.
+
+#ifndef CHRONICLE_CQL_SESSION_H_
+#define CHRONICLE_CQL_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/binder.h"
+#include "cql/parser.h"
+#include "db/database.h"
+#include "obs/stats.h"
+#include "shard/sharded_db.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
+
+namespace chronicle {
+namespace cql {
+
+// The one JSON error shape for every surface that reports failures as
+// JSON: {"error":{"code":"ParseError","message":"..."}}. The code string
+// is StatusCodeToString(status.code()) — the same enum Result<T> carries
+// and the shell prints.
+std::string ErrorJson(const Status& status);
+
+class Session {
+ public:
+  // Opens an unsharded database, or a ShardedDatabase when
+  // options.sharding.num_shards > 1 (per-shard WALs are recovered and
+  // attached when sharding.wal_dir is set).
+  static Result<std::unique_ptr<Session>> Open(DatabaseOptions options);
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool sharded() const { return sharded_ != nullptr; }
+  size_t num_shards() const {
+    return sharded_ ? sharded_->num_shards() : size_t{1};
+  }
+  // Null when sharded.
+  ChronicleDatabase* db() { return db_.get(); }
+  // Null when unsharded.
+  shard::ShardedDatabase* sharded_db() { return sharded_.get(); }
+  // The engine meta/introspection commands act on: the unsharded database
+  // or shard 0 (schemas, plans, and options are identical across shards).
+  ChronicleDatabase& engine0() {
+    return sharded_ ? sharded_->engine(0) : *db_;
+  }
+  const ChronicleDatabase& engine0() const {
+    return sharded_ ? sharded_->engine(0) : *db_;
+  }
+  const DatabaseOptions& options() const {
+    return sharded_ ? sharded_->options() : db_->options();
+  }
+
+  // --- statement execution (the shared code path) ---
+
+  Result<ExecResult> ExecuteStatement(const Statement& statement);
+  // Parses and executes one statement.
+  Result<ExecResult> ExecuteSql(const std::string& sql);
+  // Parses and executes a ';'-separated script, stopping at the first
+  // error; returns the result of the last statement.
+  Result<ExecResult> ExecuteScript(const std::string& sql);
+
+  // --- bulk ingest (the wire service's /v1/append target) ---
+
+  // One AppendMany: each batch is one tick. Returns total rows applied.
+  Result<uint64_t> AppendRows(const std::string& chronicle,
+                              std::vector<std::vector<Tuple>> batches);
+
+  // --- maintenance reconfiguration (shell \threads, \engine) ---
+
+  // Broadcast to every engine so sharded and unsharded sessions stay
+  // symmetric.
+  void ReconfigureMaintenance(const MaintenanceOptions& options);
+  const MaintenanceOptions& maintenance_options() const {
+    return engine0().maintenance_options();
+  }
+
+  // --- durability (unsharded sessions; sharded sessions configure
+  // per-shard WALs via ShardingOptions::wal_dir at Open) ---
+
+  // Opens a WAL in `dir` and routes every future mutation through it.
+  Status AttachWal(const std::string& dir);
+  // Syncs and closes the WAL; no-op when none is attached.
+  Status DetachWal();
+  // Writes a checkpoint into the attached WAL's directory.
+  Status WriteCheckpoint();
+  // Rebuilds state from `dir` (apply the DDL first!), then resumes
+  // logging there. The report's replay counters land in the WAL stats
+  // section of every snapshot.
+  Result<wal::RecoveryReport> Recover(const std::string& dir);
+  wal::Wal* wal() { return wal_.get(); }
+
+  // --- observability ---
+
+  // Merged snapshot with every registered enricher applied (WAL section,
+  // net section, ...).
+  obs::StatsSnapshot CollectStats() const;
+  // The database exposes ONE stats-enricher hook, but two owners need it
+  // (the session's WAL mirror, the wire service's net section), so the
+  // session multiplexes a chain. Returns a token for RemoveStatsEnricher.
+  // On unsharded sessions the chain runs inside the database's own
+  // CollectStats (HTTP endpoint, history sampler, and flight recorder all
+  // see it); on sharded sessions it runs on Session::CollectStats.
+  size_t AddStatsEnricher(std::function<void(obs::StatsSnapshot*)> enricher);
+  void RemoveStatsEnricher(size_t token);
+
+  // Read-only monitoring endpoint passthrough (shell \serve; unsharded
+  // only — a sharded session serves merged stats via the wire service).
+  Status StartMonitoring(uint16_t port);
+  void StopMonitoring();
+  uint16_t monitoring_port() const;
+
+ private:
+  Session() = default;
+
+  Result<ExecResult> ExecuteSharded(const Statement& statement);
+  Result<ExecResult> ShardedCreateView(const CreateViewStmt& stmt);
+  Result<ExecResult> ShardedInsert(const InsertStmt& stmt);
+  Result<ExecResult> ShardedSelect(const SelectStmt& stmt);
+
+  // Installs the db-side enricher that runs the chain (unsharded only).
+  void InstallEnricherHook();
+  void RunEnrichers(obs::StatsSnapshot* snap) const;
+
+  std::unique_ptr<ChronicleDatabase> db_;
+  std::unique_ptr<shard::ShardedDatabase> sharded_;
+
+  // Durability attachment (unsharded).
+  std::unique_ptr<wal::Wal> wal_;
+  std::unique_ptr<wal::WalMutationLog> log_;
+  // Last Recover outcome, surfaced in the WAL stats section.
+  bool recovered_ = false;
+  uint64_t recovery_records_applied_ = 0;
+  uint64_t recovery_records_skipped_ = 0;
+
+  // Enricher chain. The mutex serializes registration against snapshot
+  // collection (which may run on the monitoring thread).
+  mutable std::mutex enricher_mu_;
+  std::vector<std::pair<size_t, std::function<void(obs::StatsSnapshot*)>>>
+      enrichers_;
+  size_t next_enricher_token_ = 1;
+};
+
+}  // namespace cql
+}  // namespace chronicle
+
+#endif  // CHRONICLE_CQL_SESSION_H_

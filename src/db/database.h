@@ -141,8 +141,9 @@ struct ShardingOptions {
 
 // The single configuration entry point for a ChronicleDatabase. Every knob
 // that used to be scattered across the constructor (routing), post-hoc
-// setters (set_maintenance_options, set_durability), and per-call default
-// arguments (retention) lives here, next to the new ObservabilityOptions.
+// setters (long removed), and per-call default arguments (retention) lives
+// here, next to the new ObservabilityOptions. Runtime reconfiguration goes
+// through ReconfigureMaintenance / AttachMutationLog only.
 // Builder-style: each set_* returns *this, so construction reads as one
 // expression:
 //
@@ -420,7 +421,7 @@ class ChronicleDatabase {
   const store::TieredStore* tiered_store() const { return store_.get(); }
 
   // The options this database was opened with (durability/maintenance kept
-  // in sync by the deprecated setters below).
+  // in sync by ReconfigureMaintenance / AttachMutationLog below).
   const DatabaseOptions& options() const { return options_; }
 
   // --- observability ---
@@ -493,13 +494,6 @@ class ChronicleDatabase {
   }
   void DetachMutationLog() { AttachMutationLog(nullptr); }
 
-  [[deprecated(
-      "configure DatabaseOptions::maintenance at construction, or call "
-      "ReconfigureMaintenance for runtime changes; this forwarder will be "
-      "removed")]]
-  void set_maintenance_options(const MaintenanceOptions& options) {
-    ReconfigureMaintenance(options);
-  }
   const MaintenanceOptions& maintenance_options() const {
     return views_.maintenance_options();
   }
@@ -516,13 +510,6 @@ class ChronicleDatabase {
 
   // --- durability ---
 
-  [[deprecated(
-      "configure DatabaseOptions::durability at construction, or call "
-      "AttachMutationLog/DetachMutationLog for runtime changes; this "
-      "forwarder will be removed")]]
-  void set_durability(const DurabilityOptions& options) {
-    AttachMutationLog(options.mutation_log);
-  }
   const DurabilityOptions& durability() const { return durability_; }
 
  private:

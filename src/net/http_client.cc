@@ -1,0 +1,193 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace chronicle {
+namespace net {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+HttpClient::HttpClient(uint16_t port, int timeout_sec)
+    : port_(port), timeout_sec_(timeout_sec) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+Status HttpClient::Connect() {
+  Disconnect();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  timeval timeout{timeout_sec_, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  // Batched appends are latency-sensitive request/response pairs.
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::Internal("connect 127.0.0.1:" + std::to_string(port_) +
+                            ": " + err);
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status HttpClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  // Accumulate the header block.
+  size_t head_end;
+  while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + strerror(errno));
+    }
+    if (n == 0) return Status::Internal("connection closed mid-response");
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = buf_.substr(0, head_end);
+  buf_.erase(0, head_end + 4);
+
+  HttpClientResponse resp;
+  if (head.rfind("HTTP/1.1 ", 0) != 0 && head.rfind("HTTP/1.0 ", 0) != 0) {
+    return Status::Internal("malformed status line: " + head.substr(0, 40));
+  }
+  resp.status = atoi(head.c_str() + strlen("HTTP/1.1 "));
+
+  // Interim 100 Continue: skip it and read the real response.
+  if (resp.status == 100) return ReadResponse();
+
+  size_t content_length = 0;
+  size_t pos = head.find('\n');
+  pos = (pos == std::string::npos) ? head.size() : pos + 1;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = Trim(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    const std::string value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(strtoull(value.c_str(), nullptr, 10));
+    }
+    resp.headers.emplace_back(name, value);
+  }
+
+  while (buf_.size() < content_length) {
+    char chunk[4096];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv body: ") + strerror(errno));
+    }
+    if (n == 0) return Status::Internal("connection closed mid-body");
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+  resp.body = buf_.substr(0, content_length);
+  buf_.erase(0, content_length);
+
+  // Honor a server-side close so the next request reconnects cleanly.
+  if (const std::string* conn = resp.FindHeader("connection")) {
+    if (ToLower(*conn) == "close") Disconnect();
+  }
+  return resp;
+}
+
+Result<HttpClientResponse> HttpClient::RoundTrip(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string req = method + " " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [name, value] : headers) {
+    req += name + ": " + value + "\r\n";
+  }
+  if (method == "POST") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n";
+  if (method == "POST") req += body;
+
+  // Reconnect-once: a keep-alive connection the server idled out looks
+  // like an immediate EOF/EPIPE on the next round trip.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) CHRONICLE_RETURN_NOT_OK(Connect());
+    Status sent = SendAll(req);
+    if (sent.ok()) {
+      Result<HttpClientResponse> resp = ReadResponse();
+      if (resp.ok() || attempt == 1) return resp;
+    } else if (attempt == 1) {
+      return sent;
+    }
+    Disconnect();
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<HttpClientResponse> HttpClient::Get(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return RoundTrip("GET", path, "", headers);
+}
+
+Result<HttpClientResponse> HttpClient::Post(
+    const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  return RoundTrip("POST", path, body, headers);
+}
+
+}  // namespace net
+}  // namespace chronicle

@@ -1,0 +1,77 @@
+// net::HttpClient: a minimal blocking HTTP/1.1 keep-alive client for
+// 127.0.0.1 — the loopback counterpart of obs::HttpServer, used by the
+// wire-service tests, bench E16, and tools/net_client. Dependency-free by
+// the same rule as the server.
+//
+// One client = one persistent connection (plus a reconnect-once retry
+// when the server closed an idle one). Requests are Content-Length
+// framed; responses are parsed off a growing buffer, so pipelined
+// keep-alive responses are handled exactly like the server handles
+// pipelined requests. Not thread-safe — one client per thread.
+
+#ifndef CHRONICLE_NET_HTTP_CLIENT_H_
+#define CHRONICLE_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chronicle {
+namespace net {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+  // Lower-cased header names, arrival order.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  const std::string* FindHeader(const std::string& lower_name) const {
+    for (const auto& [name, value] : headers) {
+      if (name == lower_name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class HttpClient {
+ public:
+  explicit HttpClient(uint16_t port, int timeout_sec = 30);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  // `headers` are extra request headers ({"authorization", "Bearer t"}).
+  Result<HttpClientResponse> Get(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+  Result<HttpClientResponse> Post(
+      const std::string& path, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  // Drops the connection; the next request reconnects.
+  void Disconnect();
+
+ private:
+  Status Connect();
+  Status SendAll(const std::string& data);
+  Result<HttpClientResponse> ReadResponse();
+  Result<HttpClientResponse> RoundTrip(const std::string& method,
+                                       const std::string& path,
+                                       const std::string& body,
+                                       const std::vector<std::pair<
+                                           std::string, std::string>>& headers);
+
+  uint16_t port_;
+  int timeout_sec_;
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the previous response
+};
+
+}  // namespace net
+}  // namespace chronicle
+
+#endif  // CHRONICLE_NET_HTTP_CLIENT_H_

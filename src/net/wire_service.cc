@@ -1,0 +1,576 @@
+#include "net/wire_service.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/export.h"
+#include "storage/chronicle.h"
+#include "storage/chronicle_group.h"
+
+namespace chronicle {
+namespace net {
+
+namespace {
+
+// Renders one Value as a JSON literal.
+void JsonValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_int64()) {
+    *out += std::to_string(v.int64());
+  } else if (v.is_double()) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.17g", v.dbl());
+    *out += buf;
+  } else {
+    *out += "\"" + obs::JsonEscape(v.str()) + "\"";
+  }
+}
+
+// First value of `key` in an application/x-www-form-urlencoded-ish query
+// string ("chronicle=calls&x=1"). No percent-decoding: every expected
+// value is an identifier.
+bool QueryParam(const std::string& query, const std::string& key,
+                std::string* value) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      *value = query.substr(eq + 1, amp - eq - 1);
+      return true;
+    }
+    pos = amp + 1;
+  }
+  return false;
+}
+
+// Parses one TSV cell against the column type. The empty cell and `\N`
+// are NULL (the usual TSV conventions).
+Result<Value> ParseCell(const std::string& cell, const Field& field) {
+  if (cell.empty() || cell == "\\N") return Value();
+  char* end = nullptr;
+  switch (field.type) {
+    case DataType::kInt64: {
+      const long long v = strtoll(cell.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("column " + field.name +
+                                       ": not an INT64: '" + cell + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      const double v = strtod(cell.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("column " + field.name +
+                                       ": not a DOUBLE: '" + cell + "'");
+      }
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(cell);
+  }
+  return Status::Internal("unknown column type");
+}
+
+// Decodes a TSV body into ticks: one row per line, cells tab-separated in
+// schema order, a blank line closes the current tick. Trailing newline
+// optional; \r tolerated (curl on Windows).
+Result<std::vector<std::vector<Tuple>>> DecodeTsv(const std::string& body,
+                                                  const Schema& schema) {
+  std::vector<std::vector<Tuple>> ticks;
+  std::vector<Tuple> current;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= body.size()) {
+    if (pos == body.size()) {
+      if (line_no == 0) break;  // empty body handled by caller
+    }
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) {
+      if (!current.empty()) ticks.push_back(std::move(current));
+      current.clear();
+      if (eol == body.size()) break;
+      continue;
+    }
+    Tuple row;
+    row.reserve(schema.num_fields());
+    size_t cell_start = 0;
+    for (size_t f = 0; f < schema.num_fields(); ++f) {
+      size_t tab = line.find('\t', cell_start);
+      const bool last = (f + 1 == schema.num_fields());
+      if (last) {
+        if (tab != std::string::npos) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) + ": too many columns (want " +
+              std::to_string(schema.num_fields()) + ")");
+        }
+        tab = line.size();
+      } else if (tab == std::string::npos) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": too few columns (want " +
+            std::to_string(schema.num_fields()) + ")");
+      }
+      Result<Value> v = ParseCell(line.substr(cell_start, tab - cell_start),
+                                  schema.field(f));
+      if (!v.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + v.status().message());
+      }
+      row.push_back(std::move(*v));
+      cell_start = tab + 1;
+    }
+    current.push_back(std::move(row));
+    if (eol == body.size()) break;
+  }
+  if (!current.empty()) ticks.push_back(std::move(current));
+  return ticks;
+}
+
+}  // namespace
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kPlanError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kUnauthenticated:
+      return 401;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kNotImplemented:
+      return 501;
+    case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
+      return 500;
+  }
+  return 500;
+}
+
+WireService::WireService(cql::Session* session, NetOptions options)
+    : session_(session), options_(std::move(options)) {}
+
+WireService::~WireService() { Stop(); }
+
+Status WireService::Start(uint16_t port) {
+  if (running_) {
+    return Status::FailedPrecondition("wire service already running");
+  }
+  obs::HttpServerOptions http_options;
+  http_options.enable_post = true;
+  http_options.keep_alive = true;
+  http_options.max_body_bytes = options_.max_body_bytes;
+  http_options.max_connections =
+      options_.max_connections > 0 ? options_.max_connections : 8;
+  CHRONICLE_RETURN_NOT_OK(http_.Start(
+      port, [this](const obs::HttpRequest& req) { return Route(req); },
+      http_options));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_stop_ = false;
+  }
+  worker_ = std::thread([this] { IngestLoop(); });
+  enricher_token_ = session_->AddStatsEnricher(
+      [this](obs::StatsSnapshot* snap) { FillNetStats(snap); });
+  running_ = true;
+  return Status::OK();
+}
+
+void WireService::Stop() {
+  if (!running_) return;
+  // Unhook stats first so no snapshot races the teardown.
+  session_->RemoveStatsEnricher(enricher_token_);
+  http_.Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_stop_ = true;
+  }
+  ingest_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  running_ = false;
+}
+
+Status WireService::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ingest_paused_) {
+      return Status::FailedPrecondition(
+          "cannot drain while ingest is paused");
+    }
+    drain_cv_.wait(lock, [this] {
+      if (worker_busy_) return false;
+      for (const auto& [id, state] : sessions_) {
+        if (!state->queue.empty()) return false;
+      }
+      return true;
+    });
+  }
+  if (session_->sharded()) {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    return session_->sharded_db()->Flush();
+  }
+  return Status::OK();
+}
+
+void WireService::SetIngestPaused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ingest_paused_ = paused;
+  }
+  ingest_cv_.notify_all();
+}
+
+// The worker: round-robin over sessions, one queued batch at a time, so a
+// deep queue on one session cannot starve the others. The apply happens
+// outside mu_ (HTTP threads keep accepting) but under db_mu_ (appends are
+// single-driver).
+void WireService::IngestLoop() {
+  std::string cursor;  // last session served, for round-robin fairness
+  while (true) {
+    PendingBatch batch;
+    SessionState* state = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ingest_cv_.wait(lock, [this] {
+        if (worker_stop_) return true;
+        if (ingest_paused_) return false;
+        for (const auto& [id, s] : sessions_) {
+          if (!s->queue.empty()) return true;
+        }
+        return false;
+      });
+      if (worker_stop_) return;
+      // Pick the first non-empty queue strictly after the cursor, wrapping.
+      auto it = sessions_.upper_bound(cursor);
+      for (size_t i = 0; i <= sessions_.size(); ++i, ++it) {
+        if (it == sessions_.end()) it = sessions_.begin();
+        if (!it->second->queue.empty()) break;
+      }
+      if (it == sessions_.end() || it->second->queue.empty()) continue;
+      state = it->second.get();
+      cursor = it->first;
+      batch = std::move(state->queue.front());
+      state->queue.pop_front();
+      worker_busy_ = true;
+    }
+
+    Result<uint64_t> applied = [&] {
+      std::lock_guard<std::mutex> db_lock(db_mu_);
+      return session_->AppendRows(batch.chronicle, std::move(batch.ticks));
+    }();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state->queue_rows -= batch.rows;
+      if (applied.ok()) {
+        state->rows_applied += *applied;
+        rows_applied_total_ += *applied;
+      }
+      // A failed apply still leaves the queue (the rows were validated at
+      // accept time, so this is a server-side invariant breach, not a
+      // client mistake); the count drop is visible as accepted != applied.
+      worker_busy_ = false;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+obs::HttpResponse WireService::ErrorResponse(const Status& status) {
+  obs::HttpResponse resp;
+  resp.status = HttpStatusFor(status.code());
+  resp.content_type = "application/json";
+  resp.body = cql::ErrorJson(status) + "\n";
+  if (resp.status == 429) {
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(options_.retry_after_sec));
+  }
+  return resp;
+}
+
+WireService::SessionState* WireService::ResolveSession(
+    const obs::HttpRequest& request, obs::HttpResponse* error) {
+  const std::string* sid = request.FindHeader("x-chronicle-session");
+  if (sid == nullptr) {
+    *error = ErrorResponse(
+        Status::Unauthenticated("missing X-Chronicle-Session header"));
+    return nullptr;
+  }
+  auto it = sessions_.find(*sid);
+  if (it == sessions_.end() || !it->second->open) {
+    *error =
+        ErrorResponse(Status::Unauthenticated("unknown session: " + *sid));
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+obs::HttpResponse WireService::Route(const obs::HttpRequest& request) {
+  obs::HttpResponse resp;
+  // Auth gates /v1/* only; the read-only monitoring catalog stays open
+  // (loopback bind, same contract as StartMonitoring).
+  const bool is_v1 = request.path.rfind("/v1/", 0) == 0;
+  if (is_v1 && !options_.auth_token.empty()) {
+    const std::string* auth = request.FindHeader("authorization");
+    if (auth == nullptr || *auth != "Bearer " + options_.auth_token) {
+      resp = ErrorResponse(
+          Status::Unauthenticated("missing or invalid bearer token"));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++requests_total_;
+      ++http_errors_total_;
+      ++rejected_auth_total_;
+      return resp;
+    }
+  }
+
+  if (request.path == "/v1/session" && request.method == "POST") {
+    resp = HandleOpenSession(request);
+  } else if (request.path == "/v1/session/close" && request.method == "POST") {
+    resp = HandleCloseSession(request);
+  } else if (request.path == "/v1/sql" && request.method == "POST") {
+    resp = HandleSql(request);
+  } else if (request.path == "/v1/append" && request.method == "POST") {
+    resp = HandleAppend(request);
+  } else if (request.path == "/v1/drain" && request.method == "POST") {
+    resp = HandleDrain(request);
+  } else if (request.path == "/healthz") {
+    resp.content_type = "application/json";
+    resp.body = "{\"status\":\"ok\"}\n";
+  } else if (request.path == "/stats.json") {
+    resp.content_type = "application/json";
+    resp.body = obs::RenderJson(session_->CollectStats());
+  } else if (request.path == "/metrics") {
+    resp.body = obs::RenderPrometheus(session_->CollectStats());
+  } else {
+    resp = ErrorResponse(Status::NotFound("no route: " + request.path));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_total_;
+  if (resp.status >= 400) {
+    ++http_errors_total_;
+    if (resp.status == 401) ++rejected_auth_total_;
+  }
+  return resp;
+}
+
+obs::HttpResponse WireService::HandleOpenSession(
+    const obs::HttpRequest& request) {
+  (void)request;
+  obs::HttpResponse resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string id = "s" + std::to_string(next_session_++);
+  auto state = std::make_unique<SessionState>();
+  state->id = id;
+  sessions_[id] = std::move(state);
+  ++sessions_opened_;
+  resp.content_type = "application/json";
+  resp.body = "{\"session\":\"" + id + "\",\"queue_rows_limit\":" +
+              std::to_string(options_.session_queue_rows) +
+              ",\"row_quota\":" + std::to_string(options_.session_row_quota) +
+              "}\n";
+  return resp;
+}
+
+obs::HttpResponse WireService::HandleCloseSession(
+    const obs::HttpRequest& request) {
+  obs::HttpResponse resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionState* state = ResolveSession(request, &resp);
+  if (state == nullptr) return resp;
+  state->open = false;  // queued rows still drain; new requests get 401
+  resp.content_type = "application/json";
+  resp.body = "{\"closed\":\"" + state->id + "\"}\n";
+  return resp;
+}
+
+obs::HttpResponse WireService::HandleSql(const obs::HttpRequest& request) {
+  obs::HttpResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionState* state = ResolveSession(request, &resp);
+    if (state == nullptr) return resp;
+    ++state->statements;
+    ++sql_statements_total_;
+  }
+  Result<cql::ExecResult> result = [&] {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    return session_->ExecuteScript(request.body);
+  }();
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  resp.content_type = "application/json";
+  std::string& out = resp.body;
+  out = "{\"message\":\"" + obs::JsonEscape(result->message) + "\"";
+  if (result->schema.num_fields() > 0) {
+    out += ",\"schema\":[";
+    for (size_t i = 0; i < result->schema.num_fields(); ++i) {
+      const Field& f = result->schema.field(i);
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + obs::JsonEscape(f.name) + "\",\"type\":\"" +
+             DataTypeToString(f.type) + "\"}";
+    }
+    out += "],\"rows\":[";
+    for (size_t r = 0; r < result->rows.size(); ++r) {
+      if (r > 0) out += ",";
+      out += "[";
+      for (size_t c = 0; c < result->rows[r].size(); ++c) {
+        if (c > 0) out += ",";
+        JsonValue(&out, result->rows[r][c]);
+      }
+      out += "]";
+    }
+    out += "]";
+  }
+  out += "}\n";
+  return resp;
+}
+
+obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
+  obs::HttpResponse resp;
+  std::string chronicle;
+  if (!QueryParam(request.query, "chronicle", &chronicle) ||
+      chronicle.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing ?chronicle= parameter"));
+  }
+  if (request.body.empty()) {
+    return ErrorResponse(Status::InvalidArgument("empty append body"));
+  }
+
+  // Resolve the schema binding (cached per session after first use).
+  Schema schema;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionState* state = ResolveSession(request, &resp);
+    if (state == nullptr) return resp;
+    auto bound = state->bindings.find(chronicle);
+    if (bound != state->bindings.end()) schema = bound->second;
+  }
+  if (schema.num_fields() == 0) {
+    std::lock_guard<std::mutex> db_lock(db_mu_);
+    ChronicleGroup& group = session_->engine0().group();
+    Result<ChronicleId> id = group.FindChronicle(chronicle);
+    if (!id.ok()) return ErrorResponse(id.status());
+    Result<Chronicle*> chron = group.GetChronicle(*id);
+    if (!chron.ok()) return ErrorResponse(chron.status());
+    schema = (*chron)->schema();
+  }
+
+  Result<std::vector<std::vector<Tuple>>> ticks =
+      DecodeTsv(request.body, schema);
+  if (!ticks.ok()) return ErrorResponse(ticks.status());
+  if (ticks->empty()) {
+    return ErrorResponse(Status::InvalidArgument("append body has no rows"));
+  }
+  PendingBatch batch;
+  batch.chronicle = chronicle;
+  for (const std::vector<Tuple>& tick : *ticks) batch.rows += tick.size();
+  batch.ticks = std::move(*ticks);
+  const uint64_t accepted_ticks = batch.ticks.size();
+  const uint64_t accepted_rows = batch.rows;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionState* state = ResolveSession(request, &resp);
+    if (state == nullptr) return resp;
+    state->bindings.emplace(chronicle, schema);
+    if (options_.session_row_quota > 0 &&
+        state->rows_accepted + batch.rows > options_.session_row_quota) {
+      ++state->rejected_quota;
+      ++rejected_quota_total_;
+      return ErrorResponse(Status::ResourceExhausted(
+          "session row quota spent (" +
+          std::to_string(options_.session_row_quota) + " rows)"));
+    }
+    if (state->queue_rows + batch.rows > options_.session_queue_rows) {
+      ++state->rejected_backpressure;
+      ++rejected_backpressure_total_;
+      return ErrorResponse(Status::ResourceExhausted(
+          "session ingest queue full (" + std::to_string(state->queue_rows) +
+          "/" + std::to_string(options_.session_queue_rows) + " rows)"));
+    }
+    state->queue_rows += batch.rows;
+    state->rows_accepted += batch.rows;
+    append_batches_total_ += accepted_ticks;
+    append_rows_total_ += accepted_rows;
+    state->queue.push_back(std::move(batch));
+    resp.status = 202;
+    resp.content_type = "application/json";
+    resp.body = "{\"accepted_ticks\":" + std::to_string(accepted_ticks) +
+                ",\"accepted_rows\":" + std::to_string(accepted_rows) +
+                ",\"queued_rows\":" + std::to_string(state->queue_rows) +
+                "}\n";
+  }
+  ingest_cv_.notify_one();
+  return resp;
+}
+
+obs::HttpResponse WireService::HandleDrain(const obs::HttpRequest& request) {
+  obs::HttpResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionState* state = ResolveSession(request, &resp);
+    if (state == nullptr) return resp;
+  }
+  const Status status = Drain();
+  if (!status.ok()) return ErrorResponse(status);
+  std::lock_guard<std::mutex> lock(mu_);
+  resp.content_type = "application/json";
+  resp.body =
+      "{\"drained\":true,\"rows_applied_total\":" +
+      std::to_string(rows_applied_total_) + "}\n";
+  return resp;
+}
+
+void WireService::FillNetStats(obs::StatsSnapshot* snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::NetStatsSnapshot& n = snap->net;
+  n.attached = true;
+  n.port = http_.port();
+  n.requests_total = requests_total_;
+  n.http_errors_total = http_errors_total_;
+  n.sessions_opened = sessions_opened_;
+  n.sql_statements_total = sql_statements_total_;
+  n.append_batches_total = append_batches_total_;
+  n.append_rows_total = append_rows_total_;
+  n.rows_applied_total = rows_applied_total_;
+  n.rejected_backpressure_total = rejected_backpressure_total_;
+  n.rejected_quota_total = rejected_quota_total_;
+  n.rejected_auth_total = rejected_auth_total_;
+  n.active_sessions = 0;
+  n.queue_rows = 0;
+  for (const auto& [id, state] : sessions_) {
+    if (state->open) ++n.active_sessions;
+    n.queue_rows += state->queue_rows;
+    obs::NetSessionSnapshot s;
+    s.id = state->id;
+    s.statements = state->statements;
+    s.append_rows_accepted = state->rows_accepted;
+    s.append_rows_applied = state->rows_applied;
+    s.queue_rows = state->queue_rows;
+    s.rejected_backpressure = state->rejected_backpressure;
+    s.rejected_quota = state->rejected_quota;
+    s.row_quota = options_.session_row_quota;
+    n.sessions.push_back(std::move(s));
+  }
+}
+
+}  // namespace net
+}  // namespace chronicle

@@ -1,0 +1,190 @@
+// net::WireService: the CQL-over-the-wire front-end.
+//
+// A dependency-free network ingest path layered on obs::HttpServer
+// (persistent HTTP/1.1 keep-alive connections, POST bodies) and
+// cql::Session (the one statement-execution layer the shell and tests
+// also drive). The service does not reimplement any statement logic: a
+// statement arriving over the wire takes exactly the code path a shell
+// statement takes.
+//
+// Endpoint catalog (docs/NETWORK.md has the curl quickstart):
+//
+//   POST /v1/session          open a session -> {"session":"s1"}
+//   POST /v1/session/close    close it (X-Chronicle-Session header)
+//   POST /v1/sql              execute CQL script in the body; rows as JSON
+//   POST /v1/append?chronicle=NAME
+//                             bulk ingest: TSV body, one row per line,
+//                             blank line separates ticks; enqueued into the
+//                             session's bounded queue -> AppendMany
+//   POST /v1/drain            block until every queued row is applied
+//   GET  /healthz /stats.json /metrics
+//                             the monitoring catalog, with the net section
+//
+// Sessions: every /v1/sql and /v1/append carries an X-Chronicle-Session
+// header naming a session opened via POST /v1/session. When
+// NetOptions::auth_token is set, /v1/* additionally requires
+// `Authorization: Bearer <token>` (401 otherwise). Per-session state:
+// the row quota, the bounded ingest queue, and the prepared chronicle
+// schema bindings /v1/append decodes against.
+//
+// Backpressure is explicit, not implicit: /v1/append either accepts the
+// whole body into the session's bounded queue (202, with queue depth in
+// the reply) or rejects it atomically with 429 + Retry-After — a full
+// queue never blocks the HTTP thread, and a rejected body is never
+// half-applied. Rejections are per-session: a saturated session's 429s do
+// not slow any other session. A single ingest worker drains the queues
+// round-robin through cql::Session::AppendRows, so networked rows take
+// the same AppendMany path (and the same WAL, sharding, and view
+// maintenance) as local ones.
+//
+// Error surface: failures are rendered as cql::ErrorJson —
+// {"error":{"code":"...","message":"..."}} — with the HTTP status derived
+// from the StatusCode by HttpStatusFor(). One enum, one shape, every
+// surface.
+
+#ifndef CHRONICLE_NET_WIRE_SERVICE_H_
+#define CHRONICLE_NET_WIRE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/session.h"
+#include "obs/http_server.h"
+
+namespace chronicle {
+namespace net {
+
+struct NetOptions {
+  // Bearer token required on every /v1/* request ("" = no auth).
+  std::string auth_token;
+  // Bounded per-session ingest queue, in rows. An append that would
+  // overflow it is rejected whole with 429 + Retry-After.
+  size_t session_queue_rows = 8192;
+  // Rows a session may accept over its lifetime (0 = unlimited); spent
+  // quota also answers 429.
+  uint64_t session_row_quota = 0;
+  // Value of the Retry-After header on 429 responses.
+  int retry_after_sec = 1;
+  // Concurrent HTTP connections (obs::HttpServerOptions::max_connections).
+  size_t max_connections = 8;
+  // Largest accepted request body.
+  size_t max_body_bytes = 8u << 20;
+};
+
+// Maps the shared error enum onto HTTP statuses (429 for
+// ResourceExhausted, 401 for Unauthenticated, 404 for NotFound, ...).
+int HttpStatusFor(StatusCode code);
+
+class WireService {
+ public:
+  // `session` must outlive the service. The service registers a stats
+  // enricher on it, so /stats.json, /metrics, and the flight recorder all
+  // see the chronicle_net_* section.
+  WireService(cql::Session* session, NetOptions options);
+  ~WireService();  // Stop()
+
+  WireService(const WireService&) = delete;
+  WireService& operator=(const WireService&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the HTTP threads
+  // and the ingest worker.
+  Status Start(uint16_t port);
+  void Stop();
+  bool running() const { return running_; }
+  uint16_t port() const { return http_.port(); }
+
+  // Blocks until every session queue is empty and the worker is idle;
+  // on a sharded session also Flush()es the router lanes. What /v1/drain
+  // calls, and what tests use to make ingest deterministic.
+  Status Drain();
+
+  // Test hook: while paused the ingest worker applies nothing, so a
+  // session queue can be filled to overflow deterministically.
+  void SetIngestPaused(bool paused);
+
+ private:
+  struct PendingBatch {
+    std::string chronicle;
+    std::vector<std::vector<Tuple>> ticks;
+    uint64_t rows = 0;
+  };
+
+  struct SessionState {
+    std::string id;
+    bool open = true;
+    uint64_t statements = 0;
+    uint64_t rows_accepted = 0;
+    uint64_t rows_applied = 0;
+    uint64_t queue_rows = 0;
+    uint64_t rejected_backpressure = 0;
+    uint64_t rejected_quota = 0;
+    std::deque<PendingBatch> queue;
+    // Prepared chronicle bindings: schemas resolved once per session and
+    // reused by every subsequent append.
+    std::map<std::string, Schema> bindings;
+  };
+
+  obs::HttpResponse Route(const obs::HttpRequest& request);
+  obs::HttpResponse HandleOpenSession(const obs::HttpRequest& request);
+  obs::HttpResponse HandleCloseSession(const obs::HttpRequest& request);
+  obs::HttpResponse HandleSql(const obs::HttpRequest& request);
+  obs::HttpResponse HandleAppend(const obs::HttpRequest& request);
+  obs::HttpResponse HandleDrain(const obs::HttpRequest& request);
+
+  // 401 when auth/session resolution fails; nullptr + filled response.
+  SessionState* ResolveSession(const obs::HttpRequest& request,
+                               obs::HttpResponse* error);
+  obs::HttpResponse ErrorResponse(const Status& status);
+
+  void IngestLoop();
+  void FillNetStats(obs::StatsSnapshot* snap);
+
+  cql::Session* session_;
+  NetOptions options_;
+  obs::HttpServer http_;
+  bool running_ = false;
+  size_t enricher_token_ = 0;
+
+  // One mutex serializes statement execution and worker applies: appends
+  // are single-driver by design (the db's own thread-safety contract), so
+  // the wire service is the serialization point for everything it drives.
+  std::mutex db_mu_;
+
+  // Session table + queues. ingest_cv_ wakes the worker on new batches;
+  // drain_cv_ wakes Drain() when the worker goes idle.
+  std::mutex mu_;
+  std::condition_variable ingest_cv_;
+  std::condition_variable drain_cv_;
+  std::map<std::string, std::unique_ptr<SessionState>> sessions_;
+  uint64_t next_session_ = 1;
+  bool ingest_paused_ = false;
+  bool worker_stop_ = false;
+  bool worker_busy_ = false;
+  std::thread worker_;
+
+  // Service-wide counters (guarded by mu_ unless atomic-by-use on the
+  // HTTP threads; all reads go through FillNetStats under mu_).
+  uint64_t requests_total_ = 0;
+  uint64_t http_errors_total_ = 0;
+  uint64_t sessions_opened_ = 0;
+  uint64_t sql_statements_total_ = 0;
+  uint64_t append_batches_total_ = 0;
+  uint64_t append_rows_total_ = 0;
+  uint64_t rows_applied_total_ = 0;
+  uint64_t rejected_backpressure_total_ = 0;
+  uint64_t rejected_quota_total_ = 0;
+  uint64_t rejected_auth_total_ = 0;
+};
+
+}  // namespace net
+}  // namespace chronicle
+
+#endif  // CHRONICLE_NET_WIRE_SERVICE_H_

@@ -374,6 +374,34 @@ std::string RenderText(const StatsSnapshot& snapshot) {
       }
     }
   }
+  if (snapshot.net.attached) {
+    const NetStatsSnapshot& n = snapshot.net;
+    out += "\nnet:\n";
+    Appendf(&out,
+            "  port=%u requests=%" PRIu64 " http_errors=%" PRIu64
+            " sessions=%" PRIu64 " active=%" PRIu64 "\n",
+            unsigned{n.port}, n.requests_total, n.http_errors_total,
+            n.sessions_opened, n.active_sessions);
+    Appendf(&out,
+            "  sql=%" PRIu64 " append_batches=%" PRIu64 " append_rows=%" PRIu64
+            " applied=%" PRIu64 " queued=%" PRIu64 "\n",
+            n.sql_statements_total, n.append_batches_total, n.append_rows_total,
+            n.rows_applied_total, n.queue_rows);
+    Appendf(&out,
+            "  rejected: backpressure=%" PRIu64 " quota=%" PRIu64
+            " auth=%" PRIu64 "\n",
+            n.rejected_backpressure_total, n.rejected_quota_total,
+            n.rejected_auth_total);
+    for (const NetSessionSnapshot& s : n.sessions) {
+      Appendf(&out,
+              "  session %-12s stmts=%" PRIu64 " accepted=%" PRIu64
+              " applied=%" PRIu64 " queued=%" PRIu64 " rejected=%" PRIu64
+              "/%" PRIu64 "\n",
+              s.id.c_str(), s.statements, s.append_rows_accepted,
+              s.append_rows_applied, s.queue_rows, s.rejected_backpressure,
+              s.rejected_quota);
+    }
+  }
   return out;
 }
 
@@ -549,6 +577,81 @@ std::string RenderPrometheus(const StatsSnapshot& snapshot) {
                     s.tick_latency);
     }
   }
+
+  if (snapshot.net.attached) {
+    const NetStatsSnapshot& n = snapshot.net;
+    PromCounter(&out, "chronicle_net_requests_total",
+                "HTTP requests routed by the wire service", n.requests_total);
+    PromCounter(&out, "chronicle_net_http_errors_total",
+                "Wire-service responses with status >= 400",
+                n.http_errors_total);
+    PromCounter(&out, "chronicle_net_sessions_opened_total",
+                "Sessions opened over the wire", n.sessions_opened);
+    Appendf(&out,
+            "# HELP chronicle_net_active_sessions Currently open sessions\n"
+            "# TYPE chronicle_net_active_sessions gauge\n"
+            "chronicle_net_active_sessions %" PRIu64 "\n",
+            n.active_sessions);
+    PromCounter(&out, "chronicle_net_sql_statements_total",
+                "Statements executed via POST /v1/sql",
+                n.sql_statements_total);
+    PromCounter(&out, "chronicle_net_append_batches_total",
+                "Ticks accepted via POST /v1/append", n.append_batches_total);
+    PromCounter(&out, "chronicle_net_append_rows_total",
+                "Rows accepted via POST /v1/append", n.append_rows_total);
+    PromCounter(&out, "chronicle_net_rows_applied_total",
+                "Accepted rows applied by the ingest worker",
+                n.rows_applied_total);
+    Appendf(&out,
+            "# HELP chronicle_net_queue_rows Rows waiting in session ingest "
+            "queues\n# TYPE chronicle_net_queue_rows gauge\n"
+            "chronicle_net_queue_rows %" PRIu64 "\n",
+            n.queue_rows);
+    PromCounter(&out, "chronicle_net_rejected_backpressure_total",
+                "Appends rejected with 429 by a full session queue",
+                n.rejected_backpressure_total);
+    PromCounter(&out, "chronicle_net_rejected_quota_total",
+                "Appends rejected with 429 by a spent session row quota",
+                n.rejected_quota_total);
+    PromCounter(&out, "chronicle_net_rejected_auth_total",
+                "Requests rejected with 401", n.rejected_auth_total);
+    if (!n.sessions.empty()) {
+      struct Field {
+        const char* metric;
+        const char* help;
+        const char* type;
+        uint64_t (*get)(const NetSessionSnapshot&);
+      };
+      static const Field kFields[] = {
+          {"chronicle_net_session_statements_total",
+           "Statements executed by the session", "counter",
+           [](const NetSessionSnapshot& s) { return s.statements; }},
+          {"chronicle_net_session_rows_accepted_total",
+           "Rows accepted into the session's queue", "counter",
+           [](const NetSessionSnapshot& s) { return s.append_rows_accepted; }},
+          {"chronicle_net_session_rows_applied_total",
+           "Session rows applied by the ingest worker", "counter",
+           [](const NetSessionSnapshot& s) { return s.append_rows_applied; }},
+          {"chronicle_net_session_queue_rows",
+           "Rows waiting in the session's bounded queue", "gauge",
+           [](const NetSessionSnapshot& s) { return s.queue_rows; }},
+          {"chronicle_net_session_rejected_backpressure_total",
+           "Session 429s from a full queue", "counter",
+           [](const NetSessionSnapshot& s) { return s.rejected_backpressure; }},
+          {"chronicle_net_session_rejected_quota_total",
+           "Session 429s from a spent row quota", "counter",
+           [](const NetSessionSnapshot& s) { return s.rejected_quota; }},
+      };
+      for (const Field& f : kFields) {
+        Appendf(&out, "# HELP %s %s\n# TYPE %s %s\n", f.metric, f.help,
+                f.metric, f.type);
+        for (const NetSessionSnapshot& s : n.sessions) {
+          Appendf(&out, "%s{session=\"%s\"} %" PRIu64 "\n", f.metric,
+                  Escape(s.id).c_str(), f.get(s));
+        }
+      }
+    }
+  }
   return out;
 }
 
@@ -670,6 +773,42 @@ std::string RenderJson(const StatsSnapshot& snapshot) {
         JsonHistogram(&out, s.tick_latency);
       }
       out += "}";
+    }
+    out += "]}";
+  } else {
+    out += "null";
+  }
+
+  out += ",\"net\":";
+  if (snapshot.net.attached) {
+    const NetStatsSnapshot& n = snapshot.net;
+    Appendf(&out,
+            "{\"port\":%u,\"requests_total\":%" PRIu64
+            ",\"http_errors_total\":%" PRIu64 ",\"sessions_opened\":%" PRIu64
+            ",\"active_sessions\":%" PRIu64 ",\"sql_statements_total\":%" PRIu64
+            ",\"append_batches_total\":%" PRIu64
+            ",\"append_rows_total\":%" PRIu64 ",\"rows_applied_total\":%" PRIu64
+            ",\"queue_rows\":%" PRIu64
+            ",\"rejected_backpressure_total\":%" PRIu64
+            ",\"rejected_quota_total\":%" PRIu64
+            ",\"rejected_auth_total\":%" PRIu64 ",\"sessions\":[",
+            unsigned{n.port}, n.requests_total, n.http_errors_total,
+            n.sessions_opened, n.active_sessions, n.sql_statements_total,
+            n.append_batches_total, n.append_rows_total, n.rows_applied_total,
+            n.queue_rows, n.rejected_backpressure_total,
+            n.rejected_quota_total, n.rejected_auth_total);
+    for (size_t i = 0; i < n.sessions.size(); ++i) {
+      const NetSessionSnapshot& s = n.sessions[i];
+      if (i > 0) out += ",";
+      Appendf(&out,
+              "{\"id\":\"%s\",\"statements\":%" PRIu64
+              ",\"append_rows_accepted\":%" PRIu64
+              ",\"append_rows_applied\":%" PRIu64 ",\"queue_rows\":%" PRIu64
+              ",\"rejected_backpressure\":%" PRIu64
+              ",\"rejected_quota\":%" PRIu64 ",\"row_quota\":%" PRIu64 "}",
+              Escape(s.id).c_str(), s.statements, s.append_rows_accepted,
+              s.append_rows_applied, s.queue_rows, s.rejected_backpressure,
+              s.rejected_quota, s.row_quota);
     }
     out += "]}";
   } else {

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -14,22 +15,34 @@ namespace obs {
 
 namespace {
 
-// Requests larger than this are rejected with 400 — every legitimate
-// request here is one short GET line plus a few headers.
-constexpr size_t kMaxRequestBytes = 8192;
-
 const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
     case 500:
       return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
@@ -37,43 +50,53 @@ const char* StatusText(int status) {
 
 // Writes the whole buffer, retrying on EINTR / short writes. MSG_NOSIGNAL
 // keeps a client that hung up from killing the process with SIGPIPE.
-void SendAll(int fd, const std::string& data) {
+// Returns false when the client is gone.
+bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // client gone; nothing useful to do
+      return false;  // client gone; nothing useful to do
     }
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
-// Reads until the end-of-headers marker, the size cap, or EOF. Bodies are
-// never read: no route accepts one.
-bool ReadRequestHead(int fd, std::string* out) {
-  char buf[1024];
-  while (out->size() < kMaxRequestBytes) {
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+// Appends more bytes from the socket into `buf`. Returns false on EOF,
+// error, or timeout.
+bool ReadMore(int fd, std::string* buf) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // timeout (EAGAIN under SO_RCVTIMEO) or error
     }
-    if (n == 0) return false;  // EOF before end of headers
-    out->append(buf, static_cast<size_t>(n));
-    if (out->find("\r\n\r\n") != std::string::npos ||
-        out->find("\n\n") != std::string::npos) {
-      return true;
-    }
+    if (n == 0) return false;  // EOF
+    buf->append(chunk, static_cast<size_t>(n));
+    return true;
   }
-  return false;
 }
 
-// Parses "METHOD /path HTTP/1.x" from the first request line.
-bool ParseRequestLine(const std::string& head, HttpRequest* req) {
-  const size_t eol = head.find_first_of("\r\n");
-  const std::string line = head.substr(0, eol);
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Parses "METHOD /path[?query] HTTP/1.x" from the first request line.
+bool ParseRequestLine(const std::string& line, HttpRequest* req) {
   const size_t sp1 = line.find(' ');
   if (sp1 == std::string::npos) return false;
   const size_t sp2 = line.find(' ', sp1 + 1);
@@ -83,10 +106,44 @@ bool ParseRequestLine(const std::string& head, HttpRequest* req) {
   if (req->method.empty() || req->path.empty() || req->path[0] != '/') {
     return false;
   }
-  // Query strings are accepted but ignored by every route.
   const size_t query = req->path.find('?');
-  if (query != std::string::npos) req->path.resize(query);
+  if (query != std::string::npos) {
+    req->query = req->path.substr(query + 1);
+    req->path.resize(query);
+  }
   return line.compare(sp2 + 1, 5, "HTTP/") == 0;
+}
+
+// Parses "Name: value" lines between the request line and the blank line.
+void ParseHeaders(const std::string& head, size_t first_line_end,
+                  HttpRequest* req) {
+  size_t pos = first_line_end;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = Trim(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    req->headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                              Trim(line.substr(colon + 1)));
+  }
+}
+
+// Renders a complete response (status line + headers + body).
+std::string RenderResponse(const HttpResponse& resp, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  for (const auto& [name, value] : resp.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
 }
 
 }  // namespace
@@ -94,6 +151,11 @@ bool ParseRequestLine(const std::string& head, HttpRequest* req) {
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start(uint16_t port, HttpHandler handler) {
+  return Start(port, std::move(handler), HttpServerOptions{});
+}
+
+Status HttpServer::Start(uint16_t port, HttpHandler handler,
+                         HttpServerOptions options) {
   if (running_) {
     return Status::FailedPrecondition("http server already running on port " +
                                       std::to_string(port_));
@@ -110,7 +172,7 @@ Status HttpServer::Start(uint16_t port, HttpHandler handler) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local scrapes only
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
   addr.sin_port = htons(port);
   if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const std::string err = strerror(errno);
@@ -118,7 +180,7 @@ Status HttpServer::Start(uint16_t port, HttpHandler handler) {
     return Status::Internal("bind 127.0.0.1:" + std::to_string(port) + ": " +
                             err);
   }
-  if (listen(fd, 16) < 0) {
+  if (listen(fd, 64) < 0) {
     const std::string err = strerror(errno);
     close(fd);
     return Status::Internal("listen: " + err);
@@ -134,6 +196,7 @@ Status HttpServer::Start(uint16_t port, HttpHandler handler) {
   listen_fd_ = fd;
   port_ = ntohs(bound.sin_port);
   handler_ = std::move(handler);
+  options_ = options;
   stopping_.store(false, std::memory_order_relaxed);
   thread_ = std::thread([this] { AcceptLoop(); });
   running_ = true;
@@ -147,6 +210,14 @@ void HttpServer::Stop() {
   // the listener is never reused.
   shutdown(listen_fd_, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
+  // Wake every connection thread blocked in recv, then wait for all of
+  // them to finish. The threads are detached; active_connections_ hitting
+  // zero is the proof none still touches this object.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    for (const int fd : open_fds_) shutdown(fd, SHUT_RDWR);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
   close(listen_fd_);
   listen_fd_ = -1;
   running_ = false;
@@ -160,37 +231,147 @@ void HttpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // shutdown() from Stop(), or the socket is dead
     }
-    // A stalled client must not wedge the exporter: bound both directions.
-    timeval timeout{5, 0};
+    // A stalled client must not wedge the server: bound both directions.
+    timeval timeout{options_.idle_timeout_sec, 0};
     setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    HandleConnection(fd);
-    close(fd);
+
+    if (options_.max_connections == 0) {
+      HandleConnection(fd);
+      close(fd);
+      continue;
+    }
+
+    bool spawn = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (active_connections_ < options_.max_connections &&
+          !stopping_.load(std::memory_order_relaxed)) {
+        ++active_connections_;
+        open_fds_.insert(fd);
+        spawn = true;
+      }
+    }
+    if (!spawn) {
+      HttpResponse resp;
+      resp.status = 503;
+      resp.body = "connection limit reached\n";
+      SendAll(fd, RenderResponse(resp, /*keep_alive=*/false));
+      close(fd);
+      continue;
+    }
+    std::thread([this, fd] { ServeOnThread(fd); }).detach();
   }
 }
 
-void HttpServer::HandleConnection(int fd) {
-  std::string head;
-  HttpRequest req;
-  HttpResponse resp;
-  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &req)) {
-    resp.status = 400;
-    resp.body = "bad request\n";
-  } else if (req.method != "GET") {
-    resp.status = 405;
-    resp.body = "only GET is supported\n";
-  } else {
-    resp = handler_(req);
-  }
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
+void HttpServer::ServeOnThread(int fd) {
+  HandleConnection(fd);
+  // Erase + decrement + notify under the mutex, so Stop() cannot observe
+  // active_connections_ == 0 while this thread still runs.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_fds_.erase(fd);
+  close(fd);
+  --active_connections_;
+  conn_cv_.notify_all();
+}
 
-  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
-                    StatusText(resp.status) + "\r\n";
-  out += "Content-Type: " + resp.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += resp.body;
-  SendAll(fd, out);
+// Serves one connection: under keep_alive, loops over pipelined requests
+// in a single growing buffer; otherwise serves exactly one request. Any
+// protocol error sends its status and closes.
+void HttpServer::HandleConnection(int fd) {
+  std::string buf;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Accumulate until the end-of-headers marker (pipelined requests may
+    // already be buffered from the previous read).
+    size_t head_end;
+    while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+      if (buf.size() > options_.max_header_bytes) {
+        HttpResponse resp;
+        resp.status = 400;
+        resp.body = "request head too large\n";
+        SendAll(fd, RenderResponse(resp, false));
+        return;
+      }
+      if (!ReadMore(fd, &buf)) return;  // EOF / idle timeout
+    }
+    const std::string head = buf.substr(0, head_end);
+    buf.erase(0, head_end + 4);
+
+    HttpRequest req;
+    size_t first_eol = head.find('\n');
+    if (first_eol == std::string::npos) first_eol = head.size();
+    std::string first_line = head.substr(0, first_eol);
+    if (!first_line.empty() && first_line.back() == '\r') {
+      first_line.pop_back();
+    }
+    if (!ParseRequestLine(first_line, &req)) {
+      HttpResponse resp;
+      resp.status = 400;
+      resp.body = "bad request\n";
+      SendAll(fd, RenderResponse(resp, false));
+      return;
+    }
+    ParseHeaders(head, first_eol + 1, &req);
+
+    // Does the client want the connection kept open after this response?
+    bool client_keep_alive = options_.keep_alive;
+    if (const std::string* conn = req.FindHeader("connection")) {
+      if (ToLower(*conn) == "close") client_keep_alive = false;
+    }
+
+    HttpResponse resp;
+    bool handled = false;
+    if (req.method != "GET" && (req.method != "POST" || !options_.enable_post)) {
+      resp.status = 405;
+      resp.body = options_.enable_post ? "only GET and POST are supported\n"
+                                       : "only GET is supported\n";
+      handled = true;
+    }
+
+    // Read the Content-Length body (POST only; GETs here carry none).
+    size_t body_len = 0;
+    if (req.method == "POST" && options_.enable_post) {
+      if (const std::string* cl = req.FindHeader("content-length")) {
+        char* end = nullptr;
+        const unsigned long long v = strtoull(cl->c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          resp.status = 400;
+          resp.body = "bad content-length\n";
+          handled = true;
+        } else {
+          body_len = static_cast<size_t>(v);
+        }
+      }
+      if (!handled && body_len > options_.max_body_bytes) {
+        // Reject before reading; the client may still be mid-send, so the
+        // connection cannot be reused.
+        resp.status = 413;
+        resp.body = "body too large\n";
+        SendAll(fd, RenderResponse(resp, false));
+        return;
+      }
+      if (!handled) {
+        if (const std::string* expect = req.FindHeader("expect")) {
+          if (ToLower(*expect) == "100-continue") {
+            if (!SendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n")) return;
+          }
+        }
+        while (buf.size() < body_len) {
+          if (!ReadMore(fd, &buf)) return;  // truncated body
+        }
+        req.body = buf.substr(0, body_len);
+        buf.erase(0, body_len);
+      }
+    }
+
+    if (!handled) resp = handler_(req);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+    const bool keep = client_keep_alive && !resp.close &&
+                      !stopping_.load(std::memory_order_relaxed);
+    if (!SendAll(fd, RenderResponse(resp, keep))) return;
+    if (!keep) return;
+  }
 }
 
 }  // namespace obs

@@ -1,32 +1,48 @@
-// HttpServer: a dependency-free HTTP/1.1 endpoint for the observability
-// exporters (the toolchain has no HTTP library and we do not add one).
+// HttpServer: a dependency-free HTTP/1.1 endpoint (the toolchain has no
+// HTTP library and we do not add one).
 //
-// Production systems are scraped over the network; this server is the
-// smallest thing that satisfies a Prometheus scraper and `curl`: one
-// blocking accept loop on its own thread, GET only, one request per
-// connection (`Connection: close`), loopback bind. Routing is the
-// caller's: Start takes a handler that maps an HttpRequest to an
-// HttpResponse (ChronicleDatabase::StartMonitoring installs the /metrics,
-// /stats.json, ... catalog documented in docs/OBSERVABILITY.md).
+// Two configurations share this one implementation:
 //
-// Shutdown: Stop() flips a flag and shutdown(2)s the listening socket,
-// which wakes the blocked accept with an error; the accept thread then
-// exits and is joined. No self-pipe is needed because the listener is
-// never re-armed after shutdown.
+//   * Monitoring (the PR 5 defaults): GET only, one request per
+//     connection (`Connection: close`), served inline on the accept
+//     thread. The smallest thing that satisfies a Prometheus scraper and
+//     `curl`. Start(port, handler) keeps exactly this behavior.
 //
-// Concurrency: the handler runs on the accept thread, concurrently with
-// the database's append path — the handler is responsible for its own
-// synchronization (the database serializes snapshot reads against ticks
-// with its stats mutex).
+//   * Wire service (src/net): Start(port, handler, options) with
+//     enable_post + keep_alive + max_connections > 0 turns on POST bodies
+//     (Content-Length framing, Expect: 100-continue honored), persistent
+//     pipelined HTTP/1.1 connections, per-request response headers
+//     (Retry-After), and a bounded thread-per-connection model — beyond
+//     the cap new connections get 503 without touching the handler.
+//
+// Both bind 127.0.0.1 only. Routing is the caller's: Start takes a
+// handler that maps an HttpRequest to an HttpResponse
+// (ChronicleDatabase::StartMonitoring installs the /metrics, /stats.json,
+// ... catalog; net::WireService installs /v1/*).
+//
+// Shutdown: Stop() flips a flag, shutdown(2)s the listening socket (which
+// wakes the blocked accept), shutdown(2)s every open connection (which
+// wakes blocked recvs), and waits for the connection threads to drain. No
+// self-pipe is needed because the listener is never re-armed.
+//
+// Concurrency: with max_connections == 0 the handler runs on the accept
+// thread; otherwise on per-connection threads, concurrently with each
+// other. Either way it runs concurrently with the database's append path —
+// the handler is responsible for its own synchronization.
 
 #ifndef CHRONICLE_OBS_HTTP_SERVER_H_
 #define CHRONICLE_OBS_HTTP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -35,16 +51,51 @@ namespace obs {
 
 struct HttpRequest {
   std::string method;  // "GET", "POST", ... (upper-case, as sent)
-  std::string path;    // "/metrics", "/views/fan/explain.json", ...
+  std::string path;    // "/metrics", "/v1/append", ... (query stripped)
+  std::string query;   // raw query string after '?' ("" when absent)
+  std::string body;    // POST body (empty unless options.enable_post)
+  // Header (name, value) pairs in arrival order; names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // First header with this lower-case name, or nullptr.
+  const std::string* FindHeader(const std::string& lower_name) const {
+    for (const auto& [name, value] : headers) {
+      if (name == lower_name) return &value;
+    }
+    return nullptr;
+  }
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  // Extra response headers, e.g. {"Retry-After", "1"}.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  // Force `Connection: close` after this response even under keep-alive.
+  bool close = false;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  // Accept POST requests and read Content-Length bodies. Off: non-GET
+  // gets 405 and bodies are never read (no monitoring route accepts one).
+  bool enable_post = false;
+  // Serve multiple pipelined requests per connection (HTTP/1.1 keep-alive)
+  // until the client sends `Connection: close`, idles out, or hangs up.
+  bool keep_alive = false;
+  // Request line + headers larger than this get 400.
+  size_t max_header_bytes = 8192;
+  // Bodies larger than this get 413 without being read.
+  size_t max_body_bytes = 1 << 20;
+  // > 0: one thread per connection, at most this many concurrent (beyond
+  // the cap: 503). 0: serve inline on the accept thread.
+  size_t max_connections = 0;
+  // Per-direction socket timeout; an idle keep-alive connection is closed
+  // after this long.
+  int idle_timeout_sec = 5;
+};
 
 class HttpServer {
  public:
@@ -56,12 +107,13 @@ class HttpServer {
 
   // Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
   // starts the accept thread. Fails if already running or the bind/listen
-  // fails. `handler` is invoked on the accept thread for every parsed
-  // request; malformed requests get a 400 and non-GET methods a 405
-  // without reaching it.
+  // fails. `handler` is invoked for every parsed request; malformed
+  // requests get a 400 and unsupported methods a 405 without reaching it.
   Status Start(uint16_t port, HttpHandler handler);
+  Status Start(uint16_t port, HttpHandler handler, HttpServerOptions options);
 
-  // Stops the accept loop and joins the thread. Idempotent.
+  // Stops the accept loop, wakes and drains every connection, joins the
+  // accept thread. Idempotent.
   void Stop();
 
   bool running() const { return running_; }
@@ -74,14 +126,24 @@ class HttpServer {
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  void ServeOnThread(int fd);
 
   HttpHandler handler_;
+  HttpServerOptions options_;
   std::thread thread_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   bool running_ = false;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
+
+  // Connection-thread bookkeeping (max_connections > 0). Threads detach;
+  // Stop() waits until active_connections_ drains, so none can outlive
+  // the server. open_fds_ lets Stop() wake blocked recvs.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  size_t active_connections_ = 0;
+  std::unordered_set<int> open_fds_;
 };
 
 }  // namespace obs

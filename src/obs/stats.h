@@ -161,6 +161,40 @@ struct ShardingStatsSnapshot {
   std::vector<ShardStatsSnapshot> shards;
 };
 
+// One wire-service session's row in the net section.
+struct NetSessionSnapshot {
+  std::string id;
+  uint64_t statements = 0;             // /v1/sql statements executed
+  uint64_t append_rows_accepted = 0;   // rows accepted into the queue
+  uint64_t append_rows_applied = 0;    // rows the ingest worker applied
+  uint64_t queue_rows = 0;             // rows waiting in the bounded queue
+  uint64_t rejected_backpressure = 0;  // 429s from a full queue
+  uint64_t rejected_quota = 0;         // 429s from a spent row quota
+  uint64_t row_quota = 0;              // configured quota (0 = unlimited)
+};
+
+// Network front-end statistics, filled by net::WireService through the
+// session's stats-enricher chain (obs does not depend on src/net).
+// `attached` false (no wire service running) renders the section as
+// absent/null.
+struct NetStatsSnapshot {
+  bool attached = false;
+  uint16_t port = 0;
+  uint64_t requests_total = 0;         // HTTP requests routed
+  uint64_t http_errors_total = 0;      // responses with status >= 400
+  uint64_t sessions_opened = 0;
+  uint64_t active_sessions = 0;
+  uint64_t sql_statements_total = 0;
+  uint64_t append_batches_total = 0;   // ticks accepted across sessions
+  uint64_t append_rows_total = 0;      // rows accepted across sessions
+  uint64_t rows_applied_total = 0;     // rows the ingest worker applied
+  uint64_t queue_rows = 0;             // rows currently queued, all sessions
+  uint64_t rejected_backpressure_total = 0;
+  uint64_t rejected_quota_total = 0;
+  uint64_t rejected_auth_total = 0;    // 401s (bad token / unknown session)
+  std::vector<NetSessionSnapshot> sessions;
+};
+
 // The whole-database snapshot: everything the exporters render and the
 // benches assert against. Built by ChronicleDatabase::CollectStats();
 // the WAL section is merged in by the Wal's owner.
@@ -174,6 +208,7 @@ struct StatsSnapshot {
   WalStatsSnapshot wal;
   StorageStatsSnapshot storage;
   ShardingStatsSnapshot sharding;
+  NetStatsSnapshot net;
   uint64_t trace_emitted = 0;
   uint64_t trace_capacity = 0;
 };

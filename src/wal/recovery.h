@@ -16,7 +16,7 @@
 //      with kDataLoss instead of applying records past a hole.
 //
 // After a successful Recover, open a Wal in the same directory and attach
-// it (ChronicleDatabase::set_durability) to resume logging; Wal::Open
+// it (ChronicleDatabase::AttachMutationLog) to resume logging; Wal::Open
 // starts a fresh segment past the recovered tail, never appending after
 // torn bytes.
 

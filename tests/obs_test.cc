@@ -209,21 +209,17 @@ TEST(DatabaseOptionsTest, ObservabilityCanBeFullyDisabled) {
   EXPECT_EQ(snap.trace_capacity, 0u);
 }
 
-TEST(DatabaseOptionsTest, LegacyRoutingCtorAndSettersForward) {
+TEST(DatabaseOptionsTest, LegacyRoutingCtorAndRuntimeReconfigure) {
   ChronicleDatabase db(RoutingMode::kCheckAll);
   EXPECT_EQ(db.options().routing, RoutingMode::kCheckAll);
   MaintenanceOptions m;
   m.num_threads = 2;
-  // This test exists to keep the deprecated forwarders honest until they
-  // are removed; every other caller has migrated to ReconfigureMaintenance
-  // / AttachMutationLog.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  db.set_maintenance_options(m);  // deprecated forwarder must sync options()
+  // The runtime reconfiguration entry points must keep options() in sync —
+  // the contract the removed set_* forwarders used to delegate to.
+  db.ReconfigureMaintenance(m);
   EXPECT_EQ(db.options().maintenance.num_threads, 2u);
   EXPECT_EQ(db.maintenance_options().num_threads, 2u);
-  db.set_durability({});
-#pragma GCC diagnostic pop
+  db.DetachMutationLog();
   EXPECT_EQ(db.options().durability.mutation_log, nullptr);
 }
 

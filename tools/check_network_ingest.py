@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gates the network ingest front-end's throughput acceptance.
+
+Reads the standardized report written by bench_e16_network_ingest
+({"bench":"E16","metrics":{...}}) and compares the NetworkedAppend and
+LocalAppendMany rows_per_sec counters at the same batch size:
+
+    networked >= CHRONICLE_NET_INGEST_MIN * local
+
+The bound defaults to 0.5 (the E16 acceptance criterion: at batch sizes
+>= 256 over loopback, the wire front-end keeps at least half the local
+AppendMany rate). The networked path wants three concurrent threads (the
+client, the server's connection thread, the ingest worker), so on
+runners without at least two cores the bound is derated to a sanity floor
+(CHRONICLE_NET_INGEST_FLOOR, default 0.2) using the `cores` counter the
+bench records from std::thread::hardware_concurrency().
+
+The gate checks every batch size present in both benchmarks (the smoke
+run records 256 and 1024); batch sizes below 256 are outside the
+acceptance envelope and are skipped. Median aggregates (from
+--benchmark_repetitions) are preferred over raw runs when both appear.
+Prints every run so regressions are diagnosable from the CI log alone.
+
+Usage:
+    check_network_ingest.py [bench_report.json]
+
+Default report: BENCH_E16.json (the name the smoke run writes into the
+repo root).
+"""
+
+import json
+import os
+import sys
+
+
+def load_runs(report_path, prefix):
+    """Returns {batch_rows: (name, entry)} for one benchmark family."""
+    with open(report_path) as f:
+        report = json.load(f)
+    if report.get("bench") != "E16":
+        raise SystemExit(
+            f"FAIL: {report_path} is not an E16 report "
+            f"(bench={report.get('bench')!r})")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        raise SystemExit(
+            f"FAIL: {report_path} lacks the standardized 'metrics' object "
+            f"(top-level keys: {sorted(report)})")
+    runs = {}
+    for name, entry in metrics.items():
+        if not name.startswith(prefix + "/"):
+            continue
+        counters = entry.get("counters", {})
+        batch = counters.get("batch_rows")
+        rate = counters.get("rows_per_sec")
+        if batch is None or rate is None:
+            continue
+        batch = int(batch)
+        # Median aggregate beats the raw run; other aggregates (mean,
+        # stddev, cv) lose to both. The raw run name may carry the
+        # /real_time suffix from UseRealTime().
+        if name.endswith("_median"):
+            priority = 2
+        elif name.endswith(("_mean", "_stddev", "_cv", "_min", "_max")):
+            priority = 0
+        else:
+            priority = 1
+        if batch not in runs or priority > runs[batch][0]:
+            runs[batch] = (priority, name, entry)
+    return {batch: (name, entry) for batch, (_, name, entry)
+            in runs.items()}
+
+
+def main(argv):
+    report_path = argv[1] if len(argv) > 1 else "BENCH_E16.json"
+    full_bound = float(os.environ.get("CHRONICLE_NET_INGEST_MIN", "0.5"))
+    floor = float(os.environ.get("CHRONICLE_NET_INGEST_FLOOR", "0.2"))
+
+    local = load_runs(report_path, "LocalAppendMany")
+    networked = load_runs(report_path, "NetworkedAppend")
+    batches = sorted(b for b in local if b in networked and b >= 256)
+    if not batches:
+        print(f"FAIL: {report_path} has no batch size >= 256 present in "
+              f"both LocalAppendMany {sorted(local)} and NetworkedAppend "
+              f"{sorted(networked)}")
+        return 1
+
+    failed = False
+    for batch in batches:
+        local_name, local_entry = local[batch]
+        net_name, net_entry = networked[batch]
+        local_rate = float(local_entry["counters"]["rows_per_sec"])
+        net_rate = float(net_entry["counters"]["rows_per_sec"])
+        print(f"batch_rows={batch}:")
+        print(f"  {local_name}: {local_rate:,.0f} rows/sec")
+        print(f"  {net_name}: {net_rate:,.0f} rows/sec")
+        if local_rate <= 0:
+            print("FAIL: local throughput is zero")
+            failed = True
+            continue
+
+        cores = int(net_entry["counters"].get("cores", 0))
+        if cores >= 2:
+            bound = full_bound
+            basis = f"{cores} cores: full bound"
+        else:
+            bound = floor
+            basis = f"{cores or 'unknown'} core(s): sanity floor only"
+
+        ratio = net_rate / local_rate
+        print(f"  networked/local: {ratio:.3f}x "
+              f"(bound {bound:.3f}, {basis})")
+        if ratio < bound:
+            print(f"FAIL: networked ingest at batch {batch} is "
+                  f"{ratio:.3f}x of local; the gate requires "
+                  f">= {bound:.3f}x")
+            failed = True
+
+    if failed:
+        return 1
+    print("PASS: network ingest gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

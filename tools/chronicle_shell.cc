@@ -4,15 +4,20 @@
 //   $ ./chronicle_shell script.cql    # execute a ';'-separated script
 //   $ echo "SHOW VIEWS;" | ./chronicle_shell
 //   $ ./chronicle_shell --data-dir <dir>   # tiered chronicles spill here
+//   $ ./chronicle_shell --shards 4 script.cql   # sharded execution
 //
 // With --data-dir, chronicles created with tiered retention seal aged rows
 // into segment files under <dir>, and \stats shows the per-tier breakdown.
+// With --shards N (or \shards N), statements execute against a sharded
+// database through the same cql::Session layer the wire service drives,
+// so example scripts run both sharded and unsharded.
 //
 // Statements end with ';' and may span lines. Meta-commands:
 //   \profile on|off   toggle per-view maintenance profiling
 //   \profile plan on|off  toggle per-slot plan profiling (feeds \explain)
 //   \threads <n>      maintain views on n worker threads (1 = serial)
 //   \engine <e>       delta engine: interp | compiled | columnar
+//   \shards <n>       reopen as an n-shard database (state is reset!)
 //   \wal <dir>        log every mutation to a write-ahead log in <dir>
 //   \wal off          sync and detach the write-ahead log
 //   \checkpoint       checkpoint the database into the WAL directory
@@ -24,6 +29,8 @@
 //   \trace            recent maintenance spans from the trace ring
 //   \serve <port>     start the HTTP monitoring endpoint (0 = ephemeral)
 //   \serve off        stop it
+//   \listen <port> [token]  start the CQL wire service (docs/NETWORK.md)
+//   \listen off       stop it
 //   \history          stats time-series sparklines (takes a sample)
 //   \explain <view>   compiled plan of <view> with sampled time shares
 //   \quit             exit
@@ -39,92 +46,18 @@
 #include <sstream>
 #include <string>
 
-#include "cql/binder.h"
-#include "db/database.h"
+#include "cql/session.h"
+#include "net/wire_service.h"
 #include "obs/export.h"
 #include "obs/history.h"
 #include "obs/stats.h"
-#include "wal/recovery.h"
-#include "wal/wal.h"
 
 namespace {
 
 using chronicle::ChronicleDatabase;
 using chronicle::Tuple;
 using chronicle::cql::ExecResult;
-
-// The shell's database plus its (optional) durability attachment.
-struct Session {
-  ChronicleDatabase db;
-  std::unique_ptr<chronicle::wal::Wal> wal;
-  std::unique_ptr<chronicle::wal::WalMutationLog> log;
-  // Last \recover outcome, surfaced in the stats snapshot's WAL section.
-  bool recovered = false;
-  uint64_t recovery_records_applied = 0;
-  uint64_t recovery_records_skipped = 0;
-
-  // Only this session (the Wal's owner) can fill the WAL section of the
-  // stats snapshot, so it registers an enricher with the database: every
-  // snapshot — \stats, the HTTP endpoint, the history sampler — gets the
-  // same merge, on whatever thread collects it (the database runs the
-  // enricher under its stats mutex).
-  explicit Session(chronicle::DatabaseOptions options = {})
-      : db(std::move(options)) {
-    InstallEnricher();
-  }
-
-  void InstallEnricher() {
-    db.set_stats_enricher([this](chronicle::obs::StatsSnapshot* snap) {
-      if (wal != nullptr) {
-        const chronicle::wal::WalStats& w = wal->stats();
-        snap->wal.attached = true;
-        snap->wal.records_logged = w.records_logged;
-        snap->wal.bytes_logged = w.bytes_logged;
-        snap->wal.syncs = w.syncs;
-        snap->wal.segments_created = w.segments_created;
-        snap->wal.segments_removed = w.segments_removed;
-        snap->wal.checkpoints_written = w.checkpoints_written;
-        snap->wal.group_commits = w.group_commits;
-        snap->wal.group_commit_ticks = w.group_commit_ticks;
-        snap->wal.fsync_latency = w.fsync_latency;
-      }
-      snap->wal.recovered = recovered;
-      snap->wal.recovery_records_applied = recovery_records_applied;
-      snap->wal.recovery_records_skipped = recovery_records_skipped;
-    });
-  }
-
-  chronicle::obs::StatsSnapshot CollectStats() const {
-    return db.CollectStats();
-  }
-
-  // Opens a WAL in `dir` and routes every future mutation through it.
-  bool AttachWal(const std::string& dir) {
-    auto opened = chronicle::wal::Wal::Open(dir);
-    if (!opened.ok()) {
-      std::printf("ERROR: %s\n", opened.status().ToString().c_str());
-      return false;
-    }
-    wal = std::move(opened).value();
-    log = std::make_unique<chronicle::wal::WalMutationLog>(wal.get(), &db);
-    db.AttachMutationLog(log.get());
-    return true;
-  }
-
-  void DetachWal() {
-    db.DetachMutationLog();
-    // Clearing the enricher waits out any in-flight snapshot, so no other
-    // thread can still be reading the Wal we are about to close.
-    db.set_stats_enricher(nullptr);
-    if (wal != nullptr) {
-      chronicle::Status st = wal->Close();
-      if (!st.ok()) std::printf("ERROR: %s\n", st.ToString().c_str());
-    }
-    log.reset();
-    wal.reset();
-    InstallEnricher();
-  }
-};
+using chronicle::cql::Session;
 
 // Renders a result-set as an aligned text table.
 void PrintRows(const ExecResult& result) {
@@ -162,8 +95,8 @@ void PrintRows(const ExecResult& result) {
 }
 
 // Executes one statement, printing results; returns false on error.
-bool RunStatement(ChronicleDatabase* db, const std::string& sql) {
-  chronicle::Result<ExecResult> result = chronicle::cql::Execute(db, sql);
+bool RunStatement(Session* session, const std::string& sql) {
+  chronicle::Result<ExecResult> result = session->ExecuteSql(sql);
   if (!result.ok()) {
     std::printf("ERROR: %s\n", result.status().ToString().c_str());
     return false;
@@ -173,26 +106,49 @@ bool RunStatement(ChronicleDatabase* db, const std::string& sql) {
   return true;
 }
 
+// The REPL's mutable state: the session (replaced by \shards) plus the
+// wire service bound to it.
+struct ShellState {
+  chronicle::DatabaseOptions base_options;
+  std::unique_ptr<Session> session;
+  std::unique_ptr<chronicle::net::WireService> wire;
+
+  bool Reopen(size_t num_shards) {
+    wire.reset();  // bound to the old session
+    session.reset();
+    chronicle::DatabaseOptions options = base_options;
+    options.sharding.num_shards = num_shards;
+    auto opened = Session::Open(std::move(options));
+    if (!opened.ok()) {
+      std::printf("ERROR: %s\n", opened.status().ToString().c_str());
+      return false;
+    }
+    session = std::move(opened).value();
+    return true;
+  }
+};
+
 // Handles a \meta command; returns true if it was one.
-bool HandleMeta(Session* session, const std::string& line, bool* done) {
+bool HandleMeta(ShellState* state, const std::string& line, bool* done) {
   if (line.empty() || line[0] != '\\') return false;
-  ChronicleDatabase* db = &session->db;
+  Session* session = state->session.get();
+  ChronicleDatabase& engine0 = session->engine0();
   if (line == "\\quit" || line == "\\q") {
     *done = true;
   } else if (line == "\\profile plan on") {
-    db->SetPlanProfiling(true);
+    engine0.SetPlanProfiling(true);
     std::printf("plan profiling on (feeds \\explain)\n");
   } else if (line == "\\profile plan off") {
-    db->SetPlanProfiling(false);
+    engine0.SetPlanProfiling(false);
     std::printf("plan profiling off\n");
   } else if (line == "\\profile on") {
-    db->view_manager().set_profiling(true);
+    engine0.view_manager().set_profiling(true);
     std::printf("profiling on\n");
   } else if (line == "\\profile off") {
-    db->view_manager().set_profiling(false);
+    engine0.view_manager().set_profiling(false);
     std::printf("profiling off\n");
   } else if (line == "\\serve off") {
-    db->StopMonitoring();
+    session->StopMonitoring();
     std::printf("monitoring endpoint stopped\n");
   } else if (line.rfind("\\serve ", 0) == 0) {
     char* end = nullptr;
@@ -201,38 +157,81 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
       std::printf("usage: \\serve <port>   (0 = ephemeral) | \\serve off\n");
     } else {
       chronicle::Status st =
-          db->StartMonitoring(static_cast<uint16_t>(port));
+          session->StartMonitoring(static_cast<uint16_t>(port));
       if (!st.ok()) {
         std::printf("ERROR: %s\n", st.ToString().c_str());
       } else {
         std::printf("serving http://127.0.0.1:%u/ (/metrics /stats.json "
                     "/trace.json /history.json /healthz "
                     "/views/<name>/explain.json)\n",
-                    unsigned{db->monitoring_port()});
+                    unsigned{session->monitoring_port()});
       }
     }
+  } else if (line == "\\listen off") {
+    state->wire.reset();
+    std::printf("wire service stopped\n");
+  } else if (line.rfind("\\listen ", 0) == 0) {
+    std::istringstream args(line.substr(8));
+    std::string port_word, token;
+    args >> port_word >> token;
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_word.c_str(), &end, 10);
+    if (port_word.empty() || end == nullptr || *end != '\0' || port > 65535) {
+      std::printf("usage: \\listen <port> [token]   (0 = ephemeral) "
+                  "| \\listen off\n");
+    } else {
+      state->wire.reset();
+      chronicle::net::NetOptions net_options;
+      net_options.auth_token = token;
+      state->wire = std::make_unique<chronicle::net::WireService>(
+          session, net_options);
+      chronicle::Status st =
+          state->wire->Start(static_cast<uint16_t>(port));
+      if (!st.ok()) {
+        std::printf("ERROR: %s\n", st.ToString().c_str());
+        state->wire.reset();
+      } else {
+        std::printf("wire service on http://127.0.0.1:%u/ (POST /v1/session "
+                    "/v1/sql /v1/append /v1/drain; GET /healthz /stats.json "
+                    "/metrics)%s\n",
+                    unsigned{state->wire->port()},
+                    token.empty() ? "" : " [bearer auth]");
+      }
+    }
+  } else if (line.rfind("\\shards ", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(line.c_str() + 8, &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0 || n > 64) {
+      std::printf("usage: \\shards <n>   (1 = unsharded; resets state)\n");
+    } else if (state->Reopen(static_cast<size_t>(n))) {
+      std::printf("reopened with %lu shard(s) — previous state discarded\n",
+                  n);
+    }
   } else if (line == "\\history") {
-    db->SampleStatsNow();
+    engine0.SampleStatsNow();
     std::printf("%s", chronicle::obs::RenderHistoryText(
-                          db->history()->Windows())
+                          engine0.history()->Windows())
                           .c_str());
   } else if (line.rfind("\\explain ", 0) == 0) {
     const std::string name = line.substr(9);
-    chronicle::Result<std::string> explain = db->ExplainView(name);
+    chronicle::Result<std::string> explain = engine0.ExplainView(name);
     if (!explain.ok()) {
       std::printf("ERROR: %s\n", explain.status().ToString().c_str());
     } else {
       std::printf("%s", explain->c_str());
     }
   } else if (line == "\\wal off") {
-    session->DetachWal();
+    chronicle::Status st = session->DetachWal();
+    if (!st.ok()) std::printf("ERROR: %s\n", st.ToString().c_str());
     std::printf("wal detached\n");
   } else if (line.rfind("\\wal ", 0) == 0) {
     const std::string dir = line.substr(5);
-    session->DetachWal();
-    if (session->AttachWal(dir)) {
+    chronicle::Status st = session->AttachWal(dir);
+    if (!st.ok()) {
+      std::printf("ERROR: %s\n", st.ToString().c_str());
+    } else {
       std::printf("logging to %s (next lsn %llu)\n", dir.c_str(),
-                  static_cast<unsigned long long>(session->wal->next_lsn()));
+                  static_cast<unsigned long long>(session->wal()->next_lsn()));
     }
   } else if (line.rfind("\\threads ", 0) == 0) {
     char* end = nullptr;
@@ -240,15 +239,15 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
     if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
       std::printf("usage: \\threads <n>   (1 = serial maintenance)\n");
     } else {
-      chronicle::MaintenanceOptions options = db->maintenance_options();
+      chronicle::MaintenanceOptions options = session->maintenance_options();
       options.num_threads = static_cast<size_t>(n);
-      db->ReconfigureMaintenance(options);
+      session->ReconfigureMaintenance(options);
       std::printf("maintenance threads: %lu%s\n", n,
                   n == 1 ? " (serial)" : "");
     }
   } else if (line.rfind("\\engine ", 0) == 0) {
     const std::string which = line.substr(8);
-    chronicle::MaintenanceOptions options = db->maintenance_options();
+    chronicle::MaintenanceOptions options = session->maintenance_options();
     if (which == "interp") {
       options.use_compiled_plans = false;
     } else if (which == "compiled") {
@@ -261,7 +260,7 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
       std::printf("usage: \\engine interp|compiled|columnar\n");
       return true;
     }
-    db->ReconfigureMaintenance(options);
+    session->ReconfigureMaintenance(options);
     std::printf("delta engine: %s\n", which.c_str());
   } else if (line == "\\stats" || line == "\\stats text") {
     std::printf("%s", chronicle::obs::RenderText(session->CollectStats()).c_str());
@@ -272,7 +271,7 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
     std::printf("%s\n",
                 chronicle::obs::RenderJson(session->CollectStats()).c_str());
   } else if (line == "\\trace") {
-    const chronicle::obs::TraceRing* ring = db->trace();
+    const chronicle::obs::TraceRing* ring = engine0.trace();
     if (ring == nullptr || !ring->enabled()) {
       std::printf("tracing disabled\n");
     } else {
@@ -282,25 +281,18 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
                             .c_str());
     }
   } else if (line == "\\checkpoint") {
-    if (session->wal == nullptr) {
-      std::printf("no wal attached (use \\wal <dir> first)\n");
+    chronicle::Status st = session->WriteCheckpoint();
+    if (!st.ok()) {
+      std::printf("ERROR: %s\n", st.ToString().c_str());
     } else {
-      chronicle::Status st = session->wal->WriteCheckpoint(*db);
-      if (!st.ok()) {
-        std::printf("ERROR: %s\n", st.ToString().c_str());
-      } else {
-        std::printf("checkpoint written at lsn %llu\n",
-                    static_cast<unsigned long long>(
-                        session->wal->last_synced_lsn()));
-      }
+      std::printf("checkpoint written at lsn %llu\n",
+                  static_cast<unsigned long long>(
+                      session->wal()->last_synced_lsn()));
     }
   } else if (line.rfind("\\recover ", 0) == 0) {
     const std::string dir = line.substr(9);
-    // Recovery needs a detached log; re-attach to the same dir on success
-    // so the session keeps logging where it left off.
-    session->DetachWal();
     chronicle::Result<chronicle::wal::RecoveryReport> report =
-        chronicle::wal::Recover(dir, db);
+        session->Recover(dir);
     if (!report.ok()) {
       std::printf("ERROR: %s\n", report.status().ToString().c_str());
     } else {
@@ -311,23 +303,20 @@ bool HandleMeta(Session* session, const std::string& line, bool* done) {
                                       : "log replay from genesis",
           static_cast<unsigned long long>(report->replay.records_applied),
           report->replay.tail_truncated ? "; torn tail discarded" : "");
-      session->recovered = true;
-      session->recovery_records_applied = report->replay.records_applied;
-      session->recovery_records_skipped = report->replay.records_skipped;
-      session->AttachWal(dir);
     }
   } else {
     std::printf(
         "unknown meta-command %s (try \\profile [plan] on|off, \\threads <n>, "
-        "\\engine interp|compiled|columnar, \\wal <dir>|off, \\checkpoint, "
-        "\\recover <dir>, \\stats [prom|json], \\trace, \\serve <port>|off, "
-        "\\history, \\explain <view>, \\quit)\n",
+        "\\engine interp|compiled|columnar, \\shards <n>, \\wal <dir>|off, "
+        "\\checkpoint, \\recover <dir>, \\stats [prom|json], \\trace, "
+        "\\serve <port>|off, \\listen <port> [token]|off, \\history, "
+        "\\explain <view>, \\quit)\n",
         line.c_str());
   }
   return true;
 }
 
-int RunScriptFile(ChronicleDatabase* db, const char* path) {
+int RunScriptFile(Session* session, const char* path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -335,8 +324,7 @@ int RunScriptFile(ChronicleDatabase* db, const char* path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  chronicle::Result<ExecResult> result =
-      chronicle::cql::ExecuteScript(db, buffer.str());
+  chronicle::Result<ExecResult> result = session->ExecuteScript(buffer.str());
   if (!result.ok()) {
     std::fprintf(stderr, "ERROR: %s\n", result.status().ToString().c_str());
     return 1;
@@ -349,24 +337,35 @@ int RunScriptFile(ChronicleDatabase* db, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  chronicle::DatabaseOptions options;
+  ShellState state;
+  size_t num_shards = 1;
   const char* script = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--data-dir" && i + 1 < argc) {
-      options.storage.data_dir = argv[++i];
+      state.base_options.storage.data_dir = argv[++i];
     } else if (arg.rfind("--data-dir=", 0) == 0) {
-      options.storage.data_dir = arg.substr(11);
+      state.base_options.storage.data_dir = arg.substr(11);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      num_shards = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      num_shards =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 9, nullptr, 10));
     } else if (script == nullptr && !arg.empty() && arg[0] != '-') {
       script = argv[i];
     } else {
       std::fprintf(stderr,
-                   "usage: chronicle_shell [--data-dir <dir>] [script.cql]\n");
+                   "usage: chronicle_shell [--data-dir <dir>] "
+                   "[--shards <n>] [script.cql]\n");
       return 1;
     }
   }
-  Session session(std::move(options));
-  if (script != nullptr) return RunScriptFile(&session.db, script);
+  if (num_shards == 0 || num_shards > 64) {
+    std::fprintf(stderr, "--shards must be in [1, 64]\n");
+    return 1;
+  }
+  if (!state.Reopen(num_shards)) return 1;
+  if (script != nullptr) return RunScriptFile(state.session.get(), script);
 
   const bool interactive = isatty(0);
   if (interactive) {
@@ -379,7 +378,7 @@ int main(int argc, char** argv) {
     if (interactive) std::printf(pending.empty() ? "cql> " : "...> ");
     if (!std::getline(std::cin, line)) break;
     // Meta-commands act on whole lines, outside any pending statement.
-    if (pending.empty() && HandleMeta(&session, line, &done)) continue;
+    if (pending.empty() && HandleMeta(&state, line, &done)) continue;
     pending += line;
     pending += "\n";
     // Execute every complete statement accumulated so far.
@@ -389,7 +388,7 @@ int main(int argc, char** argv) {
       pending.erase(0, semi + 1);
       // Skip pure-whitespace statements.
       if (sql.find_first_not_of(" \t\r\n") == std::string::npos) continue;
-      RunStatement(&session.db, sql);
+      RunStatement(state.session.get(), sql);
     }
     // Leftover whitespace (the newline after 'stmt;') would otherwise keep
     // `pending` non-empty and block the next meta-command.
@@ -397,9 +396,9 @@ int main(int argc, char** argv) {
       pending.clear();
     }
   }
-  // Join the monitoring threads while the session (whose enricher they
-  // call) is still fully alive, then close the WAL.
-  session.db.StopMonitoring();
-  session.DetachWal();
+  // The wire service and the monitoring threads call into the session;
+  // stop them before it goes away.
+  state.wire.reset();
+  state.session->StopMonitoring();
   return 0;
 }

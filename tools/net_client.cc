@@ -1,0 +1,215 @@
+// net_client: command-line client for the wire service (src/net).
+//
+// The scriptable counterpart of chronicle_shell's \listen: opens a
+// session, runs one command, closes the session. CI's networked smoke
+// step pipes TSV through `append`; `sql` is the curl-free way to poke a
+// running service from a shell script.
+//
+// usage:
+//   net_client --port P [--token T] sql "<script>"
+//   net_client --port P [--token T] append <chronicle> [--tick-rows N]
+//       (TSV on stdin: row per line, tab-separated, blank line = new tick)
+//   net_client --port P [--token T] drain
+//   net_client --port P stats
+//
+// `append` streams stdin in bodies of roughly --tick-rows rows (default
+// 1024), cutting only at tick boundaries so a tick is never split across
+// requests. A 429 reply is handled the way the protocol intends: sleep
+// for Retry-After seconds and resend the same body.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http_client.h"
+
+namespace {
+
+using chronicle::net::HttpClient;
+using chronicle::net::HttpClientResponse;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: net_client --port P [--token T] <command>\n"
+      "  sql \"<script>\"                 execute CQL, print the JSON reply\n"
+      "  append <chronicle> [--tick-rows N]   TSV rows on stdin\n"
+      "  drain                          wait for queued rows to apply\n"
+      "  stats                          print /stats.json\n");
+  return 2;
+}
+
+// Extracts "session":"..." from the open response.
+std::string ParseSessionId(const std::string& body) {
+  const std::string marker = "\"session\":\"";
+  const size_t at = body.find(marker);
+  if (at == std::string::npos) return "";
+  const size_t start = at + marker.size();
+  return body.substr(start, body.find('"', start) - start);
+}
+
+struct Ctx {
+  HttpClient* client;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+// POSTs one append body, retrying on 429 per the Retry-After header.
+int PostBodyWithRetry(Ctx* ctx, const std::string& chronicle,
+                      const std::string& body, uint64_t* rows_accepted) {
+  while (true) {
+    auto resp = ctx->client->Post("/v1/append?chronicle=" + chronicle, body,
+                                  ctx->headers);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "net_client: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    if (resp->status == 429) {
+      int wait = 1;
+      if (const std::string* ra = resp->FindHeader("retry-after")) {
+        wait = std::max(1, atoi(ra->c_str()));
+      }
+      std::fprintf(stderr, "net_client: backpressure, retrying in %ds\n",
+                   wait);
+      sleep(static_cast<unsigned>(wait));
+      continue;
+    }
+    if (resp->status != 202) {
+      std::fprintf(stderr, "net_client: append failed (%d): %s",
+                   resp->status, resp->body.c_str());
+      return 1;
+    }
+    const std::string marker = "\"accepted_rows\":";
+    const size_t at = resp->body.find(marker);
+    if (at != std::string::npos) {
+      *rows_accepted += strtoull(
+          resp->body.c_str() + at + marker.size(), nullptr, 10);
+    }
+    return 0;
+  }
+}
+
+int RunAppend(Ctx* ctx, const std::string& chronicle, size_t tick_rows) {
+  std::string body;
+  size_t body_rows = 0;
+  uint64_t total_rows = 0;
+  uint64_t total_requests = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    body += line;
+    body += "\n";
+    if (!line.empty()) {
+      ++body_rows;
+      continue;
+    }
+    // Tick boundary: flush once the body is big enough.
+    if (body_rows >= tick_rows) {
+      if (PostBodyWithRetry(ctx, chronicle, body, &total_rows) != 0) {
+        return 1;
+      }
+      ++total_requests;
+      body.clear();
+      body_rows = 0;
+    }
+  }
+  if (body_rows > 0) {
+    if (PostBodyWithRetry(ctx, chronicle, body, &total_rows) != 0) return 1;
+    ++total_requests;
+  }
+  auto drained = ctx->client->Post("/v1/drain", "", ctx->headers);
+  if (!drained.ok() || drained->status != 200) {
+    std::fprintf(stderr, "net_client: drain failed\n");
+    return 1;
+  }
+  std::printf("accepted %llu rows in %llu requests, drained\n",
+              static_cast<unsigned long long>(total_rows),
+              static_cast<unsigned long long>(total_requests));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  std::string token;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(atoi(argv[++i]));
+    } else if (arg == "--token" && i + 1 < argc) {
+      token = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (port == 0 || args.empty()) return Usage();
+
+  HttpClient client(port);
+  Ctx ctx{&client, {}};
+  if (!token.empty()) {
+    ctx.headers.emplace_back("Authorization", "Bearer " + token);
+  }
+
+  const std::string& command = args[0];
+  if (command == "stats") {
+    auto resp = client.Get("/stats.json");
+    if (!resp.ok()) {
+      std::fprintf(stderr, "net_client: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", resp->body.c_str());
+    return resp->status == 200 ? 0 : 1;
+  }
+
+  // Everything else runs inside a session.
+  auto open = client.Post("/v1/session", "", ctx.headers);
+  if (!open.ok() || open->status != 200) {
+    std::fprintf(stderr, "net_client: session open failed: %s\n",
+                 open.ok() ? open->body.c_str()
+                           : open.status().ToString().c_str());
+    return 1;
+  }
+  const std::string sid = ParseSessionId(open->body);
+  ctx.headers.emplace_back("X-Chronicle-Session", sid);
+
+  int rc = 1;
+  if (command == "sql" && args.size() == 2) {
+    auto resp = client.Post("/v1/sql", args[1], ctx.headers);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "net_client: %s\n",
+                   resp.status().ToString().c_str());
+    } else {
+      std::printf("%s", resp->body.c_str());
+      rc = resp->status == 200 ? 0 : 1;
+    }
+  } else if (command == "append" && args.size() >= 2) {
+    size_t tick_rows = 1024;
+    for (size_t i = 2; i + 1 < args.size(); ++i) {
+      if (args[i] == "--tick-rows") {
+        tick_rows = static_cast<size_t>(atoll(args[i + 1].c_str()));
+      }
+    }
+    rc = RunAppend(&ctx, args[1], tick_rows == 0 ? 1024 : tick_rows);
+  } else if (command == "drain" && args.size() == 1) {
+    auto resp = client.Post("/v1/drain", "", ctx.headers);
+    if (resp.ok()) {
+      std::printf("%s", resp->body.c_str());
+      rc = resp->status == 200 ? 0 : 1;
+    }
+  } else {
+    rc = Usage();
+  }
+
+  (void)client.Post("/v1/session/close", "", ctx.headers);
+  return rc;
+}
