@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "obs/export.h"
+#include "storage/chronicle.h"
+#include "storage/chronicle_group.h"
 
 namespace chronicle {
 namespace cql {
@@ -72,6 +74,20 @@ Session::~Session() {
   // session is fully alive, then close the WAL.
   if (db_ != nullptr) db_->StopMonitoring();
   DetachWal().ok();
+}
+
+Result<Schema> Session::ChronicleSchema(const std::string& chronicle) {
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  ChronicleGroup& group = engine0().group();
+  CHRONICLE_ASSIGN_OR_RETURN(ChronicleId id, group.FindChronicle(chronicle));
+  CHRONICLE_ASSIGN_OR_RETURN(Chronicle * chron, group.GetChronicle(id));
+  return chron->schema();
+}
+
+Status Session::Flush() {
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  if (sharded_ != nullptr) return sharded_->Flush();
+  return Status::OK();
 }
 
 void Session::InstallEnricherHook() {
@@ -148,6 +164,7 @@ uint16_t Session::monitoring_port() const {
 }
 
 void Session::ReconfigureMaintenance(const MaintenanceOptions& options) {
+  std::lock_guard<std::mutex> lock(exec_mu_);
   if (sharded_ != nullptr) {
     for (size_t k = 0; k < sharded_->num_shards(); ++k) {
       sharded_->engine(k).ReconfigureMaintenance(options);
@@ -160,12 +177,17 @@ void Session::ReconfigureMaintenance(const MaintenanceOptions& options) {
 // --- durability ---
 
 Status Session::AttachWal(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  return AttachWalLocked(dir);
+}
+
+Status Session::AttachWalLocked(const std::string& dir) {
   if (sharded_ != nullptr) {
     return Status::FailedPrecondition(
         "a sharded session keeps one WAL per shard; set "
         "ShardingOptions::wal_dir at open instead of attaching one log");
   }
-  CHRONICLE_RETURN_NOT_OK(DetachWal());
+  CHRONICLE_RETURN_NOT_OK(DetachWalLocked());
   CHRONICLE_ASSIGN_OR_RETURN(wal_, wal::Wal::Open(dir));
   log_ = std::make_unique<wal::WalMutationLog>(wal_.get(), db_.get());
   db_->AttachMutationLog(log_.get());
@@ -173,6 +195,11 @@ Status Session::AttachWal(const std::string& dir) {
 }
 
 Status Session::DetachWal() {
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  return DetachWalLocked();
+}
+
+Status Session::DetachWalLocked() {
   if (db_ == nullptr || wal_ == nullptr) return Status::OK();
   db_->DetachMutationLog();
   // Re-installing the enricher hook waits out any in-flight snapshot, so
@@ -186,6 +213,7 @@ Status Session::DetachWal() {
 }
 
 Status Session::WriteCheckpoint() {
+  std::lock_guard<std::mutex> lock(exec_mu_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "no wal attached (use AttachWal / \\wal <dir> first)");
@@ -194,6 +222,7 @@ Status Session::WriteCheckpoint() {
 }
 
 Result<wal::RecoveryReport> Session::Recover(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(exec_mu_);
   if (sharded_ != nullptr) {
     return Status::FailedPrecondition(
         "sharded recovery goes through per-shard WALs "
@@ -201,13 +230,13 @@ Result<wal::RecoveryReport> Session::Recover(const std::string& dir) {
   }
   // Recovery needs a detached log; re-attach to the same dir on success so
   // the session keeps logging where it left off.
-  CHRONICLE_RETURN_NOT_OK(DetachWal());
+  CHRONICLE_RETURN_NOT_OK(DetachWalLocked());
   CHRONICLE_ASSIGN_OR_RETURN(wal::RecoveryReport report,
                              wal::Recover(dir, db_.get()));
   recovered_ = true;
   recovery_records_applied_ = report.replay.records_applied;
   recovery_records_skipped_ = report.replay.records_skipped;
-  CHRONICLE_RETURN_NOT_OK(AttachWal(dir));
+  CHRONICLE_RETURN_NOT_OK(AttachWalLocked(dir));
   return report;
 }
 
@@ -221,20 +250,29 @@ Result<ExecResult> Session::ExecuteSql(const std::string& sql) {
 Result<ExecResult> Session::ExecuteScript(const std::string& sql) {
   CHRONICLE_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
   if (stmts.empty()) return Status::InvalidArgument("empty script");
+  // One lock for the whole script: statements from other threads never
+  // interleave inside it.
+  std::lock_guard<std::mutex> lock(exec_mu_);
   ExecResult last;
   for (const Statement& stmt : stmts) {
-    CHRONICLE_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+    CHRONICLE_ASSIGN_OR_RETURN(last, ExecuteStatementLocked(stmt));
   }
   return last;
 }
 
 Result<ExecResult> Session::ExecuteStatement(const Statement& statement) {
+  std::lock_guard<std::mutex> lock(exec_mu_);
+  return ExecuteStatementLocked(statement);
+}
+
+Result<ExecResult> Session::ExecuteStatementLocked(const Statement& statement) {
   if (sharded_ != nullptr) return ExecuteSharded(statement);
   return Execute(db_.get(), statement);
 }
 
 Result<uint64_t> Session::AppendRows(const std::string& chronicle,
                                      std::vector<std::vector<Tuple>> batches) {
+  std::lock_guard<std::mutex> lock(exec_mu_);
   uint64_t rows = 0;
   for (const std::vector<Tuple>& batch : batches) rows += batch.size();
   if (sharded_ != nullptr) {

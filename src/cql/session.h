@@ -21,6 +21,18 @@
 // (Status::ToString), HTTP surfaces render ErrorJson() —
 // {"error":{"code":"...","message":"..."}} — and map the code to an HTTP
 // status (src/net/wire_service.h). No surface invents its own strings.
+//
+// Thread safety: the session is the serialization point for everything
+// that mutates engine state. The database's append path is single-driver
+// by contract, but a session is routinely driven from several threads at
+// once — the shell REPL plus the wire service's HTTP threads and ingest
+// worker after \listen — so ExecuteStatement/ExecuteSql/ExecuteScript,
+// AppendRows, ReconfigureMaintenance, and the WAL attach/checkpoint/
+// recover calls all take one internal mutex. A script executes atomically
+// (no statement from another thread interleaves inside it). Read-only
+// observability (CollectStats, the enricher chain, monitoring) stays
+// lock-free here: the database's own obs_mutex_ makes snapshots a
+// consistent cut against in-flight appends.
 
 #ifndef CHRONICLE_CQL_SESSION_H_
 #define CHRONICLE_CQL_SESSION_H_
@@ -97,6 +109,15 @@ class Session {
   Result<uint64_t> AppendRows(const std::string& chronicle,
                               std::vector<std::vector<Tuple>> batches);
 
+  // Schema of a registered chronicle, resolved under the execution mutex
+  // so a concurrent DDL statement cannot tear the lookup (the wire
+  // service's prepared-binding path).
+  Result<Schema> ChronicleSchema(const std::string& chronicle);
+
+  // Flushes the sharded ingest lanes (no-op unsharded), serialized
+  // against statement execution like every other mutation.
+  Status Flush();
+
   // --- maintenance reconfiguration (shell \threads, \engine) ---
 
   // Broadcast to every engine so sharded and unsharded sessions stay
@@ -144,6 +165,11 @@ class Session {
  private:
   Session() = default;
 
+  // Callers hold exec_mu_.
+  Result<ExecResult> ExecuteStatementLocked(const Statement& statement);
+  Status AttachWalLocked(const std::string& dir);
+  Status DetachWalLocked();
+
   Result<ExecResult> ExecuteSharded(const Statement& statement);
   Result<ExecResult> ShardedCreateView(const CreateViewStmt& stmt);
   Result<ExecResult> ShardedInsert(const InsertStmt& stmt);
@@ -155,6 +181,10 @@ class Session {
 
   std::unique_ptr<ChronicleDatabase> db_;
   std::unique_ptr<shard::ShardedDatabase> sharded_;
+
+  // Serializes every mutating entry point (see the thread-safety note at
+  // the top). Never held while collecting stats or running enrichers.
+  std::mutex exec_mu_;
 
   // Durability attachment (unsharded).
   std::unique_ptr<wal::Wal> wal_;

@@ -1,12 +1,12 @@
 #include "net/wire_service.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "obs/export.h"
-#include "storage/chronicle.h"
-#include "storage/chronicle_group.h"
 
 namespace chronicle {
 namespace net {
@@ -55,18 +55,34 @@ Result<Value> ParseCell(const std::string& cell, const Field& field) {
   char* end = nullptr;
   switch (field.type) {
     case DataType::kInt64: {
+      errno = 0;
       const long long v = strtoll(cell.c_str(), &end, 10);
       if (end == nullptr || *end != '\0') {
         return Status::InvalidArgument("column " + field.name +
                                        ": not an INT64: '" + cell + "'");
       }
+      if (errno == ERANGE) {
+        // strtoll saturates to LLONG_MIN/MAX on overflow; ingesting the
+        // saturated value would silently corrupt the data.
+        return Status::InvalidArgument("column " + field.name +
+                                       ": INT64 out of range: '" + cell + "'");
+      }
       return Value(static_cast<int64_t>(v));
     }
     case DataType::kDouble: {
+      errno = 0;
       const double v = strtod(cell.c_str(), &end);
       if (end == nullptr || *end != '\0') {
         return Status::InvalidArgument("column " + field.name +
                                        ": not a DOUBLE: '" + cell + "'");
+      }
+      // ERANGE also fires on subnormal underflow, where strtod still
+      // returns the nearest representable value — only overflow (±HUGE_VAL)
+      // loses the magnitude.
+      if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+        return Status::InvalidArgument("column " + field.name +
+                                       ": DOUBLE out of range: '" + cell +
+                                       "'");
       }
       return Value(v);
     }
@@ -222,11 +238,7 @@ Status WireService::Drain() {
       return true;
     });
   }
-  if (session_->sharded()) {
-    std::lock_guard<std::mutex> db_lock(db_mu_);
-    return session_->sharded_db()->Flush();
-  }
-  return Status::OK();
+  return session_->Flush();
 }
 
 void WireService::SetIngestPaused(bool paused) {
@@ -239,8 +251,8 @@ void WireService::SetIngestPaused(bool paused) {
 
 // The worker: round-robin over sessions, one queued batch at a time, so a
 // deep queue on one session cannot starve the others. The apply happens
-// outside mu_ (HTTP threads keep accepting) but under db_mu_ (appends are
-// single-driver).
+// outside mu_ (HTTP threads keep accepting); Session::AppendRows itself
+// serializes against every other statement driver (shell included).
 void WireService::IngestLoop() {
   std::string cursor;  // last session served, for round-robin fairness
   while (true) {
@@ -269,12 +281,11 @@ void WireService::IngestLoop() {
       batch = std::move(state->queue.front());
       state->queue.pop_front();
       worker_busy_ = true;
+      applying_session_ = cursor;
     }
 
-    Result<uint64_t> applied = [&] {
-      std::lock_guard<std::mutex> db_lock(db_mu_);
-      return session_->AppendRows(batch.chronicle, std::move(batch.ticks));
-    }();
+    Result<uint64_t> applied =
+        session_->AppendRows(batch.chronicle, std::move(batch.ticks));
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -286,6 +297,10 @@ void WireService::IngestLoop() {
       // A failed apply still leaves the queue (the rows were validated at
       // accept time, so this is a server-side invariant breach, not a
       // client mistake); the count drop is visible as accepted != applied.
+      // A closed session whose queue just drained is done for good: erase
+      // it so a long-running service does not accumulate dead state.
+      if (!state->open && state->queue.empty()) sessions_.erase(cursor);
+      applying_session_.clear();
       worker_busy_ = false;
     }
     drain_cv_.notify_all();
@@ -375,6 +390,18 @@ obs::HttpResponse WireService::HandleOpenSession(
   (void)request;
   obs::HttpResponse resp;
   std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_open_sessions > 0) {
+    size_t open = 0;
+    for (const auto& [id, state] : sessions_) {
+      if (state->open) ++open;
+    }
+    if (open >= options_.max_open_sessions) {
+      return ErrorResponse(Status::ResourceExhausted(
+          "too many open sessions (" +
+          std::to_string(options_.max_open_sessions) +
+          "); close one or retry later"));
+    }
+  }
   const std::string id = "s" + std::to_string(next_session_++);
   auto state = std::make_unique<SessionState>();
   state->id = id;
@@ -397,6 +424,13 @@ obs::HttpResponse WireService::HandleCloseSession(
   state->open = false;  // queued rows still drain; new requests get 401
   resp.content_type = "application/json";
   resp.body = "{\"closed\":\"" + state->id + "\"}\n";
+  // Erase now if nothing is pending; otherwise the ingest worker erases
+  // it after the last queued batch applies (it may be mid-apply on this
+  // session right now — the applying_session_ guard keeps `state` alive).
+  if (state->queue.empty() && applying_session_ != state->id) {
+    const std::string id = state->id;  // erase destroys state
+    sessions_.erase(id);
+  }
   return resp;
 }
 
@@ -409,10 +443,7 @@ obs::HttpResponse WireService::HandleSql(const obs::HttpRequest& request) {
     ++state->statements;
     ++sql_statements_total_;
   }
-  Result<cql::ExecResult> result = [&] {
-    std::lock_guard<std::mutex> db_lock(db_mu_);
-    return session_->ExecuteScript(request.body);
-  }();
+  Result<cql::ExecResult> result = session_->ExecuteScript(request.body);
   if (!result.ok()) return ErrorResponse(result.status());
 
   resp.content_type = "application/json";
@@ -464,13 +495,9 @@ obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
     if (bound != state->bindings.end()) schema = bound->second;
   }
   if (schema.num_fields() == 0) {
-    std::lock_guard<std::mutex> db_lock(db_mu_);
-    ChronicleGroup& group = session_->engine0().group();
-    Result<ChronicleId> id = group.FindChronicle(chronicle);
-    if (!id.ok()) return ErrorResponse(id.status());
-    Result<Chronicle*> chron = group.GetChronicle(*id);
-    if (!chron.ok()) return ErrorResponse(chron.status());
-    schema = (*chron)->schema();
+    Result<Schema> resolved = session_->ChronicleSchema(chronicle);
+    if (!resolved.ok()) return ErrorResponse(resolved.status());
+    schema = std::move(*resolved);
   }
 
   Result<std::vector<std::vector<Tuple>>> ticks =
@@ -483,6 +510,16 @@ obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
   batch.chronicle = chronicle;
   for (const std::vector<Tuple>& tick : *ticks) batch.rows += tick.size();
   batch.ticks = std::move(*ticks);
+  if (batch.rows > options_.session_queue_rows) {
+    // 429 means "retry later", but a body bigger than the whole queue can
+    // never be accepted — answering 429 would livelock a Retry-After-
+    // honoring client resending the same body forever.
+    return ErrorResponse(Status::InvalidArgument(
+        "append body of " + std::to_string(batch.rows) +
+        " rows exceeds the session queue capacity (" +
+        std::to_string(options_.session_queue_rows) +
+        " rows); split it into smaller bodies"));
+  }
   const uint64_t accepted_ticks = batch.ticks.size();
   const uint64_t accepted_rows = batch.rows;
 

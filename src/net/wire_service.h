@@ -31,11 +31,19 @@
 // whole body into the session's bounded queue (202, with queue depth in
 // the reply) or rejects it atomically with 429 + Retry-After — a full
 // queue never blocks the HTTP thread, and a rejected body is never
-// half-applied. Rejections are per-session: a saturated session's 429s do
+// half-applied. A body that could NEVER fit (more rows than the queue
+// holds even when empty) is a client error, not backpressure: it gets
+// 400 InvalidArgument so a Retry-After-honoring client does not livelock
+// resending it. Rejections are per-session: a saturated session's 429s do
 // not slow any other session. A single ingest worker drains the queues
 // round-robin through cql::Session::AppendRows, so networked rows take
 // the same AppendMany path (and the same WAL, sharding, and view
 // maintenance) as local ones.
+//
+// Concurrency: the service adds no engine-level locking of its own.
+// cql::Session serializes every mutating call internally, so the HTTP
+// threads, the ingest worker, AND a shell REPL driving the same session
+// (\listen — "the shell is the server") share one serialization point.
 //
 // Error surface: failures are rendered as cql::ErrorJson —
 // {"error":{"code":"...","message":"..."}} — with the HTTP status derived
@@ -71,6 +79,10 @@ struct NetOptions {
   // Rows a session may accept over its lifetime (0 = unlimited); spent
   // quota also answers 429.
   uint64_t session_row_quota = 0;
+  // Concurrently open sessions (0 = unlimited); at the cap /v1/session
+  // answers 429 + Retry-After. Closed sessions are erased once their
+  // queue drains, so the table stays bounded on a long-running service.
+  size_t max_open_sessions = 64;
   // Value of the Retry-After header on 429 responses.
   int retry_after_sec = 1;
   // Concurrent HTTP connections (obs::HttpServerOptions::max_connections).
@@ -153,17 +165,17 @@ class WireService {
   bool running_ = false;
   size_t enricher_token_ = 0;
 
-  // One mutex serializes statement execution and worker applies: appends
-  // are single-driver by design (the db's own thread-safety contract), so
-  // the wire service is the serialization point for everything it drives.
-  std::mutex db_mu_;
-
   // Session table + queues. ingest_cv_ wakes the worker on new batches;
   // drain_cv_ wakes Drain() when the worker goes idle.
   std::mutex mu_;
   std::condition_variable ingest_cv_;
   std::condition_variable drain_cv_;
   std::map<std::string, std::unique_ptr<SessionState>> sessions_;
+  // Session the worker is currently applying a batch for ("" = none); a
+  // close must not erase it mid-apply (the worker re-touches the state
+  // for accounting). The worker erases closed sessions itself once their
+  // queue drains.
+  std::string applying_session_;
   uint64_t next_session_ = 1;
   bool ingest_paused_ = false;
   bool worker_stop_ = false;

@@ -321,48 +321,73 @@ void HttpServer::HandleConnection(int fd) {
 
     HttpResponse resp;
     bool handled = false;
-    if (req.method != "GET" && (req.method != "POST" || !options_.enable_post)) {
+
+    // Body framing first: a declared body must either be consumed here or
+    // the connection closed — leftover body bytes would be parsed as the
+    // next pipelined request (protocol desync on attacker-controlled
+    // content). Transfer-Encoding framing is not implemented, so its body
+    // length is unknowable: 501 and close.
+    bool framing_known = true;
+    size_t body_len = 0;
+    if (req.FindHeader("transfer-encoding") != nullptr) {
+      resp.status = 501;
+      resp.body = "transfer-encoding is not supported\n";
+      handled = true;
+      framing_known = false;
+    } else if (const std::string* cl = req.FindHeader("content-length")) {
+      char* end = nullptr;
+      const unsigned long long v = strtoull(cl->c_str(), &end, 10);
+      if (end == nullptr || end == cl->c_str() || *end != '\0') {
+        resp.status = 400;
+        resp.body = "bad content-length\n";
+        handled = true;
+        framing_known = false;  // cannot tell where the body ends
+      } else {
+        body_len = static_cast<size_t>(v);
+      }
+    }
+
+    if (!handled && req.method != "GET" &&
+        (req.method != "POST" || !options_.enable_post)) {
       resp.status = 405;
       resp.body = options_.enable_post ? "only GET and POST are supported\n"
                                        : "only GET is supported\n";
       handled = true;
     }
 
-    // Read the Content-Length body (POST only; GETs here carry none).
-    size_t body_len = 0;
-    if (req.method == "POST" && options_.enable_post) {
-      if (const std::string* cl = req.FindHeader("content-length")) {
-        char* end = nullptr;
-        const unsigned long long v = strtoull(cl->c_str(), &end, 10);
-        if (end == nullptr || *end != '\0') {
-          resp.status = 400;
-          resp.body = "bad content-length\n";
-          handled = true;
-        } else {
-          body_len = static_cast<size_t>(v);
-        }
-      }
-      if (!handled && body_len > options_.max_body_bytes) {
+    // Read the declared body: delivered to the handler for an accepted
+    // POST, silently drained for anything else (a 405'd PUT with a body, a
+    // GET with Content-Length) so the connection stays in sync.
+    const bool deliver_body =
+        !handled && req.method == "POST" && options_.enable_post;
+    if (!deliver_body && !client_keep_alive) {
+      // The connection closes after this response anyway; don't block
+      // waiting for body bytes nobody will use.
+      framing_known = body_len == 0;
+    }
+    if (framing_known && body_len > 0) {
+      if (body_len > options_.max_body_bytes) {
         // Reject before reading; the client may still be mid-send, so the
         // connection cannot be reused.
-        resp.status = 413;
-        resp.body = "body too large\n";
+        if (!handled) {
+          resp.status = 413;
+          resp.body = "body too large\n";
+        }
         SendAll(fd, RenderResponse(resp, false));
         return;
       }
-      if (!handled) {
-        if (const std::string* expect = req.FindHeader("expect")) {
-          if (ToLower(*expect) == "100-continue") {
-            if (!SendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n")) return;
-          }
+      if (const std::string* expect = req.FindHeader("expect")) {
+        if (ToLower(*expect) == "100-continue") {
+          if (!SendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n")) return;
         }
-        while (buf.size() < body_len) {
-          if (!ReadMore(fd, &buf)) return;  // truncated body
-        }
-        req.body = buf.substr(0, body_len);
-        buf.erase(0, body_len);
       }
+      while (buf.size() < body_len) {
+        if (!ReadMore(fd, &buf)) return;  // truncated body
+      }
+      if (deliver_body) req.body = buf.substr(0, body_len);
+      buf.erase(0, body_len);
     }
+    if (!framing_known) resp.close = true;
 
     if (!handled) resp = handler_(req);
     requests_served_.fetch_add(1, std::memory_order_relaxed);

@@ -15,6 +15,13 @@
 //     (Retry-After), and a bounded thread-per-connection model — beyond
 //     the cap new connections get 503 without touching the handler.
 //
+// Body framing is strict: Transfer-Encoding is rejected with 501 (its
+// framing is not implemented, so the body length is unknowable), a
+// malformed Content-Length gets 400, and both close the connection. A
+// well-framed body on a request the handler will not consume (a 405'd
+// method, a GET with Content-Length) is drained before the next pipelined
+// request is parsed — leftover body bytes are never misread as a request.
+//
 // Both bind 127.0.0.1 only. Routing is the caller's: Start takes a
 // handler that maps an HttpRequest to an HttpResponse
 // (ChronicleDatabase::StartMonitoring installs the /metrics, /stats.json,

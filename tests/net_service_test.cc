@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -273,6 +274,12 @@ TEST_F(NetServiceTest, MalformedAppendBodiesAreRejectedWhole) {
        "too many columns"},
       {"/v1/append?chronicle=calls", "x\tNJ\t5\t1.0\n", 400, "not an INT64"},
       {"/v1/append?chronicle=calls", "1\tNJ\t5\tpi\n", 400, "not a DOUBLE"},
+      // Out-of-range numerics must be rejected, not silently saturated
+      // (strtoll would return LLONG_MAX, strtod HUGE_VAL).
+      {"/v1/append?chronicle=calls", "99999999999999999999\tNJ\t5\t1.0\n", 400,
+       "INT64 out of range"},
+      {"/v1/append?chronicle=calls", "1\tNJ\t5\t1e999\n", 400,
+       "DOUBLE out of range"},
       // A bad row anywhere rejects the whole body: the first (valid) line
       // must NOT be applied.
       {"/v1/append?chronicle=calls", "1\tNJ\t5\t1.0\nbad\tNJ\t5\t1.0\n", 400,
@@ -418,6 +425,215 @@ TEST_F(NetServiceTest, QuotaSpendsAndRejectsWith429) {
   auto other = client_->Post("/v1/append?chronicle=calls",
                              "6\tNY\t1\t1\n7\tNJ\t1\t1\n", WithSession(sid2));
   EXPECT_EQ(other->status, 202) << other->body;
+}
+
+// A body with more rows than the queue holds even when empty can never be
+// accepted — it must be a 400 client error, not a 429, or a Retry-After-
+// honoring client (tools/net_client) resends the same body forever.
+TEST_F(NetServiceTest, NeverFittingBatchGets400NotRetryable) {
+  NetOptions net;
+  net.session_queue_rows = 4;
+  StartService(DatabaseOptions(), net);
+  const std::string sid = OpenWireSession(client_.get());
+  service_->SetIngestPaused(true);
+
+  auto never = client_->Post(
+      "/v1/append?chronicle=calls",
+      "1\tNJ\t1\t1\n2\tNY\t1\t1\n3\tNJ\t1\t1\n4\tNY\t1\t1\n5\tNJ\t1\t1\n",
+      WithSession(sid));
+  ASSERT_TRUE(never.ok()) << never.status().ToString();
+  EXPECT_EQ(never->status, 400) << never->body;
+  EXPECT_NE(never->body.find("\"code\":\"InvalidArgument\""),
+            std::string::npos)
+      << never->body;
+  EXPECT_NE(never->body.find("queue capacity"), std::string::npos)
+      << never->body;
+  EXPECT_EQ(never->FindHeader("retry-after"), nullptr);
+
+  // A batch of exactly the queue capacity fits while the queue is empty...
+  auto exact = client_->Post("/v1/append?chronicle=calls",
+                             "1\tNJ\t1\t1\n2\tNY\t1\t1\n3\tNJ\t1\t1\n4\tNY\t1\t1\n",
+                             WithSession(sid));
+  EXPECT_EQ(exact->status, 202) << exact->body;
+
+  // ...and with the queue now full, a 1-row batch is genuine backpressure:
+  // 429 + Retry-After, worth resending after the drain.
+  auto full = client_->Post("/v1/append?chronicle=calls", "6\tNJ\t1\t1\n",
+                            WithSession(sid));
+  EXPECT_EQ(full->status, 429) << full->body;
+  ASSERT_NE(full->FindHeader("retry-after"), nullptr);
+
+  service_->SetIngestPaused(false);
+  EXPECT_EQ(client_->Post("/v1/drain", "", WithSession(sid))->status, 200);
+}
+
+// The session table must stay bounded: /v1/session refuses beyond the
+// open-session cap, and a closed session's state is erased (not exported
+// forever) once its queue drains.
+TEST_F(NetServiceTest, SessionCapAndClosedSessionErasure) {
+  NetOptions net;
+  net.max_open_sessions = 2;
+  StartService(DatabaseOptions(), net);
+
+  const std::string s1 = OpenWireSession(client_.get());
+  const std::string s2 = OpenWireSession(client_.get());
+  auto third = client_->Post("/v1/session", "");
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(third->status, 429) << third->body;
+  EXPECT_NE(third->body.find("\"code\":\"ResourceExhausted\""),
+            std::string::npos)
+      << third->body;
+  ASSERT_NE(third->FindHeader("retry-after"), nullptr);
+
+  // Give s1 some history, close it, and drain: its per-session stats
+  // series must disappear, and its slot frees up.
+  auto append = client_->Post("/v1/append?chronicle=calls", "1\tNJ\t1\t1\n",
+                              WithSession(s1));
+  EXPECT_EQ(append->status, 202) << append->body;
+  EXPECT_EQ(client_->Post("/v1/drain", "", WithSession(s1))->status, 200);
+  EXPECT_EQ(client_->Post("/v1/session/close", "", WithSession(s1))->status,
+            200);
+
+  auto stats = client_->Get("/stats.json");
+  EXPECT_EQ(stats->body.find("\"id\":\"" + s1 + "\""), std::string::npos)
+      << stats->body;
+  EXPECT_NE(stats->body.find("\"id\":\"" + s2 + "\""), std::string::npos)
+      << stats->body;
+  // Totals survive the erasure.
+  EXPECT_NE(stats->body.find("\"rows_applied_total\":1"), std::string::npos)
+      << stats->body;
+
+  const std::string s3 = OpenWireSession(client_.get());
+  auto works = client_->Post("/v1/append?chronicle=calls", "2\tNY\t1\t1\n",
+                             WithSession(s3));
+  EXPECT_EQ(works->status, 202) << works->body;
+
+  // A session closed with rows still queued drains first, then goes away.
+  service_->SetIngestPaused(true);
+  auto queued = client_->Post("/v1/append?chronicle=calls", "3\tNJ\t1\t1\n",
+                              WithSession(s3));
+  EXPECT_EQ(queued->status, 202) << queued->body;
+  EXPECT_EQ(client_->Post("/v1/session/close", "", WithSession(s3))->status,
+            200);
+  service_->SetIngestPaused(false);
+  EXPECT_EQ(client_->Post("/v1/drain", "", WithSession(s2))->status, 200);
+  auto after = client_->Get("/stats.json");
+  EXPECT_EQ(after->body.find("\"id\":\"" + s3 + "\""), std::string::npos)
+      << after->body;
+  // Both of s3's rows landed before it was torn down.
+  EXPECT_NE(after->body.find("\"rows_applied_total\":3"), std::string::npos)
+      << after->body;
+}
+
+// Unconsumed request bodies must not desync the keep-alive stream:
+// Transfer-Encoding (unimplemented framing) is rejected with 501 + close,
+// and a Content-Length body on a 405'd method is drained so the next
+// pipelined request parses cleanly instead of parsing the body bytes.
+TEST_F(NetServiceTest, UnconsumedBodiesNeverDesyncTheConnection) {
+  StartService(DatabaseOptions(), NetOptions());
+
+  auto raw_connect = [&]() -> int {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(service_->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    return fd;
+  };
+  auto read_all = [](int fd) {
+    std::string got;
+    char buf[2048];
+    ssize_t n;
+    while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) got.append(buf, n);
+    close(fd);
+    return got;
+  };
+
+  // Chunked POST: 501, connection closed (read to EOF terminates).
+  {
+    int fd = raw_connect();
+    const std::string req =
+        "POST /v1/sql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        "5\r\nhello\r\n0\r\n\r\n";
+    ASSERT_EQ(send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    const std::string got = read_all(fd);
+    EXPECT_NE(got.find("501"), std::string::npos) << got;
+    EXPECT_NE(got.find("Connection: close"), std::string::npos) << got;
+  }
+
+  // Malformed Content-Length: 400, connection closed (framing unknown).
+  {
+    int fd = raw_connect();
+    const std::string req =
+        "POST /v1/sql HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+    ASSERT_EQ(send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    const std::string got = read_all(fd);
+    EXPECT_NE(got.find("400"), std::string::npos) << got;
+    EXPECT_NE(got.find("Connection: close"), std::string::npos) << got;
+  }
+
+  // PUT with a body, pipelined with a GET: the PUT gets 405, its 5 body
+  // bytes are drained (NOT parsed as a request), and the GET answers 200.
+  {
+    int fd = raw_connect();
+    const std::string req =
+        "PUT /v1/sql HTTP/1.1\r\nContent-Length: 5\r\n\r\nHELLO"
+        "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+    ASSERT_EQ(send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    const std::string got = read_all(fd);
+    EXPECT_NE(got.find("405"), std::string::npos) << got;
+    EXPECT_NE(got.find("200 OK"), std::string::npos) << got;
+    EXPECT_NE(got.find("\"status\":\"ok\""), std::string::npos) << got;
+  }
+}
+
+// After \listen the shell REPL and the wire service drive the SAME
+// cql::Session from different threads; Session's internal mutex is the
+// serialization point. This hammers both drivers concurrently — TSan (CI
+// runs this suite under it) catches any regression, and the final counts
+// prove no lost updates.
+TEST_F(NetServiceTest, ConcurrentShellAndWireDriversAreSerialized) {
+  StartService(DatabaseOptions(), NetOptions());
+  const std::string sid = OpenWireSession(client_.get());
+
+  constexpr int kShellInserts = 120;
+  constexpr int kWireAppends = 60;
+  std::thread shell([&] {
+    // The REPL path: direct ExecuteSql on the session, as \listen leaves
+    // the shell doing.
+    for (int i = 0; i < kShellInserts; ++i) {
+      auto r = session_->ExecuteSql(
+          "INSERT INTO calls VALUES (900, 'NJ', 1, 0.5);");
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+  });
+  for (int i = 0; i < kWireAppends; ++i) {
+    auto resp = client_->Post("/v1/append?chronicle=calls",
+                              "901\tNY\t1\t1.0\n", WithSession(sid));
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, 202) << resp->body;
+  }
+  shell.join();
+  ASSERT_EQ(client_->Post("/v1/drain", "", WithSession(sid))->status, 200);
+
+  auto rows = session_->ExecuteSql("SELECT * FROM by_caller;");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  const std::vector<std::string> sorted = SortedRows(*rows);
+  EXPECT_EQ(sorted.size(), 2u);
+  EXPECT_NE(std::find(sorted.begin(), sorted.end(),
+                      "900|" + std::to_string(kShellInserts) + "|" +
+                          std::to_string(kShellInserts) + "|"),
+            sorted.end());
+  EXPECT_NE(std::find(sorted.begin(), sorted.end(),
+                      "901|" + std::to_string(kWireAppends) + "|" +
+                          std::to_string(kWireAppends) + "|"),
+            sorted.end());
 }
 
 // The acceptance test: with the ingest worker paused, session A fills its
