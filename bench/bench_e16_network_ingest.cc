@@ -179,6 +179,83 @@ BENCHMARK(NetworkedAppend)
     ->Args({1024})
     ->UseRealTime();
 
+// --- NetworkedAppendTraced: the NetworkedAppend path with the request
+// tracer ATTACHED, swept over the sampling rate. At sample_permille=0
+// every request takes the unsampled fast path (RED counters only, no
+// span emission); at 10 (1%) one request in a hundred records the full
+// seven-stage span tree. The CI trace-overhead gate
+// (tools/check_trace_overhead.py) requires the 1% rate to stay within
+// 5% of the 0% rate — head sampling must make tracing affordable to
+// leave on in production.
+void NetworkedAppendTraced(benchmark::State& state) {
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  const double sample_rate = static_cast<double>(state.range(1)) / 1000.0;
+
+  DatabaseOptions options;
+  options.observability.metrics = false;  // isolate the tracer's cost
+  options.set_request_trace(4096, sample_rate);
+  auto session = Unwrap(cql::Session::Open(std::move(options)));
+  Check(session->ExecuteScript(kDdl).status());
+
+  net::NetOptions net;
+  net.session_queue_rows = 1u << 22;
+  net::WireService service(session.get(), net);
+  Check(service.Start(0));
+  net::HttpClient client(service.port());
+
+  auto open = Unwrap(client.Post("/v1/session", ""));
+  const std::string marker = "\"session\":\"";
+  const size_t at = open.body.find(marker);
+  if (at == std::string::npos) {
+    state.SkipWithError("session open failed");
+    return;
+  }
+  const size_t start = at + marker.size();
+  const std::string sid =
+      open.body.substr(start, open.body.find('"', start) - start);
+  const std::vector<std::pair<std::string, std::string>> headers = {
+      {"X-Chronicle-Session", sid}};
+
+  CallRecordGenerator gen;
+  const int64_t batches_per_iter = Scaled(64, 8);
+  std::vector<std::string> bodies;
+  bodies.reserve(static_cast<size_t>(batches_per_iter));
+  for (int64_t b = 0; b < batches_per_iter; ++b) {
+    bodies.push_back(EncodeTick(gen.NextBatch(batch_rows)));
+  }
+
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    for (const std::string& body : bodies) {
+      auto resp =
+          Unwrap(client.Post("/v1/append?chronicle=calls", body, headers));
+      if (resp.status != 202) {
+        state.SkipWithError("append rejected");
+        break;
+      }
+    }
+    auto drained = Unwrap(client.Post("/v1/drain", "", headers));
+    if (drained.status != 200) {
+      state.SkipWithError("drain failed");
+      break;
+    }
+    rows += static_cast<uint64_t>(batches_per_iter) * batch_rows;
+  }
+  service.Stop();
+
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+  state.counters["batch_rows"] = static_cast<double>(batch_rows);
+  state.counters["sample_permille"] = static_cast<double>(state.range(1));
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(NetworkedAppendTraced)
+    ->ArgNames({"batch_rows", "sample_permille"})
+    ->Args({256, 0})
+    ->Args({256, 10})
+    ->UseRealTime();
+
 // --- NetworkedSql: statement round-trip latency over the wire — a small
 // SELECT against a warm view, statements/sec on one keep-alive
 // connection. Bounds the per-request overhead (framing + dispatch +

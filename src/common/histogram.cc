@@ -44,6 +44,23 @@ void LatencyHistogram::Record(int64_t nanos) {
   ++buckets_[static_cast<size_t>(BucketFor(nanos))];
 }
 
+int LatencyHistogram::BucketIndexFor(int64_t nanos) {
+  return BucketFor(nanos < 0 ? 0 : nanos);
+}
+
+void LatencyHistogram::AccumulateRaw(
+    const std::array<uint64_t, kBuckets>& buckets, uint64_t count, double sum,
+    int64_t min, int64_t max) {
+  if (count == 0) return;
+  if (count_ == 0 || min < min_) min_ = min;
+  if (max > max_) max_ = max;
+  sum_ += sum;
+  count_ += count;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += buckets[static_cast<size_t>(i)];
+  }
+}
+
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0 || other.min_ < min_) min_ = other.min_;

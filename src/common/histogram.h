@@ -35,6 +35,15 @@ class LatencyHistogram {
   // Inclusive upper bound of bucket `i` (the Prometheus `le` label); the
   // last bucket is unbounded and reports INT64_MAX.
   static int64_t BucketUpperBound(int i);
+  // Bucket index a sample would land in (negative values clamp to 0).
+  // Exposed so lock-free mirrors (obs::RequestTracer's atomic-bucket
+  // histograms) bucket identically and convert back via AccumulateRaw.
+  static int BucketIndexFor(int64_t nanos);
+  // Folds externally-accumulated raw state into this histogram: bucket
+  // counts, total count, sum, and the observed min/max. No-op when
+  // `count` is 0. The caller guarantees `buckets` sums to `count`.
+  void AccumulateRaw(const std::array<uint64_t, kBuckets>& buckets,
+                     uint64_t count, double sum, int64_t min, int64_t max);
   // Arithmetic mean of recorded samples (0 if empty).
   double MeanNanos() const;
   // Smallest bucket upper bound such that >= q of samples fall below it.

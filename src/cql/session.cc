@@ -54,6 +54,12 @@ std::string ErrorJson(const Status& status) {
 
 Result<std::unique_ptr<Session>> Session::Open(DatabaseOptions options) {
   auto session = std::unique_ptr<Session>(new Session());
+  const obs::ObservabilityOptions& obs_opts = options.observability;
+  if (obs_opts.request_trace_capacity > 0) {
+    session->tracer_ = std::make_unique<obs::RequestTracer>(
+        obs_opts.request_trace_capacity, obs_opts.request_sample_rate,
+        obs_opts.slow_request_budget_ns);
+  }
   if (options.sharding.num_shards > 1) {
     CHRONICLE_ASSIGN_OR_RETURN(session->sharded_,
                                shard::ShardedDatabase::Open(std::move(options)));
@@ -64,7 +70,28 @@ Result<std::unique_ptr<Session>> Session::Open(DatabaseOptions options) {
     }
   } else {
     session->db_ = ChronicleDatabase::Open(std::move(options));
+    session->db_->set_request_tracer(session->tracer_.get());
     session->InstallEnricherHook();
+  }
+  if (session->tracer_ != nullptr &&
+      session->tracer_->slow_budget_ns() > 0) {
+    // Slow-request capture: snapshot + span tree through engine0's flight
+    // recorder. Fired by the wire service OUTSIDE its own stats mutex, so
+    // CollectStats (which runs the net enricher) cannot deadlock.
+    Session* raw = session.get();
+    session->tracer_->set_slow_capture(
+        [raw](uint64_t trace_hi, uint64_t trace_lo, int64_t total_ns) {
+          const obs::StatsSnapshot snap = raw->CollectStats();
+          const std::string snapshot_json = obs::RenderJson(snap);
+          const std::string tree_json =
+              raw->tracer_->RenderTraceTreeJson(trace_hi, trace_lo);
+          raw->engine0()
+              .RecordSlowRequest(trace_hi, trace_lo, total_ns,
+                                 raw->tracer_->slow_budget_ns(), snapshot_json,
+                                 tree_json)
+              .status()
+              .ok();  // capture is best-effort; failures drop the dump
+        });
   }
   return session;
 }
@@ -114,6 +141,10 @@ void Session::RunEnrichers(obs::StatsSnapshot* snap) const {
   snap->wal.recovered = recovered_;
   snap->wal.recovery_records_applied = recovery_records_applied_;
   snap->wal.recovery_records_skipped = recovery_records_skipped_;
+  // The req section lives here (not in a registered enricher) so a WAL
+  // detach/attach cycle — which tears down registered enrichers' hook on
+  // the unsharded engine — cannot drop it.
+  if (tracer_ != nullptr) tracer_->Fill(&snap->req);
 
   std::lock_guard<std::mutex> lock(enricher_mu_);
   for (const auto& [token, fn] : enrichers_) fn(snap);

@@ -49,6 +49,7 @@
 #include "cql/binder.h"
 #include "cql/parser.h"
 #include "db/database.h"
+#include "obs/request_trace.h"
 #include "obs/stats.h"
 #include "shard/sharded_db.h"
 #include "wal/recovery.h"
@@ -162,6 +163,13 @@ class Session {
   void StopMonitoring();
   uint16_t monitoring_port() const;
 
+  // Request tracer, owned here because the session is the one object every
+  // front-end (shell, wire service) shares. Null when
+  // ObservabilityOptions::request_trace_capacity is 0. The tracer's req
+  // section rides the enricher chain into every CollectStats snapshot, and
+  // its slow-capture hook dumps through engine0()'s flight recorder.
+  obs::RequestTracer* request_tracer() { return tracer_.get(); }
+
  private:
   Session() = default;
 
@@ -181,6 +189,12 @@ class Session {
 
   std::unique_ptr<ChronicleDatabase> db_;
   std::unique_ptr<shard::ShardedDatabase> sharded_;
+
+  // Request tracing (null when disabled). Declared after the engines so it
+  // is destroyed first — engines never dereference it without a live
+  // RequestScope, and scopes cannot outlive the front-end request that
+  // installed them.
+  std::unique_ptr<obs::RequestTracer> tracer_;
 
   // Serializes every mutating entry point (see the thread-safety note at
   // the top). Never held while collecting stats or running enrichers.

@@ -8,6 +8,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/history.h"
 #include "obs/http_server.h"
+#include "obs/request_trace.h"
 
 namespace chronicle {
 
@@ -34,9 +35,12 @@ ChronicleDatabase::ChronicleDatabase(DatabaseOptions options)
   if (options_.observability.profile_plan_slots) {
     views_.set_plan_profiling(true, options_.observability.slot_sample_period);
   }
-  // The flight recorder needs tick timings, which only exist with metrics.
-  if (options_.observability.metrics &&
-      options_.observability.slow_tick_budget_ns > 0) {
+  // The flight recorder serves two capture paths: slow maintenance ticks
+  // (which need tick timings, i.e. metrics) and slow traced requests
+  // (which need neither).
+  if ((options_.observability.metrics &&
+       options_.observability.slow_tick_budget_ns > 0) ||
+      options_.observability.slow_request_budget_ns > 0) {
     obs::FlightRecorderOptions rec;
     rec.dir = options_.observability.flight_recorder_dir;
     rec.max_dumps = options_.observability.flight_recorder_max_dumps;
@@ -384,6 +388,9 @@ Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
   // Delta workers read relations lock-free; proactive updates must never
   // overlap maintenance (enforced by the guard in the relation DML paths).
   ScopedFlag in_maintenance(&maintenance_in_progress_);
+  obs::RequestScopeState* req_scope = obs::RequestScope::Current();
+  const int64_t maintain_start =
+      req_scope != nullptr ? req_scope->tracer->NowNanos() : 0;
   CHRONICLE_ASSIGN_OR_RETURN(result.maintenance,
                              views_.ProcessAppend(result.event));
   for (const auto& set : periodic_) {
@@ -394,9 +401,20 @@ Result<AppendResult> ChronicleDatabase::Maintain(Result<AppendEvent> event) {
       CHRONICLE_RETURN_NOT_OK(view->ProcessAppend(result.event));
     }
   }
+  if (req_scope != nullptr) {
+    // One maintain span per tick, stamped with this engine's shard so the
+    // merged tree attributes fan-out work (detail = delta rows folded).
+    req_scope->tracer->Emit(
+        req_scope->ctx, req_scope->tracer->NewSpanId(), req_scope->root_span,
+        obs::ReqStage::kMaintain, trace_shard_, req_scope->worker,
+        maintain_start, req_scope->tracer->NowNanos() - maintain_start,
+        result.maintenance.delta_rows_applied);
+  }
   ++appends_processed_;
-  if (recorder_ != nullptr && result.maintenance.tick_ns >
-                                  options_.observability.slow_tick_budget_ns) {
+  if (recorder_ != nullptr &&
+      options_.observability.slow_tick_budget_ns > 0 &&
+      result.maintenance.tick_ns >
+          options_.observability.slow_tick_budget_ns) {
     RecordSlowTick(result);
   }
   return result;
@@ -430,12 +448,24 @@ Status ChronicleDatabase::ValidateAppendForLog(
 Result<AppendResult> ChronicleDatabase::AppendInternal(
     std::vector<std::pair<ChronicleId, std::vector<Tuple>>> inserts,
     Chronon chronon) {
+  obs::RequestScopeState* req_scope = obs::RequestScope::Current();
+  const int64_t wal_start =
+      req_scope != nullptr ? req_scope->tracer->NowNanos() : 0;
   if (durability_.mutation_log != nullptr) {
     // Write-ahead: validate (so the log never records a tick that fails to
     // apply), then log under the sequence number the tick will receive.
     CHRONICLE_RETURN_NOT_OK(ValidateAppendForLog(inserts, chronon));
     CHRONICLE_RETURN_NOT_OK(durability_.mutation_log->LogAppend(
         group_.last_sn() + 1, chronon, inserts));
+  }
+  if (req_scope != nullptr) {
+    // Emitted even with no log attached (~0ns) so every sampled append's
+    // tree carries the full fixed stage set.
+    req_scope->tracer->Emit(
+        req_scope->ctx, req_scope->tracer->NewSpanId(), req_scope->root_span,
+        obs::ReqStage::kWalCommit, trace_shard_, req_scope->worker, wal_start,
+        req_scope->tracer->NowNanos() - wal_start,
+        durability_.mutation_log != nullptr ? 1 : 0);
   }
   return Maintain(group_.AppendMulti(std::move(inserts), chronon));
 }
@@ -480,6 +510,9 @@ Result<std::vector<AppendResult>> ChronicleDatabase::AppendMany(
     ticks.push_back(std::move(inserts));
   }
   const Chronon first_chronon = group_.last_chronon() + 1;
+  obs::RequestScopeState* req_scope = obs::RequestScope::Current();
+  const int64_t wal_start =
+      req_scope != nullptr ? req_scope->tracer->NowNanos() : 0;
   if (durability_.mutation_log != nullptr) {
     // Write-ahead, batch-wide: validate EVERY tick against the SN/chronon
     // sequence it will receive, then log the whole batch (one group-commit
@@ -494,6 +527,15 @@ Result<std::vector<AppendResult>> ChronicleDatabase::AppendMany(
           group_.last_sn() + 1 + static_cast<SeqNum>(i), chronon, &ticks[i]});
     }
     CHRONICLE_RETURN_NOT_OK(durability_.mutation_log->LogAppendMany(pending));
+  }
+  if (req_scope != nullptr) {
+    // One wal_commit span for the whole group-committed batch (emitted even
+    // with no log attached — see AppendInternal). detail = ticks covered.
+    req_scope->tracer->Emit(
+        req_scope->ctx, req_scope->tracer->NewSpanId(), req_scope->root_span,
+        obs::ReqStage::kWalCommit, trace_shard_, req_scope->worker, wal_start,
+        req_scope->tracer->NowNanos() - wal_start,
+        durability_.mutation_log != nullptr ? ticks.size() : 0);
   }
   std::vector<AppendResult> results;
   results.reserve(ticks.size());
@@ -639,6 +681,18 @@ uint64_t ChronicleDatabase::flight_recorder_dumps() const {
   return recorder_ != nullptr ? recorder_->dumps_written() : 0;
 }
 
+Result<std::string> ChronicleDatabase::RecordSlowRequest(
+    uint64_t trace_hi, uint64_t trace_lo, int64_t total_ns, int64_t budget_ns,
+    const std::string& snapshot_json, const std::string& trace_json) {
+  std::lock_guard<std::mutex> lock(obs_mutex_);
+  if (recorder_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no flight recorder (set slow_request_budget_ns at open)");
+  }
+  return recorder_->RecordSlowRequest(trace_hi, trace_lo, total_ns, budget_ns,
+                                      snapshot_json, trace_json);
+}
+
 void ChronicleDatabase::RecordSlowTick(const AppendResult& result) {
   // Called under obs_mutex_. Best-effort: a dump failure must never fail
   // the append that triggered it.
@@ -694,6 +748,16 @@ obs::HttpResponse ChronicleDatabase::HandleHttpRequest(
           trace_->Snapshot(), trace_->total_emitted(), trace_->capacity());
     } else {
       response.body = "{\"emitted\":0,\"capacity\":0,\"spans\":[]}";
+    }
+    return response;
+  }
+  if (request.path == "/requests.json") {
+    response.content_type = "application/json";
+    if (request_tracer_ != nullptr && request_tracer_->enabled()) {
+      response.body = request_tracer_->RenderRequestsJson();
+    } else {
+      response.body =
+          "{\"emitted\":0,\"capacity\":0,\"sample_rate\":0,\"traces\":[]}";
     }
     return response;
   }

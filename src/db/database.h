@@ -44,6 +44,7 @@ class HttpServer;
 class StatsHistory;
 class StatsSampler;
 class FlightRecorder;
+class RequestTracer;
 struct HttpRequest;
 struct HttpResponse;
 }  // namespace obs
@@ -235,6 +236,15 @@ struct DatabaseOptions {
   DatabaseOptions& set_flight_recorder(std::string dir, size_t max_dumps) {
     observability.flight_recorder_dir = std::move(dir);
     observability.flight_recorder_max_dumps = max_dumps;
+    return *this;
+  }
+  DatabaseOptions& set_request_trace(size_t capacity, double sample_rate) {
+    observability.request_trace_capacity = capacity;
+    observability.request_sample_rate = sample_rate;
+    return *this;
+  }
+  DatabaseOptions& set_slow_request_budget_ns(int64_t budget_ns) {
+    observability.slow_request_budget_ns = budget_ns;
     return *this;
   }
   DatabaseOptions& set_storage(const store::StorageOptions& s) {
@@ -478,6 +488,33 @@ class ChronicleDatabase {
   // Slow-tick dumps written so far (0 when the recorder is disabled).
   uint64_t flight_recorder_dumps() const;
 
+  // --- request tracing (obs/request_trace.h) ---
+
+  // Borrowed request tracer, owned by the cql::Session that opened this
+  // engine (null when request tracing is disabled). The engine only reads
+  // it to serve /requests.json; span EMISSION inside the append path goes
+  // through the thread-local obs::RequestScope, so an engine never needs
+  // the tracer to attribute work to a sampled request.
+  void set_request_tracer(obs::RequestTracer* tracer) {
+    request_tracer_ = tracer;
+  }
+  obs::RequestTracer* request_tracer() { return request_tracer_; }
+
+  // Which shard's engine this is, stamped onto maintain/wal_commit spans
+  // (-1 = unsharded). Set once by shard::ShardedDatabase::Open before any
+  // traffic flows.
+  void set_trace_shard(int shard) { trace_shard_ = shard; }
+  int trace_shard() const { return trace_shard_; }
+
+  // Writes one slow-request dump through the flight recorder (created at
+  // open when observability.slow_request_budget_ns > 0). Serialized under
+  // the stats mutex like the slow-tick path; callers treat failures as
+  // best-effort.
+  Result<std::string> RecordSlowRequest(uint64_t trace_hi, uint64_t trace_lo,
+                                        int64_t total_ns, int64_t budget_ns,
+                                        const std::string& snapshot_json,
+                                        const std::string& trace_json);
+
   // --- runtime reconfiguration ---
 
   // Reconfigures the maintenance path between appends: the blessed
@@ -584,6 +621,9 @@ class ChronicleDatabase {
   std::unique_ptr<obs::StatsSampler> sampler_;
   std::unique_ptr<obs::HttpServer> http_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
+  // Request tracing (borrowed from the owning session; see the accessors).
+  obs::RequestTracer* request_tracer_ = nullptr;
+  int trace_shard_ = -1;
   // True while Maintain is folding deltas into views. Relations are
   // updated proactively — never during an append (§2.3) — and the parallel
   // maintenance path depends on that: workers read relations lock-free.

@@ -205,13 +205,29 @@ Status WireService::Start(uint16_t port) {
   worker_ = std::thread([this] { IngestLoop(); });
   enricher_token_ = session_->AddStatsEnricher(
       [this](obs::StatsSnapshot* snap) { FillNetStats(snap); });
+  // The service-level history sampler sees the fully enriched session
+  // snapshot (net + req + per-shard sections), so it starts AFTER the
+  // enricher is hooked — its construction takes an immediate first sample.
+  const obs::ObservabilityOptions& obs_opts =
+      session_->options().observability;
+  if (obs_opts.history_capacity > 0 && history_ == nullptr) {
+    history_ = std::make_unique<obs::StatsHistory>(obs_opts.history_capacity);
+  }
+  if (history_ != nullptr) {
+    sampler_ = std::make_unique<obs::StatsSampler>(
+        history_.get(), [this] { return session_->CollectStats(); },
+        obs_opts.history_interval_ms);
+  }
   running_ = true;
   return Status::OK();
 }
 
 void WireService::Stop() {
   if (!running_) return;
-  // Unhook stats first so no snapshot races the teardown.
+  // Sampler first (its thread runs the enricher chain), then unhook stats
+  // so no snapshot races the teardown. The history ring itself survives
+  // for a later Start to resume the series.
+  sampler_.reset();
   session_->RemoveStatsEnricher(enricher_token_);
   http_.Stop();
   {
@@ -284,8 +300,32 @@ void WireService::IngestLoop() {
       applying_session_ = cursor;
     }
 
-    Result<uint64_t> applied =
-        session_->AppendRows(batch.chronicle, std::move(batch.ticks));
+    // Worker id 1 tags every span the ingest worker (or the engine code it
+    // calls) emits; the HTTP threads are worker 0. That tag is what keeps
+    // spans attributable after the thread handoff.
+    obs::RequestTracer* tracer = session_->request_tracer();
+    const bool traced =
+        tracer != nullptr && tracer->enabled() && batch.trace.sampled;
+    if (traced) {
+      const int64_t pop_ns = tracer->NowNanos();
+      tracer->Emit(batch.trace, tracer->NewSpanId(), batch.root_span,
+                   obs::ReqStage::kQueueWait, /*shard=*/-1, /*worker=*/1,
+                   batch.enqueue_ns, pop_ns - batch.enqueue_ns, batch.rows);
+    }
+    const int64_t append_start = traced ? tracer->NowNanos() : 0;
+    Result<uint64_t> applied = [&]() -> Result<uint64_t> {
+      // Scope installed for the apply only: the engines' wal_commit/
+      // maintain/merge emissions read it thread-locally.
+      obs::RequestScope scope(tracer, batch.trace, batch.root_span,
+                              /*worker=*/1);
+      return session_->AppendRows(batch.chronicle, std::move(batch.ticks));
+    }();
+    if (traced) {
+      tracer->Emit(batch.trace, tracer->NewSpanId(), batch.root_span,
+                   obs::ReqStage::kAppend, /*shard=*/-1, /*worker=*/1,
+                   append_start, tracer->NowNanos() - append_start,
+                   applied.ok() ? *applied : 0);
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -304,6 +344,13 @@ void WireService::IngestLoop() {
       worker_busy_ = false;
     }
     drain_cv_.notify_all();
+    if (traced) {
+      // Deferred slow-request check: entry on the HTTP thread to applied
+      // here. OUTSIDE mu_ — the capture collects a snapshot whose net
+      // enricher takes mu_.
+      tracer->MaybeCaptureSlow(batch.trace,
+                               tracer->NowNanos() - batch.entry_ns);
+    }
   }
 }
 
@@ -337,31 +384,104 @@ WireService::SessionState* WireService::ResolveSession(
 }
 
 obs::HttpResponse WireService::Route(const obs::HttpRequest& request) {
-  obs::HttpResponse resp;
+  ReqTrace rt;
+  obs::RequestTracer* tracer = session_->request_tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    rt.tracer = tracer;
+    rt.entry_ns = tracer->NowNanos();
+    // Accept a well-formed client traceparent verbatim (its sampled flag is
+    // authoritative — a flagged client forces a full span tree even at
+    // sample rate 0); mint fresh context otherwise.
+    const std::string* tp = request.FindHeader("traceparent");
+    if (tp == nullptr || !obs::ParseTraceparent(*tp, &rt.ctx)) {
+      rt.ctx = tracer->Mint();
+    }
+    rt.root_span = tracer->NewSpanId();
+    tracer->CountSample(rt.ctx.sampled);
+  }
+
+  obs::HttpResponse resp = RouteInner(request, &rt);
+
+  int64_t total_ns = 0;
+  if (rt.tracer != nullptr) {
+    const int64_t handler_end = rt.tracer->NowNanos();
+    total_ns = handler_end - rt.entry_ns;
+    // Echo the propagated context on EVERY response (sampled or not) so
+    // clients can correlate their logs with ours.
+    resp.extra_headers.emplace_back(
+        "traceparent", obs::FormatTraceparent(rt.ctx, rt.root_span));
+    rt.tracer->CountRequest(rt.endpoint, resp.status >= 400, total_ns);
+    if (rt.ctx.sampled) {
+      // respond: handler return to the response leaving the router (the
+      // socket write itself belongs to the HTTP server). Root emitted
+      // last: a reader that sees the root sees a finished synchronous
+      // tree (async append spans trail in after the 202 — see IngestLoop).
+      rt.tracer->Emit(rt.ctx, rt.tracer->NewSpanId(), rt.root_span,
+                      obs::ReqStage::kRespond, /*shard=*/-1, /*worker=*/0,
+                      handler_end, rt.tracer->NowNanos() - handler_end,
+                      resp.body.size());
+      rt.tracer->Emit(rt.ctx, rt.root_span, rt.ctx.parent_span,
+                      obs::ReqStage::kRequest, /*shard=*/-1, /*worker=*/0,
+                      rt.entry_ns, total_ns,
+                      static_cast<uint64_t>(resp.status));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_total_;
+    if (resp.status >= 400) {
+      ++http_errors_total_;
+      if (resp.status == 401) ++rejected_auth_total_;
+    }
+  }
+  // Outside mu_: the capture path collects a snapshot whose net enricher
+  // takes mu_. A 202 append defers the check to the ingest worker.
+  if (rt.tracer != nullptr && !rt.deferred_slow_check) {
+    rt.tracer->MaybeCaptureSlow(rt.ctx, total_ns);
+  }
+  return resp;
+}
+
+obs::HttpResponse WireService::RouteInner(const obs::HttpRequest& request,
+                                          ReqTrace* rt) {
+  // Endpoint classification up front so even auth-rejected requests land
+  // in the right RED bucket.
+  if (request.path == "/v1/session" || request.path == "/v1/session/close") {
+    rt->endpoint = obs::ReqEndpoint::kSession;
+  } else if (request.path == "/v1/sql") {
+    rt->endpoint = obs::ReqEndpoint::kSql;
+  } else if (request.path == "/v1/append") {
+    rt->endpoint = obs::ReqEndpoint::kAppend;
+  } else if (request.path == "/v1/drain") {
+    rt->endpoint = obs::ReqEndpoint::kDrain;
+  } else if (request.path == "/healthz" || request.path == "/stats.json" ||
+             request.path == "/metrics" || request.path == "/requests.json" ||
+             request.path == "/trace.json" ||
+             request.path == "/history.json") {
+    rt->endpoint = obs::ReqEndpoint::kMonitor;
+  }
+
   // Auth gates /v1/* only; the read-only monitoring catalog stays open
   // (loopback bind, same contract as StartMonitoring).
   const bool is_v1 = request.path.rfind("/v1/", 0) == 0;
   if (is_v1 && !options_.auth_token.empty()) {
     const std::string* auth = request.FindHeader("authorization");
     if (auth == nullptr || *auth != "Bearer " + options_.auth_token) {
-      resp = ErrorResponse(
+      return ErrorResponse(
           Status::Unauthenticated("missing or invalid bearer token"));
-      std::lock_guard<std::mutex> lock(mu_);
-      ++requests_total_;
-      ++http_errors_total_;
-      ++rejected_auth_total_;
-      return resp;
     }
   }
 
+  obs::HttpResponse resp;
   if (request.path == "/v1/session" && request.method == "POST") {
     resp = HandleOpenSession(request);
   } else if (request.path == "/v1/session/close" && request.method == "POST") {
     resp = HandleCloseSession(request);
   } else if (request.path == "/v1/sql" && request.method == "POST") {
-    resp = HandleSql(request);
+    resp = HandleSql(request, rt);
   } else if (request.path == "/v1/append" && request.method == "POST") {
-    resp = HandleAppend(request);
+    resp = HandleAppend(request, rt);
   } else if (request.path == "/v1/drain" && request.method == "POST") {
     resp = HandleDrain(request);
   } else if (request.path == "/healthz") {
@@ -372,17 +492,59 @@ obs::HttpResponse WireService::Route(const obs::HttpRequest& request) {
     resp.body = obs::RenderJson(session_->CollectStats());
   } else if (request.path == "/metrics") {
     resp.body = obs::RenderPrometheus(session_->CollectStats());
+  } else if (request.path == "/requests.json") {
+    resp.content_type = "application/json";
+    obs::RequestTracer* tracer = session_->request_tracer();
+    if (tracer != nullptr && tracer->enabled()) {
+      resp.body = tracer->RenderRequestsJson();
+    } else {
+      resp.body =
+          "{\"emitted\":0,\"capacity\":0,\"sample_rate\":0,\"traces\":[]}";
+    }
+  } else if (request.path == "/trace.json") {
+    resp.content_type = "application/json";
+    resp.body = RenderMergedTraceJson();
+  } else if (request.path == "/history.json") {
+    resp.content_type = "application/json";
+    if (history_ != nullptr) {
+      resp.body = obs::RenderHistoryJson(history_->Windows(),
+                                         history_->total_samples(),
+                                         history_->capacity());
+    } else {
+      resp.body = "{\"samples\":0,\"capacity\":0,\"windows\":[]}";
+    }
   } else {
     resp = ErrorResponse(Status::NotFound("no route: " + request.path));
   }
-
-  std::lock_guard<std::mutex> lock(mu_);
-  ++requests_total_;
-  if (resp.status >= 400) {
-    ++http_errors_total_;
-    if (resp.status == 401) ++rejected_auth_total_;
-  }
   return resp;
+}
+
+std::string WireService::RenderMergedTraceJson() const {
+  std::vector<obs::ShardTraceSnapshot> shards;
+  if (session_->sharded()) {
+    shard::ShardedDatabase* sharded = session_->sharded_db();
+    for (size_t k = 0; k < sharded->num_shards(); ++k) {
+      const obs::TraceRing* ring = sharded->engine(k).trace();
+      if (ring == nullptr || !ring->enabled()) continue;
+      obs::ShardTraceSnapshot snap;
+      snap.shard = static_cast<int>(k);
+      snap.emitted = ring->total_emitted();
+      snap.capacity = ring->capacity();
+      snap.spans = ring->Snapshot();
+      shards.push_back(std::move(snap));
+    }
+  } else if (session_->db() != nullptr) {
+    const obs::TraceRing* ring = session_->db()->trace();
+    if (ring != nullptr && ring->enabled()) {
+      obs::ShardTraceSnapshot snap;
+      snap.shard = -1;
+      snap.emitted = ring->total_emitted();
+      snap.capacity = ring->capacity();
+      snap.spans = ring->Snapshot();
+      shards.push_back(std::move(snap));
+    }
+  }
+  return obs::RenderTraceJson(shards);
 }
 
 obs::HttpResponse WireService::HandleOpenSession(
@@ -434,7 +596,8 @@ obs::HttpResponse WireService::HandleCloseSession(
   return resp;
 }
 
-obs::HttpResponse WireService::HandleSql(const obs::HttpRequest& request) {
+obs::HttpResponse WireService::HandleSql(const obs::HttpRequest& request,
+                                         ReqTrace* rt) {
   obs::HttpResponse resp;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -443,7 +606,34 @@ obs::HttpResponse WireService::HandleSql(const obs::HttpRequest& request) {
     ++state->statements;
     ++sql_statements_total_;
   }
-  Result<cql::ExecResult> result = session_->ExecuteScript(request.body);
+  const bool traced = rt->tracer != nullptr && rt->ctx.sampled;
+  if (traced) {
+    // parse: timed separately from execution. ExecuteScript re-parses,
+    // but only on the sampled path — unsampled requests skip this block
+    // entirely, which is what the trace-overhead gate measures.
+    const int64_t parse_start = rt->tracer->NowNanos();
+    Result<std::vector<cql::Statement>> stmts = cql::ParseScript(request.body);
+    rt->tracer->Emit(rt->ctx, rt->tracer->NewSpanId(), rt->root_span,
+                     obs::ReqStage::kParse, /*shard=*/-1, /*worker=*/0,
+                     parse_start, rt->tracer->NowNanos() - parse_start,
+                     stmts.ok() ? stmts->size() : 0);
+    if (!stmts.ok()) return ErrorResponse(stmts.status());
+  }
+  const int64_t exec_start = traced ? rt->tracer->NowNanos() : 0;
+  Result<cql::ExecResult> result = [&]() -> Result<cql::ExecResult> {
+    if (!traced) return session_->ExecuteScript(request.body);
+    // RequestScope makes the engine's maintain/wal_commit spans (emitted
+    // on THIS thread — synchronous SQL drives maintenance inline) land
+    // under this request's root.
+    obs::RequestScope scope(rt->tracer, rt->ctx, rt->root_span, /*worker=*/0);
+    return session_->ExecuteScript(request.body);
+  }();
+  if (traced) {
+    rt->tracer->Emit(rt->ctx, rt->tracer->NewSpanId(), rt->root_span,
+                     obs::ReqStage::kAppend, /*shard=*/-1, /*worker=*/0,
+                     exec_start, rt->tracer->NowNanos() - exec_start,
+                     result.ok() ? result->rows.size() : 0);
+  }
   if (!result.ok()) return ErrorResponse(result.status());
 
   resp.content_type = "application/json";
@@ -473,8 +663,10 @@ obs::HttpResponse WireService::HandleSql(const obs::HttpRequest& request) {
   return resp;
 }
 
-obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
+obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request,
+                                            ReqTrace* rt) {
   obs::HttpResponse resp;
+  const bool traced = rt->tracer != nullptr && rt->ctx.sampled;
   std::string chronicle;
   if (!QueryParam(request.query, "chronicle", &chronicle) ||
       chronicle.empty()) {
@@ -484,6 +676,9 @@ obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
   if (request.body.empty()) {
     return ErrorResponse(Status::InvalidArgument("empty append body"));
   }
+
+  // parse: schema resolution + TSV decode, the whole body-to-rows cost.
+  const int64_t parse_start = traced ? rt->tracer->NowNanos() : 0;
 
   // Resolve the schema binding (cached per session after first use).
   Schema schema;
@@ -502,6 +697,12 @@ obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
 
   Result<std::vector<std::vector<Tuple>>> ticks =
       DecodeTsv(request.body, schema);
+  if (traced) {
+    rt->tracer->Emit(rt->ctx, rt->tracer->NewSpanId(), rt->root_span,
+                     obs::ReqStage::kParse, /*shard=*/-1, /*worker=*/0,
+                     parse_start, rt->tracer->NowNanos() - parse_start,
+                     ticks.ok() ? ticks->size() : 0);
+  }
   if (!ticks.ok()) return ErrorResponse(ticks.status());
   if (ticks->empty()) {
     return ErrorResponse(Status::InvalidArgument("append body has no rows"));
@@ -547,6 +748,16 @@ obs::HttpResponse WireService::HandleAppend(const obs::HttpRequest& request) {
     state->rows_accepted += batch.rows;
     append_batches_total_ += accepted_ticks;
     append_rows_total_ += accepted_rows;
+    if (traced) {
+      // Carry the context across the handoff; the ingest worker emits
+      // queue_wait/append and runs the slow-request check at apply time
+      // (the 202 below only covers the synchronous half).
+      batch.trace = rt->ctx;
+      batch.root_span = rt->root_span;
+      batch.entry_ns = rt->entry_ns;
+      batch.enqueue_ns = rt->tracer->NowNanos();
+      rt->deferred_slow_check = true;
+    }
     state->queue.push_back(std::move(batch));
     resp.status = 202;
     resp.content_type = "application/json";

@@ -65,7 +65,9 @@
 
 #include "common/status.h"
 #include "cql/session.h"
+#include "obs/history.h"
 #include "obs/http_server.h"
+#include "obs/request_trace.h"
 
 namespace chronicle {
 namespace net {
@@ -127,6 +129,13 @@ class WireService {
     std::string chronicle;
     std::vector<std::vector<Tuple>> ticks;
     uint64_t rows = 0;
+    // Trace context carried across the HTTP->worker handoff so the async
+    // apply's spans (queue_wait, append, wal_commit, maintain, merge) stay
+    // parent-linked under the accepting request's root span.
+    obs::TraceContext trace;
+    uint64_t root_span = 0;
+    int64_t entry_ns = 0;    // request entry on the HTTP thread
+    int64_t enqueue_ns = 0;  // accepted into the queue (queue_wait start)
   };
 
   struct SessionState {
@@ -144,12 +153,33 @@ class WireService {
     std::map<std::string, Schema> bindings;
   };
 
+  // Per-request trace bookkeeping, minted at Route entry and threaded into
+  // the handlers. `tracer` null = request tracing disabled for the session;
+  // ctx.sampled false = RED counters only, zero spans.
+  struct ReqTrace {
+    obs::RequestTracer* tracer = nullptr;
+    obs::TraceContext ctx;
+    uint64_t root_span = 0;
+    int64_t entry_ns = 0;
+    obs::ReqEndpoint endpoint = obs::ReqEndpoint::kOther;
+    // A 202 append finishes asynchronously: the ingest worker runs the
+    // slow-request check at apply time instead of the Route trailer.
+    bool deferred_slow_check = false;
+  };
+
   obs::HttpResponse Route(const obs::HttpRequest& request);
+  // Dispatch body of Route: classification, auth, and the handler call.
+  // Route itself wraps it with the uniform trace/RED/echo trailer.
+  obs::HttpResponse RouteInner(const obs::HttpRequest& request, ReqTrace* rt);
   obs::HttpResponse HandleOpenSession(const obs::HttpRequest& request);
   obs::HttpResponse HandleCloseSession(const obs::HttpRequest& request);
-  obs::HttpResponse HandleSql(const obs::HttpRequest& request);
-  obs::HttpResponse HandleAppend(const obs::HttpRequest& request);
+  obs::HttpResponse HandleSql(const obs::HttpRequest& request, ReqTrace* rt);
+  obs::HttpResponse HandleAppend(const obs::HttpRequest& request,
+                                 ReqTrace* rt);
   obs::HttpResponse HandleDrain(const obs::HttpRequest& request);
+  // Merged per-shard /trace.json body (satellite of the request-tracing
+  // work: spans survive the thread handoff with shard/worker tags).
+  std::string RenderMergedTraceJson() const;
 
   // 401 when auth/session resolution fails; nullptr + filled response.
   SessionState* ResolveSession(const obs::HttpRequest& request,
@@ -164,6 +194,13 @@ class WireService {
   obs::HttpServer http_;
   bool running_ = false;
   size_t enricher_token_ = 0;
+
+  // Service-owned stats history behind /history.json: the wire service is
+  // the one place that sees SESSION-level (merged, enriched) snapshots, so
+  // sharded deployments get per-shard history windows here rather than
+  // from any single engine's monitoring endpoint.
+  std::unique_ptr<obs::StatsHistory> history_;
+  std::unique_ptr<obs::StatsSampler> sampler_;
 
   // Session table + queues. ingest_cv_ wakes the worker on new batches;
   // drain_cv_ wakes Drain() when the worker goes idle.

@@ -402,6 +402,29 @@ std::string RenderText(const StatsSnapshot& snapshot) {
               s.rejected_quota);
     }
   }
+  if (snapshot.req.attached) {
+    const ReqStatsSnapshot& r = snapshot.req;
+    out += "\nreq:\n";
+    Appendf(&out,
+            "  sample_rate=%s sampled=%" PRIu64 " unsampled=%" PRIu64
+            " spans=%" PRIu64 " (capacity %" PRIu64 ") slow_captures=%" PRIu64
+            "\n",
+            Dbl(r.sample_rate).c_str(), r.sampled_requests,
+            r.unsampled_requests, r.spans_emitted, r.capacity,
+            r.slow_captures);
+    for (const ReqStageStatsSnapshot& s : r.stages) {
+      if (s.latency.count() == 0) continue;
+      Appendf(&out, "  stage %-12s %s\n", s.stage.c_str(),
+              s.latency.ToString().c_str());
+    }
+    for (const ReqEndpointStatsSnapshot& e : r.endpoints) {
+      if (e.requests == 0) continue;
+      Appendf(&out,
+              "  endpoint %-9s requests=%" PRIu64 " errors=%" PRIu64 " %s\n",
+              e.endpoint.c_str(), e.requests, e.errors,
+              e.duration.ToString().c_str());
+    }
+  }
   return out;
 }
 
@@ -652,6 +675,55 @@ std::string RenderPrometheus(const StatsSnapshot& snapshot) {
       }
     }
   }
+
+  if (snapshot.req.attached) {
+    const ReqStatsSnapshot& r = snapshot.req;
+    PromCounter(&out, "chronicle_req_sampled_total",
+                "Requests whose span tree was sampled", r.sampled_requests);
+    PromCounter(&out, "chronicle_req_unsampled_total",
+                "Requests that took the zero-span overhead path",
+                r.unsampled_requests);
+    PromCounter(&out, "chronicle_req_spans_emitted_total",
+                "Spans emitted into the request-trace ring",
+                r.spans_emitted);
+    PromCounter(&out, "chronicle_req_slow_captures_total",
+                "Slow-request flight-recorder captures", r.slow_captures);
+    // Per-stage latency: one histogram family with a stage label; every
+    // fixed stage is present (empty histograms still emit _sum/_count)
+    // so dashboards can key on the full glossary before traffic.
+    Appendf(&out,
+            "# HELP chronicle_req_stage_ns Per-stage request latency\n"
+            "# TYPE chronicle_req_stage_ns histogram\n");
+    for (const ReqStageStatsSnapshot& s : r.stages) {
+      PromHistogram(&out, "chronicle_req_stage_ns",
+                    "stage=\"" + Escape(s.stage) + "\"", s.latency);
+    }
+    // RED per endpoint: rate, errors, duration.
+    Appendf(&out,
+            "# HELP chronicle_req_requests_total Requests per endpoint\n"
+            "# TYPE chronicle_req_requests_total counter\n");
+    for (const ReqEndpointStatsSnapshot& e : r.endpoints) {
+      Appendf(&out, "chronicle_req_requests_total{endpoint=\"%s\"} %" PRIu64
+                    "\n",
+              Escape(e.endpoint).c_str(), e.requests);
+    }
+    Appendf(&out,
+            "# HELP chronicle_req_errors_total Responses with status >= 400 "
+            "per endpoint\n"
+            "# TYPE chronicle_req_errors_total counter\n");
+    for (const ReqEndpointStatsSnapshot& e : r.endpoints) {
+      Appendf(&out, "chronicle_req_errors_total{endpoint=\"%s\"} %" PRIu64
+                    "\n",
+              Escape(e.endpoint).c_str(), e.errors);
+    }
+    Appendf(&out,
+            "# HELP chronicle_req_duration_ns Request latency per endpoint\n"
+            "# TYPE chronicle_req_duration_ns histogram\n");
+    for (const ReqEndpointStatsSnapshot& e : r.endpoints) {
+      PromHistogram(&out, "chronicle_req_duration_ns",
+                    "endpoint=\"" + Escape(e.endpoint) + "\"", e.duration);
+    }
+  }
   return out;
 }
 
@@ -814,6 +886,38 @@ std::string RenderJson(const StatsSnapshot& snapshot) {
   } else {
     out += "null";
   }
+
+  out += ",\"req\":";
+  if (snapshot.req.attached) {
+    const ReqStatsSnapshot& r = snapshot.req;
+    Appendf(&out,
+            "{\"sample_rate\":%s,\"sampled_requests\":%" PRIu64
+            ",\"unsampled_requests\":%" PRIu64 ",\"spans_emitted\":%" PRIu64
+            ",\"capacity\":%" PRIu64 ",\"slow_captures\":%" PRIu64
+            ",\"slow_budget_ns\":%" PRId64 ",\"stages\":{",
+            Dbl(r.sample_rate).c_str(), r.sampled_requests,
+            r.unsampled_requests, r.spans_emitted, r.capacity,
+            r.slow_captures, r.slow_budget_ns);
+    for (size_t i = 0; i < r.stages.size(); ++i) {
+      const ReqStageStatsSnapshot& s = r.stages[i];
+      if (i > 0) out += ",";
+      Appendf(&out, "\"%s\":", Escape(s.stage).c_str());
+      JsonHistogram(&out, s.latency);
+    }
+    out += "},\"endpoints\":{";
+    for (size_t i = 0; i < r.endpoints.size(); ++i) {
+      const ReqEndpointStatsSnapshot& e = r.endpoints[i];
+      if (i > 0) out += ",";
+      Appendf(&out, "\"%s\":{\"requests\":%" PRIu64 ",\"errors\":%" PRIu64
+                    ",\"duration\":",
+              Escape(e.endpoint).c_str(), e.requests, e.errors);
+      JsonHistogram(&out, e.duration);
+      out += "}";
+    }
+    out += "}}";
+  } else {
+    out += "null";
+  }
   out += "}";
   return out;
 }
@@ -834,22 +938,60 @@ std::string RenderTraceText(const std::vector<TraceSpan>& spans,
   return out;
 }
 
+namespace {
+
+// One span listing, every span tagged with the shard that emitted it
+// (-1 = unsharded) — seq orders spans only within one shard's ring.
+void JsonSpanArray(std::string* out, const std::vector<TraceSpan>& spans,
+                   int shard) {
+  *out += "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) *out += ",";
+    Appendf(out,
+            "{\"seq\":%" PRIu64 ",\"kind\":\"%s\",\"shard\":%d,\"worker\":%u"
+            ",\"sn\":%" PRIu64 ",\"start_ns\":%" PRId64
+            ",\"duration_ns\":%" PRId64 ",\"detail0\":%" PRIu64
+            ",\"detail1\":%" PRIu64 "}",
+            span.seq, SpanKindToString(span.kind), shard,
+            unsigned{span.worker}, span.sn, span.start_ns, span.duration_ns,
+            span.detail0, span.detail1);
+  }
+  *out += "]";
+}
+
+}  // namespace
+
 std::string RenderTraceJson(const std::vector<TraceSpan>& spans,
                             uint64_t total_emitted, uint64_t capacity) {
   std::string out;
   Appendf(&out, "{\"emitted\":%" PRIu64 ",\"capacity\":%" PRIu64
-                ",\"spans\":[",
+                ",\"spans\":",
           total_emitted, capacity);
-  for (size_t i = 0; i < spans.size(); ++i) {
-    const TraceSpan& span = spans[i];
+  JsonSpanArray(&out, spans, /*shard=*/-1);
+  out += "}";
+  return out;
+}
+
+std::string RenderTraceJson(const std::vector<ShardTraceSnapshot>& shards) {
+  uint64_t emitted = 0;
+  uint64_t capacity = 0;
+  for (const ShardTraceSnapshot& s : shards) {
+    emitted += s.emitted;
+    capacity += s.capacity;
+  }
+  std::string out;
+  Appendf(&out, "{\"emitted\":%" PRIu64 ",\"capacity\":%" PRIu64
+                ",\"shards\":[",
+          emitted, capacity);
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardTraceSnapshot& s = shards[i];
     if (i > 0) out += ",";
-    Appendf(&out,
-            "{\"seq\":%" PRIu64 ",\"kind\":\"%s\",\"worker\":%u,\"sn\":%" PRIu64
-            ",\"start_ns\":%" PRId64 ",\"duration_ns\":%" PRId64
-            ",\"detail0\":%" PRIu64 ",\"detail1\":%" PRIu64 "}",
-            span.seq, SpanKindToString(span.kind), unsigned{span.worker},
-            span.sn, span.start_ns, span.duration_ns, span.detail0,
-            span.detail1);
+    Appendf(&out, "{\"shard\":%d,\"emitted\":%" PRIu64 ",\"capacity\":%" PRIu64
+                  ",\"spans\":",
+            s.shard, s.emitted, s.capacity);
+    JsonSpanArray(&out, s.spans, s.shard);
+    out += "}";
   }
   out += "]}";
   return out;

@@ -41,10 +41,27 @@ std::string RenderTraceText(const std::vector<TraceSpan>& spans,
                             uint64_t total_emitted, uint64_t capacity);
 
 // JSON span listing for the monitoring endpoint (/trace.json) and the
-// flight recorder: {"emitted":N,"capacity":N,"spans":[{...}]}. Guaranteed
-// to pass ValidateJson.
+// flight recorder: {"emitted":N,"capacity":N,"spans":[{...}]}. Every span
+// carries a "shard" tag (-1 for an unsharded engine) so merged listings
+// stay attributable. Guaranteed to pass ValidateJson.
 std::string RenderTraceJson(const std::vector<TraceSpan>& spans,
                             uint64_t total_emitted, uint64_t capacity);
+
+// One shard engine's trace-ring window, for the merged sharded
+// /trace.json. Shard workers emit into their own ring with worker-local
+// sequence numbers; tagging each span with its shard id at export is what
+// keeps the merged listing attributable (seq orders spans only WITHIN a
+// shard).
+struct ShardTraceSnapshot {
+  int shard = -1;  // -1 = the unsharded engine
+  uint64_t emitted = 0;
+  uint64_t capacity = 0;
+  std::vector<TraceSpan> spans;
+};
+
+// Merged multi-shard render: {"emitted":sum,"capacity":sum,"shards":[
+// {"shard":k,"emitted":N,"capacity":N,"spans":[{...,"shard":k}]}]}.
+std::string RenderTraceJson(const std::vector<ShardTraceSnapshot>& shards);
 
 // Escapes `s` for use inside a JSON string literal (also valid as a
 // Prometheus label value). Exposed so other JSON emitters (plan EXPLAIN,

@@ -47,10 +47,26 @@ class FlightRecorder {
                                      const std::string& trace_json,
                                      const std::string& explain_json);
 
+  // Writes one slow-REQUEST dump: a traced request that blew its
+  // slow_request_budget_ns, identified by its 128-bit trace id.
+  // `trace_json` is the request's span tree (RequestTracer::
+  // RenderTraceTreeJson), `snapshot_json` the full stats snapshot at
+  // capture time. Same atomicity/retention contract as RecordSlowTick;
+  // the two dump kinds share one bounded directory.
+  Result<std::string> RecordSlowRequest(uint64_t trace_hi, uint64_t trace_lo,
+                                        int64_t total_ns, int64_t budget_ns,
+                                        const std::string& snapshot_json,
+                                        const std::string& trace_json);
+
   uint64_t dumps_written() const { return dumps_written_; }
   const FlightRecorderOptions& options() const { return options_; }
 
  private:
+  // Shared tail: atomic tmp+rename write of `body` as `name` in the dump
+  // dir, then the bounded-retention sweep.
+  Result<std::string> WriteDump(const std::string& name,
+                                const std::string& body);
+
   FlightRecorderOptions options_;
   std::deque<std::string> written_;  // retained dump paths, oldest first
   uint64_t dumps_written_ = 0;

@@ -107,6 +107,18 @@ void StatsHistory::Push(int64_t t_ns, const StatsSnapshot& snapshot) {
           MetricHistogram(snapshot, "maintenance_tick_ns")) {
     sample.tick_latency = *h;
   }
+  if (snapshot.sharding.attached) {
+    sample.shards.reserve(snapshot.sharding.shards.size());
+    for (const ShardStatsSnapshot& s : snapshot.sharding.shards) {
+      ShardHistorySample shard;
+      shard.shard = s.shard;
+      shard.appends = s.appends_processed;
+      shard.routed_rows = s.routed_rows;
+      shard.queue_depth = s.queue_depth;
+      if (s.tick_latency_populated) shard.tick_latency = s.tick_latency;
+      sample.shards.push_back(std::move(shard));
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(sample));
@@ -145,6 +157,37 @@ std::vector<HistoryWindow> StatsHistory::Windows() const {
     w.view_ticks = b.view_ticks - a.view_ticks;
     w.tick_p50_ns = DiffPercentile(b.tick_latency, a.tick_latency, 0.5);
     w.tick_p99_ns = DiffPercentile(b.tick_latency, a.tick_latency, 0.99);
+    // Per-shard windows only when both samples describe the same shard
+    // layout; a mismatch (resharding, sampler started mid-reopen) would
+    // make the counter differences meaningless.
+    if (!b.shards.empty() && a.shards.size() == b.shards.size()) {
+      bool same_layout = true;
+      for (size_t k = 0; k < b.shards.size(); ++k) {
+        if (a.shards[k].shard != b.shards[k].shard) {
+          same_layout = false;
+          break;
+        }
+      }
+      if (same_layout) {
+        w.shards.reserve(b.shards.size());
+        for (size_t k = 0; k < b.shards.size(); ++k) {
+          const ShardHistorySample& sa = a.shards[k];
+          const ShardHistorySample& sb = b.shards[k];
+          ShardHistoryWindow sw;
+          sw.shard = sb.shard;
+          sw.appends_per_sec =
+              static_cast<double>(sb.appends - sa.appends) / secs;
+          sw.routed_rows_per_sec =
+              static_cast<double>(sb.routed_rows - sa.routed_rows) / secs;
+          sw.queue_depth = sb.queue_depth;
+          sw.tick_p50_ns =
+              DiffPercentile(sb.tick_latency, sa.tick_latency, 0.5);
+          sw.tick_p99_ns =
+              DiffPercentile(sb.tick_latency, sa.tick_latency, 0.99);
+          w.shards.push_back(sw);
+        }
+      }
+    }
     out.push_back(w);
   }
   return out;
@@ -167,9 +210,24 @@ std::string RenderHistoryJson(const std::vector<HistoryWindow>& windows,
     Appendf(&out,
             "{\"t_ns\":%" PRId64 ",\"seconds\":%.6f,\"appends_per_sec\":%.3f"
             ",\"delta_rows_per_sec\":%.3f,\"view_ticks\":%" PRIu64
-            ",\"tick_p50_ns\":%" PRId64 ",\"tick_p99_ns\":%" PRId64 "}",
+            ",\"tick_p50_ns\":%" PRId64 ",\"tick_p99_ns\":%" PRId64,
             w.t_ns, w.seconds, w.appends_per_sec, w.delta_rows_per_sec,
             w.view_ticks, w.tick_p50_ns, w.tick_p99_ns);
+    if (!w.shards.empty()) {
+      out += ",\"shards\":[";
+      for (size_t k = 0; k < w.shards.size(); ++k) {
+        const ShardHistoryWindow& s = w.shards[k];
+        if (k > 0) out += ",";
+        Appendf(&out,
+                "{\"shard\":%zu,\"appends_per_sec\":%.3f"
+                ",\"routed_rows_per_sec\":%.3f,\"queue_depth\":%" PRIu64
+                ",\"tick_p50_ns\":%" PRId64 ",\"tick_p99_ns\":%" PRId64 "}",
+                s.shard, s.appends_per_sec, s.routed_rows_per_sec,
+                s.queue_depth, s.tick_p50_ns, s.tick_p99_ns);
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += "]}";
   return out;

@@ -32,6 +32,15 @@
 namespace chronicle {
 namespace obs {
 
+// One shard's slice of a periodic sample (sharded snapshots only).
+struct ShardHistorySample {
+  size_t shard = 0;
+  uint64_t appends = 0;        // shard engine's appends_processed
+  uint64_t routed_rows = 0;    // rows routed to this shard, cumulative
+  uint64_t queue_depth = 0;    // gauge at sample time (not differenced)
+  LatencyHistogram tick_latency;  // shard's cumulative maintenance_tick_ns
+};
+
 // One periodic sample, distilled from a StatsSnapshot at push time so the
 // ring holds a few hundred bytes per entry, not whole snapshots.
 struct HistorySample {
@@ -40,6 +49,17 @@ struct HistorySample {
   uint64_t delta_rows = 0;     // maintenance_delta_rows_total
   uint64_t view_ticks = 0;     // maintenance_view_ticks_total
   LatencyHistogram tick_latency;  // cumulative maintenance_tick_ns
+  std::vector<ShardHistorySample> shards;  // empty when unsharded
+};
+
+// One shard's slice of a derived window.
+struct ShardHistoryWindow {
+  size_t shard = 0;
+  double appends_per_sec = 0.0;
+  double routed_rows_per_sec = 0.0;
+  uint64_t queue_depth = 0;    // gauge at window end
+  int64_t tick_p50_ns = 0;     // percentile of the shard's OWN window
+  int64_t tick_p99_ns = 0;
 };
 
 // One derived window between two adjacent samples.
@@ -51,6 +71,9 @@ struct HistoryWindow {
   uint64_t view_ticks = 0;     // ticks inside the window
   int64_t tick_p50_ns = 0;     // percentile of the window's OWN samples
   int64_t tick_p99_ns = 0;     // (bucket-wise histogram difference)
+  // Per-shard breakdown; derived only when both samples report the same
+  // shard layout (empty across a resharding boundary or when unsharded).
+  std::vector<ShardHistoryWindow> shards;
 };
 
 class StatsHistory {

@@ -59,6 +59,19 @@ struct ObservabilityOptions {
   // retained (oldest deleted beyond the cap).
   std::string flight_recorder_dir = "flight-recorder";
   size_t flight_recorder_max_dumps = 8;
+  // Request tracing (obs::RequestTracer, owned by cql::Session): span
+  // slots in the request-trace ring (rounded up to a power of two; 0
+  // disables request tracing entirely).
+  size_t request_trace_capacity = 256;
+  // Head-sampling probability in [0,1]. 0 records no spans on the
+  // server's own initiative — but a client-supplied traceparent header
+  // with the sampled flag still forces a full span tree, so 0 is the
+  // production default (RED counters are recorded for every request
+  // regardless).
+  double request_sample_rate = 0.0;
+  // A sampled request slower than this budget dumps its span tree + a
+  // stats snapshot through the flight recorder. 0 disables the capture.
+  int64_t slow_request_budget_ns = 0;
 };
 
 // Per-view maintenance statistics, accumulated inside MaintainOne /
@@ -195,6 +208,38 @@ struct NetStatsSnapshot {
   std::vector<NetSessionSnapshot> sessions;
 };
 
+// One fixed request stage's latency histogram in the req section
+// ("parse", "queue_wait", "append", "wal_commit", "maintain", "merge",
+// "respond" — the chronicle_req_stage_* families).
+struct ReqStageStatsSnapshot {
+  std::string stage;
+  LatencyHistogram latency;
+};
+
+// One endpoint's RED (rate/error/duration) row in the req section.
+struct ReqEndpointStatsSnapshot {
+  std::string endpoint;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  LatencyHistogram duration;
+};
+
+// Request-tracing statistics, filled by obs::RequestTracer::Fill through
+// the session's stats-enricher chain. `attached` false (no tracer)
+// renders the section as absent/null.
+struct ReqStatsSnapshot {
+  bool attached = false;
+  double sample_rate = 0.0;
+  uint64_t sampled_requests = 0;
+  uint64_t unsampled_requests = 0;
+  uint64_t spans_emitted = 0;
+  uint64_t capacity = 0;
+  uint64_t slow_captures = 0;
+  int64_t slow_budget_ns = 0;
+  std::vector<ReqStageStatsSnapshot> stages;        // the 7 fixed stages
+  std::vector<ReqEndpointStatsSnapshot> endpoints;  // RED per endpoint
+};
+
 // The whole-database snapshot: everything the exporters render and the
 // benches assert against. Built by ChronicleDatabase::CollectStats();
 // the WAL section is merged in by the Wal's owner.
@@ -209,6 +254,7 @@ struct StatsSnapshot {
   StorageStatsSnapshot storage;
   ShardingStatsSnapshot sharding;
   NetStatsSnapshot net;
+  ReqStatsSnapshot req;
   uint64_t trace_emitted = 0;
   uint64_t trace_capacity = 0;
 };

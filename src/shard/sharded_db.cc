@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/request_trace.h"
 #include "views/persistent_view.h"
 
 namespace chronicle {
@@ -66,6 +67,9 @@ Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Open(
       per_shard.storage.data_dir += "/shard-" + std::to_string(k);
     }
     db->engines_.push_back(ChronicleDatabase::Open(per_shard));
+    // Stamp the shard id so maintain/wal_commit spans emitted inside this
+    // engine attribute to lane k in merged request traces.
+    db->engines_.back()->set_trace_shard(static_cast<int>(k));
     db->shards_.push_back(std::make_unique<ShardState>());
   }
   return db;
@@ -226,6 +230,9 @@ Result<ShardAppendResult> ShardedDatabase::AppendRouted(
     rows_routed_.fetch_add(result.rows, std::memory_order_relaxed);
     return result;
   }
+  obs::RequestScopeState* req_scope = obs::RequestScope::Current();
+  const int64_t merge_start =
+      req_scope != nullptr ? req_scope->tracer->NowNanos() : 0;
   std::vector<std::vector<Tuple>> split = partitioner->Split(std::move(tuples));
   for (size_t k = 0; k < split.size(); ++k) {
     if (split[k].empty()) continue;
@@ -236,6 +243,15 @@ Result<ShardAppendResult> ShardedDatabase::AppendRouted(
     ++result.shards_touched;
     shards_[k]->routed_rows.fetch_add(rows, std::memory_order_relaxed);
     shards_[k]->enqueued_batches.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (req_scope != nullptr) {
+    // The router's split+fan-out over all receiving shards is the merge
+    // stage of a traced request (detail = shards touched this tick). The
+    // per-shard maintain spans it covers carry their own shard ids.
+    req_scope->tracer->Emit(
+        req_scope->ctx, req_scope->tracer->NewSpanId(), req_scope->root_span,
+        obs::ReqStage::kMerge, /*shard=*/-1, req_scope->worker, merge_start,
+        req_scope->tracer->NowNanos() - merge_start, result.shards_touched);
   }
   last_chronon_ = chronon;
   rows_routed_.fetch_add(result.rows, std::memory_order_relaxed);

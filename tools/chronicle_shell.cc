@@ -162,7 +162,7 @@ bool HandleMeta(ShellState* state, const std::string& line, bool* done) {
         std::printf("ERROR: %s\n", st.ToString().c_str());
       } else {
         std::printf("serving http://127.0.0.1:%u/ (/metrics /stats.json "
-                    "/trace.json /history.json /healthz "
+                    "/trace.json /history.json /requests.json /healthz "
                     "/views/<name>/explain.json)\n",
                     unsigned{session->monitoring_port()});
       }
@@ -193,7 +193,7 @@ bool HandleMeta(ShellState* state, const std::string& line, bool* done) {
       } else {
         std::printf("wire service on http://127.0.0.1:%u/ (POST /v1/session "
                     "/v1/sql /v1/append /v1/drain; GET /healthz /stats.json "
-                    "/metrics)%s\n",
+                    "/metrics /requests.json /trace.json /history.json)%s\n",
                     unsigned{state->wire->port()},
                     token.empty() ? "" : " [bearer auth]");
       }

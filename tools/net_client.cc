@@ -39,12 +39,27 @@ using chronicle::net::HttpClientResponse;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: net_client --port P [--token T] <command>\n"
+      "usage: net_client --port P [--token T] [--trace] <command>\n"
       "  sql \"<script>\"                 execute CQL, print the JSON reply\n"
       "  append <chronicle> [--tick-rows N]   TSV rows on stdin\n"
       "  drain                          wait for queued rows to apply\n"
-      "  stats                          print /stats.json\n");
+      "  stats                          print /stats.json\n"
+      "  --trace  send a sampled traceparent on every request, print the\n"
+      "           echoed context, and dump /requests.json afterwards\n");
   return 2;
+}
+
+// Fixed W3C trace-context the --trace flag propagates: the sampled flag
+// (-01) forces span capture server-side regardless of the service's
+// sample rate, and the fixed trace id is what CI's networked smoke greps
+// for in /requests.json to assert end-to-end propagation.
+constexpr char kTraceParent[] =
+    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+
+void PrintEchoedTrace(const HttpClientResponse& resp) {
+  if (const std::string* tp = resp.FindHeader("traceparent")) {
+    std::fprintf(stderr, "trace: %s\n", tp->c_str());
+  }
 }
 
 // Extracts "session":"..." from the open response.
@@ -59,6 +74,7 @@ std::string ParseSessionId(const std::string& body) {
 struct Ctx {
   HttpClient* client;
   std::vector<std::pair<std::string, std::string>> headers;
+  bool trace = false;
 };
 
 // POSTs one append body, retrying on 429 per the Retry-After header.
@@ -87,6 +103,7 @@ int PostBodyWithRetry(Ctx* ctx, const std::string& chronicle,
                    resp->status, resp->body.c_str());
       return 1;
     }
+    if (ctx->trace) PrintEchoedTrace(*resp);
     const std::string marker = "\"accepted_rows\":";
     const size_t at = resp->body.find(marker);
     if (at != std::string::npos) {
@@ -140,6 +157,7 @@ int RunAppend(Ctx* ctx, const std::string& chronicle, size_t tick_rows) {
 int main(int argc, char** argv) {
   uint16_t port = 0;
   std::string token;
+  bool trace = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,6 +165,8 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(atoi(argv[++i]));
     } else if (arg == "--token" && i + 1 < argc) {
       token = argv[++i];
+    } else if (arg == "--trace") {
+      trace = true;
     } else {
       args.push_back(arg);
     }
@@ -154,9 +174,12 @@ int main(int argc, char** argv) {
   if (port == 0 || args.empty()) return Usage();
 
   HttpClient client(port);
-  Ctx ctx{&client, {}};
+  Ctx ctx{&client, {}, trace};
   if (!token.empty()) {
     ctx.headers.emplace_back("Authorization", "Bearer " + token);
+  }
+  if (trace) {
+    ctx.headers.emplace_back("traceparent", kTraceParent);
   }
 
   const std::string& command = args[0];
@@ -189,6 +212,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "net_client: %s\n",
                    resp.status().ToString().c_str());
     } else {
+      if (trace) PrintEchoedTrace(*resp);
       std::printf("%s", resp->body.c_str());
       rc = resp->status == 200 ? 0 : 1;
     }
@@ -208,6 +232,15 @@ int main(int argc, char** argv) {
     }
   } else {
     rc = Usage();
+  }
+
+  if (trace && rc == 0) {
+    // Dump the server-side span trees so a caller (or CI) can assert the
+    // propagated trace id produced a complete tree.
+    auto reqs = client.Get("/requests.json");
+    if (reqs.ok() && reqs->status == 200) {
+      std::printf("%s\n", reqs->body.c_str());
+    }
   }
 
   (void)client.Post("/v1/session/close", "", ctx.headers);
